@@ -1,0 +1,92 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/movielens_gen.h"
+#include "util/check.h"
+
+namespace graphtempo::bench {
+
+const TemporalGraph& DblpGraph() {
+  // Heap-allocated, never freed: benchmark binaries exit right after use and
+  // a static TemporalGraph would need a non-trivial destructor at exit.
+  static const TemporalGraph& graph = *new TemporalGraph(datagen::GenerateDblp());
+  return graph;
+}
+
+const TemporalGraph& MovieLensGraph() {
+  static const TemporalGraph& graph = *new TemporalGraph(datagen::GenerateMovieLens());
+  return graph;
+}
+
+void PrintTitle(const std::string& title, const std::string& paper_reference) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s)\n\n", paper_reference.c_str());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int column_width)
+    : headers_(std::move(headers)), column_width_(column_width) {}
+
+void TablePrinter::PrintHeader() const {
+  for (const std::string& header : headers_) {
+    std::printf("%-*s", column_width_, header.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    for (int c = 0; c < column_width_ - 2; ++c) std::printf("-");
+    std::printf("  ");
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  GT_CHECK_EQ(cells.size(), headers_.size()) << "row arity mismatch";
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", column_width_, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Ms(double millis) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", millis);
+  return buffer;
+}
+
+std::string X(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1fx", value);
+  return buffer;
+}
+
+EntitySelector FemaleFemaleEdges(const TemporalGraph& graph) {
+  EntitySelector selector;
+  selector.kind = EntitySelector::Kind::kEdges;
+  std::optional<AttrRef> gender = graph.FindAttribute("gender");
+  GT_CHECK(gender.has_value()) << "graph has no gender attribute";
+  selector.attrs = {*gender};
+  std::optional<AttrValueId> female = graph.FindValueCode(*gender, "f");
+  GT_CHECK(female.has_value()) << "graph has no 'f' gender value";
+  AttrTuple tuple;
+  tuple.Append(*female);
+  selector.src_tuple = tuple;
+  selector.dst_tuple = tuple;
+  return selector;
+}
+
+NodeTimeFilter HighActivityFilter(const TemporalGraph& graph, int min_pubs) {
+  std::optional<AttrRef> pubs = graph.FindAttribute("publications");
+  GT_CHECK(pubs.has_value()) << "graph has no publications attribute";
+  AttrRef ref = *pubs;
+  const TemporalGraph* g = &graph;
+  return [g, ref, min_pubs](NodeId n, TimeId t) {
+    AttrValueId code = g->ValueCodeAt(ref, n, t);
+    if (code == kNoValue) return false;
+    return std::atoi(g->ValueName(ref, code).c_str()) > min_pubs;
+  };
+}
+
+}  // namespace graphtempo::bench

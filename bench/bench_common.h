@@ -1,0 +1,94 @@
+#ifndef GRAPHTEMPO_BENCH_BENCH_COMMON_H_
+#define GRAPHTEMPO_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/exploration.h"
+#include "core/temporal_graph.h"
+#include "util/stopwatch.h"
+
+/// \file
+/// Shared plumbing for the per-figure benchmark binaries: lazily-built
+/// singleton datasets (so each binary pays generation once), an aligned
+/// column printer, and the selectors used by the qualitative figures.
+
+namespace graphtempo::bench {
+
+/// The DBLP-like evaluation graph (paper Table 3 sizes). Built on first use.
+const TemporalGraph& DblpGraph();
+
+/// The MovieLens-like evaluation graph (paper Table 4 sizes).
+const TemporalGraph& MovieLensGraph();
+
+/// Prints a figure banner.
+void PrintTitle(const std::string& title, const std::string& paper_reference);
+
+/// Fixed-width column table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int column_width = 12);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> headers_;
+  int column_width_;
+};
+
+/// Formats milliseconds with three decimals.
+std::string Ms(double millis);
+
+/// Formats a double with one decimal (for speedups).
+std::string X(double value);
+
+/// Median wall-clock milliseconds of `fn` over `reps` runs.
+template <typename Fn>
+double TimeMs(Fn&& fn, int reps = 3) {
+  return MedianMillis(reps, std::forward<Fn>(fn));
+}
+
+/// Keeps a computed value live so the compiler cannot elide the timed work
+/// (the per-figure binaries do not link google-benchmark).
+inline void DoNotOptimize(std::size_t value) {
+  asm volatile("" : : "r"(value) : "memory");
+}
+
+/// Average wall-clock milliseconds per call of `fn`, amortized over enough
+/// iterations to accumulate ~`min_total_ms` of runtime. Needed for the
+/// materialization benchmarks, where the cached path runs in sub-microsecond
+/// territory and a single-shot millisecond reading is pure noise.
+template <typename Fn>
+double TimeMsPrecise(Fn&& fn, double min_total_ms = 20.0) {
+  fn();  // warm up caches and allocators
+  std::size_t iters = 1;
+  while (true) {
+    Stopwatch watch;
+    watch.Start();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    double total = watch.ElapsedMillis();
+    if (total >= min_total_ms || iters >= 1u << 22) {
+      return total / static_cast<double>(iters);
+    }
+    if (total <= 0.01) {
+      iters *= 100;
+    } else {
+      iters = static_cast<std::size_t>(
+                  static_cast<double>(iters) * (min_total_ms / total) * 1.3) +
+              1;
+    }
+  }
+}
+
+/// Selector for f→f edges aggregated on `gender` (used by Figs 13/14).
+EntitySelector FemaleFemaleEdges(const TemporalGraph& graph);
+
+/// The paper's Fig 12 filter: keep (author, year) appearances with more than
+/// `min_pubs` publications. The returned filter references `graph`.
+NodeTimeFilter HighActivityFilter(const TemporalGraph& graph, int min_pubs);
+
+}  // namespace graphtempo::bench
+
+#endif  // GRAPHTEMPO_BENCH_BENCH_COMMON_H_

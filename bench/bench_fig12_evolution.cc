@@ -1,0 +1,80 @@
+/// Figure 12: the aggregate evolution graph of high-activity DBLP authors
+/// (#publications > 4), gender aggregation — 2010 vs. the 2000s and 2020 vs.
+/// the 2010s. Shape claims:
+///   * a majority share of high-activity authors of a decade remain active
+///     in the following year (the paper reports ≈61%), male authors
+///     outnumbering female severalfold;
+///   * node growth is small;
+///   * edges (collaborations) show heavy shrinkage and almost no stability —
+///     decade-old collaborations rarely recur in the target year;
+///   * stability ratios are higher in 2020-vs-2010s than 2010-vs-2000s.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/evolution.h"
+
+namespace gt = graphtempo;
+using gt::bench::PrintTitle;
+using gt::bench::TablePrinter;
+
+namespace {
+
+void Report(const gt::TemporalGraph& graph, gt::TimeId decade_first,
+            gt::TimeId decade_last, gt::TimeId year) {
+  const std::size_t n = graph.num_times();
+  gt::AttrRef gender = *graph.FindAttribute("gender");
+  std::vector<gt::AttrRef> attrs = {gender};
+  gt::NodeTimeFilter filter = gt::bench::HighActivityFilter(graph, 4);
+  gt::EvolutionAggregate evolution = gt::AggregateEvolution(
+      graph, gt::IntervalSet::Range(n, decade_first, decade_last),
+      gt::IntervalSet::Point(n, year), attrs, &filter);
+
+  std::printf("Evolution [%s..%s] -> %s, authors with #publications > 4:\n",
+              graph.time_label(decade_first).c_str(),
+              graph.time_label(decade_last).c_str(), graph.time_label(year).c_str());
+  TablePrinter table({"entity", "stable", "stable%", "growth", "shrink"});
+  table.PrintHeader();
+  auto pct = [](gt::Weight part, gt::Weight total) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                  total > 0 ? 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    return std::string(buffer);
+  };
+  for (const auto& [tuple, weights] : evolution.nodes()) {
+    gt::Weight total = weights.stability + weights.growth + weights.shrinkage;
+    table.PrintRow({"node " + graph.ValueName(gender, tuple[0]),
+                    std::to_string(weights.stability), pct(weights.stability, total),
+                    std::to_string(weights.growth), std::to_string(weights.shrinkage)});
+  }
+  gt::EvolutionWeights edge_totals;
+  for (const auto& [pair, weights] : evolution.edges()) {
+    edge_totals.stability += weights.stability;
+    edge_totals.growth += weights.growth;
+    edge_totals.shrinkage += weights.shrinkage;
+  }
+  gt::Weight edge_total =
+      edge_totals.stability + edge_totals.growth + edge_totals.shrinkage;
+  table.PrintRow({"edges all", std::to_string(edge_totals.stability),
+                  pct(edge_totals.stability, edge_total),
+                  std::to_string(edge_totals.growth),
+                  std::to_string(edge_totals.shrinkage)});
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Evolution of high-activity authors by gender", "paper Figure 12");
+  const gt::TemporalGraph& graph = gt::bench::DblpGraph();
+  Report(graph, 0, 9, 10);    // Fig 12a: 2010 w.r.t. the 2000s
+  Report(graph, 10, 19, 20);  // Fig 12b: 2020 w.r.t. the 2010s
+  std::printf("Expected shape: a majority share of high-activity authors stay stable\n"
+              "(paper: ~61%%), males outnumber females severalfold, little node growth,\n"
+              "heavy edge shrinkage with near-zero edge stability, and higher stability\n"
+              "ratios in the second comparison than the first.\n");
+  return 0;
+}

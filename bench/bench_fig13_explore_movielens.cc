@@ -1,0 +1,88 @@
+/// Figure 13: exploration of f→f co-rating edges on MovieLens at three
+/// threshold levels per event type, with the Section 3.5 initialization:
+///   (a) stability — maximal pairs, intersection semantics, k = w_th, w_th/2, 1;
+///   (b) growth    — minimal pairs, union semantics, k = w_th, w_th/2, w_th/12;
+///   (c) shrinkage — minimal pairs, union semantics, k = w_th, 2·w_th, 5·w_th.
+/// Shape claims: the greatest stability lands on the Aug/Sep boundary, the
+/// greatest growth on August (the burst month), and August also deletes most
+/// of the preceding months' edges despite being the largest month.
+/// The pruned explorer's evaluation count is printed against the exhaustive
+/// baseline to show the monotonicity pruning at work.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/naive_exploration.h"
+
+namespace gt = graphtempo;
+using gt::bench::PrintTitle;
+
+namespace {
+
+void RunCase(const gt::TemporalGraph& graph, const char* title, gt::EventType event,
+             gt::ExtensionSemantics semantics, gt::ReferenceEnd reference,
+             const std::vector<gt::Weight>& thresholds) {
+  std::printf("%s\n", title);
+  gt::EntitySelector ff = gt::bench::FemaleFemaleEdges(graph);
+  for (gt::Weight k : thresholds) {
+    gt::ExplorationSpec spec;
+    spec.event = event;
+    spec.semantics = semantics;
+    spec.reference = reference;
+    spec.selector = ff;
+    spec.k = std::max<gt::Weight>(1, k);
+    gt::ExplorationResult result = gt::Explore(graph, spec);
+    gt::ExplorationResult naive = gt::ExploreNaive(graph, spec);
+    std::printf("  k=%-8lld pairs=%zu  evaluations=%zu (naive %zu)\n",
+                static_cast<long long>(spec.k), result.pairs.size(), result.evaluations,
+                naive.evaluations);
+    for (const gt::IntervalPair& pair : result.pairs) {
+      std::printf("    old [%s..%s]  new [%s..%s]  events %lld\n",
+                  graph.time_label(pair.old_range.first).c_str(),
+                  graph.time_label(pair.old_range.last).c_str(),
+                  graph.time_label(pair.new_range.first).c_str(),
+                  graph.time_label(pair.new_range.last).c_str(),
+                  static_cast<long long>(pair.count));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Threshold exploration of f-f co-rating edges on MovieLens",
+             "paper Figure 13");
+  const gt::TemporalGraph& graph = gt::bench::MovieLensGraph();
+  gt::EntitySelector ff = gt::bench::FemaleFemaleEdges(graph);
+
+  gt::ThresholdSuggestion stability =
+      gt::SuggestThreshold(graph, gt::EventType::kStability, ff);
+  std::printf("w_th stability (max over consecutive months) = %lld  [paper: 86]\n",
+              static_cast<long long>(stability.max_weight));
+  RunCase(graph, "(a) stability, maximal pairs (I-Explore):", gt::EventType::kStability,
+          gt::ExtensionSemantics::kIntersection, gt::ReferenceEnd::kOld,
+          {stability.max_weight, stability.max_weight / 2, 1});
+
+  gt::ThresholdSuggestion growth = gt::SuggestThreshold(graph, gt::EventType::kGrowth, ff);
+  std::printf("w_th growth = %lld  [paper: 33968]\n",
+              static_cast<long long>(growth.max_weight));
+  RunCase(graph, "(b) growth, minimal pairs (U-Explore):", gt::EventType::kGrowth,
+          gt::ExtensionSemantics::kUnion, gt::ReferenceEnd::kOld,
+          {growth.max_weight, growth.max_weight / 2, growth.max_weight / 12});
+
+  gt::ThresholdSuggestion shrinkage =
+      gt::SuggestThreshold(graph, gt::EventType::kShrinkage, ff);
+  std::printf("w_th shrinkage (min over consecutive months) = %lld  [paper: 6548]\n",
+              static_cast<long long>(shrinkage.min_weight));
+  RunCase(graph, "(c) shrinkage, minimal pairs (U-Explore):", gt::EventType::kShrinkage,
+          gt::ExtensionSemantics::kUnion, gt::ReferenceEnd::kNew,
+          {shrinkage.min_weight, shrinkage.min_weight * 2, shrinkage.min_weight * 5});
+
+  std::printf("Expected shape: greatest stability at the Aug/Sep boundary; greatest\n"
+              "growth entering August; August also deletes most of [May..Jul]'s edges.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// Disease-propagation scenario from the paper's introduction (after
+/// Gemmetto et al.): a school face-to-face contact network where a targeted
+/// class-closure intervention is applied mid-period. GraphTempo quantifies it:
+///
+///   * aggregation by (grade, class) exposes the contact structure the
+///     closure strategy exploits (homophily: same-class >> cross-class);
+///   * shrinkage between the pre-closure and closure periods measures the
+///     intervention's effect per group;
+///   * stability during the closure flags the residual contact channels that
+///     keep transmission alive and would need further measures.
+
+#include <cstdio>
+
+#include "core/evolution.h"
+#include "core/measures.h"
+#include "core/exploration.h"
+#include "core/operators.h"
+#include "datagen/contact_gen.h"
+
+namespace gt = graphtempo;
+
+int main() {
+  gt::datagen::ContactOptions options;  // 5 grades × 2 classes × 24 students, 15 days
+  gt::TemporalGraph graph = gt::datagen::GenerateContactNetwork(options);
+  const std::size_t n = graph.num_times();
+  std::printf("School contact network: %zu people, %zu distinct contact pairs, %zu days\n",
+              graph.num_nodes(), graph.num_edges(), n);
+  std::printf("Closure phase: days %zu..%zu\n\n", options.outbreak_day + 1,
+              options.reopen_day);
+
+  const gt::TimeId pre_first = 0;
+  const gt::TimeId pre_last = static_cast<gt::TimeId>(options.outbreak_day - 1);
+  const gt::TimeId closure_first = static_cast<gt::TimeId>(options.outbreak_day);
+  const gt::TimeId closure_last = static_cast<gt::TimeId>(options.reopen_day - 1);
+
+  // --- 1. Homophily in the aggregated network -----------------------------------
+  std::vector<gt::AttrRef> grade = gt::ResolveAttributes(graph, {"grade"});
+  gt::GraphView pre_view = gt::UnionOp(graph, gt::IntervalSet::Range(n, pre_first, pre_last),
+                                       gt::IntervalSet::Range(n, pre_first, pre_last));
+  gt::AggregateGraph by_grade =
+      gt::Aggregate(graph, pre_view, grade, gt::AggregationSemantics::kAll);
+  gt::Weight same_grade = 0;
+  gt::Weight cross_grade = 0;
+  for (const auto& [pair, weight] : by_grade.edges()) {
+    if (pair.src == pair.dst) {
+      same_grade += weight;
+    } else {
+      cross_grade += weight;
+    }
+  }
+  std::printf("Pre-closure contacts aggregated by grade:\n");
+  std::printf("  same-grade contact appearances : %lld\n",
+              static_cast<long long>(same_grade));
+  std::printf("  cross-grade contact appearances: %lld\n",
+              static_cast<long long>(cross_grade));
+  std::printf("  homophily ratio: %.1f : 1  (why targeted class closure works)\n\n",
+              static_cast<double>(same_grade) / static_cast<double>(cross_grade));
+
+  // --- 2. Shrinkage: what did the closure remove? ---------------------------------
+  std::vector<gt::AttrRef> klass = gt::ResolveAttributes(graph, {"class"});
+  gt::IntervalSet pre = gt::IntervalSet::Range(n, pre_first, pre_last);
+  gt::IntervalSet closed = gt::IntervalSet::Range(n, closure_first, closure_last);
+  gt::EvolutionAggregate evolution = gt::AggregateEvolution(graph, pre, closed, klass);
+  gt::Weight same_gone = 0;
+  gt::Weight same_kept = 0;
+  gt::Weight cross_gone = 0;
+  gt::Weight cross_kept = 0;
+  for (const auto& [pair, weights] : evolution.edges()) {
+    if (pair.src == pair.dst) {
+      same_gone += weights.shrinkage;
+      same_kept += weights.stability;
+    } else {
+      cross_gone += weights.shrinkage;
+      cross_kept += weights.stability;
+    }
+  }
+  auto pct = [](gt::Weight gone, gt::Weight kept) {
+    return gone + kept == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(gone) / static_cast<double>(gone + kept);
+  };
+  std::printf("Closure effect (pre-closure pairs no longer seen while closed):\n");
+  std::printf("  within-class pairs: %lld gone / %lld stable (%.0f%% removed)\n",
+              static_cast<long long>(same_gone), static_cast<long long>(same_kept),
+              pct(same_gone, same_kept));
+  std::printf("  cross-class pairs : %lld gone / %lld stable (%.0f%% removed)\n\n",
+              static_cast<long long>(cross_gone), static_cast<long long>(cross_kept),
+              pct(cross_gone, cross_kept));
+
+  // --- 3. Contact *duration* by grade: the measure behind the risk ------------------
+  gt::EdgeAttrRef duration = *graph.FindEdgeAttribute("duration");
+  gt::EdgeMeasureMap minutes = gt::AggregateEdgeMeasure(
+      graph, pre_view, grade, duration, gt::MeasureFunction::kSum);
+  double same_minutes = 0.0;
+  double cross_minutes = 0.0;
+  for (const auto& [pair, measure] : minutes) {
+    (pair.src == pair.dst ? same_minutes : cross_minutes) += measure.value;
+  }
+  std::printf("Pre-closure contact minutes (SUM over the duration edge attribute):\n");
+  std::printf("  same-grade : %.0f minutes\n", same_minutes);
+  std::printf("  cross-grade: %.0f minutes (%.1f%% of exposure time)\n\n", cross_minutes,
+              100.0 * cross_minutes / (same_minutes + cross_minutes));
+
+  // --- 4. Stability during closure = residual risk ---------------------------------
+  gt::EntitySelector contacts;
+  contacts.kind = gt::EntitySelector::Kind::kEdges;
+  gt::ExplorationSpec spec;
+  spec.event = gt::EventType::kStability;
+  spec.semantics = gt::ExtensionSemantics::kIntersection;
+  spec.reference = gt::ReferenceEnd::kOld;
+  spec.selector = contacts;
+  spec.k = 25;  // "at least 25 persistent contact pairs"
+  gt::ExplorationResult persistent = gt::Explore(graph, spec);
+  std::printf("Maximal periods with >= %lld persistent contact pairs:\n",
+              static_cast<long long>(spec.k));
+  for (const gt::IntervalPair& pair : persistent.pairs) {
+    std::printf("  %s + [%s..%s]: %lld pairs present every day\n",
+                graph.time_label(pair.old_range.first).c_str(),
+                graph.time_label(pair.new_range.first).c_str(),
+                graph.time_label(pair.new_range.last).c_str(),
+                static_cast<long long>(pair.count));
+  }
+  std::printf("Persistent same-class contact during closure is the residual channel\n"
+              "further measures would need to address.\n");
+  return 0;
+}

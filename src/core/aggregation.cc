@@ -1,0 +1,260 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+namespace graphtempo {
+
+namespace {
+
+bool AllStatic(std::span<const AttrRef> attrs) {
+  return std::all_of(attrs.begin(), attrs.end(), [](const AttrRef& ref) {
+    return ref.kind == AttrRef::Kind::kStatic;
+  });
+}
+
+/// Static attributes do not depend on time; evaluate once per node.
+AttrTuple StaticTuple(const TemporalGraph& graph, std::span<const AttrRef> attrs,
+                      NodeId n) {
+  AttrTuple tuple;
+  for (const AttrRef& ref : attrs) {
+    tuple.Append(graph.static_attribute(ref.index).CodeAt(n));
+  }
+  return tuple;
+}
+
+/// Small per-entity "seen tuples" set. Entities carry very few distinct
+/// tuples across an interval (bounded by interval length), so linear probing
+/// over a stack vector beats a hash set.
+class SeenTuples {
+ public:
+  void Clear() { tuples_.clear(); }
+
+  /// Returns true if `tuple` was not seen before (and records it).
+  bool Insert(const AttrTuple& tuple) {
+    if (std::find(tuples_.begin(), tuples_.end(), tuple) != tuples_.end()) return false;
+    tuples_.push_back(tuple);
+    return true;
+  }
+
+ private:
+  std::vector<AttrTuple> tuples_;
+};
+
+class SeenTuplePairs {
+ public:
+  void Clear() { pairs_.clear(); }
+
+  bool Insert(const AttrTuplePair& pair) {
+    if (std::find(pairs_.begin(), pairs_.end(), pair) != pairs_.end()) return false;
+    pairs_.push_back(pair);
+    return true;
+  }
+
+ private:
+  std::vector<AttrTuplePair> pairs_;
+};
+
+/// General path of Algorithm 2: unpivot each node/edge over its appearance
+/// times, deduplicate per entity for DIST, group-count into the result.
+AggregateGraph AggregateGeneral(const TemporalGraph& graph, const GraphView& view,
+                                std::span<const AttrRef> attrs,
+                                const AggregationOptions& options) {
+  AggregateGraph result;
+  const bool distinct = options.semantics == AggregationSemantics::kDistinct;
+  const NodeTimeFilter* filter = options.filter;
+
+  SeenTuples seen;
+  for (NodeId n : view.nodes) {
+    seen.Clear();
+    graph.node_presence().ForEachSetBitMasked(n, view.times.bits(), [&](std::size_t t_raw) {
+      TimeId t = static_cast<TimeId>(t_raw);
+      if (filter != nullptr && !(*filter)(n, t)) return;
+      AttrTuple tuple = TupleAt(graph, attrs, n, t);
+      if (distinct) {
+        if (seen.Insert(tuple)) result.AddNodeWeight(tuple, 1);
+      } else {
+        result.AddNodeWeight(tuple, 1);
+      }
+    });
+  }
+
+  SeenTuplePairs seen_pairs;
+  for (EdgeId e : view.edges) {
+    seen_pairs.Clear();
+    auto [src, dst] = graph.edge(e);
+    graph.edge_presence().ForEachSetBitMasked(e, view.times.bits(), [&](std::size_t t_raw) {
+      TimeId t = static_cast<TimeId>(t_raw);
+      if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) return;
+      AttrTuplePair pair{TupleAt(graph, attrs, src, t), TupleAt(graph, attrs, dst, t)};
+      if (distinct) {
+        if (seen_pairs.Insert(pair)) result.AddEdgeWeight(pair.src, pair.dst, 1);
+      } else {
+        result.AddEdgeWeight(pair.src, pair.dst, 1);
+      }
+    });
+  }
+  return result;
+}
+
+/// Section 4.2 fast path: all aggregation attributes static and no filter.
+/// DIST never looks at time at all; ALL weights each entity by the popcount
+/// of its presence row under the view interval.
+AggregateGraph AggregateAllStatic(const TemporalGraph& graph, const GraphView& view,
+                                  std::span<const AttrRef> attrs,
+                                  AggregationSemantics semantics) {
+  AggregateGraph result;
+  const bool distinct = semantics == AggregationSemantics::kDistinct;
+
+  for (NodeId n : view.nodes) {
+    AttrTuple tuple = StaticTuple(graph, attrs, n);
+    Weight weight =
+        distinct ? 1
+                 : static_cast<Weight>(
+                       graph.node_presence().RowCountMasked(n, view.times.bits()));
+    if (weight > 0) result.AddNodeWeight(tuple, weight);
+  }
+  for (EdgeId e : view.edges) {
+    auto [src, dst] = graph.edge(e);
+    AttrTuple src_tuple = StaticTuple(graph, attrs, src);
+    AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
+    Weight weight =
+        distinct ? 1
+                 : static_cast<Weight>(
+                       graph.edge_presence().RowCountMasked(e, view.times.bits()));
+    if (weight > 0) result.AddEdgeWeight(src_tuple, dst_tuple, weight);
+  }
+  return result;
+}
+
+}  // namespace
+
+void AggregateGraph::AddNodeWeight(const AttrTuple& tuple, Weight weight) {
+  nodes_[tuple] += weight;
+}
+
+void AggregateGraph::AddEdgeWeight(const AttrTuple& src, const AttrTuple& dst,
+                                   Weight weight) {
+  edges_[AttrTuplePair{src, dst}] += weight;
+}
+
+Weight AggregateGraph::NodeWeight(const AttrTuple& tuple) const {
+  auto it = nodes_.find(tuple);
+  return it == nodes_.end() ? 0 : it->second;
+}
+
+Weight AggregateGraph::EdgeWeight(const AttrTuple& src, const AttrTuple& dst) const {
+  auto it = edges_.find(AttrTuplePair{src, dst});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+Weight AggregateGraph::TotalNodeWeight() const {
+  Weight total = 0;
+  for (const auto& [tuple, weight] : nodes_) total += weight;
+  return total;
+}
+
+Weight AggregateGraph::TotalEdgeWeight() const {
+  Weight total = 0;
+  for (const auto& [pair, weight] : edges_) total += weight;
+  return total;
+}
+
+AttrTuple TupleAt(const TemporalGraph& graph, std::span<const AttrRef> attrs, NodeId n,
+                  TimeId t) {
+  AttrTuple tuple;
+  for (const AttrRef& ref : attrs) tuple.Append(graph.ValueCodeAt(ref, n, t));
+  return tuple;
+}
+
+AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
+                         std::span<const AttrRef> attrs,
+                         const AggregationOptions& options) {
+  GT_CHECK(!attrs.empty()) << "aggregation needs at least one attribute";
+  if (options.filter == nullptr && AllStatic(attrs)) {
+    return AggregateAllStatic(graph, view, attrs, options.semantics);
+  }
+  return AggregateGeneral(graph, view, attrs, options);
+}
+
+AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
+                         std::span<const AttrRef> attrs, AggregationSemantics semantics) {
+  AggregationOptions options;
+  options.semantics = semantics;
+  return Aggregate(graph, view, attrs, options);
+}
+
+AggregateGraph AggregateGeneralPath(const TemporalGraph& graph, const GraphView& view,
+                                    std::span<const AttrRef> attrs,
+                                    const AggregationOptions& options) {
+  GT_CHECK(!attrs.empty()) << "aggregation needs at least one attribute";
+  return AggregateGeneral(graph, view, attrs, options);
+}
+
+namespace {
+
+/// Canonical ordering of tuples by code sequence (size first).
+bool TupleLessThan(const AttrTuple& a, const AttrTuple& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+}  // namespace
+
+AggregateGraph SymmetrizeAggregate(const AggregateGraph& aggregate) {
+  AggregateGraph result;
+  for (const auto& [tuple, weight] : aggregate.nodes()) {
+    result.AddNodeWeight(tuple, weight);
+  }
+  for (const auto& [pair, weight] : aggregate.edges()) {
+    if (TupleLessThan(pair.dst, pair.src)) {
+      result.AddEdgeWeight(pair.dst, pair.src, weight);
+    } else {
+      result.AddEdgeWeight(pair.src, pair.dst, weight);
+    }
+  }
+  return result;
+}
+
+std::string FormatTuple(const TemporalGraph& graph, std::span<const AttrRef> attrs,
+                        const AttrTuple& tuple) {
+  GT_CHECK_EQ(attrs.size(), tuple.size()) << "tuple arity mismatch";
+  std::string out;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out += ",";
+    if (tuple[i] == kNoValue) {
+      out += "∅";
+    } else {
+      out += graph.ValueName(attrs[i], tuple[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<AttrRef> ResolveAttributes(const TemporalGraph& graph,
+                                       std::initializer_list<std::string_view> names) {
+  std::vector<AttrRef> refs;
+  refs.reserve(names.size());
+  for (std::string_view name : names) {
+    std::optional<AttrRef> ref = graph.FindAttribute(name);
+    GT_CHECK(ref.has_value()) << "unknown attribute: " << name;
+    refs.push_back(*ref);
+  }
+  return refs;
+}
+
+std::vector<AttrRef> ResolveAttributes(const TemporalGraph& graph,
+                                       const std::vector<std::string>& names) {
+  std::vector<AttrRef> refs;
+  refs.reserve(names.size());
+  for (const std::string& name : names) {
+    std::optional<AttrRef> ref = graph.FindAttribute(name);
+    GT_CHECK(ref.has_value()) << "unknown attribute: " << name;
+    refs.push_back(*ref);
+  }
+  return refs;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,51 @@
+#ifndef GRAPHTEMPO_CORE_COARSEN_H_
+#define GRAPHTEMPO_CORE_COARSEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// Time-granularity coarsening: viewing an evolving graph at a coarser
+/// resolution (days → weeks, years → decades). The paper discusses changing
+/// temporal resolution through its union operator ("zooming out", cf. its
+/// comparison with Aghasadeghi et al.); `CoarsenTime` materializes that view
+/// as a first-class graph so every operator, aggregation and exploration
+/// runs unchanged on the coarser domain.
+///
+/// Semantics per group of elementary time points:
+///   * presence — union: an entity exists in the group iff it exists at ≥1
+///     member point (exactly the union operator's entity rule);
+///   * time-varying attributes — the value at the *last* (default) or
+///     *first* observed member point, selectable via `CoarsenPolicy`; for
+///     numeric roll-ups use `core/measures.h` on the original graph instead;
+///   * static attributes — copied.
+///
+/// Groups must be ordered and non-overlapping but need not cover the domain:
+/// uncovered time points are dropped from the coarse view (time slicing).
+
+namespace graphtempo {
+
+/// One coarse time point: its label and the elementary range it covers.
+struct TimeGroup {
+  std::string label;
+  TimeRange range;
+};
+
+/// Which member value a time-varying attribute keeps within a group.
+enum class CoarsenPolicy { kLast, kFirst };
+
+/// Splits the domain into consecutive groups of `width` points (the last
+/// group may be shorter). Labels are "first..last" (or the single label).
+std::vector<TimeGroup> UniformGrouping(const TemporalGraph& graph, std::size_t width);
+
+/// Builds the coarse graph described in the file comment. GT_CHECKs that
+/// `groups` is non-empty, ordered, non-overlapping and within the domain.
+TemporalGraph CoarsenTime(const TemporalGraph& graph,
+                          const std::vector<TimeGroup>& groups,
+                          CoarsenPolicy policy = CoarsenPolicy::kLast);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_COARSEN_H_

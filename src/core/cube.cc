@@ -1,0 +1,113 @@
+#include "core/cube.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+AggregateCube::AggregateCube(const TemporalGraph* graph, std::vector<AttrRef> base_attrs)
+    : graph_(graph), base_(graph, std::move(base_attrs)) {
+  GT_CHECK_LE(base_.attrs().size(), AttrTuple::kMaxAttrs) << "too many base attributes";
+}
+
+void AggregateCube::Materialize() { base_.MaterializeAllTimePoints(); }
+
+void AggregateCube::Refresh() {
+  base_.Refresh();
+  for (auto& [mask, layer] : subset_layers_) {
+    // Recover the canonical subset positions from the mask.
+    std::vector<std::size_t> keep;
+    for (std::size_t position = 0; position < base_.attrs().size(); ++position) {
+      if ((mask >> position) & 1u) keep.push_back(position);
+    }
+    for (TimeId t = static_cast<TimeId>(layer.size()); t < graph_->num_times(); ++t) {
+      layer.push_back(RollUp(base_.AtTimePoint(t), keep));
+      ++stats_.rollups;
+    }
+  }
+}
+
+AggregateCube::SubsetMask AggregateCube::MaskOf(
+    std::span<const std::size_t> keep_positions, std::size_t arity) {
+  SubsetMask mask = 0;
+  for (std::size_t position : keep_positions) {
+    GT_CHECK_LT(position, arity) << "subset position out of range";
+    mask |= SubsetMask{1} << position;
+  }
+  // The mask identifies the *set*; a reordered subset reuses the same layer
+  // only if the order matches the canonical ascending one, so the layer cache
+  // is restricted to canonical order (enforced by the caller below).
+  return mask;
+}
+
+const std::vector<AggregateGraph>& AggregateCube::SubsetLayer(
+    std::span<const std::size_t> keep_positions) {
+  SubsetMask mask = MaskOf(keep_positions, base_.attrs().size());
+  auto it = subset_layers_.find(mask);
+  if (it != subset_layers_.end()) {
+    stats_.rollup_hits += graph_->num_times();
+    return it->second;
+  }
+  std::vector<AggregateGraph> layer;
+  layer.reserve(graph_->num_times());
+  for (TimeId t = 0; t < graph_->num_times(); ++t) {
+    layer.push_back(RollUp(base_.AtTimePoint(t), keep_positions));
+    ++stats_.rollups;
+  }
+  return subset_layers_.emplace(mask, std::move(layer)).first->second;
+}
+
+AggregateGraph AggregateCube::Query(const IntervalSet& interval,
+                                    std::span<const std::size_t> keep_positions) {
+  GT_CHECK(materialized()) << "call Materialize() first";
+  GT_CHECK(!interval.Empty()) << "interval must be non-empty";
+  GT_CHECK(!keep_positions.empty()) << "query needs at least one attribute";
+  ++stats_.queries;
+
+  // Canonicalize to ascending order for the layer cache, remembering whether
+  // the caller asked for a different order.
+  std::vector<std::size_t> canonical(keep_positions.begin(), keep_positions.end());
+  std::sort(canonical.begin(), canonical.end());
+  GT_CHECK(std::adjacent_find(canonical.begin(), canonical.end()) == canonical.end())
+      << "duplicate subset position";
+  GT_CHECK_LT(canonical.back(), base_.attrs().size()) << "subset position out of range";
+
+  const bool full_set = canonical.size() == base_.attrs().size();
+  const std::vector<AggregateGraph>* layer = nullptr;
+  if (!full_set) {
+    layer = &SubsetLayer(canonical);
+  }
+
+  AggregateGraph combined;
+  interval.ForEach([&](TimeId t) {
+    const AggregateGraph& point = full_set ? base_.AtTimePoint(t) : (*layer)[t];
+    for (const auto& [tuple, weight] : point.nodes()) {
+      combined.AddNodeWeight(tuple, weight);
+    }
+    for (const auto& [pair, weight] : point.edges()) {
+      combined.AddEdgeWeight(pair.src, pair.dst, weight);
+    }
+    ++stats_.combines;
+  });
+
+  // Restore the caller's attribute order if it differed from canonical.
+  bool reordered = !std::equal(canonical.begin(), canonical.end(),
+                               keep_positions.begin(), keep_positions.end());
+  if (!reordered) return combined;
+  std::vector<std::size_t> order(keep_positions.size());
+  for (std::size_t i = 0; i < keep_positions.size(); ++i) {
+    auto it = std::find(canonical.begin(), canonical.end(), keep_positions[i]);
+    order[i] = static_cast<std::size_t>(it - canonical.begin());
+  }
+  return RollUp(combined, order);
+}
+
+AggregateGraph AggregateCube::Query(const IntervalSet& interval) {
+  std::vector<std::size_t> all(base_.attrs().size());
+  std::iota(all.begin(), all.end(), 0);
+  return Query(interval, all);
+}
+
+}  // namespace graphtempo

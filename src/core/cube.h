@@ -1,0 +1,85 @@
+#ifndef GRAPHTEMPO_CORE_CUBE_H_
+#define GRAPHTEMPO_CORE_CUBE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/materialization.h"
+
+/// \file
+/// `AggregateCube`: the OLAP-style materialization manager sketched in
+/// Section 4.3. Materializing *every* (attribute subset × interval) aggregate
+/// is unrealistic; the cube instead stores only per-time-point aggregates of
+/// the full attribute set and derives everything else:
+///
+///   * an attribute subset comes from the full set by **roll-up**
+///     (D-distributive) — memoized per subset, per time point;
+///   * a union interval comes from per-time-point aggregates by **weight
+///     summation** (T-distributive, ALL semantics).
+///
+/// A query therefore never touches the original graph once the base layer is
+/// built. Derivation counters expose how much work the distributivity saves;
+/// the ablation benchmark prints them against from-scratch aggregation.
+
+namespace graphtempo {
+
+class AggregateCube {
+ public:
+  /// Cube over `base_attrs` (at most AttrTuple::kMaxAttrs). `graph` must
+  /// outlive the cube.
+  AggregateCube(const TemporalGraph* graph, std::vector<AttrRef> base_attrs);
+
+  /// Builds the base layer: per-time-point ALL aggregates of the full
+  /// attribute set. Idempotent.
+  void Materialize();
+
+  /// Incremental maintenance after `TemporalGraph::AppendTimePoint`: extends
+  /// the base layer and every memoized subset layer with the new time
+  /// points' aggregates. No-op when up to date.
+  void Refresh();
+
+  bool materialized() const { return base_.materialized(); }
+
+  /// ALL-semantics aggregate of the union graph over `interval`, on the
+  /// attribute subset selected by `keep_positions` (indices into
+  /// `base_attrs()`, output order preserved). Requires Materialize().
+  AggregateGraph Query(const IntervalSet& interval,
+                       std::span<const std::size_t> keep_positions);
+
+  /// Convenience overload: the full attribute set.
+  AggregateGraph Query(const IntervalSet& interval);
+
+  const std::vector<AttrRef>& base_attrs() const { return base_.attrs(); }
+
+  /// Observability: how queries were answered.
+  struct Stats {
+    std::size_t queries = 0;        ///< Query() calls
+    std::size_t rollups = 0;        ///< per-time-point roll-ups performed
+    std::size_t rollup_hits = 0;    ///< per-time-point roll-ups served from cache
+    std::size_t combines = 0;       ///< per-time-point aggregates summed
+  };
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Bitmask over base attribute positions; position i → bit i.
+  using SubsetMask = std::uint32_t;
+
+  static SubsetMask MaskOf(std::span<const std::size_t> keep_positions,
+                           std::size_t arity);
+
+  /// The per-time-point aggregates for one subset, built lazily by roll-up.
+  const std::vector<AggregateGraph>& SubsetLayer(
+      std::span<const std::size_t> keep_positions);
+
+  const TemporalGraph* graph_;
+  MaterializationStore base_;
+  std::unordered_map<SubsetMask, std::vector<AggregateGraph>> subset_layers_;
+  Stats stats_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_CUBE_H_

@@ -1,0 +1,195 @@
+#include "core/edge_list_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "storage/tsv.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace graphtempo {
+
+namespace {
+
+bool Fail(std::string* error, std::size_t line, const std::string& message) {
+  std::ostringstream out;
+  out << "line " << line << ": " << message;
+  *error = out.str();
+  return false;
+}
+
+/// Orders inferred time labels: numerically when all are integers,
+/// lexicographically otherwise.
+std::vector<std::string> OrderTimeLabels(const std::set<std::string>& labels) {
+  std::vector<std::string> ordered(labels.begin(), labels.end());
+  bool all_numeric = true;
+  for (const std::string& label : ordered) {
+    std::uint64_t value = 0;
+    if (!ParseUint64(label, &value)) {
+      all_numeric = false;
+      break;
+    }
+  }
+  if (all_numeric) {
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::string& a, const std::string& b) {
+                std::uint64_t va = 0;
+                std::uint64_t vb = 0;
+                ParseUint64(a, &va);
+                ParseUint64(b, &vb);
+                return va < vb;
+              });
+  } else {
+    std::sort(ordered.begin(), ordered.end());
+  }
+  return ordered;
+}
+
+}  // namespace
+
+std::optional<TemporalGraph> ReadEdgeList(std::istream* in, std::string* error) {
+  GT_CHECK(error != nullptr);
+
+  struct Triple {
+    std::string src;
+    std::string dst;
+    std::string time;
+  };
+  std::vector<Triple> triples;
+  std::set<std::string> time_labels;
+
+  TsvReader reader(in);
+  while (auto row = reader.ReadRow()) {
+    if (row->size() != 3) {
+      Fail(error, reader.line_number(), "edge list row must be: src, dst, time");
+      return std::nullopt;
+    }
+    triples.push_back(Triple{(*row)[0], (*row)[1], (*row)[2]});
+    time_labels.insert((*row)[2]);
+  }
+  if (triples.empty()) {
+    *error = "edge list is empty: cannot infer a time domain";
+    return std::nullopt;
+  }
+
+  TemporalGraph graph(OrderTimeLabels(time_labels));
+  for (const Triple& triple : triples) {
+    NodeId src = graph.GetOrAddNode(triple.src);
+    NodeId dst = graph.GetOrAddNode(triple.dst);
+    EdgeId e = graph.GetOrAddEdge(src, dst);
+    graph.SetEdgePresent(e, *graph.FindTime(triple.time));
+  }
+  return graph;
+}
+
+void WriteEdgeList(const TemporalGraph& graph, std::ostream* out) {
+  TsvWriter writer(out);
+  writer.WriteComment("src\tdst\ttime");
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto [src, dst] = graph.edge(e);
+    for (TimeId t = 0; t < graph.num_times(); ++t) {
+      if (!graph.EdgePresentAt(e, t)) continue;
+      writer.WriteRow({graph.node_label(src), graph.node_label(dst),
+                       graph.time_label(t)});
+    }
+  }
+}
+
+bool ReadStaticAttributeTsv(TemporalGraph* graph, std::istream* in,
+                            const std::string& attribute_name, std::string* error) {
+  GT_CHECK(graph != nullptr);
+  GT_CHECK(error != nullptr);
+  std::optional<AttrRef> existing = graph->FindAttribute(attribute_name);
+  std::uint32_t attr;
+  if (existing.has_value()) {
+    if (existing->kind != AttrRef::Kind::kStatic) {
+      *error = "attribute '" + attribute_name + "' already exists as time-varying";
+      return false;
+    }
+    attr = existing->index;
+  } else {
+    attr = graph->AddStaticAttribute(attribute_name);
+  }
+
+  TsvReader reader(in);
+  while (auto row = reader.ReadRow()) {
+    if (row->size() != 2) {
+      return Fail(error, reader.line_number(), "static attribute row must be: node, value");
+    }
+    std::optional<NodeId> node = graph->FindNode((*row)[0]);
+    if (!node.has_value()) {
+      return Fail(error, reader.line_number(), "unknown node: " + (*row)[0]);
+    }
+    graph->SetStaticValue(attr, *node, (*row)[1]);
+  }
+  return true;
+}
+
+bool ReadTimeVaryingAttributeTsv(TemporalGraph* graph, std::istream* in,
+                                 const std::string& attribute_name, std::string* error) {
+  GT_CHECK(graph != nullptr);
+  GT_CHECK(error != nullptr);
+  std::optional<AttrRef> existing = graph->FindAttribute(attribute_name);
+  std::uint32_t attr;
+  if (existing.has_value()) {
+    if (existing->kind != AttrRef::Kind::kTimeVarying) {
+      *error = "attribute '" + attribute_name + "' already exists as static";
+      return false;
+    }
+    attr = existing->index;
+  } else {
+    attr = graph->AddTimeVaryingAttribute(attribute_name);
+  }
+
+  TsvReader reader(in);
+  while (auto row = reader.ReadRow()) {
+    if (row->size() != 3) {
+      return Fail(error, reader.line_number(),
+                  "time-varying attribute row must be: node, time, value");
+    }
+    std::optional<NodeId> node = graph->FindNode((*row)[0]);
+    if (!node.has_value()) {
+      return Fail(error, reader.line_number(), "unknown node: " + (*row)[0]);
+    }
+    std::optional<TimeId> t = graph->FindTime((*row)[1]);
+    if (!t.has_value()) {
+      return Fail(error, reader.line_number(), "unknown time label: " + (*row)[1]);
+    }
+    graph->SetNodePresent(*node, *t);  // an observed value implies existence
+    graph->SetTimeVaryingValue(attr, *node, *t, (*row)[2]);
+  }
+  return true;
+}
+
+std::optional<TemporalGraph> ReadEdgeListFromFile(const std::string& path,
+                                                  std::string* error) {
+  GT_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open for reading: " + path;
+    return std::nullopt;
+  }
+  return ReadEdgeList(&in, error);
+}
+
+bool WriteEdgeListToFile(const TemporalGraph& graph, const std::string& path,
+                         std::string* error) {
+  GT_CHECK(error != nullptr);
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot open for writing: " + path;
+    return false;
+  }
+  WriteEdgeList(graph, &out);
+  out.flush();
+  if (!out) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,58 @@
+#ifndef GRAPHTEMPO_CORE_EDGE_LIST_IO_H_
+#define GRAPHTEMPO_CORE_EDGE_LIST_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// Ingestion of the de-facto standard temporal edge-list format — one
+/// `src dst time` triple per line — which is how public temporal graph
+/// datasets (SNAP, Network Repository, SocioPatterns, the raw DBLP/MovieLens
+/// dumps the paper used) typically ship. Complements `graph_io.h`, which
+/// handles this library's own richer format.
+///
+/// The time domain is inferred from the distinct time labels, ordered
+/// numerically when every label parses as a non-negative integer and
+/// lexicographically otherwise. Node presence follows edge presence
+/// (Def 2.1's invariant); isolated node-time presences can be added via the
+/// attribute readers below or the TemporalGraph API afterwards.
+///
+/// Attribute side files use the same TSV shape:
+///   static:  `node value`
+///   varying: `node time value`
+
+namespace graphtempo {
+
+/// Parses a `src dst time` TSV edge list (comments `#`, blank lines, and CRLF
+/// tolerated). Returns std::nullopt and an explanation on malformed input or
+/// an empty file (no time domain can be inferred).
+std::optional<TemporalGraph> ReadEdgeList(std::istream* in, std::string* error);
+
+/// Writes `graph`'s edges as `src dst time` triples, one per (edge, time)
+/// appearance. Attributes are not representable in this format and are
+/// dropped — use WriteGraph for lossless output.
+void WriteEdgeList(const TemporalGraph& graph, std::ostream* out);
+
+/// Reads `node value` rows into a (new or existing) static attribute.
+/// Unknown node labels are an error: attributes describe ingested entities.
+bool ReadStaticAttributeTsv(TemporalGraph* graph, std::istream* in,
+                            const std::string& attribute_name, std::string* error);
+
+/// Reads `node time value` rows into a (new or existing) time-varying
+/// attribute. Marks the node present at that time (a recorded observation
+/// implies existence).
+bool ReadTimeVaryingAttributeTsv(TemporalGraph* graph, std::istream* in,
+                                 const std::string& attribute_name, std::string* error);
+
+/// File-path convenience wrappers.
+std::optional<TemporalGraph> ReadEdgeListFromFile(const std::string& path,
+                                                  std::string* error);
+bool WriteEdgeListToFile(const TemporalGraph& graph, const std::string& path,
+                         std::string* error);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_EDGE_LIST_IO_H_

@@ -1,0 +1,244 @@
+#include "core/evolution.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace graphtempo {
+
+const char* EventTypeName(EventType event) {
+  switch (event) {
+    case EventType::kStability:
+      return "stability";
+    case EventType::kGrowth:
+      return "growth";
+    case EventType::kShrinkage:
+      return "shrinkage";
+  }
+  GT_CHECK(false) << "invalid event type";
+  __builtin_unreachable();
+}
+
+const GraphView& EvolutionGraph::ForEvent(EventType event) const {
+  switch (event) {
+    case EventType::kStability:
+      return stability;
+    case EventType::kGrowth:
+      return growth;
+    case EventType::kShrinkage:
+      return shrinkage;
+  }
+  GT_CHECK(false) << "invalid event type";
+  __builtin_unreachable();
+}
+
+EvolutionGraph MakeEvolutionGraph(const TemporalGraph& graph, const IntervalSet& t_old,
+                                  const IntervalSet& t_new) {
+  EvolutionGraph evolution;
+  evolution.stability = IntersectionOp(graph, t_old, t_new);
+  evolution.shrinkage = DifferenceOp(graph, t_old, t_new);
+  evolution.growth = DifferenceOp(graph, t_new, t_old);
+  return evolution;
+}
+
+Weight EvolutionWeights::ForEvent(EventType event) const {
+  switch (event) {
+    case EventType::kStability:
+      return stability;
+    case EventType::kGrowth:
+      return growth;
+    case EventType::kShrinkage:
+      return shrinkage;
+  }
+  GT_CHECK(false) << "invalid event type";
+  __builtin_unreachable();
+}
+
+EvolutionWeights EvolutionAggregate::NodeWeights(const AttrTuple& tuple) const {
+  auto it = nodes_.find(tuple);
+  return it == nodes_.end() ? EvolutionWeights{} : it->second;
+}
+
+EvolutionWeights EvolutionAggregate::EdgeWeights(const AttrTuple& src,
+                                                 const AttrTuple& dst) const {
+  auto it = edges_.find(AttrTuplePair{src, dst});
+  return it == edges_.end() ? EvolutionWeights{} : it->second;
+}
+
+void EvolutionAggregate::Overlay(const AggregateGraph& component, EventType event) {
+  auto bump = [event](EvolutionWeights& weights, Weight value) {
+    switch (event) {
+      case EventType::kStability:
+        weights.stability += value;
+        break;
+      case EventType::kGrowth:
+        weights.growth += value;
+        break;
+      case EventType::kShrinkage:
+        weights.shrinkage += value;
+        break;
+    }
+  };
+  for (const auto& [tuple, weight] : component.nodes()) bump(nodes_[tuple], weight);
+  for (const auto& [pair, weight] : component.edges()) bump(edges_[pair], weight);
+}
+
+namespace {
+
+/// Distinct tuples an entity carries within `interval`. For a node, the tuple
+/// at each (present, unfiltered) time; for an edge, the endpoint tuple pair.
+template <typename TupleType, typename TupleAtFn>
+std::vector<TupleType> DistinctTuplesIn(const BitMatrix& presence, std::size_t row,
+                                        const IntervalSet& interval,
+                                        const TupleAtFn& tuple_at) {
+  std::vector<TupleType> tuples;
+  presence.ForEachSetBitMasked(row, interval.bits(), [&](std::size_t t_raw) {
+    TimeId t = static_cast<TimeId>(t_raw);
+    std::optional<TupleType> tuple = tuple_at(t);
+    if (!tuple.has_value()) return;
+    if (std::find(tuples.begin(), tuples.end(), *tuple) == tuples.end()) {
+      tuples.push_back(*tuple);
+    }
+  });
+  return tuples;
+}
+
+/// Classifies old-vs-new tuple sets into stability / growth / shrinkage and
+/// adds 1 to the matching weight of each affected aggregate entity.
+template <typename TupleType, typename BumpFn>
+void ClassifyTransitions(const std::vector<TupleType>& old_tuples,
+                         const std::vector<TupleType>& new_tuples, const BumpFn& bump) {
+  for (const TupleType& tuple : old_tuples) {
+    bool survived =
+        std::find(new_tuples.begin(), new_tuples.end(), tuple) != new_tuples.end();
+    bump(tuple, survived ? EventType::kStability : EventType::kShrinkage);
+  }
+  for (const TupleType& tuple : new_tuples) {
+    bool existed =
+        std::find(old_tuples.begin(), old_tuples.end(), tuple) != old_tuples.end();
+    if (!existed) bump(tuple, EventType::kGrowth);
+  }
+}
+
+}  // namespace
+
+EvolutionAggregate AggregateEvolution(const TemporalGraph& graph, const IntervalSet& t_old,
+                                      const IntervalSet& t_new,
+                                      std::span<const AttrRef> attrs,
+                                      const NodeTimeFilter* filter) {
+  GT_CHECK(!attrs.empty()) << "evolution aggregation needs at least one attribute";
+  EvolutionAggregate result;
+
+  auto bump_weights = [](EvolutionWeights& weights, EventType event) {
+    switch (event) {
+      case EventType::kStability:
+        ++weights.stability;
+        break;
+      case EventType::kGrowth:
+        ++weights.growth;
+        break;
+      case EventType::kShrinkage:
+        ++weights.shrinkage;
+        break;
+    }
+  };
+
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    auto tuple_at = [&](TimeId t) -> std::optional<AttrTuple> {
+      if (filter != nullptr && !(*filter)(n, t)) return std::nullopt;
+      return TupleAt(graph, attrs, n, t);
+    };
+    std::vector<AttrTuple> old_tuples =
+        DistinctTuplesIn<AttrTuple>(graph.node_presence(), n, t_old, tuple_at);
+    std::vector<AttrTuple> new_tuples =
+        DistinctTuplesIn<AttrTuple>(graph.node_presence(), n, t_new, tuple_at);
+    ClassifyTransitions<AttrTuple>(
+        old_tuples, new_tuples, [&](const AttrTuple& tuple, EventType event) {
+          bump_weights(result.MutableNodeWeights(tuple), event);
+        });
+  }
+
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto [src, dst] = graph.edge(e);
+    auto pair_at = [&](TimeId t) -> std::optional<AttrTuplePair> {
+      if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) {
+        return std::nullopt;
+      }
+      return AttrTuplePair{TupleAt(graph, attrs, src, t), TupleAt(graph, attrs, dst, t)};
+    };
+    std::vector<AttrTuplePair> old_pairs =
+        DistinctTuplesIn<AttrTuplePair>(graph.edge_presence(), e, t_old, pair_at);
+    std::vector<AttrTuplePair> new_pairs =
+        DistinctTuplesIn<AttrTuplePair>(graph.edge_presence(), e, t_new, pair_at);
+    ClassifyTransitions<AttrTuplePair>(
+        old_pairs, new_pairs, [&](const AttrTuplePair& pair, EventType event) {
+          bump_weights(result.MutableEdgeWeights(pair), event);
+        });
+  }
+
+  return result;
+}
+
+namespace {
+
+/// Deterministic tuple ordering for tie-breaks.
+bool TupleLess(const AttrTuple& a, const AttrTuple& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+bool PairLess(const AttrTuplePair& a, const AttrTuplePair& b) {
+  if (!(a.src == b.src)) return TupleLess(a.src, b.src);
+  return TupleLess(a.dst, b.dst);
+}
+
+}  // namespace
+
+TopEventGroups RankEventGroups(const TemporalGraph& graph, const IntervalSet& t_old,
+                               const IntervalSet& t_new, std::span<const AttrRef> attrs,
+                               EventType event, std::size_t top_k,
+                               const NodeTimeFilter* filter) {
+  EvolutionAggregate evolution = AggregateEvolution(graph, t_old, t_new, attrs, filter);
+  TopEventGroups top;
+  for (const auto& [tuple, weights] : evolution.nodes()) {
+    Weight weight = weights.ForEvent(event);
+    if (weight > 0) top.nodes.push_back(RankedNodeGroup{tuple, weight});
+  }
+  for (const auto& [pair, weights] : evolution.edges()) {
+    Weight weight = weights.ForEvent(event);
+    if (weight > 0) top.edges.push_back(RankedEdgeGroup{pair, weight});
+  }
+  std::sort(top.nodes.begin(), top.nodes.end(),
+            [](const RankedNodeGroup& a, const RankedNodeGroup& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return TupleLess(a.tuple, b.tuple);
+            });
+  std::sort(top.edges.begin(), top.edges.end(),
+            [](const RankedEdgeGroup& a, const RankedEdgeGroup& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return PairLess(a.pair, b.pair);
+            });
+  if (top.nodes.size() > top_k) top.nodes.resize(top_k);
+  if (top.edges.size() > top_k) top.edges.resize(top_k);
+  return top;
+}
+
+EvolutionAggregate AggregateEvolutionComponents(const TemporalGraph& graph,
+                                                const IntervalSet& t_old,
+                                                const IntervalSet& t_new,
+                                                std::span<const AttrRef> attrs,
+                                                const AggregationOptions& options) {
+  EvolutionGraph evolution = MakeEvolutionGraph(graph, t_old, t_new);
+  EvolutionAggregate result;
+  result.Overlay(Aggregate(graph, evolution.stability, attrs, options),
+                 EventType::kStability);
+  result.Overlay(Aggregate(graph, evolution.growth, attrs, options), EventType::kGrowth);
+  result.Overlay(Aggregate(graph, evolution.shrinkage, attrs, options),
+                 EventType::kShrinkage);
+  return result;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,448 @@
+#include "core/exploration.h"
+
+#include "core/exploration_internal.h"
+
+#include <algorithm>
+
+#include "core/operators.h"
+#include "storage/bitset.h"
+
+namespace graphtempo {
+
+namespace {
+
+/// Membership of every row of `presence` in a side of a candidate pair:
+/// union semantics — present at ≥1 point of the side; intersection semantics —
+/// present at all points. For a single-point side the two coincide.
+DynamicBitset SideMembers(const BitMatrix& presence, std::size_t entity_count,
+                          const IntervalSet& side, ExtensionSemantics semantics) {
+  DynamicBitset members(entity_count);
+  const DynamicBitset& mask = side.bits();
+  if (semantics == ExtensionSemantics::kUnion) {
+    for (std::size_t i = 0; i < entity_count; ++i) {
+      if (presence.RowAnyMasked(i, mask)) members.Set(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < entity_count; ++i) {
+      if (presence.RowAllMasked(i, mask)) members.Set(i);
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+namespace internal_exploration {
+
+/// Builds the event graph between the two sides as a GraphView, composing the
+/// operator definitions of Section 2 with side-level union/intersection
+/// semantics of Section 3.1:
+///   stability — entity in old side AND in new side, defined on O ∪ N;
+///   growth    — entity in new side and NOT in old side, defined on N;
+///   shrinkage — entity in old side and NOT in new side, defined on O.
+/// Difference events keep Def 2.5's node rule: a node that survives still
+/// joins the event graph when it is the endpoint of a difference edge.
+/// Assembles the event view once the side memberships are known.
+GraphView BuildEventViewFromSides(const TemporalGraph& graph,
+                                  const DynamicBitset& nodes_old,
+                                  const DynamicBitset& nodes_new,
+                                  const DynamicBitset& edges_old,
+                                  const DynamicBitset& edges_new,
+                                  const IntervalSet& old_side,
+                                  const IntervalSet& new_side, EventType event) {
+  const std::size_t num_nodes = graph.num_nodes();
+  GraphView view;
+  switch (event) {
+    case EventType::kStability: {
+      view.times = old_side | new_side;
+      DynamicBitset nodes = nodes_old & nodes_new;
+      DynamicBitset edges = edges_old & edges_new;
+      nodes.ForEachSetBit([&](std::size_t n) { view.nodes.push_back(static_cast<NodeId>(n)); });
+      edges.ForEachSetBit([&](std::size_t e) { view.edges.push_back(static_cast<EdgeId>(e)); });
+      return view;
+    }
+    case EventType::kGrowth: {
+      view.times = new_side;
+      DynamicBitset edges = edges_new - edges_old;
+      DynamicBitset endpoint(num_nodes);
+      edges.ForEachSetBit([&](std::size_t e) {
+        view.edges.push_back(static_cast<EdgeId>(e));
+        auto [src, dst] = graph.edge(static_cast<EdgeId>(e));
+        endpoint.Set(src);
+        endpoint.Set(dst);
+      });
+      DynamicBitset nodes = nodes_new & ((nodes_new - nodes_old) | endpoint);
+      nodes.ForEachSetBit([&](std::size_t n) { view.nodes.push_back(static_cast<NodeId>(n)); });
+      return view;
+    }
+    case EventType::kShrinkage: {
+      view.times = old_side;
+      DynamicBitset edges = edges_old - edges_new;
+      DynamicBitset endpoint(num_nodes);
+      edges.ForEachSetBit([&](std::size_t e) {
+        view.edges.push_back(static_cast<EdgeId>(e));
+        auto [src, dst] = graph.edge(static_cast<EdgeId>(e));
+        endpoint.Set(src);
+        endpoint.Set(dst);
+      });
+      DynamicBitset nodes = nodes_old & ((nodes_old - nodes_new) | endpoint);
+      nodes.ForEachSetBit([&](std::size_t n) { view.nodes.push_back(static_cast<NodeId>(n)); });
+      return view;
+    }
+  }
+  GT_CHECK(false) << "invalid event type";
+  __builtin_unreachable();
+}
+
+GraphView BuildEventView(const TemporalGraph& graph, const IntervalSet& old_side,
+                         const IntervalSet& new_side, ExtensionSemantics semantics,
+                         EventType event) {
+  const std::size_t num_nodes = graph.num_nodes();
+  const std::size_t num_edges = graph.num_edges();
+  DynamicBitset nodes_old =
+      SideMembers(graph.node_presence(), num_nodes, old_side, semantics);
+  DynamicBitset nodes_new =
+      SideMembers(graph.node_presence(), num_nodes, new_side, semantics);
+  DynamicBitset edges_old =
+      SideMembers(graph.edge_presence(), num_edges, old_side, semantics);
+  DynamicBitset edges_new =
+      SideMembers(graph.edge_presence(), num_edges, new_side, semantics);
+  return BuildEventViewFromSides(graph, nodes_old, nodes_new, edges_old, edges_new,
+                                 old_side, new_side, event);
+}
+
+SelectorCounter::SelectorCounter(const TemporalGraph& graph,
+                                 const EntitySelector& selector)
+    : graph_(graph), selector_(selector) {
+  if (selector.attrs.empty()) {
+    GT_CHECK(!selector.node_tuple && !selector.src_tuple && !selector.dst_tuple)
+        << "tuple filters require aggregation attributes";
+    fast_ = true;  // raw entity counts: match-all with no table
+    return;
+  }
+  bool all_static = std::all_of(
+      selector.attrs.begin(), selector.attrs.end(),
+      [](const AttrRef& ref) { return ref.kind == AttrRef::Kind::kStatic; });
+  if (!all_static || selector.semantics != AggregationSemantics::kDistinct) return;
+  fast_ = true;
+
+  auto static_tuple = [&](NodeId n) {
+    AttrTuple tuple;
+    for (const AttrRef& ref : selector.attrs) {
+      tuple.Append(graph.static_attribute(ref.index).CodeAt(n));
+    }
+    return tuple;
+  };
+  if (selector.kind == EntitySelector::Kind::kNodes) {
+    match_.resize(graph.num_nodes(), 1);
+    if (selector.node_tuple.has_value()) {
+      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+        match_[n] = static_tuple(n) == *selector.node_tuple;
+      }
+    }
+  } else {
+    if (selector.src_tuple.has_value() || selector.dst_tuple.has_value()) {
+      GT_CHECK(selector.src_tuple.has_value() && selector.dst_tuple.has_value())
+          << "edge tuple filter needs both src and dst tuples";
+    }
+    match_.resize(graph.num_edges(), 1);
+    if (selector.src_tuple.has_value()) {
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        auto [src, dst] = graph.edge(e);
+        match_[e] = static_tuple(src) == *selector.src_tuple &&
+                    static_tuple(dst) == *selector.dst_tuple;
+      }
+    }
+  }
+}
+
+Weight SelectorCounter::Count(const GraphView& view) const {
+  if (fast_) {
+    if (selector_.kind == EntitySelector::Kind::kNodes) {
+      if (match_.empty()) return static_cast<Weight>(view.NodeCount());
+      Weight total = 0;
+      for (NodeId n : view.nodes) total += match_[n];
+      return total;
+    }
+    if (match_.empty()) return static_cast<Weight>(view.EdgeCount());
+    Weight total = 0;
+    for (EdgeId e : view.edges) total += match_[e];
+    return total;
+  }
+
+  // General path: aggregate the event view under the selector.
+  AggregateGraph aggregate =
+      Aggregate(graph_, view, selector_.attrs, selector_.semantics);
+  if (selector_.kind == EntitySelector::Kind::kNodes) {
+    if (selector_.node_tuple.has_value()) {
+      return aggregate.NodeWeight(*selector_.node_tuple);
+    }
+    return aggregate.TotalNodeWeight();
+  }
+  if (selector_.src_tuple.has_value() || selector_.dst_tuple.has_value()) {
+    GT_CHECK(selector_.src_tuple.has_value() && selector_.dst_tuple.has_value())
+        << "edge tuple filter needs both src and dst tuples";
+    return aggregate.EdgeWeight(*selector_.src_tuple, *selector_.dst_tuple);
+  }
+  return aggregate.TotalEdgeWeight();
+}
+
+EventEngine::EventEngine(const TemporalGraph& graph, const EntitySelector& selector)
+    : graph_(graph), counter_(graph, selector) {
+  const std::size_t n = graph.num_times();
+  node_columns_.assign(n, DynamicBitset(graph.num_nodes()));
+  edge_columns_.assign(n, DynamicBitset(graph.num_edges()));
+  IntervalSet all = IntervalSet::All(n);
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    graph.node_presence().ForEachSetBitMasked(node, all.bits(), [&](std::size_t t) {
+      node_columns_[t].Set(node);
+    });
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    graph.edge_presence().ForEachSetBitMasked(e, all.bits(), [&](std::size_t t) {
+      edge_columns_[t].Set(e);
+    });
+  }
+
+  edge_bitset_path_ =
+      counter_.fast_path() && selector.kind == EntitySelector::Kind::kEdges;
+  if (edge_bitset_path_) {
+    edge_match_bits_ = DynamicBitset(graph.num_edges());
+    const std::vector<char>& table = counter_.match_table();
+    if (table.empty()) {
+      edge_match_bits_.SetAll();
+    } else {
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        if (table[e]) edge_match_bits_.Set(e);
+      }
+    }
+  }
+}
+
+DynamicBitset EventEngine::FoldSide(const std::vector<DynamicBitset>& columns,
+                                    TimeRange range,
+                                    ExtensionSemantics semantics) const {
+  DynamicBitset side = columns[range.first];
+  for (TimeId t = range.first + 1; t <= range.last; ++t) {
+    if (semantics == ExtensionSemantics::kUnion) {
+      side |= columns[t];
+    } else {
+      side &= columns[t];
+    }
+  }
+  return side;
+}
+
+Weight EventEngine::Count(TimeRange old_range, TimeRange new_range,
+                          ExtensionSemantics semantics, EventType event) const {
+  DynamicBitset edges_old = FoldSide(edge_columns_, old_range, semantics);
+  DynamicBitset edges_new = FoldSide(edge_columns_, new_range, semantics);
+
+  if (edge_bitset_path_) {
+    DynamicBitset combined = [&] {
+      switch (event) {
+        case EventType::kStability:
+          return edges_old & edges_new;
+        case EventType::kGrowth:
+          return edges_new - edges_old;
+        case EventType::kShrinkage:
+          return edges_old - edges_new;
+      }
+      GT_CHECK(false) << "invalid event type";
+      __builtin_unreachable();
+    }();
+    combined &= edge_match_bits_;
+    return static_cast<Weight>(combined.Count());
+  }
+
+  const std::size_t n = graph_.num_times();
+  DynamicBitset nodes_old = FoldSide(node_columns_, old_range, semantics);
+  DynamicBitset nodes_new = FoldSide(node_columns_, new_range, semantics);
+  GraphView view = BuildEventViewFromSides(
+      graph_, nodes_old, nodes_new, edges_old, edges_new,
+      IntervalSet::Of(n, old_range), IntervalSet::Of(n, new_range), event);
+  return counter_.Count(view);
+}
+
+}  // namespace internal_exploration
+
+namespace {
+
+using internal_exploration::BuildEventView;
+using internal_exploration::SelectorCounter;
+
+
+/// One candidate pair through the aggregate path only (no match table).
+Weight CountSelectedGeneral(const TemporalGraph& graph, const GraphView& view,
+                            const EntitySelector& selector) {
+  if (selector.attrs.empty()) {
+    GT_CHECK(!selector.node_tuple && !selector.src_tuple && !selector.dst_tuple)
+        << "tuple filters require aggregation attributes";
+    return selector.kind == EntitySelector::Kind::kNodes
+               ? static_cast<Weight>(view.NodeCount())
+               : static_cast<Weight>(view.EdgeCount());
+  }
+  AggregateGraph aggregate = Aggregate(graph, view, selector.attrs, selector.semantics);
+  if (selector.kind == EntitySelector::Kind::kNodes) {
+    if (selector.node_tuple.has_value()) return aggregate.NodeWeight(*selector.node_tuple);
+    return aggregate.TotalNodeWeight();
+  }
+  if (selector.src_tuple.has_value() || selector.dst_tuple.has_value()) {
+    GT_CHECK(selector.src_tuple.has_value() && selector.dst_tuple.has_value())
+        << "edge tuple filter needs both src and dst tuples";
+    return aggregate.EdgeWeight(*selector.src_tuple, *selector.dst_tuple);
+  }
+  return aggregate.TotalEdgeWeight();
+}
+
+}  // namespace
+
+Weight CountEvents(const TemporalGraph& graph, TimeRange old_range, TimeRange new_range,
+                   ExtensionSemantics semantics, EventType event,
+                   const EntitySelector& selector) {
+  GT_CHECK_LT(old_range.last, new_range.first) << "old interval must precede new interval";
+  const std::size_t n = graph.num_times();
+  IntervalSet old_side = IntervalSet::Of(n, old_range);
+  IntervalSet new_side = IntervalSet::Of(n, new_range);
+  GraphView view = BuildEventView(graph, old_side, new_side, semantics, event);
+  SelectorCounter counter(graph, selector);
+  return counter.Count(view);
+}
+
+Weight CountEventsGeneralPath(const TemporalGraph& graph, TimeRange old_range,
+                              TimeRange new_range, ExtensionSemantics semantics,
+                              EventType event, const EntitySelector& selector) {
+  GT_CHECK_LT(old_range.last, new_range.first) << "old interval must precede new interval";
+  const std::size_t n = graph.num_times();
+  IntervalSet old_side = IntervalSet::Of(n, old_range);
+  IntervalSet new_side = IntervalSet::Of(n, new_range);
+  GraphView view = BuildEventView(graph, old_side, new_side, semantics, event);
+  return CountSelectedGeneral(graph, view, selector);
+}
+
+bool IsMonotonicallyIncreasing(EventType event, ReferenceEnd reference,
+                               ExtensionSemantics semantics) {
+  // The *extended* side is the one opposite the fixed reference.
+  const bool extending_new = reference == ReferenceEnd::kOld;
+  switch (event) {
+    case EventType::kStability:
+      // Lemma 3.3: union grows the graph, intersection shrinks it — on either side.
+      return semantics == ExtensionSemantics::kUnion;
+    case EventType::kGrowth:
+      // T_new − T_old. Lemma 3.9: extending T_new with ∪ increases, extending
+      // T_old with ∪ decreases. Lemma 3.10: the ∩ directions flip.
+      return extending_new == (semantics == ExtensionSemantics::kUnion);
+    case EventType::kShrinkage:
+      // T_old − T_new: the mirror image of growth.
+      return extending_new != (semantics == ExtensionSemantics::kUnion);
+  }
+  GT_CHECK(false) << "invalid event type";
+  __builtin_unreachable();
+}
+
+ExplorationResult Explore(const TemporalGraph& graph, const ExplorationSpec& spec) {
+  GT_CHECK_GE(spec.k, 1) << "threshold k must be positive";
+  const std::size_t n = graph.num_times();
+  GT_CHECK_GE(n, 2u) << "exploration needs at least two time points";
+
+  const bool increasing =
+      IsMonotonicallyIncreasing(spec.event, spec.reference, spec.semantics);
+  const bool minimal_goal = spec.semantics == ExtensionSemantics::kUnion;
+
+  ExplorationResult result;
+
+  // Builds the candidate pair for reference point `ref` and extension `len`.
+  auto make_pair = [&](TimeId ref, std::size_t len) -> std::pair<TimeRange, TimeRange> {
+    if (spec.reference == ReferenceEnd::kOld) {
+      return {TimeRange{ref, ref},
+              TimeRange{ref + 1, static_cast<TimeId>(ref + len)}};
+    }
+    return {TimeRange{static_cast<TimeId>(ref - len), static_cast<TimeId>(ref - 1)},
+            TimeRange{ref, ref}};
+  };
+
+  // One engine for the whole run: the presence transposition, match table
+  // and (for edge selectors) match bitset are built once, and every candidate
+  // pair costs a handful of word-parallel set operations.
+  internal_exploration::EventEngine engine(graph, spec.selector);
+  auto evaluate = [&](TimeId ref, std::size_t len) -> Weight {
+    auto [old_range, new_range] = make_pair(ref, len);
+    ++result.evaluations;
+    return engine.Count(old_range, new_range, spec.semantics, spec.event);
+  };
+
+  auto record = [&](TimeId ref, std::size_t len, Weight count) {
+    auto [old_range, new_range] = make_pair(ref, len);
+    result.pairs.push_back(IntervalPair{old_range, new_range, count});
+  };
+
+  const TimeId ref_begin = spec.reference == ReferenceEnd::kOld ? 0 : 1;
+  const TimeId ref_end =
+      spec.reference == ReferenceEnd::kOld ? static_cast<TimeId>(n - 1)
+                                           : static_cast<TimeId>(n);
+  for (TimeId ref = ref_begin; ref < ref_end; ++ref) {
+    const std::size_t max_len =
+        spec.reference == ReferenceEnd::kOld ? (n - 1 - ref) : ref;
+    if (max_len == 0) continue;
+
+    if (minimal_goal) {
+      if (increasing) {
+        // U-Explore: extend until the threshold is first met; that pair is
+        // minimal for this reference, and monotonicity prunes the rest.
+        for (std::size_t len = 1; len <= max_len; ++len) {
+          Weight count = evaluate(ref, len);
+          if (count >= spec.k) {
+            record(ref, len, count);
+            break;
+          }
+        }
+      } else {
+        // Monotonically decreasing while searching minimal pairs: only the
+        // shortest extension can qualify (the "⊆ of" rows of Table 1).
+        Weight count = evaluate(ref, 1);
+        if (count >= spec.k) record(ref, 1, count);
+      }
+    } else {
+      if (!increasing) {
+        // I-Explore: extend while the threshold holds; the last surviving
+        // extension is the maximal pair. The first failure prunes the rest.
+        std::optional<std::pair<std::size_t, Weight>> best;
+        for (std::size_t len = 1; len <= max_len; ++len) {
+          Weight count = evaluate(ref, len);
+          if (count < spec.k) break;
+          best = {len, count};
+        }
+        if (best.has_value()) record(ref, best->first, best->second);
+      } else {
+        // Monotonically increasing while searching maximal pairs: the longest
+        // extension dominates — a single check suffices (the "longest
+        // interval" rows of Table 1).
+        Weight count = evaluate(ref, max_len);
+        if (count >= spec.k) record(ref, max_len, count);
+      }
+    }
+  }
+  return result;
+}
+
+ThresholdSuggestion SuggestThreshold(const TemporalGraph& graph, EventType event,
+                                     const EntitySelector& selector) {
+  const std::size_t n = graph.num_times();
+  GT_CHECK_GE(n, 2u) << "threshold suggestion needs at least two time points";
+  ThresholdSuggestion suggestion;
+  bool first = true;
+  for (TimeId t = 0; t + 1 < n; ++t) {
+    Weight count = CountEvents(graph, TimeRange{t, t}, TimeRange{t + 1, t + 1},
+                               ExtensionSemantics::kUnion, event, selector);
+    if (first) {
+      suggestion.min_weight = suggestion.max_weight = count;
+      first = false;
+    } else {
+      suggestion.min_weight = std::min(suggestion.min_weight, count);
+      suggestion.max_weight = std::max(suggestion.max_weight, count);
+    }
+  }
+  return suggestion;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,83 @@
+#ifndef GRAPHTEMPO_CORE_EXPLORATION_INTERNAL_H_
+#define GRAPHTEMPO_CORE_EXPLORATION_INTERNAL_H_
+
+#include <vector>
+
+#include "core/exploration.h"
+
+/// \file
+/// Internal machinery shared by the pruned explorer and the exhaustive
+/// baseline. Not part of the public API.
+
+namespace graphtempo::internal_exploration {
+
+/// Evaluates `result(G)` for event views against one selector.
+///
+/// For selectors over static attributes with DIST semantics (the paper's
+/// Figs 13/14 shape: gender, f→f), the per-entity attribute tuple is
+/// constant, so the selector reduces to a precomputed per-entity match table
+/// and counting is a sum over the event view — no aggregation per candidate
+/// pair. One counter is built per exploration run and reused for every
+/// candidate. All other selectors fall back to aggregating the event view.
+class SelectorCounter {
+ public:
+  /// `graph` and `selector` must outlive the counter.
+  SelectorCounter(const TemporalGraph& graph, const EntitySelector& selector);
+
+  /// Events in `view` under the selector.
+  Weight Count(const GraphView& view) const;
+
+  /// Whether the precomputed-match fast path is active (exposed for tests).
+  bool fast_path() const { return fast_; }
+
+  /// The per-entity match table (empty = match everything) and the selector;
+  /// used by EventEngine to lift edge counting into bitset space.
+  const std::vector<char>& match_table() const { return match_; }
+  const EntitySelector& selector() const { return selector_; }
+
+ private:
+  const TemporalGraph& graph_;
+  const EntitySelector& selector_;
+  bool fast_ = false;
+  std::vector<char> match_;  // per node (kind kNodes) or per edge (kind kEdges)
+};
+
+/// Builds the event graph between the two sides (see exploration.cc for the
+/// composition rules).
+GraphView BuildEventView(const TemporalGraph& graph, const IntervalSet& old_side,
+                         const IntervalSet& new_side, ExtensionSemantics semantics,
+                         EventType event);
+
+/// The explorers' hot path: evaluates event counts for many candidate pairs
+/// against one selector.
+///
+/// On construction the presence matrices are transposed into per-time-point
+/// entity columns; a side's membership is then a fold (OR for union
+/// semantics, AND for intersection) of ≤|T| cached columns — word operations
+/// instead of per-entity row scans. For edge selectors on the
+/// `SelectorCounter` fast path the count collapses further to
+/// popcount(side-combination ∧ match-bitset) and no view is materialized.
+class EventEngine {
+ public:
+  /// `graph` and `selector` must outlive the engine.
+  EventEngine(const TemporalGraph& graph, const EntitySelector& selector);
+
+  /// result(G) of the candidate pair (old_range, new_range).
+  Weight Count(TimeRange old_range, TimeRange new_range, ExtensionSemantics semantics,
+               EventType event) const;
+
+ private:
+  DynamicBitset FoldSide(const std::vector<DynamicBitset>& columns, TimeRange range,
+                         ExtensionSemantics semantics) const;
+
+  const TemporalGraph& graph_;
+  SelectorCounter counter_;
+  std::vector<DynamicBitset> node_columns_;  // per time point: nodes present
+  std::vector<DynamicBitset> edge_columns_;  // per time point: edges present
+  bool edge_bitset_path_ = false;
+  DynamicBitset edge_match_bits_;
+};
+
+}  // namespace graphtempo::internal_exploration
+
+#endif  // GRAPHTEMPO_CORE_EXPLORATION_INTERNAL_H_

@@ -1,0 +1,49 @@
+#ifndef GRAPHTEMPO_CORE_GRAPH_IO_H_
+#define GRAPHTEMPO_CORE_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// On-disk format for temporal attributed graphs: a sectioned TSV file.
+///
+/// ```
+/// !format	graphtempo	1
+/// !section	times
+/// 2000
+/// 2001
+/// !section	nodes
+/// u1	11        # label, presence over the time domain as 0/1 chars
+/// !section	edges
+/// u1	u2	10    # src label, dst label, presence
+/// !section	static	gender
+/// u1	m
+/// !section	varying	publications
+/// u1	2000	3  # node, time label, value
+/// ```
+///
+/// Lines starting with '#' are comments. Sections may repeat and appear in
+/// any order after `times` (which must come first so presence strings can be
+/// validated). Read errors are reported through `*error` — no exceptions.
+
+namespace graphtempo {
+
+/// Serializes `graph` to `*out`. Always succeeds for a well-formed graph.
+void WriteGraph(const TemporalGraph& graph, std::ostream* out);
+
+/// Parses a graph from `*in`. On failure returns std::nullopt and describes
+/// the problem (with a line number) in `*error`.
+std::optional<TemporalGraph> ReadGraph(std::istream* in, std::string* error);
+
+/// File-path convenience wrappers.
+bool WriteGraphToFile(const TemporalGraph& graph, const std::string& path,
+                      std::string* error);
+std::optional<TemporalGraph> ReadGraphFromFile(const std::string& path,
+                                               std::string* error);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_GRAPH_IO_H_

@@ -1,0 +1,26 @@
+#ifndef GRAPHTEMPO_CORE_GRAPHTEMPO_H_
+#define GRAPHTEMPO_CORE_GRAPHTEMPO_H_
+
+/// \file
+/// Umbrella header: the whole GraphTempo public API in one include.
+/// Fine-grained headers remain available for compile-time-conscious users.
+
+#include "core/aggregation.h"       // DIST/ALL aggregation, AggregateGraph
+#include "core/coarsen.h"           // time-granularity coarsening
+#include "core/cube.h"              // OLAP materialization manager
+#include "core/edge_list_io.h"      // `src dst time` ingestion
+#include "core/evolution.h"         // evolution graph + group ranking
+#include "core/exploration.h"       // U-Explore / I-Explore
+#include "core/graph_io.h"          // lossless (de)serialization
+#include "core/interval.h"          // IntervalSet / TimeRange
+#include "core/lattice.h"           // interval semi-lattice, both-ends search
+#include "core/materialization.h"   // D-/T-distributive derivation
+#include "core/measures.h"          // SUM/MIN/MAX/AVG over edge attributes
+#include "core/model_adapters.h"    // snapshot / duration-labeled models
+#include "core/naive_exploration.h" // exhaustive exploration baseline
+#include "core/operators.h"         // project / union / intersection / difference
+#include "core/stats.h"             // descriptive statistics
+#include "core/subgraph.h"          // operator-result materialization
+#include "core/temporal_graph.h"    // G(V, E, τu, τe, A)
+
+#endif  // GRAPHTEMPO_CORE_GRAPHTEMPO_H_

@@ -1,0 +1,66 @@
+#include "core/interval.h"
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+IntervalSet IntervalSet::Point(std::size_t domain_size, TimeId t) {
+  IntervalSet set(domain_size);
+  set.Add(t);
+  return set;
+}
+
+IntervalSet IntervalSet::Range(std::size_t domain_size, TimeId first, TimeId last) {
+  IntervalSet set(domain_size);
+  GT_CHECK_LE(first, last) << "inverted time range";
+  set.bits_.SetRange(first, last);
+  return set;
+}
+
+IntervalSet IntervalSet::Of(std::size_t domain_size, std::initializer_list<TimeId> times) {
+  IntervalSet set(domain_size);
+  for (TimeId t : times) set.Add(t);
+  return set;
+}
+
+IntervalSet IntervalSet::All(std::size_t domain_size) {
+  IntervalSet set(domain_size);
+  set.bits_.SetAll();
+  return set;
+}
+
+IntervalSet& IntervalSet::operator|=(const IntervalSet& other) {
+  bits_ |= other.bits_;
+  return *this;
+}
+
+IntervalSet& IntervalSet::operator&=(const IntervalSet& other) {
+  bits_ &= other.bits_;
+  return *this;
+}
+
+IntervalSet& IntervalSet::operator-=(const IntervalSet& other) {
+  bits_ -= other.bits_;
+  return *this;
+}
+
+std::vector<TimeId> IntervalSet::ToVector() const {
+  std::vector<TimeId> times;
+  times.reserve(Count());
+  ForEach([&](TimeId t) { times.push_back(t); });
+  return times;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](TimeId t) {
+    if (!first) out += ",";
+    out += std::to_string(t);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,120 @@
+#ifndef GRAPHTEMPO_CORE_INTERVAL_H_
+#define GRAPHTEMPO_CORE_INTERVAL_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/bitset.h"
+
+/// \file
+/// Time-dimension types.
+///
+/// The paper models time as a finite ordered domain of elementary time points
+/// t_0 … t_{n-1} and defines every operator on *sets of time intervals* `T`.
+/// `IntervalSet` is that set, represented as a bitset over the time domain —
+/// which makes ∪/∩/− on time sets trivial and lets the presence bit-matrix
+/// answer the operators' predicates with masked word scans. `TimeRange` is the
+/// contiguous special case used by the exploration semi-lattices.
+
+namespace graphtempo {
+
+/// Index of an elementary time point within a graph's time domain.
+using TimeId = std::uint32_t;
+
+/// A contiguous, inclusive range [first, last] of time points.
+struct TimeRange {
+  TimeId first = 0;
+  TimeId last = 0;
+
+  /// Number of time points in the range.
+  std::size_t length() const { return static_cast<std::size_t>(last) - first + 1; }
+
+  bool Contains(TimeId t) const { return first <= t && t <= last; }
+
+  bool operator==(const TimeRange&) const = default;
+};
+
+/// A set of time points (equivalently, a set of intervals) over a time domain
+/// of fixed size. The domain size is carried so mismatched domains are caught.
+class IntervalSet {
+ public:
+  /// Empty set over a domain of `domain_size` time points.
+  explicit IntervalSet(std::size_t domain_size = 0) : bits_(domain_size) {}
+
+  /// The singleton set {t}.
+  static IntervalSet Point(std::size_t domain_size, TimeId t);
+
+  /// The contiguous set [first, last] (inclusive).
+  static IntervalSet Range(std::size_t domain_size, TimeId first, TimeId last);
+
+  /// The contiguous set covering `range`.
+  static IntervalSet Of(std::size_t domain_size, TimeRange range) {
+    return Range(domain_size, range.first, range.last);
+  }
+
+  /// An arbitrary set of time points.
+  static IntervalSet Of(std::size_t domain_size, std::initializer_list<TimeId> times);
+
+  /// The full domain [t_0, t_{n-1}].
+  static IntervalSet All(std::size_t domain_size);
+
+  std::size_t domain_size() const { return bits_.size(); }
+
+  bool Contains(TimeId t) const { return bits_.Test(t); }
+  void Add(TimeId t) { bits_.Set(t); }
+  void Remove(TimeId t) { bits_.Reset(t); }
+
+  bool Empty() const { return bits_.None(); }
+  std::size_t Count() const { return bits_.Count(); }
+
+  /// Earliest / latest time point; GT_CHECKs non-empty.
+  TimeId First() const { return static_cast<TimeId>(bits_.FirstSet()); }
+  TimeId Last() const { return static_cast<TimeId>(bits_.LastSet()); }
+
+  /// Set algebra. Domains must match.
+  IntervalSet& operator|=(const IntervalSet& other);
+  IntervalSet& operator&=(const IntervalSet& other);
+  IntervalSet& operator-=(const IntervalSet& other);
+
+  friend IntervalSet operator|(IntervalSet lhs, const IntervalSet& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+  friend IntervalSet operator&(IntervalSet lhs, const IntervalSet& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+  friend IntervalSet operator-(IntervalSet lhs, const IntervalSet& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  bool Intersects(const IntervalSet& other) const { return bits_.Intersects(other.bits_); }
+  bool IsSubsetOf(const IntervalSet& other) const { return bits_.IsSubsetOf(other.bits_); }
+
+  bool operator==(const IntervalSet&) const = default;
+
+  /// Calls `fn(TimeId)` for each member, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    bits_.ForEachSetBit([&](std::size_t t) { fn(static_cast<TimeId>(t)); });
+  }
+
+  /// Members as a sorted vector.
+  std::vector<TimeId> ToVector() const;
+
+  /// The underlying bitset, used as a column mask against presence matrices.
+  const DynamicBitset& bits() const { return bits_; }
+
+  /// Debug form, e.g. "{0,1,4}".
+  std::string ToString() const;
+
+ private:
+  DynamicBitset bits_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_INTERVAL_H_

@@ -1,0 +1,83 @@
+#ifndef GRAPHTEMPO_CORE_LATTICE_H_
+#define GRAPHTEMPO_CORE_LATTICE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/exploration.h"
+#include "core/interval.h"
+
+/// \file
+/// The interval semi-lattice of Section 3.1, made explicit.
+///
+/// The elementary intervals T₁ … Tₙ generate a powerset lattice; combining
+/// only *successive* intervals restricts it to the sub-lattice of contiguous
+/// ranges, which is what both exploration strategies walk. `IntervalLattice`
+/// exposes that structure — levels, children (the one-step extensions used by
+/// U-Explore/I-Explore) and parents — and enumerates the adjacent interval
+/// *pairs* that form the exploration candidate space.
+///
+/// On top of it, `ExploreBothEnds` implements the search the paper points at
+/// but leaves open ("when we extend both T_new and T_old, difference is
+/// non-monotonous irrespective of the semantics"): an exhaustive sweep over
+/// every adjacent pair of contiguous ranges, returning the pairs that are
+/// minimal (union semantics) or maximal (intersection semantics) under
+/// component-wise interval containment. No pruning is possible here — which
+/// is exactly why the paper's single-reference-point strategies matter — but
+/// the exhaustive result is valuable as ground truth and for offline use.
+
+namespace graphtempo {
+
+class IntervalLattice {
+ public:
+  /// Lattice over `domain_size` elementary time points; GT_CHECKs ≥ 1.
+  explicit IntervalLattice(std::size_t domain_size);
+
+  std::size_t domain_size() const { return domain_size_; }
+
+  /// Number of levels; level ℓ holds the ranges of length ℓ+1.
+  std::size_t num_levels() const { return domain_size_; }
+
+  /// All contiguous ranges of length `level + 1`, ascending by start.
+  std::vector<TimeRange> RangesAtLevel(std::size_t level) const;
+
+  /// Every contiguous range, by level then start: n(n+1)/2 ranges.
+  std::vector<TimeRange> AllRanges() const;
+
+  /// One-step extensions (the children in the semi-lattice): extend the
+  /// range by one elementary interval to the left / right, if it fits.
+  std::optional<TimeRange> ExtendLeft(TimeRange range) const;
+  std::optional<TimeRange> ExtendRight(TimeRange range) const;
+
+  /// One-step restrictions (the parents): drop the leftmost / rightmost
+  /// elementary interval, if the range is longer than one point.
+  std::optional<TimeRange> ShrinkLeft(TimeRange range) const;
+  std::optional<TimeRange> ShrinkRight(TimeRange range) const;
+
+  /// Every adjacent pair (old, new) of contiguous ranges with
+  /// old.last + 1 == new.first — the full exploration candidate space.
+  /// Θ(n³) pairs.
+  std::vector<std::pair<TimeRange, TimeRange>> AdjacentPairs() const;
+
+ private:
+  void CheckRange(TimeRange range) const;
+
+  std::size_t domain_size_;
+};
+
+/// Component-wise containment of interval pairs: old ⊆ old' and new ⊆ new'.
+bool PairContainedIn(const std::pair<TimeRange, TimeRange>& inner,
+                     const std::pair<TimeRange, TimeRange>& outer);
+
+/// Exhaustive both-ends exploration (see the file comment). With
+/// `spec.semantics == kUnion` returns the qualifying pairs that have no
+/// qualifying proper sub-pair (minimal); with `kIntersection` those with no
+/// qualifying proper super-pair (maximal). `spec.reference` is ignored —
+/// both ends vary. The `evaluations` field counts every candidate, making
+/// the cost of forgoing monotonicity visible.
+ExplorationResult ExploreBothEnds(const TemporalGraph& graph,
+                                  const ExplorationSpec& spec);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_LATTICE_H_

@@ -1,0 +1,78 @@
+#include "core/materialization.h"
+
+#include "core/operators.h"
+
+namespace graphtempo {
+
+namespace {
+
+AttrTuple ProjectTuple(const AttrTuple& tuple, std::span<const std::size_t> keep) {
+  AttrTuple projected;
+  for (std::size_t position : keep) {
+    GT_CHECK_LT(position, tuple.size()) << "roll-up position out of tuple range";
+    projected.Append(tuple[position]);
+  }
+  return projected;
+}
+
+}  // namespace
+
+AggregateGraph RollUp(const AggregateGraph& aggregate,
+                      std::span<const std::size_t> keep_positions) {
+  GT_CHECK(!keep_positions.empty()) << "roll-up must keep at least one attribute";
+  AggregateGraph result;
+  for (const auto& [tuple, weight] : aggregate.nodes()) {
+    result.AddNodeWeight(ProjectTuple(tuple, keep_positions), weight);
+  }
+  for (const auto& [pair, weight] : aggregate.edges()) {
+    result.AddEdgeWeight(ProjectTuple(pair.src, keep_positions),
+                         ProjectTuple(pair.dst, keep_positions), weight);
+  }
+  return result;
+}
+
+MaterializationStore::MaterializationStore(const TemporalGraph* graph,
+                                           std::vector<AttrRef> attrs)
+    : graph_(graph), attrs_(std::move(attrs)) {
+  GT_CHECK(graph_ != nullptr);
+  GT_CHECK(!attrs_.empty()) << "materialization needs at least one attribute";
+}
+
+void MaterializationStore::MaterializeAllTimePoints() {
+  if (materialized()) return;
+  Refresh();
+}
+
+void MaterializationStore::Refresh() {
+  per_time_.reserve(graph_->num_times());
+  for (TimeId t = static_cast<TimeId>(per_time_.size()); t < graph_->num_times(); ++t) {
+    GraphView snapshot = Project(*graph_, IntervalSet::Point(graph_->num_times(), t));
+    per_time_.push_back(
+        Aggregate(*graph_, snapshot, attrs_, AggregationSemantics::kAll));
+  }
+}
+
+const AggregateGraph& MaterializationStore::AtTimePoint(TimeId t) const {
+  GT_CHECK(materialized()) << "call MaterializeAllTimePoints() first";
+  GT_CHECK_LT(t, per_time_.size()) << "time out of range";
+  return per_time_[t];
+}
+
+AggregateGraph MaterializationStore::UnionAllAggregate(const IntervalSet& interval) const {
+  GT_CHECK(materialized()) << "call MaterializeAllTimePoints() first";
+  GT_CHECK_EQ(interval.domain_size(), graph_->num_times()) << "time domain mismatch";
+  GT_CHECK_EQ(per_time_.size(), graph_->num_times())
+      << "cache is stale — call Refresh() after AppendTimePoint()";
+  GT_CHECK(!interval.Empty()) << "interval must be non-empty";
+  AggregateGraph result;
+  interval.ForEach([&](TimeId t) {
+    const AggregateGraph& point = per_time_[t];
+    for (const auto& [tuple, weight] : point.nodes()) result.AddNodeWeight(tuple, weight);
+    for (const auto& [pair, weight] : point.edges()) {
+      result.AddEdgeWeight(pair.src, pair.dst, weight);
+    }
+  });
+  return result;
+}
+
+}  // namespace graphtempo

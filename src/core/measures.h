@@ -1,0 +1,61 @@
+#ifndef GRAPHTEMPO_CORE_MEASURES_H_
+#define GRAPHTEMPO_CORE_MEASURES_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/aggregation.h"
+
+/// \file
+/// Aggregation functions beyond COUNT — the extension the paper's
+/// Definition 2.6 anticipates: "We use COUNT as our aggregation function …
+/// However other aggregations may be supported, if edges are attributed as
+/// well."
+///
+/// A *measure* aggregates a numeric attribute over the (entity, time)
+/// appearances of each aggregate group: nodes grouped by their attribute
+/// tuple with a numeric node attribute as the measure source, or edges
+/// grouped by their endpoint tuple pair with a numeric *edge* attribute as
+/// the source (e.g. total face-to-face contact `duration` between two school
+/// classes — the quantity the paper's epidemic scenario reasons about).
+///
+/// Measures use ALL semantics: every appearance contributes once. (DIST
+/// deduplication is a counting notion; for value aggregation the per-
+/// appearance stream is the meaningful input.) Appearances whose measure
+/// value is unset are skipped; values must parse as decimal numbers
+/// (GT_CHECKed — attach numeric attributes for measures).
+
+namespace graphtempo {
+
+enum class MeasureFunction { kSum, kMin, kMax, kAvg, kCount };
+
+/// Returns "sum" / "min" / "max" / "avg" / "count".
+const char* MeasureFunctionName(MeasureFunction function);
+
+/// Aggregated measure of one group.
+struct MeasureValue {
+  double value = 0.0;        ///< the aggregate under the requested function
+  std::int64_t samples = 0;  ///< number of contributing appearances
+};
+
+using NodeMeasureMap = std::unordered_map<AttrTuple, MeasureValue, AttrTupleHash>;
+using EdgeMeasureMap = std::unordered_map<AttrTuplePair, MeasureValue, AttrTuplePairHash>;
+
+/// Groups the view's nodes by `group_attrs` and aggregates the numeric node
+/// attribute `measure_attr` over every (node, time) appearance with
+/// `function`.
+NodeMeasureMap AggregateNodeMeasure(const TemporalGraph& graph, const GraphView& view,
+                                    std::span<const AttrRef> group_attrs,
+                                    AttrRef measure_attr, MeasureFunction function);
+
+/// Groups the view's edges by the endpoint tuples under `group_attrs` and
+/// aggregates the numeric edge attribute `measure_attr` over every
+/// (edge, time) appearance with `function`.
+EdgeMeasureMap AggregateEdgeMeasure(const TemporalGraph& graph, const GraphView& view,
+                                    std::span<const AttrRef> group_attrs,
+                                    EdgeAttrRef measure_attr, MeasureFunction function);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_MEASURES_H_

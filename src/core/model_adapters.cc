@@ -1,0 +1,88 @@
+#include "core/model_adapters.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+TemporalGraph FromSnapshots(const std::vector<Snapshot>& snapshots) {
+  GT_CHECK(!snapshots.empty()) << "need at least one snapshot";
+  std::vector<std::string> labels;
+  labels.reserve(snapshots.size());
+  for (const Snapshot& snapshot : snapshots) labels.push_back(snapshot.time_label);
+
+  TemporalGraph graph(std::move(labels));  // the ctor GT_CHECKs label uniqueness
+  for (TimeId t = 0; t < snapshots.size(); ++t) {
+    for (const auto& [src_label, dst_label] : snapshots[t].edges) {
+      NodeId src = graph.GetOrAddNode(src_label);
+      NodeId dst = graph.GetOrAddNode(dst_label);
+      graph.SetEdgePresent(graph.GetOrAddEdge(src, dst), t);
+    }
+    for (const std::string& label : snapshots[t].isolated_nodes) {
+      graph.SetNodePresent(graph.GetOrAddNode(label), t);
+    }
+  }
+  return graph;
+}
+
+std::vector<Snapshot> ToSnapshots(const TemporalGraph& graph) {
+  std::vector<Snapshot> snapshots(graph.num_times());
+  for (TimeId t = 0; t < graph.num_times(); ++t) {
+    snapshots[t].time_label = graph.time_label(t);
+  }
+  std::vector<bool> covered;  // nodes whose presence at t follows from an edge
+  for (TimeId t = 0; t < graph.num_times(); ++t) {
+    covered.assign(graph.num_nodes(), false);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (!graph.EdgePresentAt(e, t)) continue;
+      auto [src, dst] = graph.edge(e);
+      snapshots[t].edges.emplace_back(graph.node_label(src), graph.node_label(dst));
+      covered[src] = true;
+      covered[dst] = true;
+    }
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (graph.NodePresentAt(n, t) && !covered[n]) {
+        snapshots[t].isolated_nodes.push_back(graph.node_label(n));
+      }
+    }
+  }
+  return snapshots;
+}
+
+TemporalGraph FromDurationLabeled(const std::vector<std::string>& time_labels,
+                                  const std::vector<DurationEdge>& edges) {
+  TemporalGraph graph(time_labels);
+  for (const DurationEdge& record : edges) {
+    GT_CHECK_LT(record.start, graph.num_times()) << "duration edge starts out of domain";
+    GT_CHECK_GE(record.duration, 1u) << "duration must be positive";
+    NodeId src = graph.GetOrAddNode(record.src);
+    NodeId dst = graph.GetOrAddNode(record.dst);
+    EdgeId e = graph.GetOrAddEdge(src, dst);
+    TimeId last = static_cast<TimeId>(
+        std::min<std::size_t>(graph.num_times() - 1, record.start + record.duration - 1));
+    for (TimeId t = record.start; t <= last; ++t) graph.SetEdgePresent(e, t);
+  }
+  return graph;
+}
+
+std::vector<DurationEdge> ToDurationLabeled(const TemporalGraph& graph) {
+  std::vector<DurationEdge> records;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto [src, dst] = graph.edge(e);
+    TimeId t = 0;
+    while (t < graph.num_times()) {
+      if (!graph.EdgePresentAt(e, t)) {
+        ++t;
+        continue;
+      }
+      TimeId run_start = t;
+      while (t < graph.num_times() && graph.EdgePresentAt(e, t)) ++t;
+      records.push_back(DurationEdge{graph.node_label(src), graph.node_label(dst),
+                                     run_start, static_cast<std::size_t>(t - run_start)});
+    }
+  }
+  return records;
+}
+
+}  // namespace graphtempo

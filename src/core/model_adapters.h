@@ -1,0 +1,69 @@
+#ifndef GRAPHTEMPO_CORE_MODEL_ADAPTERS_H_
+#define GRAPHTEMPO_CORE_MODEL_ADAPTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// Adapters between the paper's interval-labeled model and the two other
+/// temporal-graph model families it classifies (Section 2, "Other temporal
+/// graph models"):
+///
+///   * **snapshot-based** — "a graph in an interval is given by a sequence of
+///     graph snapshots for each time point": `FromSnapshots` /
+///     `ToSnapshots` convert a per-time-point edge-list sequence to and from
+///     a `TemporalGraph`;
+///   * **duration-labeled** — "edges are labeled with a starting point and a
+///     duration": `FromDurationLabeled` expands (src, dst, start, duration)
+///     records over the elementary time points they cover.
+///
+/// The paper claims "our approach can also be adapted for any graph model";
+/// these adapters make the claim executable.
+
+namespace graphtempo {
+
+/// One snapshot: the edges existing at one time point, by node label.
+struct Snapshot {
+  std::string time_label;
+  std::vector<std::pair<std::string, std::string>> edges;
+
+  /// Nodes that exist in the snapshot without (necessarily) having edges.
+  /// Endpoints of `edges` need not be repeated here.
+  std::vector<std::string> isolated_nodes;
+};
+
+/// Builds the interval-labeled graph equivalent to a snapshot sequence: the
+/// time domain is the snapshot labels in order, τ of every entity the set of
+/// snapshots containing it. GT_CHECKs that labels are unique and non-empty.
+TemporalGraph FromSnapshots(const std::vector<Snapshot>& snapshots);
+
+/// Decomposes `graph` back into its snapshot sequence (attributes are not
+/// representable in the snapshot model and are dropped). Inverse of
+/// `FromSnapshots` up to isolated-node bookkeeping.
+std::vector<Snapshot> ToSnapshots(const TemporalGraph& graph);
+
+/// One duration-labeled record: the edge exists on the `duration` elementary
+/// time points starting at `start` (so [start, start + duration - 1]).
+struct DurationEdge {
+  std::string src;
+  std::string dst;
+  TimeId start = 0;
+  std::size_t duration = 1;
+};
+
+/// Builds the interval-labeled graph over `time_labels` from duration-labeled
+/// edges, clamping records that run past the domain end. GT_CHECKs that each
+/// record starts inside the domain and has non-zero duration.
+TemporalGraph FromDurationLabeled(const std::vector<std::string>& time_labels,
+                                  const std::vector<DurationEdge>& edges);
+
+/// Decomposes `graph` into duration-labeled records: one record per maximal
+/// run of consecutive presence of each edge. Inverse of `FromDurationLabeled`
+/// for edge presence.
+std::vector<DurationEdge> ToDurationLabeled(const TemporalGraph& graph);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_MODEL_ADAPTERS_H_

@@ -1,0 +1,60 @@
+#include "core/naive_exploration.h"
+
+#include <optional>
+
+#include "core/exploration_internal.h"
+
+namespace graphtempo {
+
+ExplorationResult ExploreNaive(const TemporalGraph& graph, const ExplorationSpec& spec) {
+  GT_CHECK_GE(spec.k, 1) << "threshold k must be positive";
+  const std::size_t n = graph.num_times();
+  GT_CHECK_GE(n, 2u) << "exploration needs at least two time points";
+
+  const bool minimal_goal = spec.semantics == ExtensionSemantics::kUnion;
+  ExplorationResult result;
+  internal_exploration::EventEngine engine(graph, spec.selector);
+
+  auto make_pair = [&](TimeId ref, std::size_t len) -> std::pair<TimeRange, TimeRange> {
+    if (spec.reference == ReferenceEnd::kOld) {
+      return {TimeRange{ref, ref},
+              TimeRange{ref + 1, static_cast<TimeId>(ref + len)}};
+    }
+    return {TimeRange{static_cast<TimeId>(ref - len), static_cast<TimeId>(ref - 1)},
+            TimeRange{ref, ref}};
+  };
+
+  const TimeId ref_begin = spec.reference == ReferenceEnd::kOld ? 0 : 1;
+  const TimeId ref_end = spec.reference == ReferenceEnd::kOld
+                             ? static_cast<TimeId>(n - 1)
+                             : static_cast<TimeId>(n);
+  for (TimeId ref = ref_begin; ref < ref_end; ++ref) {
+    const std::size_t max_len =
+        spec.reference == ReferenceEnd::kOld ? (n - 1 - ref) : ref;
+    if (max_len == 0) continue;
+
+    // Evaluate every candidate for this reference. The candidates of one
+    // reference form a chain under ⊆, so the minimal (maximal) qualifying
+    // pair is the shortest (longest) qualifying extension.
+    std::optional<std::pair<std::size_t, Weight>> chosen;
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      auto [old_range, new_range] = make_pair(ref, len);
+      ++result.evaluations;
+      Weight count =
+          engine.Count(old_range, new_range, spec.semantics, spec.event);
+      if (count < spec.k) continue;
+      if (minimal_goal) {
+        if (!chosen.has_value()) chosen = {len, count};
+      } else {
+        chosen = {len, count};  // keep the longest qualifying extension
+      }
+    }
+    if (chosen.has_value()) {
+      auto [old_range, new_range] = make_pair(ref, chosen->first);
+      result.pairs.push_back(IntervalPair{old_range, new_range, chosen->second});
+    }
+  }
+  return result;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,24 @@
+#ifndef GRAPHTEMPO_CORE_NAIVE_EXPLORATION_H_
+#define GRAPHTEMPO_CORE_NAIVE_EXPLORATION_H_
+
+#include "core/exploration.h"
+
+/// \file
+/// Exhaustive exploration baseline.
+///
+/// `ExploreNaive` enumerates *every* admissible (reference, extension-length)
+/// candidate pair, evaluates each one, and then applies the minimal-pair /
+/// maximal-pair definitions (Defs 3.4, 3.5) literally. It makes no use of the
+/// monotonicity lemmas, so its `evaluations` count is the un-pruned cost; the
+/// engine in `exploration.h` must return exactly the same pairs with at most
+/// as many evaluations — a property the test suite sweeps and the benchmark
+/// harness reports.
+
+namespace graphtempo {
+
+/// Same contract as `Explore`, computed by exhaustive enumeration.
+ExplorationResult ExploreNaive(const TemporalGraph& graph, const ExplorationSpec& spec);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_NAIVE_EXPLORATION_H_

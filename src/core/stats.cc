@@ -1,0 +1,92 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+SnapshotStats ComputeSnapshotStats(const TemporalGraph& graph, TimeId t) {
+  GT_CHECK_LT(t, graph.num_times()) << "time out of range";
+  SnapshotStats stats;
+  stats.nodes = graph.NodesAt(t);
+  stats.edges = graph.EdgesAt(t);
+  if (stats.nodes > 0) {
+    stats.avg_out_degree =
+        static_cast<double>(stats.edges) / static_cast<double>(stats.nodes);
+  }
+  if (stats.nodes > 1) {
+    stats.density = static_cast<double>(stats.edges) /
+                    (static_cast<double>(stats.nodes) *
+                     static_cast<double>(stats.nodes - 1));
+  }
+  std::vector<std::size_t> out_degree(graph.num_nodes(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!graph.EdgePresentAt(e, t)) continue;
+    ++out_degree[graph.edge(e).first];
+  }
+  for (std::size_t degree : out_degree) {
+    stats.max_out_degree = std::max(stats.max_out_degree, degree);
+  }
+  return stats;
+}
+
+double SnapshotJaccard(const TemporalGraph& graph, TimeId t1, TimeId t2,
+                       EntityKind kind) {
+  GT_CHECK_LT(t1, graph.num_times()) << "time out of range";
+  GT_CHECK_LT(t2, graph.num_times()) << "time out of range";
+  const BitMatrix& presence =
+      kind == EntityKind::kNodes ? graph.node_presence() : graph.edge_presence();
+  std::size_t both = 0;
+  std::size_t either = 0;
+  for (std::size_t row = 0; row < presence.rows(); ++row) {
+    bool a = presence.Test(row, t1);
+    bool b = presence.Test(row, t2);
+    both += a && b;
+    either += a || b;
+  }
+  return either == 0 ? 0.0 : static_cast<double>(both) / static_cast<double>(either);
+}
+
+std::map<std::size_t, std::size_t> OutDegreeHistogram(const TemporalGraph& graph,
+                                                      TimeId t) {
+  GT_CHECK_LT(t, graph.num_times()) << "time out of range";
+  std::vector<std::size_t> out_degree(graph.num_nodes(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!graph.EdgePresentAt(e, t)) continue;
+    ++out_degree[graph.edge(e).first];
+  }
+  std::map<std::size_t, std::size_t> histogram;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (!graph.NodePresentAt(n, t)) continue;
+    ++histogram[out_degree[n]];
+  }
+  return histogram;
+}
+
+std::map<std::size_t, std::size_t> LifespanHistogram(const TemporalGraph& graph,
+                                                     EntityKind kind) {
+  const BitMatrix& presence =
+      kind == EntityKind::kNodes ? graph.node_presence() : graph.edge_presence();
+  std::map<std::size_t, std::size_t> histogram;
+  for (std::size_t row = 0; row < presence.rows(); ++row) {
+    std::size_t lifespan = presence.RowCount(row);
+    if (lifespan > 0) ++histogram[lifespan];
+  }
+  return histogram;
+}
+
+std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& graph,
+                                                         AttrRef attr, TimeId t) {
+  GT_CHECK_LT(t, graph.num_times()) << "time out of range";
+  std::map<std::string, std::size_t> distribution;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (!graph.NodePresentAt(n, t)) continue;
+    AttrValueId code = graph.ValueCodeAt(attr, n, t);
+    if (code == kNoValue) continue;
+    ++distribution[graph.ValueName(attr, code)];
+  }
+  return distribution;
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,56 @@
+#ifndef GRAPHTEMPO_CORE_STATS_H_
+#define GRAPHTEMPO_CORE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// Descriptive statistics over temporal attributed graphs: per-snapshot
+/// sizes and degrees, inter-snapshot overlap (the quantity the evolution
+/// events measure in aggregate), entity lifespans, and attribute-value
+/// distributions. Used by the dataset benchmark to document generator
+/// realism, by the CLI's `info` command, and by examples.
+
+namespace graphtempo {
+
+/// Size and degree summary of the snapshot at one time point.
+struct SnapshotStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double avg_out_degree = 0.0;      ///< edges / nodes (0 when empty)
+  std::size_t max_out_degree = 0;
+  double density = 0.0;             ///< edges / (nodes · (nodes − 1))
+};
+
+SnapshotStats ComputeSnapshotStats(const TemporalGraph& graph, TimeId t);
+
+/// Which entity population an overlap/lifespan statistic refers to.
+enum class EntityKind : std::uint8_t { kNodes, kEdges };
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of the entity sets existing at `t1`
+/// and `t2`. Returns 0 when both snapshots are empty.
+double SnapshotJaccard(const TemporalGraph& graph, TimeId t1, TimeId t2,
+                       EntityKind kind);
+
+/// Out-degree histogram of the snapshot at `t`: degree → number of nodes.
+/// Nodes present at `t` with no outgoing edge count under degree 0.
+std::map<std::size_t, std::size_t> OutDegreeHistogram(const TemporalGraph& graph,
+                                                      TimeId t);
+
+/// Lifespan histogram: number of time points an entity exists at → count of
+/// entities. Entities that never exist are excluded.
+std::map<std::size_t, std::size_t> LifespanHistogram(const TemporalGraph& graph,
+                                                     EntityKind kind);
+
+/// Distribution of an attribute's values over the nodes existing at `t`:
+/// value string → count. Unset values are skipped.
+std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& graph,
+                                                         AttrRef attr, TimeId t);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_STATS_H_

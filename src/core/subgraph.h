@@ -1,0 +1,32 @@
+#ifndef GRAPHTEMPO_CORE_SUBGRAPH_H_
+#define GRAPHTEMPO_CORE_SUBGRAPH_H_
+
+#include "core/operators.h"
+#include "core/temporal_graph.h"
+
+/// \file
+/// Materialization of operator results as standalone graphs.
+///
+/// The temporal operators return lightweight `GraphView`s over the parent
+/// graph. `ExtractSubgraph` turns a view into a self-contained
+/// `TemporalGraph`: only the view's entities, presence restricted to the
+/// view's interval, attributes copied over. This is what makes the operators
+/// *composable* — the paper's semi-lattice argument (§3.1) silently relies on
+/// G(T₁ ∪ T₂) being a graph one can apply further operators to, and it also
+/// lets operator results be serialized with `graph_io` or handed to code that
+/// expects a plain temporal graph.
+
+namespace graphtempo {
+
+/// Builds a standalone graph from `view`:
+///   * time domain: unchanged (labels preserved, so intervals keep meaning);
+///   * nodes/edges: exactly the view's, presence ANDed with `view.times`
+///     (τu ∩ T of Definitions 2.2–2.5);
+///   * attributes: static values copied for the kept nodes; time-varying
+///     values copied at the kept (node, time) cells.
+/// Node labels are preserved, so entities can be correlated across extracts.
+TemporalGraph ExtractSubgraph(const TemporalGraph& graph, const GraphView& view);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_SUBGRAPH_H_

@@ -1,0 +1,131 @@
+#include "datagen/contact_gen.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/random.h"
+#include "util/check.h"
+
+namespace graphtempo::datagen {
+
+namespace {
+
+std::uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+TemporalGraph GenerateContactNetwork(const ContactOptions& options) {
+  GT_CHECK_GE(options.num_days, 2u);
+  GT_CHECK_LT(options.outbreak_day, options.reopen_day);
+  GT_CHECK_LE(options.reopen_day, options.num_days);
+  GT_CHECK_GE(options.students_per_class, 2u);
+
+  std::vector<std::string> day_labels;
+  day_labels.reserve(options.num_days);
+  for (std::size_t d = 0; d < options.num_days; ++d) {
+    day_labels.push_back("day" + std::to_string(d + 1));
+  }
+
+  TemporalGraph graph(std::move(day_labels));
+  const std::uint32_t class_attr = graph.AddStaticAttribute("class");
+  const std::uint32_t grade_attr = graph.AddStaticAttribute("grade");
+  const std::uint32_t role_attr = graph.AddStaticAttribute("role");
+  const std::uint32_t status_attr = graph.AddTimeVaryingAttribute("status");
+  // Contact duration in minutes per (pair, day) — the quantity the paper's
+  // epidemic scenario reasons about ("the time interval of their interaction").
+  const std::uint32_t duration_attr = graph.AddTimeVaryingEdgeAttribute("duration");
+
+  Pcg32 rng(options.seed);
+
+  // One teacher plus `students_per_class` students per class.
+  struct Person {
+    NodeId id;
+    std::size_t grade;
+    std::size_t klass;  // global class index
+  };
+  std::vector<Person> people;
+  std::vector<std::vector<NodeId>> by_class;
+  for (std::size_t grade = 0; grade < options.grades; ++grade) {
+    for (std::size_t c = 0; c < options.classes_per_grade; ++c) {
+      std::size_t klass = grade * options.classes_per_grade + c;
+      std::string class_name =
+          "g" + std::to_string(grade + 1) + "c" + std::to_string(c + 1);
+      by_class.emplace_back();
+      auto add_person = [&](const std::string& label, const char* role) {
+        NodeId id = graph.AddNode(label);
+        graph.SetStaticValue(class_attr, id, class_name);
+        graph.SetStaticValue(grade_attr, id, "grade" + std::to_string(grade + 1));
+        graph.SetStaticValue(role_attr, id, role);
+        people.push_back(Person{id, grade, klass});
+        by_class[klass].push_back(id);
+        return id;
+      };
+      add_person("teacher_" + class_name, "teacher");
+      for (std::size_t s = 0; s < options.students_per_class; ++s) {
+        add_person("student_" + class_name + "_" + std::to_string(s + 1), "student");
+      }
+    }
+  }
+
+  // A small infected seed group whose `status` turns sick during the
+  // outbreak phase and recovers afterwards.
+  std::unordered_set<NodeId> seed_sick;
+  while (seed_sick.size() < people.size() / 20) {
+    seed_sick.insert(
+        people[rng.NextBelow(static_cast<std::uint32_t>(people.size()))].id);
+  }
+
+  for (std::size_t day = 0; day < options.num_days; ++day) {
+    const bool closure = day >= options.outbreak_day && day < options.reopen_day;
+    const TimeId t = static_cast<TimeId>(day);
+
+    // Everyone attends every day (absence modelling is not the point here).
+    for (const Person& person : people) {
+      graph.SetNodePresent(person.id, t);
+      bool sick = closure && seed_sick.count(person.id) != 0;
+      graph.SetTimeVaryingValue(status_attr, person.id, t, sick ? "sick" : "healthy");
+    }
+
+    std::unordered_set<std::uint64_t> day_keys;
+    auto add_contact = [&](NodeId u, NodeId v, bool same_class) {
+      if (u == v) return;
+      if (u > v) std::swap(u, v);  // contacts are symmetric; store one direction
+      if (!day_keys.insert(PairKey(u, v)).second) return;
+      EdgeId e = graph.GetOrAddEdge(u, v);
+      graph.SetEdgePresent(e, t);
+      // Classmates spend far longer together than recess acquaintances.
+      std::uint32_t minutes = same_class ? 20 + rng.NextBelow(70) : 2 + rng.NextBelow(12);
+      graph.SetTimeVaryingEdgeValue(duration_attr, e, t, std::to_string(minutes));
+    };
+
+    // Within-class contacts: dense (each person meets ~1/3 of the class).
+    for (const auto& members : by_class) {
+      for (NodeId u : members) {
+        std::size_t meetings = members.size() / 3;
+        for (std::size_t m = 0; m < meetings; ++m) {
+          NodeId v = members[rng.NextBelow(static_cast<std::uint32_t>(members.size()))];
+          add_contact(u, v, /*same_class=*/true);
+        }
+      }
+    }
+
+    // Cross-class contacts: recess/lunch mixing, collapsed during closure.
+    std::size_t cross_contacts = people.size() * (closure ? 1 : 12) / 10;
+    for (std::size_t c = 0; c < cross_contacts; ++c) {
+      const Person& a = people[rng.NextBelow(static_cast<std::uint32_t>(people.size()))];
+      const Person& b = people[rng.NextBelow(static_cast<std::uint32_t>(people.size()))];
+      if (a.klass == b.klass) continue;
+      // Same-grade mixing is far likelier than cross-grade (the homophily the
+      // Gemmetto et al. closure strategy exploits).
+      if (a.grade != b.grade && !rng.NextBool(0.15)) continue;
+      add_contact(a.id, b.id, /*same_class=*/false);
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace graphtempo::datagen

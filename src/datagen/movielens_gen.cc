@@ -1,0 +1,273 @@
+#include "datagen/movielens_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "datagen/random.h"
+#include "util/check.h"
+
+namespace graphtempo::datagen {
+
+namespace {
+
+std::uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+const char* const kAgeGroups[6] = {"under18", "18-24", "25-34", "35-44", "45-49", "50+"};
+
+const char* const kOccupations[21] = {
+    "administrator", "artist",     "doctor",   "educator",   "engineer",
+    "entertainment", "executive",  "healthcare", "homemaker", "lawyer",
+    "librarian",     "marketing",  "none",     "other",      "programmer",
+    "retired",       "salesman",   "scientist", "student",    "technician",
+    "writer"};
+
+/// Buckets a raw average rating to half-star strings "1.0" … "5.0".
+std::string RatingBucket(double rating) {
+  rating = std::clamp(rating, 1.0, 5.0);
+  double bucket = std::round(rating * 2.0) / 2.0;
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", bucket);
+  return buffer;
+}
+
+}  // namespace
+
+TemporalGraph GenerateMovieLens(const MovieLensOptions& options) {
+  return GenerateMovieLensWithProfile(MovieLensProfile(), options);
+}
+
+TemporalGraph GenerateMovieLensWithProfile(const DatasetProfile& profile,
+                                           const MovieLensOptions& options) {
+  const std::size_t num_times = profile.num_times();
+  GT_CHECK_GE(num_times, 2u) << "profile needs at least two time points";
+  GT_CHECK_EQ(profile.nodes_per_time.size(), num_times);
+  GT_CHECK_EQ(profile.edges_per_time.size(), num_times);
+  const std::size_t max_nodes =
+      *std::max_element(profile.nodes_per_time.begin(), profile.nodes_per_time.end());
+  GT_CHECK_GE(options.user_pool, max_nodes) << "user pool smaller than busiest month";
+
+  TemporalGraph graph(profile.time_labels);
+  const std::uint32_t gender_attr = graph.AddStaticAttribute("gender");
+  const std::uint32_t age_attr = graph.AddStaticAttribute("age");
+  const std::uint32_t occupation_attr = graph.AddStaticAttribute("occupation");
+  const std::uint32_t rating_attr = graph.AddTimeVaryingAttribute("rating");
+
+  Pcg32 rng(options.seed);
+
+  // Global user pool. Node id order *is* the permanent popularity ranking:
+  // user 0 co-rates the most. Each user gets a stable taste (base rating).
+  std::vector<double> base_rating(options.user_pool);
+  const ZipfSampler age_skew(6, 0.7);  // younger groups dominate ML-100K
+  for (std::size_t i = 0; i < options.user_pool; ++i) {
+    NodeId id = graph.AddNode("u" + std::to_string(i));
+    graph.SetStaticValue(gender_attr, id,
+                         rng.NextBool(options.female_fraction) ? "f" : "m");
+    graph.SetStaticValue(age_attr, id, kAgeGroups[age_skew.Sample(rng)]);
+    graph.SetStaticValue(occupation_attr, id, kOccupations[rng.NextBelow(21)]);
+    base_rating[i] = 2.6 + rng.NextDouble() * 1.8;  // per-user taste in [2.6, 4.4]
+  }
+
+  // Anchor co-rating pairs among the permanently-active head: present in the
+  // first three months and *only* there — together with the blocklist below
+  // this reproduces Fig 7d, where [May, Jul] is the longest interval that
+  // still shares a common edge.
+  const std::size_t head = std::min<std::size_t>(
+      80, *std::min_element(profile.nodes_per_time.begin(),
+                            profile.nodes_per_time.end()) /
+              2);
+  std::vector<std::pair<NodeId, NodeId>> anchor_pairs;
+  if (num_times >= 4 && head >= 2) {
+    std::unordered_set<std::uint64_t> anchor_keys;
+    const std::size_t want_anchors = std::min<std::size_t>(250, head * (head - 1) / 4);
+    while (anchor_pairs.size() < want_anchors) {
+      NodeId u = rng.NextBelow(static_cast<std::uint32_t>(head));
+      NodeId v = rng.NextBelow(static_cast<std::uint32_t>(head));
+      if (u == v) continue;
+      if (!anchor_keys.insert(PairKey(u, v)).second) continue;
+      anchor_pairs.emplace_back(u, v);
+    }
+  }
+  const TimeId anchor_last = num_times >= 4 ? 2 : 0;
+
+  // Edges present in *every* month so far. Repeats never draw from this set
+  // once the horizon month (index 3, August) is reached, so the all-months
+  // intersection goes empty there and stays empty (paper Fig 7d).
+  std::unordered_set<std::uint64_t> running_common;
+
+  // The previous month's edges: the default is that co-rating pairs do NOT
+  // recur (months are near-disjoint); recurrence happens only through the
+  // explicit repeat injection below.
+  std::unordered_set<std::uint64_t> prev_month_keys;
+  std::vector<std::pair<NodeId, NodeId>> prev_month_edges;
+
+  for (TimeId t = 0; t < num_times; ++t) {
+    const std::size_t target_nodes = profile.nodes_per_time[t];
+    const std::size_t target_edges = profile.edges_per_time[t];
+    GT_CHECK_LE(target_edges, target_nodes * (target_nodes - 1))
+        << "edge target exceeds simple-directed-graph capacity at time " << t;
+
+    // Active set: a deterministic popular head (shared across months, so
+    // popular pairs can recur) plus a random tail from the rest of the pool.
+    std::vector<NodeId> active;
+    std::unordered_set<NodeId> active_set;
+    const std::size_t head_size =
+        std::max<std::size_t>(head, target_nodes * 6 / 10);
+    for (NodeId n = 0; n < std::min(head_size, target_nodes); ++n) {
+      active.push_back(n);
+      active_set.insert(n);
+    }
+    while (active.size() < target_nodes) {
+      NodeId n = rng.NextBelow(static_cast<std::uint32_t>(options.user_pool));
+      if (active_set.insert(n).second) active.push_back(n);
+    }
+    std::sort(active.begin(), active.end());  // ascending id == popularity rank
+
+    // Presence + the month's average rating.
+    for (NodeId n : active) {
+      graph.SetNodePresent(n, t);
+      double noise = (rng.NextDouble() - 0.5) * 1.2;
+      graph.SetTimeVaryingValue(rating_attr, n, t,
+                                RatingBucket(base_rating[n] + noise));
+    }
+
+    // Edge set for the month. Fresh pairs must avoid the previous month's
+    // pairs entirely; recurrence is injected explicitly below.
+    std::unordered_set<std::uint64_t> month_keys;
+    std::vector<std::pair<NodeId, NodeId>> month_edges;
+    month_edges.reserve(target_edges);
+    auto add_edge = [&](NodeId u, NodeId v, bool allow_recurrence = false) -> bool {
+      if (u == v) return false;
+      std::uint64_t key = PairKey(u, v);
+      if (!allow_recurrence && prev_month_keys.count(key) != 0) return false;
+      if (!month_keys.insert(key).second) return false;
+      month_edges.emplace_back(u, v);
+      return true;
+    };
+
+    if (t <= anchor_last) {
+      for (const auto& [u, v] : anchor_pairs) {
+        if (month_edges.size() >= target_edges) break;
+        add_edge(u, v, /*allow_recurrence=*/true);
+      }
+    }
+
+    // Controlled repeats from the previous month (skipping pairs that have
+    // been present in every month so far once past the horizon, so no edge
+    // spans the first four months).
+    if (t > 0) {
+      std::size_t want_repeats = static_cast<std::size_t>(
+          options.repeat_fraction *
+          static_cast<double>(std::min(prev_month_edges.size(), target_edges)));
+      std::size_t attempts = 0;
+      const std::size_t max_attempts = 40 * want_repeats + 100;
+      while (want_repeats > 0 && attempts < max_attempts &&
+             month_edges.size() < target_edges) {
+        ++attempts;
+        const auto& [u, v] = prev_month_edges[rng.NextBelow(
+            static_cast<std::uint32_t>(prev_month_edges.size()))];
+        if (active_set.count(u) == 0 || active_set.count(v) == 0) continue;
+        if (t >= 3 && running_common.count(PairKey(u, v)) != 0) continue;
+        if (add_edge(u, v, /*allow_recurrence=*/true)) --want_repeats;
+      }
+    }
+
+    // Per-source degree quotas: Zipf over popularity rank, capped at the
+    // simple-graph limit, deficit redistributed round-robin.
+    const std::size_t n_active = active.size();
+    const std::size_t cap = n_active - 1;
+    std::vector<double> weight(n_active);
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < n_active; ++i) {
+      weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), options.degree_skew);
+      total_weight += weight[i];
+    }
+    const std::size_t remaining_target = target_edges - month_edges.size();
+    std::vector<std::size_t> quota(n_active);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < n_active; ++i) {
+      quota[i] = std::min(
+          cap, static_cast<std::size_t>(static_cast<double>(remaining_target) *
+                                        weight[i] / total_weight));
+      assigned += quota[i];
+    }
+    std::size_t deficit = remaining_target > assigned ? remaining_target - assigned : 0;
+    while (deficit > 0) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < n_active && deficit > 0; ++i) {
+        if (quota[i] < cap) {
+          ++quota[i];
+          --deficit;
+          progressed = true;
+        }
+      }
+      GT_CHECK(progressed) << "cannot place all edges at time " << t;
+    }
+
+    const ZipfSampler dst_zipf(n_active, options.degree_skew);
+    for (std::size_t i = 0; i < n_active && month_edges.size() < target_edges; ++i) {
+      NodeId src = active[i];
+      std::size_t want = quota[i];
+      if (want == 0) continue;
+      std::size_t placed = 0;
+      if (want * 4 < n_active) {
+        // Sparse source: Zipf-popular destinations with rejection.
+        std::size_t attempts = 0;
+        const std::size_t max_attempts = 60 * want + 200;
+        while (placed < want && attempts < max_attempts) {
+          ++attempts;
+          NodeId dst = active[dst_zipf.Sample(rng)];
+          if (add_edge(src, dst)) ++placed;
+        }
+      }
+      if (placed < want) {
+        // Dense source (or rejection stalled): sample without replacement.
+        std::vector<NodeId> candidates;
+        candidates.reserve(n_active - 1);
+        for (NodeId dst : active) {
+          if (dst != src) candidates.push_back(dst);
+        }
+        Shuffle(candidates, rng);
+        for (NodeId dst : candidates) {
+          if (placed >= want) break;
+          if (add_edge(src, dst)) ++placed;
+        }
+      }
+    }
+    // Any residue (sources saturated by dedupe/blocklist): fill uniformly.
+    while (month_edges.size() < target_edges) {
+      NodeId u = active[rng.NextBelow(static_cast<std::uint32_t>(n_active))];
+      NodeId v = active[rng.NextBelow(static_cast<std::uint32_t>(n_active))];
+      add_edge(u, v);
+    }
+
+    for (const auto& [u, v] : month_edges) {
+      EdgeId e = graph.GetOrAddEdge(u, v);
+      graph.SetEdgePresent(e, t);
+    }
+
+    // Maintain the all-months running intersection, then hand this month's
+    // edges to the next iteration as the recurrence blocklist/repeat pool.
+    if (t == 0) {
+      running_common = month_keys;
+    } else {
+      std::unordered_set<std::uint64_t> next_common;
+      for (std::uint64_t key : running_common) {
+        if (month_keys.count(key) != 0) next_common.insert(key);
+      }
+      running_common = std::move(next_common);
+    }
+    prev_month_keys = std::move(month_keys);
+    prev_month_edges = std::move(month_edges);
+  }
+
+  return graph;
+}
+
+}  // namespace graphtempo::datagen

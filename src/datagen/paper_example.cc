@@ -1,0 +1,54 @@
+#include "datagen/paper_example.h"
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace graphtempo::datagen {
+
+TemporalGraph BuildPaperExampleGraph() {
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1", "t2"});
+  std::uint32_t gender = graph.AddStaticAttribute("gender");
+  std::uint32_t pubs = graph.AddTimeVaryingAttribute("publications");
+
+  struct NodeSpec {
+    const char* label;
+    const char* gender;
+    std::vector<int> presence;      // time ids
+    std::vector<const char*> pubs;  // one per present time, same order
+  };
+  const std::vector<NodeSpec> nodes = {
+      {"u1", "m", {0, 1}, {"3", "1"}},    {"u2", "f", {0, 1, 2}, {"1", "1", "1"}},
+      {"u3", "f", {0}, {"1"}},            {"u4", "f", {0, 1, 2}, {"2", "1", "1"}},
+      {"u5", "m", {2}, {"3"}},
+  };
+  for (const NodeSpec& spec : nodes) {
+    NodeId n = graph.AddNode(spec.label);
+    graph.SetStaticValue(gender, n, spec.gender);
+    GT_CHECK_EQ(spec.presence.size(), spec.pubs.size());
+    for (std::size_t i = 0; i < spec.presence.size(); ++i) {
+      TimeId t = static_cast<TimeId>(spec.presence[i]);
+      graph.SetNodePresent(n, t);
+      graph.SetTimeVaryingValue(pubs, n, t, spec.pubs[i]);
+    }
+  }
+
+  struct EdgeSpec {
+    const char* src;
+    const char* dst;
+    std::vector<int> presence;
+  };
+  const std::vector<EdgeSpec> edges = {
+      {"u1", "u2", {0, 1}}, {"u1", "u3", {0}}, {"u2", "u4", {0, 1, 2}},
+      {"u3", "u4", {0}},    {"u1", "u4", {1}}, {"u4", "u5", {2}},
+      {"u2", "u5", {2}},
+  };
+  for (const EdgeSpec& spec : edges) {
+    EdgeId e = graph.GetOrAddEdge(*graph.FindNode(spec.src), *graph.FindNode(spec.dst));
+    for (int t : spec.presence) graph.SetEdgePresent(e, static_cast<TimeId>(t));
+  }
+  return graph;
+}
+
+}  // namespace graphtempo::datagen

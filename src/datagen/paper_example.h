@@ -1,0 +1,31 @@
+#ifndef GRAPHTEMPO_DATAGEN_PAPER_EXAMPLE_H_
+#define GRAPHTEMPO_DATAGEN_PAPER_EXAMPLE_H_
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// The running example of the GraphTempo paper (Figure 1 / Table 2): a
+/// five-author collaboration graph over T = {t0, t1, t2} with the static
+/// attribute `gender` and the time-varying attribute `publications`. All
+/// aggregate weights the paper quotes (Figures 2–4) hold on this graph; the
+/// integration tests pin them. Exposed here so tests, examples, the CLI's
+/// `generate paper` and documentation all share one definition.
+///
+/// Presence (Table 2):            Attributes:
+///   u1: t0 t1      gender m       publications 3,1,-
+///   u2: t0 t1 t2   gender f       publications 1,1,1
+///   u3: t0         gender f       publications 1,-,-
+///   u4: t0 t1 t2   gender f       publications 2,1,1
+///   u5:       t2   gender m       publications -,-,3
+///
+/// Edges (as drawn in Fig 1):
+///   (u1,u2): t0 t1      (u1,u3): t0       (u2,u4): t0 t1 t2
+///   (u3,u4): t0         (u1,u4): t1       (u4,u5): t2       (u2,u5): t2
+
+namespace graphtempo::datagen {
+
+TemporalGraph BuildPaperExampleGraph();
+
+}  // namespace graphtempo::datagen
+
+#endif  // GRAPHTEMPO_DATAGEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,31 @@
+#include "datagen/profiles.h"
+
+namespace graphtempo::datagen {
+
+DatasetProfile DblpProfile() {
+  DatasetProfile profile;
+  profile.name = "DBLP";
+  profile.time_labels = {"2000", "2001", "2002", "2003", "2004", "2005", "2006",
+                         "2007", "2008", "2009", "2010", "2011", "2012", "2013",
+                         "2014", "2015", "2016", "2017", "2018", "2019", "2020"};
+  // Paper Table 3.
+  profile.nodes_per_time = {1708, 2165, 1761, 2827,  3278,  4466,  4730,
+                            5193, 5501, 5363, 6236,  6535,  6769,  7457,
+                            7035, 8581, 8966, 9660,  11037, 12377, 12996};
+  profile.edges_per_time = {2336,  2949,  2458,  4130,  4821,  7145,  7296,
+                            7620,  8528,  8740,  10163, 10090, 11871, 12989,
+                            12072, 15844, 16873, 18470, 21197, 27455, 28546};
+  return profile;
+}
+
+DatasetProfile MovieLensProfile() {
+  DatasetProfile profile;
+  profile.name = "MovieLens";
+  profile.time_labels = {"May", "Jun", "Jul", "Aug", "Sep", "Oct"};
+  // Paper Table 4.
+  profile.nodes_per_time = {486, 508, 778, 1309, 575, 498};
+  profile.edges_per_time = {100202, 85334, 201800, 610050, 77216, 48516};
+  return profile;
+}
+
+}  // namespace graphtempo::datagen

@@ -1,0 +1,35 @@
+#ifndef GRAPHTEMPO_DATAGEN_PROFILES_H_
+#define GRAPHTEMPO_DATAGEN_PROFILES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// Per-time-point size profiles of the paper's two evaluation datasets.
+///
+/// The generators are driven by these profiles so that the synthetic graphs
+/// match **Table 3** (DBLP, 21 years) and **Table 4** (MovieLens, 6 months)
+/// of the paper exactly in node and edge counts per time point — the
+/// quantities every performance experiment scales with.
+
+namespace graphtempo::datagen {
+
+struct DatasetProfile {
+  std::string name;
+  std::vector<std::string> time_labels;
+  std::vector<std::size_t> nodes_per_time;
+  std::vector<std::size_t> edges_per_time;
+
+  std::size_t num_times() const { return time_labels.size(); }
+};
+
+/// Table 3 of the paper: the DBLP collaboration graph, 2000–2020.
+DatasetProfile DblpProfile();
+
+/// Table 4 of the paper: the MovieLens co-rating graph, May–Oct 2000.
+DatasetProfile MovieLensProfile();
+
+}  // namespace graphtempo::datagen
+
+#endif  // GRAPHTEMPO_DATAGEN_PROFILES_H_

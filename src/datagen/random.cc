@@ -1,0 +1,68 @@
+#include "datagen/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphtempo::datagen {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), increment_((stream << 1) | 1) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+std::uint32_t Pcg32::Next() {
+  std::uint64_t old_state = state_;
+  state_ = old_state * 6364136223846793005ull + increment_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old_state >> 18) ^ old_state) >> 27);
+  std::uint32_t rot = static_cast<std::uint32_t>(old_state >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Pcg32::NextBelow(std::uint32_t bound) {
+  GT_CHECK_GT(bound, 0u) << "NextBelow bound must be positive";
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t product = static_cast<std::uint64_t>(Next()) * bound;
+  std::uint32_t low = static_cast<std::uint32_t>(product);
+  if (low < bound) {
+    std::uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<std::uint64_t>(Next()) * bound;
+      low = static_cast<std::uint32_t>(product);
+    }
+  }
+  return static_cast<std::uint32_t>(product >> 32);
+}
+
+std::uint32_t Pcg32::NextInRange(std::uint32_t lo, std::uint32_t hi) {
+  GT_CHECK_LE(lo, hi) << "inverted range";
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Pcg32::NextDouble() {
+  return static_cast<double>(Next()) * (1.0 / 4294967296.0);
+}
+
+bool Pcg32::NextBool(double probability) { return NextDouble() < probability; }
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  GT_CHECK_GT(n, 0u) << "Zipf needs at least one rank";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (double& value : cdf_) value /= total;
+}
+
+std::size_t ZipfSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace graphtempo::datagen

@@ -1,0 +1,58 @@
+#include "storage/attribute_table.h"
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+void StaticColumn::Set(std::size_t entity, std::string_view value) {
+  GT_CHECK_LT(entity, codes_.size()) << "entity out of range for attribute " << name_;
+  codes_[entity] = dict_.GetOrAdd(value);
+}
+
+AttrValueId StaticColumn::CodeAt(std::size_t entity) const {
+  GT_CHECK_LT(entity, codes_.size()) << "entity out of range for attribute " << name_;
+  return codes_[entity];
+}
+
+const std::string& StaticColumn::ValueAt(std::size_t entity) const {
+  AttrValueId code = CodeAt(entity);
+  GT_CHECK_NE(code, kNoValue) << "attribute " << name_ << " unset for entity " << entity;
+  return dict_.ValueOf(code);
+}
+
+void TimeVaryingColumn::AppendTimes(std::size_t count) {
+  std::size_t entities = size();
+  std::size_t new_times = num_times_ + count;
+  std::vector<AttrValueId> new_codes(entities * new_times, kNoValue);
+  for (std::size_t entity = 0; entity < entities; ++entity) {
+    for (std::size_t t = 0; t < num_times_; ++t) {
+      new_codes[entity * new_times + t] = codes_[entity * num_times_ + t];
+    }
+  }
+  codes_ = std::move(new_codes);
+  num_times_ = new_times;
+}
+
+std::size_t TimeVaryingColumn::CellIndex(std::size_t entity, std::size_t t) const {
+  GT_CHECK_LT(t, num_times_) << "time out of range for attribute " << name_;
+  std::size_t index = entity * num_times_ + t;
+  GT_CHECK_LT(index, codes_.size()) << "entity out of range for attribute " << name_;
+  return index;
+}
+
+void TimeVaryingColumn::Set(std::size_t entity, std::size_t t, std::string_view value) {
+  codes_[CellIndex(entity, t)] = dict_.GetOrAdd(value);
+}
+
+AttrValueId TimeVaryingColumn::CodeAt(std::size_t entity, std::size_t t) const {
+  return codes_[CellIndex(entity, t)];
+}
+
+const std::string& TimeVaryingColumn::ValueAt(std::size_t entity, std::size_t t) const {
+  AttrValueId code = CodeAt(entity, t);
+  GT_CHECK_NE(code, kNoValue) << "attribute " << name_ << " unset for entity " << entity
+                              << " at time " << t;
+  return dict_.ValueOf(code);
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,94 @@
+#ifndef GRAPHTEMPO_STORAGE_ATTRIBUTE_TABLE_H_
+#define GRAPHTEMPO_STORAGE_ATTRIBUTE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/dictionary.h"
+
+/// \file
+/// Columnar attribute storage: the labeled arrays **S** (static attributes)
+/// and **A_i** (time-varying attributes) of the paper's Section 4.
+///
+/// Both columns are dictionary-encoded. A `StaticColumn` holds one code per
+/// entity; a `TimeVaryingColumn` holds an entity × time matrix of codes with
+/// `kNoValue` marking (entity, time) cells where the attribute is undefined
+/// (normally: times at which the entity does not exist — the '-' cells of the
+/// paper's Table 2).
+
+namespace graphtempo {
+
+/// A static (time-invariant) attribute column, e.g. "gender".
+class StaticColumn {
+ public:
+  explicit StaticColumn(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Grows the column to `count` entities, filling new cells with kNoValue.
+  void Resize(std::size_t count) { codes_.resize(count, kNoValue); }
+
+  std::size_t size() const { return codes_.size(); }
+
+  /// Assigns `value` (dictionary-encoded) to `entity`.
+  void Set(std::size_t entity, std::string_view value);
+
+  /// Dictionary code at `entity`; kNoValue if never assigned.
+  AttrValueId CodeAt(std::size_t entity) const;
+
+  /// String value at `entity`; GT_CHECKs the value was assigned.
+  const std::string& ValueAt(std::size_t entity) const;
+
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary& dictionary() { return dict_; }
+
+ private:
+  std::string name_;
+  Dictionary dict_;
+  std::vector<AttrValueId> codes_;
+};
+
+/// A time-varying attribute column, e.g. "#publications per year".
+class TimeVaryingColumn {
+ public:
+  /// `num_times` is fixed at construction (the time domain of the graph).
+  TimeVaryingColumn(std::string name, std::size_t num_times)
+      : name_(std::move(name)), num_times_(num_times) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t num_times() const { return num_times_; }
+
+  /// Grows to `count` entities, new cells kNoValue at all times.
+  void Resize(std::size_t count) { codes_.resize(count * num_times_, kNoValue); }
+
+  /// Appends `count` time points (new cells kNoValue for every entity).
+  /// Re-lays out the row-major matrix: O(entities · times).
+  void AppendTimes(std::size_t count = 1);
+
+  std::size_t size() const { return num_times_ == 0 ? 0 : codes_.size() / num_times_; }
+
+  /// Assigns `value` to `entity` at time `t`.
+  void Set(std::size_t entity, std::size_t t, std::string_view value);
+
+  /// Dictionary code at (entity, t); kNoValue if unassigned.
+  AttrValueId CodeAt(std::size_t entity, std::size_t t) const;
+
+  /// String value at (entity, t); GT_CHECKs the value was assigned.
+  const std::string& ValueAt(std::size_t entity, std::size_t t) const;
+
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary& dictionary() { return dict_; }
+
+ private:
+  std::size_t CellIndex(std::size_t entity, std::size_t t) const;
+
+  std::string name_;
+  std::size_t num_times_;
+  Dictionary dict_;
+  std::vector<AttrValueId> codes_;  // row-major entity × time
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_STORAGE_ATTRIBUTE_TABLE_H_

@@ -1,0 +1,125 @@
+#include "storage/bit_matrix.h"
+
+#include <bit>
+
+namespace graphtempo {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}  // namespace
+
+BitMatrix::BitMatrix(std::size_t columns)
+    : columns_(columns), words_per_row_((columns + kWordBits - 1) / kWordBits) {}
+
+std::size_t BitMatrix::AddRows(std::size_t count) {
+  std::size_t first = rows_;
+  rows_ += count;
+  data_.resize(rows_ * words_per_row_, 0);
+  return first;
+}
+
+void BitMatrix::AddColumns(std::size_t count) {
+  std::size_t new_columns = columns_ + count;
+  std::size_t new_words_per_row = (new_columns + kWordBits - 1) / kWordBits;
+  if (new_words_per_row != words_per_row_) {
+    std::vector<std::uint64_t> new_data(rows_ * new_words_per_row, 0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        new_data[r * new_words_per_row + w] = data_[r * words_per_row_ + w];
+      }
+    }
+    data_ = std::move(new_data);
+    words_per_row_ = new_words_per_row;
+  }
+  // Padding bits beyond the old column count are zero by construction, so the
+  // new columns start absent without further work.
+  columns_ = new_columns;
+}
+
+void BitMatrix::Set(std::size_t row, std::size_t column, bool value) {
+  CheckRow(row);
+  CheckColumn(column);
+  std::uint64_t mask = std::uint64_t{1} << (column % kWordBits);
+  std::uint64_t& word = RowWords(row)[column / kWordBits];
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+bool BitMatrix::Test(std::size_t row, std::size_t column) const {
+  CheckRow(row);
+  CheckColumn(column);
+  return (RowWords(row)[column / kWordBits] >> (column % kWordBits)) & 1;
+}
+
+std::size_t BitMatrix::RowCount(std::size_t row) const {
+  CheckRow(row);
+  const std::uint64_t* words = RowWords(row);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return total;
+}
+
+std::size_t BitMatrix::RowCountMasked(std::size_t row, const DynamicBitset& mask) const {
+  CheckRow(row);
+  CheckMask(mask);
+  const std::uint64_t* words = RowWords(row);
+  const auto& mask_words = mask.words();
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w] & mask_words[w]));
+  }
+  return total;
+}
+
+bool BitMatrix::RowAnyMasked(std::size_t row, const DynamicBitset& mask) const {
+  CheckRow(row);
+  CheckMask(mask);
+  const std::uint64_t* words = RowWords(row);
+  const auto& mask_words = mask.words();
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    if ((words[w] & mask_words[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool BitMatrix::RowAllMasked(std::size_t row, const DynamicBitset& mask) const {
+  CheckRow(row);
+  CheckMask(mask);
+  const std::uint64_t* words = RowWords(row);
+  const auto& mask_words = mask.words();
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    if ((mask_words[w] & ~words[w]) != 0) return false;
+  }
+  return true;
+}
+
+DynamicBitset BitMatrix::RowMasked(std::size_t row, const DynamicBitset& mask) const {
+  DynamicBitset result(columns_);
+  ForEachSetBitMasked(row, mask, [&](std::size_t column) { result.Set(column); });
+  return result;
+}
+
+bool BitMatrix::RowAnyMaskedNaive(std::size_t row, const DynamicBitset& mask) const {
+  CheckRow(row);
+  CheckMask(mask);
+  for (std::size_t c = 0; c < columns_; ++c) {
+    if (mask.Test(c) && Test(row, c)) return true;
+  }
+  return false;
+}
+
+bool BitMatrix::RowAllMaskedNaive(std::size_t row, const DynamicBitset& mask) const {
+  CheckRow(row);
+  CheckMask(mask);
+  for (std::size_t c = 0; c < columns_; ++c) {
+    if (mask.Test(c) && !Test(row, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace graphtempo

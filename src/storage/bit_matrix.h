@@ -1,0 +1,116 @@
+#ifndef GRAPHTEMPO_STORAGE_BIT_MATRIX_H_
+#define GRAPHTEMPO_STORAGE_BIT_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/bitset.h"
+
+/// \file
+/// `BitMatrix`: a row-growable bit matrix with a fixed number of columns.
+///
+/// This is the C++ realization of the labeled presence arrays **V** and **E**
+/// of the paper (Section 4, Table 2): one row per node/edge, one column per
+/// time point, a 1 meaning the entity exists at that time. The temporal
+/// operators only ever ask three questions about a row against a column mask
+/// (the query interval):
+///
+///   * union       — is the entity present at *any* masked time?   (RowAnyMasked)
+///   * intersection— at *all* masked times? / at ≥1 time of each side
+///   * difference  — at *no* masked time?                          (RowNoneMasked)
+///
+/// Each predicate is a masked word scan, i.e. 64 time points per instruction.
+
+namespace graphtempo {
+
+class BitMatrix {
+ public:
+  /// Creates a matrix with `columns` columns and no rows. Columns are fixed
+  /// for the lifetime of the matrix (the time domain is known up front);
+  /// rows are appended as entities are added.
+  explicit BitMatrix(std::size_t columns = 0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+
+  /// Appends `count` all-zero rows; returns the index of the first new row.
+  std::size_t AddRows(std::size_t count = 1);
+
+  /// Appends `count` all-zero columns (new time points). Re-lays out the
+  /// matrix when the per-row word count grows; O(rows · words) in that case,
+  /// O(1) otherwise.
+  void AddColumns(std::size_t count = 1);
+
+  /// Sets cell (row, column) to `value`.
+  void Set(std::size_t row, std::size_t column, bool value = true);
+
+  /// Returns cell (row, column).
+  bool Test(std::size_t row, std::size_t column) const;
+
+  /// Number of set bits in `row`.
+  std::size_t RowCount(std::size_t row) const;
+
+  /// Number of set bits of `row` within `mask`. `mask.size()` must equal
+  /// `columns()`.
+  std::size_t RowCountMasked(std::size_t row, const DynamicBitset& mask) const;
+
+  /// True if `row` has a set bit at any position of `mask`.
+  bool RowAnyMasked(std::size_t row, const DynamicBitset& mask) const;
+
+  /// True if `row` has a set bit at *every* position of `mask` (mask ⊆ row).
+  /// An empty mask vacuously returns true.
+  bool RowAllMasked(std::size_t row, const DynamicBitset& mask) const;
+
+  /// True if `row` has no set bit at any position of `mask`.
+  bool RowNoneMasked(std::size_t row, const DynamicBitset& mask) const {
+    return !RowAnyMasked(row, mask);
+  }
+
+  /// Copies `row` restricted to `mask` into a DynamicBitset of `columns()` bits.
+  DynamicBitset RowMasked(std::size_t row, const DynamicBitset& mask) const;
+
+  /// Calls `fn(column)` for each set bit of `row ∧ mask`, ascending.
+  template <typename Fn>
+  void ForEachSetBitMasked(std::size_t row, const DynamicBitset& mask, Fn&& fn) const {
+    CheckRow(row);
+    CheckMask(mask);
+    const std::uint64_t* words = RowWords(row);
+    const auto& mask_words = mask.words();
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t word = words[w] & mask_words[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Reference baseline for the masked predicates: per-column loop without
+  /// word parallelism. Used by the ablation micro-benchmark and by tests that
+  /// pin the word-parallel predicates against it.
+  bool RowAnyMaskedNaive(std::size_t row, const DynamicBitset& mask) const;
+  bool RowAllMaskedNaive(std::size_t row, const DynamicBitset& mask) const;
+
+ private:
+  void CheckRow(std::size_t row) const { GT_CHECK_LT(row, rows_) << "row out of range"; }
+  void CheckColumn(std::size_t column) const {
+    GT_CHECK_LT(column, columns_) << "column out of range";
+  }
+  void CheckMask(const DynamicBitset& mask) const {
+    GT_CHECK_EQ(mask.size(), columns_) << "mask/column count mismatch";
+  }
+  const std::uint64_t* RowWords(std::size_t row) const {
+    return data_.data() + row * words_per_row_;
+  }
+  std::uint64_t* RowWords(std::size_t row) { return data_.data() + row * words_per_row_; }
+
+  std::size_t columns_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_STORAGE_BIT_MATRIX_H_

@@ -1,0 +1,119 @@
+#ifndef GRAPHTEMPO_STORAGE_BITSET_H_
+#define GRAPHTEMPO_STORAGE_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file
+/// `DynamicBitset`: a fixed-size, heap-allocated bitset with word-parallel set
+/// algebra. It backs both the `IntervalSet` time dimension (a set of time
+/// points) and entity sets inside the exploration engine, so the temporal
+/// operators of the paper reduce to AND/OR/ANDNOT over machine words.
+
+namespace graphtempo {
+
+class DynamicBitset {
+ public:
+  /// Creates an empty (all-zero) bitset of `size` bits. `size` may be zero.
+  explicit DynamicBitset(std::size_t size = 0);
+
+  DynamicBitset(const DynamicBitset&) = default;
+  DynamicBitset& operator=(const DynamicBitset&) = default;
+  DynamicBitset(DynamicBitset&&) = default;
+  DynamicBitset& operator=(DynamicBitset&&) = default;
+
+  /// Number of bits the set can hold (not the number of set bits).
+  std::size_t size() const { return size_; }
+
+  /// Sets bit `index` to 1 (or to `value`).
+  void Set(std::size_t index, bool value = true);
+
+  /// Sets bit `index` to 0.
+  void Reset(std::size_t index) { Set(index, false); }
+
+  /// Sets every bit to 0.
+  void Clear();
+
+  /// Sets every bit to 1.
+  void SetAll();
+
+  /// Sets bits [first, last] (inclusive) to 1.
+  void SetRange(std::size_t first, std::size_t last);
+
+  /// Returns bit `index`.
+  bool Test(std::size_t index) const;
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True if at least one bit is set.
+  bool Any() const;
+
+  /// True if no bit is set.
+  bool None() const { return !Any(); }
+
+  /// Index of the lowest set bit; GT_CHECKs that the set is non-empty.
+  std::size_t FirstSet() const;
+
+  /// Index of the highest set bit; GT_CHECKs that the set is non-empty.
+  std::size_t LastSet() const;
+
+  /// True if `*this` and `other` share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// True if every set bit of `*this` is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// In-place intersection / union / difference. Sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  friend DynamicBitset operator&(DynamicBitset lhs, const DynamicBitset& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+  friend DynamicBitset operator|(DynamicBitset lhs, const DynamicBitset& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+  friend DynamicBitset operator-(DynamicBitset lhs, const DynamicBitset& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Materializes the set bits as a sorted vector of indices.
+  std::vector<std::size_t> ToIndexVector() const;
+
+  /// Raw word access used by BitMatrix's masked row predicates.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void CheckCompatible(const DynamicBitset& other) const {
+    GT_CHECK_EQ(size_, other.size_) << "bitset size mismatch";
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_STORAGE_BITSET_H_

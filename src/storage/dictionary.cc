@@ -1,0 +1,28 @@
+#include "storage/dictionary.h"
+
+#include "util/check.h"
+
+namespace graphtempo {
+
+AttrValueId Dictionary::GetOrAdd(std::string_view value) {
+  auto it = codes_.find(std::string(value));
+  if (it != codes_.end()) return it->second;
+  GT_CHECK_LT(values_.size(), kNoValue) << "dictionary full";
+  AttrValueId code = static_cast<AttrValueId>(values_.size());
+  values_.emplace_back(value);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+std::optional<AttrValueId> Dictionary::Find(std::string_view value) const {
+  auto it = codes_.find(std::string(value));
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::ValueOf(AttrValueId code) const {
+  GT_CHECK_LT(code, values_.size()) << "dictionary code out of range";
+  return values_[code];
+}
+
+}  // namespace graphtempo

@@ -1,0 +1,53 @@
+#ifndef GRAPHTEMPO_STORAGE_DICTIONARY_H_
+#define GRAPHTEMPO_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// `Dictionary`: bidirectional string ⇄ dense-code mapping.
+///
+/// All attribute values in GraphTempo — categorical ("f", "m"), bucketed
+/// numerical ("3 publications", "rating 4.5") and node labels — are
+/// dictionary-encoded so that aggregation operates on `std::uint32_t` codes
+/// and tuple hashing never touches strings.
+
+namespace graphtempo {
+
+/// A dictionary code. Code values are dense, assigned in insertion order.
+using AttrValueId = std::uint32_t;
+
+/// Sentinel for "value absent" (e.g. a time-varying attribute at a time the
+/// node does not exist). Never returned by `GetOrAdd`.
+inline constexpr AttrValueId kNoValue = 0xFFFFFFFFu;
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `value`, inserting it if unseen.
+  AttrValueId GetOrAdd(std::string_view value);
+
+  /// Returns the code for `value` if present.
+  std::optional<AttrValueId> Find(std::string_view value) const;
+
+  /// Returns the string for `code`. GT_CHECKs the code is in range.
+  const std::string& ValueOf(AttrValueId code) const;
+
+  /// Number of distinct values.
+  std::size_t size() const { return values_.size(); }
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::unordered_map<std::string, AttrValueId> codes_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_STORAGE_DICTIONARY_H_

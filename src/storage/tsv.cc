@@ -1,0 +1,36 @@
+#include "storage/tsv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace graphtempo {
+
+std::optional<std::vector<std::string>> TsvReader::ReadRow() {
+  std::string line;
+  while (std::getline(*input_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // tolerate CRLF
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    return Split(line, '\t');
+  }
+  return std::nullopt;
+}
+
+void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    GT_CHECK(fields[i].find('\t') == std::string::npos &&
+             fields[i].find('\n') == std::string::npos)
+        << "TSV field contains separator: " << fields[i];
+    if (i != 0) *output_ << '\t';
+    *output_ << fields[i];
+  }
+  *output_ << '\n';
+}
+
+void TsvWriter::WriteComment(const std::string& text) { *output_ << "# " << text << '\n'; }
+
+}  // namespace graphtempo

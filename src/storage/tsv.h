@@ -1,0 +1,56 @@
+#ifndef GRAPHTEMPO_STORAGE_TSV_H_
+#define GRAPHTEMPO_STORAGE_TSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal TSV (tab-separated values) codec used by the on-disk graph format
+/// and the benchmark CSV emitters. Lines starting with '#' and blank lines
+/// are skipped on read; fields must not contain tabs or newlines (GT_CHECKed
+/// on write).
+
+namespace graphtempo {
+
+/// Streaming TSV reader. Does not own the stream.
+class TsvReader {
+ public:
+  explicit TsvReader(std::istream* input) : input_(input) {}
+
+  TsvReader(const TsvReader&) = delete;
+  TsvReader& operator=(const TsvReader&) = delete;
+
+  /// Reads the next non-comment, non-blank row. Returns std::nullopt at EOF.
+  std::optional<std::vector<std::string>> ReadRow();
+
+  /// 1-based line number of the row last returned (for error messages).
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream* input_;
+  std::size_t line_number_ = 0;
+};
+
+/// Streaming TSV writer. Does not own the stream.
+class TsvWriter {
+ public:
+  explicit TsvWriter(std::ostream* output) : output_(output) {}
+
+  TsvWriter(const TsvWriter&) = delete;
+  TsvWriter& operator=(const TsvWriter&) = delete;
+
+  /// Writes one row followed by '\n'.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes a comment line ("# <text>").
+  void WriteComment(const std::string& text);
+
+ private:
+  std::ostream* output_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_STORAGE_TSV_H_

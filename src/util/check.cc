@@ -1,0 +1,21 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace graphtempo::internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: GT_CHECK failed: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckMessageBuilder::CheckMessageBuilder(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition << " ";
+}
+
+CheckMessageBuilder::~CheckMessageBuilder() { CheckFailed(file_, line_, stream_.str()); }
+
+}  // namespace graphtempo::internal

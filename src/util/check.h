@@ -1,0 +1,70 @@
+#ifndef GRAPHTEMPO_UTIL_CHECK_H_
+#define GRAPHTEMPO_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// \file
+/// Runtime assertion macros.
+///
+/// Library code does not throw exceptions (Google style); programmer errors —
+/// out-of-range ids, mismatched time domains, broken invariants — terminate
+/// the process with a diagnostic instead of propagating as undefined behavior.
+///
+/// `GT_CHECK` is always on. `GT_DCHECK` compiles to nothing in NDEBUG builds
+/// and is used on hot paths where the check cost would be measurable.
+
+namespace graphtempo::internal {
+
+/// Prints `file:line: message` to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+/// Stream-style message collector used by the CHECK macros so call sites can
+/// write `GT_CHECK(ok) << "id " << id << " out of range"`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition);
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  /// Fires the failure. Placing the abort in the destructor lets the
+  /// streaming expression complete first.
+  [[noreturn]] ~CheckMessageBuilder();
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace graphtempo::internal
+
+#define GT_CHECK(condition)                                                     \
+  if (condition) {                                                              \
+  } else /* NOLINT */                                                           \
+    ::graphtempo::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define GT_CHECK_EQ(a, b) GT_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GT_CHECK_NE(a, b) GT_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GT_CHECK_LT(a, b) GT_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GT_CHECK_LE(a, b) GT_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GT_CHECK_GT(a, b) GT_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GT_CHECK_GE(a, b) GT_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define GT_DCHECK(condition) \
+  if (true) {                \
+  } else                     \
+    GT_CHECK(condition)
+#else
+#define GT_DCHECK(condition) GT_CHECK(condition)
+#endif
+
+#endif  // GRAPHTEMPO_UTIL_CHECK_H_

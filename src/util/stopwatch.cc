@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only for now; this translation unit anchors the library target and
+// keeps a place for future non-inline timing utilities.

@@ -1,0 +1,53 @@
+#ifndef GRAPHTEMPO_UTIL_STOPWATCH_H_
+#define GRAPHTEMPO_UTIL_STOPWATCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Wall-clock timing helpers used by the benchmark harnesses.
+
+namespace graphtempo {
+
+/// A monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed time since `Start()` in microseconds.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since `Start()` in milliseconds, with sub-ms resolution.
+  double ElapsedMillis() const { return static_cast<double>(ElapsedMicros()) / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+/// Runs `fn` `repetitions` times and returns the median wall-clock time in
+/// milliseconds. Medians resist one-off scheduling noise better than means,
+/// which matters for the short per-time-point measurements of Figure 5.
+template <typename Fn>
+double MedianMillis(int repetitions, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(repetitions);
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    watch.Start();
+    fn();
+    samples.push_back(watch.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_UTIL_STOPWATCH_H_

@@ -1,0 +1,58 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace graphtempo {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, char delimiter) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) result.push_back(delimiter);
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool ParseUint64(std::string_view text, std::uint64_t* value) {
+  if (text.empty()) return false;
+  std::uint64_t result = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;  // overflow
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace graphtempo

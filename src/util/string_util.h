@@ -1,0 +1,33 @@
+#ifndef GRAPHTEMPO_UTIL_STRING_UTIL_H_
+#define GRAPHTEMPO_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared by the TSV codec, the dataset generators and
+/// the benchmark printers. Deliberately minimal: no locale handling, ASCII
+/// only, which is all the on-disk format needs.
+
+namespace graphtempo {
+
+/// Splits `text` on `delimiter`, keeping empty fields. "a||b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `delimiter` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a non-negative decimal integer. Returns false on any non-digit
+/// character, empty input, or overflow of `std::uint64_t`.
+bool ParseUint64(std::string_view text, std::uint64_t* value);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,195 @@
+/// Streaming time-domain growth: `TemporalGraph::AppendTimePoint` plus the
+/// incremental `Refresh()` maintenance of the materialization layers — the
+/// machinery behind the interactive deployment the paper's conclusion
+/// sketches (a new snapshot arrives, analyses continue on the grown domain).
+
+#include <gtest/gtest.h>
+
+#include "core/cube.h"
+#include "core/materialization.h"
+#include "core/operators.h"
+#include "storage/bit_matrix.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+
+// --- Storage layer --------------------------------------------------------------
+
+TEST(BitMatrixAddColumnsTest, WithinWordKeepsData) {
+  BitMatrix matrix(10);
+  matrix.AddRows(2);
+  matrix.Set(0, 3);
+  matrix.Set(1, 9);
+  matrix.AddColumns(5);
+  EXPECT_EQ(matrix.columns(), 15u);
+  EXPECT_TRUE(matrix.Test(0, 3));
+  EXPECT_TRUE(matrix.Test(1, 9));
+  for (std::size_t c = 10; c < 15; ++c) {
+    EXPECT_FALSE(matrix.Test(0, c));
+    EXPECT_FALSE(matrix.Test(1, c));
+  }
+  matrix.Set(0, 14);
+  EXPECT_TRUE(matrix.Test(0, 14));
+}
+
+TEST(BitMatrixAddColumnsTest, AcrossWordBoundaryRelaysOut) {
+  BitMatrix matrix(64);
+  matrix.AddRows(3);
+  matrix.Set(0, 0);
+  matrix.Set(1, 63);
+  matrix.Set(2, 30);
+  matrix.AddColumns(2);  // 64 → 66 columns: words per row 1 → 2
+  EXPECT_EQ(matrix.columns(), 66u);
+  EXPECT_TRUE(matrix.Test(0, 0));
+  EXPECT_TRUE(matrix.Test(1, 63));
+  EXPECT_TRUE(matrix.Test(2, 30));
+  EXPECT_FALSE(matrix.Test(0, 64));
+  EXPECT_FALSE(matrix.Test(1, 65));
+  matrix.Set(0, 65);
+  EXPECT_TRUE(matrix.Test(0, 65));
+  EXPECT_EQ(matrix.RowCount(0), 2u);
+}
+
+TEST(BitMatrixAddColumnsTest, MaskedPredicatesWorkAfterGrowth) {
+  BitMatrix matrix(3);
+  matrix.AddRows(1);
+  matrix.Set(0, 1);
+  matrix.AddColumns(70);
+  DynamicBitset mask(73);
+  mask.SetAll();
+  EXPECT_TRUE(matrix.RowAnyMasked(0, mask));
+  EXPECT_EQ(matrix.RowCountMasked(0, mask), 1u);
+}
+
+TEST(TimeVaryingColumnAppendTest, KeepsValuesAndAddsEmptyCells) {
+  TimeVaryingColumn column("pubs", 2);
+  column.Resize(2);
+  column.Set(0, 0, "a");
+  column.Set(1, 1, "b");
+  column.AppendTimes(2);
+  EXPECT_EQ(column.num_times(), 4u);
+  EXPECT_EQ(column.size(), 2u);
+  EXPECT_EQ(column.ValueAt(0, 0), "a");
+  EXPECT_EQ(column.ValueAt(1, 1), "b");
+  EXPECT_EQ(column.CodeAt(0, 2), kNoValue);
+  EXPECT_EQ(column.CodeAt(1, 3), kNoValue);
+  column.Set(0, 3, "c");
+  EXPECT_EQ(column.ValueAt(0, 3), "c");
+}
+
+// --- TemporalGraph --------------------------------------------------------------
+
+TEST(AppendTimePointTest, GrowsTheDomain) {
+  TemporalGraph graph = BuildPaperGraph();
+  TimeId t3 = graph.AppendTimePoint("t3");
+  EXPECT_EQ(t3, 3u);
+  EXPECT_EQ(graph.num_times(), 4u);
+  EXPECT_EQ(graph.time_label(3), "t3");
+  EXPECT_EQ(graph.FindTime("t3"), std::optional<TimeId>(3u));
+  // Nothing exists at the new point yet.
+  EXPECT_EQ(graph.NodesAt(3), 0u);
+  EXPECT_EQ(graph.EdgesAt(3), 0u);
+  // Old data intact.
+  EXPECT_EQ(graph.NodesAt(0), 4u);
+  EXPECT_EQ(graph.EdgesAt(2), 3u);
+}
+
+TEST(AppendTimePointTest, NewSnapshotIsFullyUsable) {
+  TemporalGraph graph = BuildPaperGraph();
+  AttrRef pubs_ref = *graph.FindAttribute("publications");
+  graph.AppendTimePoint("t3");
+
+  // Ingest the new snapshot: u2 and u5 collaborate; u5 publishes 2.
+  NodeId u2 = *graph.FindNode("u2");
+  NodeId u5 = *graph.FindNode("u5");
+  EdgeId e = *graph.FindEdge(u2, u5);
+  graph.SetEdgePresent(e, 3);
+  graph.SetTimeVaryingValue(pubs_ref.index, u2, 3, "1");
+  graph.SetTimeVaryingValue(pubs_ref.index, u5, 3, "2");
+
+  EXPECT_EQ(graph.NodesAt(3), 2u);
+  EXPECT_EQ(graph.EdgesAt(3), 1u);
+  EXPECT_EQ(graph.ValueName(pubs_ref, graph.ValueCodeAt(pubs_ref, u5, 3)), "2");
+  // Old cells of the re-laid-out column survive.
+  EXPECT_EQ(graph.ValueName(pubs_ref, graph.ValueCodeAt(pubs_ref, u5, 2)), "3");
+
+  // Operators across the grown domain.
+  GraphView stable = IntersectionOp(graph, IntervalSet::Point(4, 2),
+                                    IntervalSet::Point(4, 3));
+  EXPECT_EQ(stable.EdgeCount(), 1u);  // (u2,u5) exists at t2 and t3
+}
+
+TEST(AppendTimePointTest, OperatorsRejectStaleIntervals) {
+  TemporalGraph graph = BuildPaperGraph();
+  IntervalSet stale = IntervalSet::Point(3, 0);
+  graph.AppendTimePoint("t3");
+  EXPECT_DEATH(Project(graph, stale), "different time domain");
+}
+
+TEST(AppendTimePointDeath, DuplicateLabelAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  EXPECT_DEATH(graph.AppendTimePoint("t1"), "duplicate time label");
+}
+
+// --- Incremental materialization maintenance ---------------------------------------
+
+TEST(RefreshTest, StoreExtendsIncrementally) {
+  TemporalGraph graph = BuildPaperGraph();
+  MaterializationStore store(&graph, ResolveAttributes(graph, {"gender"}));
+  store.MaterializeAllTimePoints();
+
+  graph.AppendTimePoint("t3");
+  NodeId u2 = *graph.FindNode("u2");
+  NodeId u4 = *graph.FindNode("u4");
+  graph.SetEdgePresent(*graph.FindEdge(u2, u4), 3);
+  store.Refresh();
+
+  // The new point's aggregate matches a from-scratch snapshot aggregate.
+  GraphView snapshot = Project(graph, IntervalSet::Point(4, 3));
+  EXPECT_EQ(store.AtTimePoint(3),
+            Aggregate(graph, snapshot, store.attrs(), AggregationSemantics::kAll));
+
+  // Union-ALL across the grown domain works and equals direct computation.
+  IntervalSet all = IntervalSet::Range(4, 0, 3);
+  GraphView union_view = UnionOp(graph, all, all);
+  EXPECT_EQ(store.UnionAllAggregate(all),
+            Aggregate(graph, union_view, store.attrs(), AggregationSemantics::kAll));
+}
+
+TEST(RefreshTest, StaleStoreQueriesAbort) {
+  TemporalGraph graph = BuildPaperGraph();
+  MaterializationStore store(&graph, ResolveAttributes(graph, {"gender"}));
+  store.MaterializeAllTimePoints();
+  graph.AppendTimePoint("t3");
+  EXPECT_DEATH(store.UnionAllAggregate(IntervalSet::Range(4, 0, 3)), "stale");
+}
+
+TEST(RefreshTest, CubeExtendsBaseAndSubsetLayers) {
+  TemporalGraph graph = BuildPaperGraph();
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"gender", "publications"}));
+  cube.Materialize();
+  const std::size_t keep_gender[] = {0};
+  cube.Query(IntervalSet::Range(3, 0, 2), keep_gender);  // memoize the subset layer
+  std::size_t rollups_before = cube.stats().rollups;
+
+  graph.AppendTimePoint("t3");
+  NodeId u2 = *graph.FindNode("u2");
+  graph.SetNodePresent(u2, 3);
+  AttrRef pubs = *graph.FindAttribute("publications");
+  graph.SetTimeVaryingValue(pubs.index, u2, 3, "1");
+  cube.Refresh();
+  // Exactly one new roll-up: the appended point of the memoized layer.
+  EXPECT_EQ(cube.stats().rollups, rollups_before + 1);
+
+  IntervalSet grown = IntervalSet::Range(4, 0, 3);
+  GraphView view = UnionOp(graph, grown, grown);
+  std::vector<AttrRef> gender_only = ResolveAttributes(graph, {"gender"});
+  EXPECT_EQ(cube.Query(grown, keep_gender),
+            Aggregate(graph, view, gender_only, AggregationSemantics::kAll));
+}
+
+}  // namespace
+}  // namespace graphtempo

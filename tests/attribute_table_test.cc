@@ -1,0 +1,107 @@
+#include "storage/attribute_table.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtempo {
+namespace {
+
+TEST(StaticColumnTest, UnsetCellsAreNoValue) {
+  StaticColumn column("gender");
+  column.Resize(3);
+  EXPECT_EQ(column.CodeAt(0), kNoValue);
+  EXPECT_EQ(column.CodeAt(2), kNoValue);
+}
+
+TEST(StaticColumnTest, SetAndGet) {
+  StaticColumn column("gender");
+  column.Resize(2);
+  column.Set(0, "m");
+  column.Set(1, "f");
+  EXPECT_EQ(column.ValueAt(0), "m");
+  EXPECT_EQ(column.ValueAt(1), "f");
+  EXPECT_NE(column.CodeAt(0), column.CodeAt(1));
+}
+
+TEST(StaticColumnTest, SharedValuesShareCodes) {
+  StaticColumn column("gender");
+  column.Resize(3);
+  column.Set(0, "f");
+  column.Set(1, "m");
+  column.Set(2, "f");
+  EXPECT_EQ(column.CodeAt(0), column.CodeAt(2));
+  EXPECT_EQ(column.dictionary().size(), 2u);
+}
+
+TEST(StaticColumnTest, ResizePreservesExistingValues) {
+  StaticColumn column("c");
+  column.Resize(1);
+  column.Set(0, "x");
+  column.Resize(5);
+  EXPECT_EQ(column.ValueAt(0), "x");
+  EXPECT_EQ(column.CodeAt(4), kNoValue);
+}
+
+TEST(StaticColumnTest, OverwriteChangesValue) {
+  StaticColumn column("c");
+  column.Resize(1);
+  column.Set(0, "a");
+  column.Set(0, "b");
+  EXPECT_EQ(column.ValueAt(0), "b");
+}
+
+TEST(TimeVaryingColumnTest, UnsetCellsAreNoValue) {
+  TimeVaryingColumn column("pubs", 3);
+  column.Resize(2);
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_EQ(column.CodeAt(n, t), kNoValue);
+    }
+  }
+}
+
+TEST(TimeVaryingColumnTest, SetAndGetPerTime) {
+  TimeVaryingColumn column("pubs", 3);
+  column.Resize(1);
+  column.Set(0, 0, "3");
+  column.Set(0, 1, "1");
+  EXPECT_EQ(column.ValueAt(0, 0), "3");
+  EXPECT_EQ(column.ValueAt(0, 1), "1");
+  EXPECT_EQ(column.CodeAt(0, 2), kNoValue);
+}
+
+TEST(TimeVaryingColumnTest, SizeTracksEntities) {
+  TimeVaryingColumn column("pubs", 4);
+  EXPECT_EQ(column.size(), 0u);
+  column.Resize(7);
+  EXPECT_EQ(column.size(), 7u);
+  EXPECT_EQ(column.num_times(), 4u);
+}
+
+TEST(TimeVaryingColumnTest, ValuesSharedAcrossCells) {
+  TimeVaryingColumn column("pubs", 2);
+  column.Resize(2);
+  column.Set(0, 0, "1");
+  column.Set(1, 1, "1");
+  EXPECT_EQ(column.CodeAt(0, 0), column.CodeAt(1, 1));
+}
+
+TEST(TimeVaryingColumnDeath, TimeOutOfRangeAborts) {
+  TimeVaryingColumn column("pubs", 2);
+  column.Resize(1);
+  EXPECT_DEATH(column.Set(0, 2, "x"), "time out of range");
+}
+
+TEST(StaticColumnDeath, EntityOutOfRangeAborts) {
+  StaticColumn column("gender");
+  column.Resize(1);
+  EXPECT_DEATH(column.Set(3, "x"), "out of range");
+}
+
+TEST(StaticColumnDeath, ValueAtOnUnsetAborts) {
+  StaticColumn column("gender");
+  column.Resize(1);
+  EXPECT_DEATH(column.ValueAt(0), "unset");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,158 @@
+#include "storage/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/random.h"
+
+namespace graphtempo {
+namespace {
+
+TEST(BitMatrixTest, StartsEmpty) {
+  BitMatrix matrix(8);
+  EXPECT_EQ(matrix.rows(), 0u);
+  EXPECT_EQ(matrix.columns(), 8u);
+}
+
+TEST(BitMatrixTest, AddRowsReturnsFirstNewIndex) {
+  BitMatrix matrix(8);
+  EXPECT_EQ(matrix.AddRows(3), 0u);
+  EXPECT_EQ(matrix.AddRows(2), 3u);
+  EXPECT_EQ(matrix.rows(), 5u);
+}
+
+TEST(BitMatrixTest, NewRowsAreZero) {
+  BitMatrix matrix(70);
+  matrix.AddRows(2);
+  for (std::size_t c = 0; c < 70; ++c) {
+    EXPECT_FALSE(matrix.Test(0, c));
+    EXPECT_FALSE(matrix.Test(1, c));
+  }
+}
+
+TEST(BitMatrixTest, SetAndTest) {
+  BitMatrix matrix(130);
+  matrix.AddRows(3);
+  matrix.Set(1, 0);
+  matrix.Set(1, 64);
+  matrix.Set(1, 129);
+  matrix.Set(2, 5);
+  EXPECT_TRUE(matrix.Test(1, 0));
+  EXPECT_TRUE(matrix.Test(1, 64));
+  EXPECT_TRUE(matrix.Test(1, 129));
+  EXPECT_FALSE(matrix.Test(0, 0));
+  EXPECT_TRUE(matrix.Test(2, 5));
+  matrix.Set(1, 64, false);
+  EXPECT_FALSE(matrix.Test(1, 64));
+}
+
+TEST(BitMatrixTest, RowCount) {
+  BitMatrix matrix(100);
+  matrix.AddRows(1);
+  EXPECT_EQ(matrix.RowCount(0), 0u);
+  matrix.Set(0, 1);
+  matrix.Set(0, 99);
+  EXPECT_EQ(matrix.RowCount(0), 2u);
+}
+
+TEST(BitMatrixTest, MaskedPredicates) {
+  BitMatrix matrix(10);
+  matrix.AddRows(1);
+  matrix.Set(0, 2);
+  matrix.Set(0, 3);
+
+  DynamicBitset mask(10);
+  mask.Set(2);
+  mask.Set(3);
+  EXPECT_TRUE(matrix.RowAnyMasked(0, mask));
+  EXPECT_TRUE(matrix.RowAllMasked(0, mask));
+  EXPECT_FALSE(matrix.RowNoneMasked(0, mask));
+  EXPECT_EQ(matrix.RowCountMasked(0, mask), 2u);
+
+  mask.Set(4);
+  EXPECT_TRUE(matrix.RowAnyMasked(0, mask));
+  EXPECT_FALSE(matrix.RowAllMasked(0, mask));
+  EXPECT_EQ(matrix.RowCountMasked(0, mask), 2u);
+
+  DynamicBitset disjoint(10);
+  disjoint.Set(7);
+  EXPECT_FALSE(matrix.RowAnyMasked(0, disjoint));
+  EXPECT_TRUE(matrix.RowNoneMasked(0, disjoint));
+}
+
+TEST(BitMatrixTest, EmptyMaskIsVacuouslyAll) {
+  BitMatrix matrix(10);
+  matrix.AddRows(1);
+  DynamicBitset empty_mask(10);
+  EXPECT_TRUE(matrix.RowAllMasked(0, empty_mask));
+  EXPECT_FALSE(matrix.RowAnyMasked(0, empty_mask));
+}
+
+TEST(BitMatrixTest, RowMaskedExtractsIntersection) {
+  BitMatrix matrix(70);
+  matrix.AddRows(1);
+  matrix.Set(0, 10);
+  matrix.Set(0, 65);
+  matrix.Set(0, 69);
+  DynamicBitset mask(70);
+  mask.SetRange(60, 69);
+  DynamicBitset row = matrix.RowMasked(0, mask);
+  EXPECT_EQ(row.Count(), 2u);
+  EXPECT_TRUE(row.Test(65));
+  EXPECT_TRUE(row.Test(69));
+  EXPECT_FALSE(row.Test(10));
+}
+
+TEST(BitMatrixTest, ForEachSetBitMaskedAscending) {
+  BitMatrix matrix(130);
+  matrix.AddRows(1);
+  matrix.Set(0, 1);
+  matrix.Set(0, 64);
+  matrix.Set(0, 128);
+  DynamicBitset mask(130);
+  mask.SetAll();
+  mask.Reset(64);
+  std::vector<std::size_t> seen;
+  matrix.ForEachSetBitMasked(0, mask, [&](std::size_t c) { seen.push_back(c); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 128}));
+}
+
+// The word-parallel predicates are pinned against the per-column reference
+// implementation on randomized matrices and masks.
+TEST(BitMatrixTest, MaskedPredicatesMatchNaiveReference) {
+  datagen::Pcg32 rng(7);
+  for (int round = 0; round < 10; ++round) {
+    std::size_t columns = 1 + rng.NextBelow(200);
+    BitMatrix matrix(columns);
+    matrix.AddRows(20);
+    for (std::size_t r = 0; r < 20; ++r) {
+      for (std::size_t c = 0; c < columns; ++c) {
+        if (rng.NextBool(0.3)) matrix.Set(r, c);
+      }
+    }
+    for (int m = 0; m < 10; ++m) {
+      DynamicBitset mask(columns);
+      for (std::size_t c = 0; c < columns; ++c) {
+        if (rng.NextBool(0.4)) mask.Set(c);
+      }
+      for (std::size_t r = 0; r < 20; ++r) {
+        EXPECT_EQ(matrix.RowAnyMasked(r, mask), matrix.RowAnyMaskedNaive(r, mask));
+        EXPECT_EQ(matrix.RowAllMasked(r, mask), matrix.RowAllMaskedNaive(r, mask));
+      }
+    }
+  }
+}
+
+TEST(BitMatrixDeath, ColumnMismatchAborts) {
+  BitMatrix matrix(10);
+  matrix.AddRows(1);
+  DynamicBitset mask(11);
+  EXPECT_DEATH(matrix.RowAnyMasked(0, mask), "mismatch");
+}
+
+TEST(BitMatrixDeath, RowOutOfRangeAborts) {
+  BitMatrix matrix(10);
+  EXPECT_DEATH(matrix.Set(0, 0), "row out of range");
+}
+
+}  // namespace
+}  // namespace graphtempo

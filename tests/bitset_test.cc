@@ -1,0 +1,196 @@
+#include "storage/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/random.h"
+
+namespace graphtempo {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset bits(10);
+  EXPECT_EQ(bits.size(), 10u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  EXPECT_FALSE(bits.Any());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(DynamicBitsetTest, ZeroSizeIsValid) {
+  DynamicBitset bits(0);
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(DynamicBitsetTest, SetAndTest) {
+  DynamicBitset bits(130);  // spans three words
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(65));
+  EXPECT_EQ(bits.Count(), 4u);
+}
+
+TEST(DynamicBitsetTest, SetWithValueAndReset) {
+  DynamicBitset bits(8);
+  bits.Set(3);
+  bits.Set(3, false);
+  EXPECT_FALSE(bits.Test(3));
+  bits.Set(5, true);
+  EXPECT_TRUE(bits.Test(5));
+  bits.Reset(5);
+  EXPECT_FALSE(bits.Test(5));
+}
+
+TEST(DynamicBitsetTest, ClearAndSetAll) {
+  DynamicBitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);  // padding bits must not leak into the count
+  bits.Clear();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, SetAllOnExactWordBoundary) {
+  DynamicBitset bits(128);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 128u);
+  EXPECT_TRUE(bits.Test(127));
+}
+
+TEST(DynamicBitsetTest, SetRange) {
+  DynamicBitset bits(100);
+  bits.SetRange(10, 20);
+  EXPECT_EQ(bits.Count(), 11u);
+  EXPECT_FALSE(bits.Test(9));
+  EXPECT_TRUE(bits.Test(10));
+  EXPECT_TRUE(bits.Test(20));
+  EXPECT_FALSE(bits.Test(21));
+}
+
+TEST(DynamicBitsetTest, SetRangeSinglePoint) {
+  DynamicBitset bits(5);
+  bits.SetRange(2, 2);
+  EXPECT_EQ(bits.Count(), 1u);
+  EXPECT_TRUE(bits.Test(2));
+}
+
+TEST(DynamicBitsetTest, FirstAndLastSet) {
+  DynamicBitset bits(200);
+  bits.Set(66);
+  bits.Set(130);
+  bits.Set(190);
+  EXPECT_EQ(bits.FirstSet(), 66u);
+  EXPECT_EQ(bits.LastSet(), 190u);
+}
+
+TEST(DynamicBitsetTest, Intersects) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.Set(70);
+  b.Set(71);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(70);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(DynamicBitsetTest, IsSubsetOf) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.Set(3);
+  a.Set(70);
+  b.Set(3);
+  b.Set(70);
+  b.Set(12);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  DynamicBitset empty(80);
+  EXPECT_TRUE(empty.IsSubsetOf(a));  // ∅ ⊆ anything
+}
+
+TEST(DynamicBitsetTest, SetAlgebra) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+
+  DynamicBitset and_result = a & b;
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(2));
+
+  DynamicBitset or_result = a | b;
+  EXPECT_EQ(or_result.Count(), 3u);
+
+  DynamicBitset minus_result = a - b;
+  EXPECT_EQ(minus_result.Count(), 1u);
+  EXPECT_TRUE(minus_result.Test(1));
+}
+
+TEST(DynamicBitsetTest, EqualityAndCopies) {
+  DynamicBitset a(40);
+  a.Set(17);
+  DynamicBitset b = a;
+  EXPECT_EQ(a, b);
+  b.Set(18);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitAscending) {
+  DynamicBitset bits(150);
+  std::vector<std::size_t> expected = {0, 5, 63, 64, 100, 149};
+  for (std::size_t i : expected) bits.Set(i);
+  std::vector<std::size_t> seen;
+  bits.ForEachSetBit([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(bits.ToIndexVector(), expected);
+}
+
+TEST(DynamicBitsetTest, RandomizedAgainstReferenceModel) {
+  datagen::Pcg32 rng(42);
+  for (int round = 0; round < 20; ++round) {
+    std::size_t size = 1 + rng.NextBelow(300);
+    DynamicBitset bits(size);
+    std::vector<bool> model(size, false);
+    for (int op = 0; op < 200; ++op) {
+      std::size_t index = rng.NextBelow(static_cast<std::uint32_t>(size));
+      bool value = rng.NextBool(0.5);
+      bits.Set(index, value);
+      model[index] = value;
+    }
+    std::size_t model_count = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(bits.Test(i), model[i]) << "index " << i;
+      if (model[i]) ++model_count;
+    }
+    EXPECT_EQ(bits.Count(), model_count);
+  }
+}
+
+TEST(DynamicBitsetDeath, OutOfRangeSetAborts) {
+  DynamicBitset bits(4);
+  EXPECT_DEATH(bits.Set(4), "out of range");
+}
+
+TEST(DynamicBitsetDeath, MismatchedSizesAbort) {
+  DynamicBitset a(4);
+  DynamicBitset b(5);
+  EXPECT_DEATH(a &= b, "size mismatch");
+}
+
+TEST(DynamicBitsetDeath, FirstSetOnEmptyAborts) {
+  DynamicBitset bits(4);
+  EXPECT_DEATH(bits.FirstSet(), "empty");
+}
+
+}  // namespace
+}  // namespace graphtempo

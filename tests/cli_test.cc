@@ -1,0 +1,376 @@
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/graph_io.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+/// Runs the CLI in-process and captures exit code + both streams.
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunCliCapture(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = cli::RunCli(args, out, err);
+  return CliRun{code, out.str(), err.str()};
+}
+
+/// Fixture that writes the paper graph to a temp file for file-based commands.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs tests from this binary in parallel processes sharing
+    // TempDir(); the path must be unique per test and per process.
+    path_ = ::testing::TempDir() + "/graphtempo_cli_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+            std::to_string(getpid()) + ".tsv";
+    TemporalGraph graph = testing::BuildPaperGraph();
+    std::string error;
+    ASSERT_TRUE(WriteGraphToFile(graph, path_, &error)) << error;
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST(CliBasicsTest, NoArgsPrintsUsageAndFails) {
+  CliRun run = RunCliCapture({});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliBasicsTest, HelpSucceeds) {
+  CliRun run = RunCliCapture({"help"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("aggregate"), std::string::npos);
+}
+
+TEST(CliBasicsTest, UnknownCommandFails) {
+  CliRun run = RunCliCapture({"frobnicate"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliBasicsTest, FlagWithoutValueFails) {
+  CliRun run = RunCliCapture({"info", "--seed"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("needs a value"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoShowsSizesAndAttributes) {
+  CliRun run = RunCliCapture({"info", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("nodes       : 5"), std::string::npos);
+  EXPECT_NE(run.out.find("edges       : 7"), std::string::npos);
+  EXPECT_NE(run.out.find("gender(static,2 values)"), std::string::npos);
+  EXPECT_NE(run.out.find("publications(varying,"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoMissingFileFails) {
+  CliRun run = RunCliCapture({"info", "/nonexistent/nope.tsv"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, OperateUnionCounts) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "union", "--t1", "t0", "--t2", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("4 nodes, 5 edges"), std::string::npos);
+}
+
+TEST_F(CliTest, OperateProjectWithRange) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "project", "--t1", "t0..t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("3 nodes, 2 edges"), std::string::npos);
+}
+
+TEST_F(CliTest, OperateAcceptsNumericTimeIndices) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "intersection", "--t1", "0", "--t2", "1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("3 nodes, 2 edges"), std::string::npos);
+}
+
+TEST_F(CliTest, OperateUnknownTimeFails) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "union", "--t1", "t9"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown time point"), std::string::npos);
+}
+
+TEST_F(CliTest, OperateExtractsSubgraph) {
+  std::string out_path = path_ + ".sub";
+  CliRun run = RunCliCapture({"operate", path_, "--op", "difference", "--t1", "t0", "--t2", "t1",
+                    "--out", out_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  std::string error;
+  std::optional<TemporalGraph> sub = ReadGraphFromFile(out_path, &error);
+  ASSERT_TRUE(sub.has_value()) << error;
+  EXPECT_EQ(sub->num_nodes(), 3u);
+  EXPECT_EQ(sub->num_edges(), 2u);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, AggregateDistPrintsPaperWeights) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender,publications", "--op",
+                    "union", "--t1", "t0", "--t2", "t1", "--semantics", "dist"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("(f,1)  3"), std::string::npos);  // the Fig 3d weight
+}
+
+TEST_F(CliTest, AggregateAllPrintsPaperWeights) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender,publications", "--op",
+                    "union", "--t1", "t0", "--t2", "t1", "--semantics", "all"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("(f,1)  4"), std::string::npos);  // the Fig 3e weight
+}
+
+TEST_F(CliTest, AggregateUnknownAttributeFails) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "nope", "--t1", "t0"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown attribute"), std::string::npos);
+}
+
+TEST_F(CliTest, AggregateBadSemanticsFails) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--t1", "t0",
+                    "--semantics", "weird"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--semantics"), std::string::npos);
+}
+
+TEST_F(CliTest, EvolutionPrintsTransitions) {
+  CliRun run = RunCliCapture({"evolution", path_, "--attrs", "gender,publications", "--old", "t0",
+                    "--new", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  // (f,1): stability 1, growth 1, shrinkage 1 (the paper's Fig 4b example).
+  EXPECT_NE(run.out.find("(f,1)  1/1/1"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreFindsStablePairs) {
+  CliRun run = RunCliCapture({"explore", path_, "--event", "stability", "--semantics",
+                    "intersection", "--k", "1", "--kind", "edges"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("maximal interval pairs"), std::string::npos);
+  EXPECT_NE(run.out.find("old [t0..t0]  new [t1..t2]"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreWithTupleFilter) {
+  CliRun run = RunCliCapture({"explore", path_, "--event", "stability", "--semantics",
+                    "intersection", "--k", "1", "--attrs", "gender", "--src", "f",
+                    "--dst", "f"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("events 1"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreStrategiesAgree) {
+  std::vector<std::string> base = {"explore",     path_,   "--event", "growth",
+                                   "--semantics", "union", "--k",     "1"};
+  CliRun pruned = RunCliCapture(base);
+  std::vector<std::string> naive_args = base;
+  naive_args.push_back("--strategy");
+  naive_args.push_back("naive");
+  CliRun naive = RunCliCapture(naive_args);
+  ASSERT_EQ(pruned.exit_code, 0);
+  ASSERT_EQ(naive.exit_code, 0);
+  // Same pairs; possibly different evaluation counts. Compare the pair lines.
+  auto pairs_only = [](const std::string& text) {
+    std::string result;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.find("old [") != std::string::npos) result += line + "\n";
+    }
+    return result;
+  };
+  EXPECT_EQ(pairs_only(pruned.out), pairs_only(naive.out));
+}
+
+TEST_F(CliTest, ExploreBothEndsStrategy) {
+  CliRun run = RunCliCapture({"explore", path_, "--event", "shrinkage", "--semantics", "union",
+                    "--k", "2", "--strategy", "both-ends"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("evaluations"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreMismatchedTupleArityFails) {
+  CliRun run = RunCliCapture({"explore", path_, "--event", "stability", "--semantics", "union",
+                    "--k", "1", "--attrs", "gender", "--src", "f,extra", "--dst", "f"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("arity"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreSrcWithoutDstFails) {
+  CliRun run = RunCliCapture({"explore", path_, "--event", "stability", "--semantics", "union",
+                    "--k", "1", "--attrs", "gender", "--src", "f"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("together"), std::string::npos);
+}
+
+TEST_F(CliTest, SuggestK) {
+  CliRun run = RunCliCapture({"suggest-k", path_, "--event", "stability", "--kind", "edges"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("min 1, max 2"), std::string::npos);
+}
+
+
+TEST_F(CliTest, ImportEdgeListWithAttributes) {
+  std::string edges_path = path_ + ".edges";
+  std::string gender_path = path_ + ".gender";
+  std::string out_path = path_ + ".imported";
+  {
+    std::ofstream edges(edges_path);
+    edges << "a\tb\t2000\nb\tc\t2001\n";
+    std::ofstream gender(gender_path);
+    gender << "a\tf\nb\tm\nc\tf\n";
+  }
+  CliRun run = RunCliCapture({"import", edges_path, out_path, "--static",
+                              "gender:" + gender_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadGraphFromFile(out_path, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_nodes(), 3u);
+  EXPECT_EQ(graph->num_edges(), 2u);
+  EXPECT_TRUE(graph->FindAttribute("gender").has_value());
+  std::remove(edges_path.c_str());
+  std::remove(gender_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, ImportBadAttributeSpecFails) {
+  std::string edges_path = path_ + ".edges2";
+  {
+    std::ofstream edges(edges_path);
+    edges << "a\tb\t2000\n";
+  }
+  CliRun run = RunCliCapture({"import", edges_path, "/tmp/ignored.tsv", "--static",
+                              "nocolon"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("name:path"), std::string::npos);
+  std::remove(edges_path.c_str());
+}
+
+TEST_F(CliTest, ImportMissingEdgeFileFails) {
+  CliRun run = RunCliCapture({"import", "/nonexistent/e.tsv", "/tmp/ignored.tsv"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("cannot open"), std::string::npos);
+}
+
+
+TEST_F(CliTest, MeasureSumOverEdgeAttribute) {
+  // Extend the paper graph with a numeric edge attribute and query it.
+  TemporalGraph graph = testing::BuildPaperGraph();
+  std::uint32_t papers = graph.AddTimeVaryingEdgeAttribute("papers");
+  EdgeId e = *graph.FindEdge(*graph.FindNode("u1"), *graph.FindNode("u2"));
+  graph.SetTimeVaryingEdgeValue(papers, e, 0, "2");
+  graph.SetTimeVaryingEdgeValue(papers, e, 1, "1");
+  std::string measured_path = path_ + ".measured";
+  std::string error;
+  ASSERT_TRUE(WriteGraphToFile(graph, measured_path, &error)) << error;
+
+  CliRun run = RunCliCapture({"measure", measured_path, "--attrs", "gender",
+                              "--measure", "papers", "--fn", "sum", "--op", "union",
+                              "--t1", "t0", "--t2", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("sum(papers)"), std::string::npos);
+  EXPECT_NE(run.out.find("(m) -> (f)  3"), std::string::npos);
+  std::remove(measured_path.c_str());
+}
+
+TEST_F(CliTest, MeasureUnknownEdgeAttributeFails) {
+  CliRun run = RunCliCapture({"measure", path_, "--attrs", "gender", "--measure",
+                              "nope", "--fn", "sum", "--t1", "t0"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown edge attribute"), std::string::npos);
+}
+
+TEST_F(CliTest, CoarsenHalvesTimeDomain) {
+  std::string out_path = path_ + ".coarse";
+  CliRun run = RunCliCapture({"coarsen", path_, out_path, "--width", "2"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  std::string error;
+  std::optional<TemporalGraph> coarse = ReadGraphFromFile(out_path, &error);
+  ASSERT_TRUE(coarse.has_value()) << error;
+  EXPECT_EQ(coarse->num_times(), 2u);
+  EXPECT_EQ(coarse->time_label(0), "t0..t1");
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, CoarsenRequiresWidth) {
+  CliRun run = RunCliCapture({"coarsen", path_, "/tmp/ignored.tsv"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--width"), std::string::npos);
+}
+
+
+TEST_F(CliTest, StatsShowsSnapshotAndHistograms) {
+  CliRun run = RunCliCapture({"stats", path_, "--t", "t0", "--attr", "gender"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("snapshot t0: 4 nodes, 4 edges"), std::string::npos);
+  EXPECT_NE(run.out.find("out-degree histogram"), std::string::npos);
+  EXPECT_NE(run.out.find("gender distribution at t0: f:3 m:1"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsUnknownAttributeFails) {
+  CliRun run = RunCliCapture({"stats", path_, "--attr", "nope"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown attribute"), std::string::npos);
+}
+
+
+TEST_F(CliTest, AggregateSymmetricMergesMirroredPairs) {
+  // At t2 the paper graph has f->m edges only; symmetric output shows them
+  // under one canonical orientation regardless of stored direction.
+  CliRun plain = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op",
+                                "project", "--t1", "t2"});
+  CliRun symmetric = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op",
+                                    "project", "--t1", "t2", "--symmetric", "yes"});
+  EXPECT_EQ(plain.exit_code, 0) << plain.err;
+  EXPECT_EQ(symmetric.exit_code, 0) << symmetric.err;
+  EXPECT_NE(plain.out.find("(f) -> (m)  2"), std::string::npos);
+  // Same total weight either way; the symmetric run never shows both
+  // orientations of the same pair.
+  EXPECT_EQ(symmetric.out.find("(m) -> (f)") != std::string::npos &&
+                symmetric.out.find("(f) -> (m)") != std::string::npos,
+            false);
+}
+
+TEST(CliGenerateTest, GeneratesContactNetwork) {
+  std::string out_path = ::testing::TempDir() + "/graphtempo_cli_contact_" +
+      std::to_string(getpid()) + ".tsv";
+  CliRun run = RunCliCapture({"generate", "contact", out_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadGraphFromFile(out_path, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_times(), 15u);
+  EXPECT_GT(graph->num_nodes(), 0u);
+  std::remove(out_path.c_str());
+}
+
+TEST(CliGenerateTest, UnknownDatasetFails) {
+  CliRun run = RunCliCapture({"generate", "imdb", "/tmp/x.tsv"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown dataset"), std::string::npos);
+}
+
+TEST(CliGenerateTest, BadSeedFails) {
+  CliRun run = RunCliCapture({"generate", "contact", "/tmp/x.tsv", "--seed", "abc"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,218 @@
+#include "core/coarsen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+TEST(UniformGroupingTest, SplitsWithRemainder) {
+  TemporalGraph graph = BuildPaperGraph();  // 3 time points
+  std::vector<TimeGroup> groups = UniformGrouping(graph, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].label, "t0..t1");
+  EXPECT_EQ(groups[0].range, (TimeRange{0, 1}));
+  EXPECT_EQ(groups[1].label, "t2");
+  EXPECT_EQ(groups[1].range, (TimeRange{2, 2}));
+}
+
+TEST(UniformGroupingTest, WidthOneIsIdentityShape) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<TimeGroup> groups = UniformGrouping(graph, 1);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[1].label, "t1");
+}
+
+class CoarsenPaperGraphTest : public ::testing::Test {
+ protected:
+  CoarsenPaperGraphTest()
+      : graph_(BuildPaperGraph()),
+        coarse_(CoarsenTime(graph_, UniformGrouping(graph_, 2))) {}
+
+  TemporalGraph graph_;
+  TemporalGraph coarse_;
+};
+
+TEST_F(CoarsenPaperGraphTest, PresenceFollowsUnionSemantics) {
+  ASSERT_EQ(coarse_.num_times(), 2u);
+  // Every author exists somewhere, so all five survive.
+  EXPECT_EQ(coarse_.num_nodes(), 5u);
+  NodeId u1 = *coarse_.FindNode("u1");
+  EXPECT_TRUE(coarse_.NodePresentAt(u1, 0));   // u1 ∈ {t0,t1}
+  EXPECT_FALSE(coarse_.NodePresentAt(u1, 1));  // absent at t2
+  NodeId u5 = *coarse_.FindNode("u5");
+  EXPECT_FALSE(coarse_.NodePresentAt(u5, 0));
+  EXPECT_TRUE(coarse_.NodePresentAt(u5, 1));
+}
+
+TEST_F(CoarsenPaperGraphTest, EdgesFollowUnionSemantics) {
+  NodeId u2 = *coarse_.FindNode("u2");
+  NodeId u4 = *coarse_.FindNode("u4");
+  EdgeId e = *coarse_.FindEdge(u2, u4);
+  EXPECT_TRUE(coarse_.EdgePresentAt(e, 0));
+  EXPECT_TRUE(coarse_.EdgePresentAt(e, 1));
+  // (u1,u4) exists only at t1 → only the first coarse point.
+  EdgeId u1u4 = *coarse_.FindEdge(*coarse_.FindNode("u1"), u4);
+  EXPECT_TRUE(coarse_.EdgePresentAt(u1u4, 0));
+  EXPECT_FALSE(coarse_.EdgePresentAt(u1u4, 1));
+}
+
+TEST_F(CoarsenPaperGraphTest, LastPolicyPicksLatestObservation) {
+  AttrRef pubs = *coarse_.FindAttribute("publications");
+  NodeId u1 = *coarse_.FindNode("u1");
+  // u1 has pubs 3@t0, 1@t1 → last in group {t0,t1} is "1".
+  EXPECT_EQ(coarse_.ValueName(pubs, coarse_.ValueCodeAt(pubs, u1, 0)), "1");
+  NodeId u3 = *coarse_.FindNode("u3");
+  // u3 only observed at t0 → "1".
+  EXPECT_EQ(coarse_.ValueName(pubs, coarse_.ValueCodeAt(pubs, u3, 0)), "1");
+}
+
+TEST_F(CoarsenPaperGraphTest, FirstPolicyPicksEarliestObservation) {
+  TemporalGraph first =
+      CoarsenTime(graph_, UniformGrouping(graph_, 2), CoarsenPolicy::kFirst);
+  AttrRef pubs = *first.FindAttribute("publications");
+  NodeId u1 = *first.FindNode("u1");
+  EXPECT_EQ(first.ValueName(pubs, first.ValueCodeAt(pubs, u1, 0)), "3");
+}
+
+TEST_F(CoarsenPaperGraphTest, StaticAttributesCopied) {
+  AttrRef gender = *coarse_.FindAttribute("gender");
+  EXPECT_EQ(coarse_.ValueName(gender, coarse_.ValueCodeAt(gender,
+                                                          *coarse_.FindNode("u2"), 0)),
+            "f");
+}
+
+TEST_F(CoarsenPaperGraphTest, CoarseSnapshotMatchesUnionView) {
+  // The coarse snapshot at group g is exactly the union graph over the
+  // group's range: same entity counts.
+  GraphView union01 = UnionOp(graph_, IntervalSet::Range(3, 0, 1),
+                              IntervalSet::Range(3, 0, 1));
+  EXPECT_EQ(coarse_.NodesAt(0), union01.NodeCount());
+  EXPECT_EQ(coarse_.EdgesAt(0), union01.EdgeCount());
+  GraphView union2 = UnionOp(graph_, IntervalSet::Point(3, 2), IntervalSet::Point(3, 2));
+  EXPECT_EQ(coarse_.NodesAt(1), union2.NodeCount());
+  EXPECT_EQ(coarse_.EdgesAt(1), union2.EdgeCount());
+}
+
+TEST(CoarsenTest, IdentityGroupingPreservesEverything) {
+  TemporalGraph graph = BuildRandomGraph(55, 30, 6);
+  TemporalGraph coarse = CoarsenTime(graph, UniformGrouping(graph, 1));
+  ASSERT_EQ(coarse.num_times(), 6u);
+  EXPECT_EQ(coarse.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(coarse.num_edges(), graph.num_edges());
+  for (TimeId t = 0; t < 6; ++t) {
+    EXPECT_EQ(coarse.NodesAt(t), graph.NodesAt(t));
+    EXPECT_EQ(coarse.EdgesAt(t), graph.EdgesAt(t));
+  }
+  // Attribute cells survive 1:1.
+  AttrRef level = *graph.FindAttribute("level");
+  AttrRef coarse_level = *coarse.FindAttribute("level");
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    NodeId cn = *coarse.FindNode(graph.node_label(n));
+    for (TimeId t = 0; t < 6; ++t) {
+      AttrValueId original = graph.ValueCodeAt(level, n, t);
+      AttrValueId copied = coarse.ValueCodeAt(coarse_level, cn, t);
+      ASSERT_EQ(original == kNoValue, copied == kNoValue);
+      if (original != kNoValue) {
+        EXPECT_EQ(graph.ValueName(level, original), coarse.ValueName(coarse_level, copied));
+      }
+    }
+  }
+}
+
+TEST(CoarsenTest, PartialGroupingSlicesTime) {
+  // Groups covering only t2 drop everything that exists only at t0/t1.
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<TimeGroup> late = {{"late", {2, 2}}};
+  TemporalGraph coarse = CoarsenTime(graph, late);
+  EXPECT_EQ(coarse.num_times(), 1u);
+  EXPECT_EQ(coarse.num_nodes(), 3u);  // u2, u4, u5
+  EXPECT_FALSE(coarse.FindNode("u1").has_value());
+  EXPECT_FALSE(coarse.FindNode("u3").has_value());
+  EXPECT_EQ(coarse.num_edges(), 3u);
+}
+
+TEST(CoarsenTest, AggregationRunsOnCoarseGraph) {
+  // End to end: the whole pipeline works on the coarse domain.
+  TemporalGraph graph = BuildPaperGraph();
+  TemporalGraph coarse = CoarsenTime(graph, UniformGrouping(graph, 2));
+  std::vector<AttrRef> attrs = ResolveAttributes(coarse, {"gender"});
+  GraphView view = UnionOp(coarse, IntervalSet::Point(2, 0), IntervalSet::Point(2, 1));
+  AggregateGraph agg = Aggregate(coarse, view, attrs, AggregationSemantics::kDistinct);
+  AttrRef gender = attrs[0];
+  AttrTuple f;
+  f.Append(*coarse.FindValueCode(gender, "f"));
+  EXPECT_EQ(agg.NodeWeight(f), 3);  // u2, u3, u4
+}
+
+TEST(CoarsenDeath, OverlappingGroupsAbort) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<TimeGroup> bad = {{"a", {0, 1}}, {"b", {1, 2}}};
+  EXPECT_DEATH(CoarsenTime(graph, bad), "non-overlapping");
+}
+
+TEST(CoarsenDeath, GroupOutsideDomainAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<TimeGroup> bad = {{"a", {0, 5}}};
+  EXPECT_DEATH(CoarsenTime(graph, bad), "outside time domain");
+}
+
+TEST(CoarsenDeath, EmptyGroupingAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  EXPECT_DEATH(CoarsenTime(graph, {}), "at least one group");
+}
+
+
+class CoarsenPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoarsenPropertyTest, CoarseSnapshotsMatchUnionViews) {
+  // For every group of every width: the coarse snapshot's entity counts equal
+  // the union view over the group's range in the original graph.
+  TemporalGraph graph = BuildRandomGraph(GetParam(), 30, 9);
+  for (std::size_t width : {2u, 3u, 4u}) {
+    std::vector<TimeGroup> groups = UniformGrouping(graph, width);
+    TemporalGraph coarse = CoarsenTime(graph, groups);
+    for (TimeId g = 0; g < coarse.num_times(); ++g) {
+      IntervalSet range = IntervalSet::Of(9, groups[g].range);
+      GraphView view = UnionOp(graph, range, range);
+      EXPECT_EQ(coarse.NodesAt(g), view.NodeCount())
+          << "width=" << width << " group=" << g;
+      EXPECT_EQ(coarse.EdgesAt(g), view.EdgeCount())
+          << "width=" << width << " group=" << g;
+    }
+  }
+}
+
+TEST_P(CoarsenPropertyTest, CoarseningCommutesWithStaticAggregation) {
+  // DIST static aggregation of the coarse snapshot equals DIST static
+  // aggregation of the corresponding union view.
+  TemporalGraph graph = BuildRandomGraph(GetParam() + 1000, 30, 8);
+  std::vector<TimeGroup> groups = UniformGrouping(graph, 4);
+  TemporalGraph coarse = CoarsenTime(graph, groups);
+  std::vector<AttrRef> color = ResolveAttributes(graph, {"color"});
+  std::vector<AttrRef> coarse_color = ResolveAttributes(coarse, {"color"});
+  for (TimeId g = 0; g < coarse.num_times(); ++g) {
+    GraphView coarse_view =
+        Project(coarse, IntervalSet::Point(coarse.num_times(), g));
+    AggregateGraph from_coarse =
+        Aggregate(coarse, coarse_view, coarse_color, AggregationSemantics::kDistinct);
+    IntervalSet range = IntervalSet::Of(8, groups[g].range);
+    GraphView union_view = UnionOp(graph, range, range);
+    AggregateGraph direct =
+        Aggregate(graph, union_view, color, AggregationSemantics::kDistinct);
+    EXPECT_EQ(from_coarse.TotalNodeWeight(), direct.TotalNodeWeight());
+    EXPECT_EQ(from_coarse.TotalEdgeWeight(), direct.TotalEdgeWeight());
+    EXPECT_EQ(from_coarse.NodeCount(), direct.NodeCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoarsenPropertyTest, ::testing::Values(61, 62, 63));
+
+}  // namespace
+}  // namespace graphtempo

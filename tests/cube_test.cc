@@ -1,0 +1,122 @@
+#include "core/cube.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+/// Direct (no-cube) computation of the same query for comparison.
+AggregateGraph Direct(const TemporalGraph& graph, const IntervalSet& interval,
+                      const std::vector<AttrRef>& attrs) {
+  GraphView view = UnionOp(graph, interval, interval);
+  return Aggregate(graph, view, attrs, AggregationSemantics::kAll);
+}
+
+TEST(AggregateCubeTest, FullSetQueryMatchesDirect) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"gender", "publications"});
+  AggregateCube cube(&graph, attrs);
+  cube.Materialize();
+  for (TimeId first = 0; first < 3; ++first) {
+    for (TimeId last = first; last < 3; ++last) {
+      IntervalSet interval = IntervalSet::Range(3, first, last);
+      EXPECT_EQ(cube.Query(interval), Direct(graph, interval, attrs))
+          << "[" << first << "," << last << "]";
+    }
+  }
+}
+
+TEST(AggregateCubeTest, SubsetQueryMatchesDirect) {
+  TemporalGraph graph = BuildRandomGraph(44, 40, 6);
+  std::vector<AttrRef> both = ResolveAttributes(graph, {"color", "level"});
+  AggregateCube cube(&graph, both);
+  cube.Materialize();
+  std::vector<AttrRef> color_only = ResolveAttributes(graph, {"color"});
+  std::vector<AttrRef> level_only = ResolveAttributes(graph, {"level"});
+  for (TimeId last = 0; last < 6; ++last) {
+    IntervalSet interval = IntervalSet::Range(6, 0, last);
+    const std::size_t keep_color[] = {0};
+    EXPECT_EQ(cube.Query(interval, keep_color), Direct(graph, interval, color_only));
+    const std::size_t keep_level[] = {1};
+    EXPECT_EQ(cube.Query(interval, keep_level), Direct(graph, interval, level_only));
+  }
+}
+
+TEST(AggregateCubeTest, ReorderedSubsetPreservesCallerOrder) {
+  TemporalGraph graph = BuildRandomGraph(45, 30, 4);
+  std::vector<AttrRef> both = ResolveAttributes(graph, {"color", "level"});
+  AggregateCube cube(&graph, both);
+  cube.Materialize();
+  IntervalSet interval = IntervalSet::Range(4, 0, 3);
+  std::vector<AttrRef> swapped = ResolveAttributes(graph, {"level", "color"});
+  const std::size_t keep_swapped[] = {1, 0};
+  EXPECT_EQ(cube.Query(interval, keep_swapped), Direct(graph, interval, swapped));
+}
+
+TEST(AggregateCubeTest, NonContiguousIntervals) {
+  TemporalGraph graph = BuildRandomGraph(46, 30, 6);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color"});
+  AggregateCube cube(&graph, attrs);
+  cube.Materialize();
+  IntervalSet gaps = IntervalSet::Of(6, {0, 2, 5});
+  GraphView view = UnionOp(graph, gaps, gaps);
+  EXPECT_EQ(cube.Query(gaps), Aggregate(graph, view, attrs, AggregationSemantics::kAll));
+}
+
+TEST(AggregateCubeTest, SubsetLayersAreMemoized) {
+  TemporalGraph graph = BuildRandomGraph(47, 30, 5);
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"color", "level"}));
+  cube.Materialize();
+  const std::size_t keep_color[] = {0};
+  IntervalSet interval = IntervalSet::Range(5, 0, 4);
+
+  cube.Query(interval, keep_color);
+  EXPECT_EQ(cube.stats().rollups, 5u);  // one per time point, first query only
+  EXPECT_EQ(cube.stats().rollup_hits, 0u);
+
+  cube.Query(interval, keep_color);
+  EXPECT_EQ(cube.stats().rollups, 5u);  // no new roll-ups
+  EXPECT_EQ(cube.stats().rollup_hits, 5u);
+  EXPECT_EQ(cube.stats().queries, 2u);
+  EXPECT_EQ(cube.stats().combines, 10u);
+}
+
+TEST(AggregateCubeTest, FullSetQueriesNeedNoRollups) {
+  TemporalGraph graph = BuildRandomGraph(48, 30, 5);
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"color", "level"}));
+  cube.Materialize();
+  cube.Query(IntervalSet::Range(5, 1, 3));
+  EXPECT_EQ(cube.stats().rollups, 0u);
+  EXPECT_EQ(cube.stats().combines, 3u);
+}
+
+TEST(AggregateCubeDeath, QueryBeforeMaterializeAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"gender"}));
+  EXPECT_DEATH(cube.Query(IntervalSet::Point(3, 0)), "Materialize");
+}
+
+TEST(AggregateCubeDeath, DuplicateSubsetPositionAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"gender", "publications"}));
+  cube.Materialize();
+  const std::size_t duplicate[] = {0, 0};
+  EXPECT_DEATH(cube.Query(IntervalSet::Point(3, 0), duplicate), "duplicate");
+}
+
+TEST(AggregateCubeDeath, PositionOutOfRangeAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  AggregateCube cube(&graph, ResolveAttributes(graph, {"gender"}));
+  cube.Materialize();
+  const std::size_t bad[] = {3};
+  EXPECT_DEATH(cube.Query(IntervalSet::Point(3, 0), bad), "out of range");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "core/operators.h"
+#include "datagen/contact_gen.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/movielens_gen.h"
+#include "datagen/profiles.h"
+
+namespace graphtempo::datagen {
+namespace {
+
+DatasetProfile SmallDblpProfile() {
+  DatasetProfile profile;
+  profile.name = "dblp-small";
+  profile.time_labels = {"y0", "y1", "y2", "y3", "y4", "y5", "y6", "y7"};
+  profile.nodes_per_time = {40, 50, 45, 60, 55, 70, 65, 80};
+  profile.edges_per_time = {80, 120, 100, 140, 150, 160, 170, 200};
+  return profile;
+}
+
+DatasetProfile SmallMovieLensProfile() {
+  DatasetProfile profile;
+  profile.name = "ml-small";
+  profile.time_labels = {"m0", "m1", "m2", "m3", "m4", "m5"};
+  profile.nodes_per_time = {30, 35, 50, 80, 40, 30};
+  profile.edges_per_time = {200, 180, 400, 900, 150, 100};
+  return profile;
+}
+
+// --- Profiles -----------------------------------------------------------------
+
+TEST(ProfilesTest, DblpMatchesPaperTable3) {
+  DatasetProfile profile = DblpProfile();
+  ASSERT_EQ(profile.num_times(), 21u);
+  EXPECT_EQ(profile.time_labels.front(), "2000");
+  EXPECT_EQ(profile.time_labels.back(), "2020");
+  EXPECT_EQ(profile.nodes_per_time.front(), 1708u);
+  EXPECT_EQ(profile.edges_per_time.front(), 2336u);
+  EXPECT_EQ(profile.nodes_per_time.back(), 12996u);
+  EXPECT_EQ(profile.edges_per_time.back(), 28546u);
+  EXPECT_EQ(profile.nodes_per_time[10], 6236u);  // 2010
+  EXPECT_EQ(profile.edges_per_time[10], 10163u);
+}
+
+TEST(ProfilesTest, MovieLensMatchesPaperTable4) {
+  DatasetProfile profile = MovieLensProfile();
+  ASSERT_EQ(profile.num_times(), 6u);
+  EXPECT_EQ(profile.time_labels, (std::vector<std::string>{"May", "Jun", "Jul", "Aug",
+                                                           "Sep", "Oct"}));
+  EXPECT_EQ(profile.nodes_per_time, (std::vector<std::size_t>{486, 508, 778, 1309, 575,
+                                                              498}));
+  EXPECT_EQ(profile.edges_per_time, (std::vector<std::size_t>{100202, 85334, 201800,
+                                                              610050, 77216, 48516}));
+}
+
+// --- DBLP generator --------------------------------------------------------------
+
+class DblpGeneratorTest : public ::testing::Test {
+ protected:
+  DblpGeneratorTest() : graph_(GenerateDblpWithProfile(SmallDblpProfile(), {})) {}
+  TemporalGraph graph_;
+};
+
+TEST_F(DblpGeneratorTest, PerTimePointCountsMatchProfile) {
+  DatasetProfile profile = SmallDblpProfile();
+  for (TimeId t = 0; t < profile.num_times(); ++t) {
+    EXPECT_EQ(graph_.NodesAt(t), profile.nodes_per_time[t]) << "t=" << t;
+    EXPECT_EQ(graph_.EdgesAt(t), profile.edges_per_time[t]) << "t=" << t;
+  }
+}
+
+TEST_F(DblpGeneratorTest, HasExpectedAttributes) {
+  std::optional<AttrRef> gender = graph_.FindAttribute("gender");
+  ASSERT_TRUE(gender.has_value());
+  EXPECT_EQ(gender->kind, AttrRef::Kind::kStatic);
+  std::optional<AttrRef> pubs = graph_.FindAttribute("publications");
+  ASSERT_TRUE(pubs.has_value());
+  EXPECT_EQ(pubs->kind, AttrRef::Kind::kTimeVarying);
+}
+
+TEST_F(DblpGeneratorTest, EveryPresentNodeHasPublications) {
+  AttrRef pubs = *graph_.FindAttribute("publications");
+  for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+    for (TimeId t = 0; t < graph_.num_times(); ++t) {
+      if (graph_.NodePresentAt(n, t)) {
+        EXPECT_NE(graph_.ValueCodeAt(pubs, n, t), kNoValue)
+            << "node " << n << " time " << t;
+      }
+    }
+  }
+}
+
+TEST_F(DblpGeneratorTest, EveryNodeHasGender) {
+  AttrRef gender = *graph_.FindAttribute("gender");
+  std::size_t female = 0;
+  for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+    AttrValueId code = graph_.ValueCodeAt(gender, n, 0);
+    ASSERT_NE(code, kNoValue);
+    if (graph_.ValueName(gender, code) == "f") ++female;
+  }
+  double fraction = static_cast<double>(female) / graph_.num_nodes();
+  EXPECT_NEAR(fraction, 0.2, 0.08);
+}
+
+TEST_F(DblpGeneratorTest, ConsecutiveYearsOverlap) {
+  // The carry-over mechanism must make intersections non-trivial.
+  for (TimeId t = 0; t + 1 < graph_.num_times(); ++t) {
+    GraphView common = IntersectionOp(graph_, IntervalSet::Point(8, t),
+                                      IntervalSet::Point(8, t + 1));
+    EXPECT_GT(common.NodeCount(), 0u) << "no node survives " << t << "→" << t + 1;
+  }
+}
+
+TEST_F(DblpGeneratorTest, AnchorHorizonBoundsLongIntersections) {
+  // Project over [t0, T-4] (all points) must keep at least one edge, and the
+  // horizon [t0, T-3] none — the generator's analogue of the paper's
+  // observation that DBLP intersections die after [2000, 2017].
+  const std::size_t n = graph_.num_times();
+  GraphView longest = Project(graph_, IntervalSet::Range(n, 0, static_cast<TimeId>(n - 4)));
+  EXPECT_GT(longest.EdgeCount(), 0u);
+  GraphView beyond = Project(graph_, IntervalSet::Range(n, 0, static_cast<TimeId>(n - 3)));
+  EXPECT_EQ(beyond.EdgeCount(), 0u);
+}
+
+TEST_F(DblpGeneratorTest, DeterministicForSameSeed) {
+  TemporalGraph again = GenerateDblpWithProfile(SmallDblpProfile(), {});
+  EXPECT_EQ(graph_.num_nodes(), again.num_nodes());
+  EXPECT_EQ(graph_.num_edges(), again.num_edges());
+  for (TimeId t = 0; t < graph_.num_times(); ++t) {
+    EXPECT_EQ(graph_.NodesAt(t), again.NodesAt(t));
+    EXPECT_EQ(graph_.EdgesAt(t), again.EdgesAt(t));
+  }
+}
+
+TEST_F(DblpGeneratorTest, DifferentSeedsDiffer) {
+  DblpOptions options;
+  options.seed = 999;
+  TemporalGraph other = GenerateDblpWithProfile(SmallDblpProfile(), options);
+  // Same profile counts, different wiring.
+  EXPECT_EQ(graph_.NodesAt(0), other.NodesAt(0));
+  EXPECT_NE(graph_.num_edges(), other.num_edges());
+}
+
+TEST(DblpFullProfileTest, MatchesPaperTable3Exactly) {
+  TemporalGraph graph = GenerateDblp();
+  DatasetProfile profile = DblpProfile();
+  for (TimeId t = 0; t < profile.num_times(); ++t) {
+    EXPECT_EQ(graph.NodesAt(t), profile.nodes_per_time[t])
+        << "year " << profile.time_labels[t];
+    EXPECT_EQ(graph.EdgesAt(t), profile.edges_per_time[t])
+        << "year " << profile.time_labels[t];
+  }
+  // Paper: longest interval with a common edge is [2000, 2017] (index 17).
+  GraphView alive = Project(graph, IntervalSet::Range(21, 0, 17));
+  EXPECT_GT(alive.EdgeCount(), 0u);
+  GraphView dead = Project(graph, IntervalSet::Range(21, 0, 18));
+  EXPECT_EQ(dead.EdgeCount(), 0u);
+}
+
+// --- MovieLens generator -----------------------------------------------------------
+
+class MovieLensGeneratorTest : public ::testing::Test {
+ protected:
+  static MovieLensOptions SmallOptions() {
+    MovieLensOptions options;
+    options.user_pool = 120;
+    return options;
+  }
+
+  MovieLensGeneratorTest()
+      : graph_(GenerateMovieLensWithProfile(SmallMovieLensProfile(), SmallOptions())) {}
+
+  TemporalGraph graph_;
+};
+
+TEST_F(MovieLensGeneratorTest, PerTimePointCountsMatchProfile) {
+  DatasetProfile profile = SmallMovieLensProfile();
+  for (TimeId t = 0; t < profile.num_times(); ++t) {
+    EXPECT_EQ(graph_.NodesAt(t), profile.nodes_per_time[t]) << "t=" << t;
+    EXPECT_EQ(graph_.EdgesAt(t), profile.edges_per_time[t]) << "t=" << t;
+  }
+}
+
+TEST_F(MovieLensGeneratorTest, HasPaperAttributeSchema) {
+  EXPECT_EQ(graph_.num_static_attributes(), 3u);
+  EXPECT_EQ(graph_.num_time_varying_attributes(), 1u);
+  EXPECT_TRUE(graph_.FindAttribute("gender").has_value());
+  EXPECT_TRUE(graph_.FindAttribute("age").has_value());
+  EXPECT_TRUE(graph_.FindAttribute("occupation").has_value());
+  EXPECT_TRUE(graph_.FindAttribute("rating").has_value());
+}
+
+TEST_F(MovieLensGeneratorTest, AttributeDomainSizesMatchPaper) {
+  AttrRef age = *graph_.FindAttribute("age");
+  EXPECT_LE(graph_.static_attribute(age.index).dictionary().size(), 6u);
+  AttrRef occupation = *graph_.FindAttribute("occupation");
+  EXPECT_LE(graph_.static_attribute(occupation.index).dictionary().size(), 21u);
+  AttrRef gender = *graph_.FindAttribute("gender");
+  EXPECT_EQ(graph_.static_attribute(gender.index).dictionary().size(), 2u);
+  AttrRef rating = *graph_.FindAttribute("rating");
+  EXPECT_LE(graph_.time_varying_attribute(rating.index).dictionary().size(), 9u);
+}
+
+TEST_F(MovieLensGeneratorTest, PresentUsersHaveMonthlyRatings) {
+  AttrRef rating = *graph_.FindAttribute("rating");
+  for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+    for (TimeId t = 0; t < graph_.num_times(); ++t) {
+      if (graph_.NodePresentAt(n, t)) {
+        EXPECT_NE(graph_.ValueCodeAt(rating, n, t), kNoValue);
+      }
+    }
+  }
+}
+
+TEST_F(MovieLensGeneratorTest, CommonEdgeHorizonAtMonthThree) {
+  // At least one edge common to the first three months; none across four —
+  // the generator's analogue of Fig 7d stopping at [May, Jul].
+  GraphView three = Project(graph_, IntervalSet::Range(6, 0, 2));
+  EXPECT_GT(three.EdgeCount(), 0u);
+  GraphView four = Project(graph_, IntervalSet::Range(6, 0, 3));
+  EXPECT_EQ(four.EdgeCount(), 0u);
+}
+
+TEST_F(MovieLensGeneratorTest, ConsecutiveMonthsShareEdges) {
+  for (TimeId t = 0; t + 1 < graph_.num_times(); ++t) {
+    GraphView common = IntersectionOp(graph_, IntervalSet::Point(6, t),
+                                      IntervalSet::Point(6, t + 1));
+    EXPECT_GT(common.EdgeCount(), 0u) << "months " << t << "," << t + 1;
+  }
+}
+
+TEST_F(MovieLensGeneratorTest, Deterministic) {
+  TemporalGraph again =
+      GenerateMovieLensWithProfile(SmallMovieLensProfile(), SmallOptions());
+  EXPECT_EQ(graph_.num_edges(), again.num_edges());
+}
+
+// --- Contact network generator --------------------------------------------------------
+
+TEST(ContactGeneratorTest, ShapeAndAttributes) {
+  ContactOptions options;
+  TemporalGraph graph = GenerateContactNetwork(options);
+  EXPECT_EQ(graph.num_times(), options.num_days);
+  // grades × classes × (students + teacher)
+  EXPECT_EQ(graph.num_nodes(),
+            options.grades * options.classes_per_grade * (options.students_per_class + 1));
+  EXPECT_TRUE(graph.FindAttribute("class").has_value());
+  EXPECT_TRUE(graph.FindAttribute("grade").has_value());
+  EXPECT_TRUE(graph.FindAttribute("role").has_value());
+  EXPECT_TRUE(graph.FindAttribute("status").has_value());
+  for (TimeId t = 0; t < graph.num_times(); ++t) {
+    EXPECT_EQ(graph.NodesAt(t), graph.num_nodes());  // everyone attends daily
+    EXPECT_GT(graph.EdgesAt(t), 0u);
+  }
+}
+
+TEST(ContactGeneratorTest, ClosureReducesCrossClassContacts) {
+  ContactOptions options;
+  TemporalGraph graph = GenerateContactNetwork(options);
+  AttrRef klass = *graph.FindAttribute("class");
+  auto cross_class_at = [&](TimeId t) {
+    std::size_t count = 0;
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (!graph.EdgePresentAt(e, t)) continue;
+      auto [src, dst] = graph.edge(e);
+      if (graph.ValueCodeAt(klass, src, t) != graph.ValueCodeAt(klass, dst, t)) ++count;
+    }
+    return count;
+  };
+  std::size_t normal = cross_class_at(0);
+  std::size_t closed = cross_class_at(static_cast<TimeId>(options.outbreak_day));
+  std::size_t reopened = cross_class_at(static_cast<TimeId>(options.reopen_day));
+  EXPECT_LT(closed * 3, normal);  // the closure slashes cross-class mixing
+  EXPECT_GT(reopened * 3, normal);
+}
+
+}  // namespace
+}  // namespace graphtempo::datagen

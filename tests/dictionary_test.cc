@@ -1,0 +1,67 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtempo {
+namespace {
+
+TEST(DictionaryTest, StartsEmpty) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(DictionaryTest, CodesAreDenseInInsertionOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("m"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("f"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("x"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, GetOrAddIsIdempotent) {
+  Dictionary dict;
+  AttrValueId first = dict.GetOrAdd("value");
+  AttrValueId second = dict.GetOrAdd("value");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, FindReturnsExistingCodesOnly) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  EXPECT_EQ(dict.Find("a"), std::optional<AttrValueId>(0u));
+  EXPECT_EQ(dict.Find("b"), std::nullopt);
+}
+
+TEST(DictionaryTest, ValueOfRoundTrips) {
+  Dictionary dict;
+  AttrValueId code = dict.GetOrAdd("hello");
+  EXPECT_EQ(dict.ValueOf(code), "hello");
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidValue) {
+  Dictionary dict;
+  AttrValueId code = dict.GetOrAdd("");
+  EXPECT_EQ(dict.ValueOf(code), "");
+  EXPECT_EQ(dict.Find(""), std::optional<AttrValueId>(code));
+}
+
+TEST(DictionaryTest, ManyValues) {
+  Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.GetOrAdd("v" + std::to_string(i)), static_cast<AttrValueId>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.ValueOf(static_cast<AttrValueId>(i)), "v" + std::to_string(i));
+  }
+}
+
+TEST(DictionaryDeath, ValueOfOutOfRangeAborts) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  EXPECT_DEATH(dict.ValueOf(5), "out of range");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,154 @@
+#include "core/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+
+TEST(ReadEdgeListTest, BasicTriples) {
+  std::istringstream in(
+      "# src dst time\n"
+      "a\tb\t2000\n"
+      "b\tc\t2001\n"
+      "a\tb\t2001\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&in, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_times(), 2u);
+  EXPECT_EQ(graph->time_label(0), "2000");
+  EXPECT_EQ(graph->num_nodes(), 3u);
+  EXPECT_EQ(graph->num_edges(), 2u);
+  NodeId a = *graph->FindNode("a");
+  NodeId b = *graph->FindNode("b");
+  EdgeId ab = *graph->FindEdge(a, b);
+  EXPECT_TRUE(graph->EdgePresentAt(ab, 0));
+  EXPECT_TRUE(graph->EdgePresentAt(ab, 1));
+  // Edge presence implies node presence (Def 2.1).
+  EXPECT_TRUE(graph->NodePresentAt(a, 0));
+  EXPECT_FALSE(graph->NodePresentAt(*graph->FindNode("c"), 0));
+}
+
+TEST(ReadEdgeListTest, NumericTimesSortNumerically) {
+  std::istringstream in("a\tb\t10\na\tb\t2\na\tb\t1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&in, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->time_label(0), "1");
+  EXPECT_EQ(graph->time_label(1), "2");
+  EXPECT_EQ(graph->time_label(2), "10");  // not lexicographic ("10" < "2")
+}
+
+TEST(ReadEdgeListTest, NonNumericTimesSortLexicographically) {
+  std::istringstream in("a\tb\tMay\na\tb\tAug\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&in, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->time_label(0), "Aug");
+  EXPECT_EQ(graph->time_label(1), "May");
+}
+
+TEST(ReadEdgeListTest, EmptyInputFails) {
+  std::istringstream in("# only comments\n");
+  std::string error;
+  EXPECT_EQ(ReadEdgeList(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST(ReadEdgeListTest, MalformedRowFails) {
+  std::istringstream in("a\tb\n");
+  std::string error;
+  EXPECT_EQ(ReadEdgeList(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("src, dst, time"), std::string::npos);
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(EdgeListRoundTripTest, PaperGraphEdgesSurvive) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::ostringstream out;
+  WriteEdgeList(graph, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadEdgeList(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->num_edges(), graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto [src, dst] = graph.edge(e);
+    NodeId rsrc = *restored->FindNode(graph.node_label(src));
+    NodeId rdst = *restored->FindNode(graph.node_label(dst));
+    EdgeId re = *restored->FindEdge(rsrc, rdst);
+    for (TimeId t = 0; t < 3; ++t) {
+      EXPECT_EQ(graph.EdgePresentAt(e, t), restored->EdgePresentAt(re, t));
+    }
+  }
+}
+
+TEST(StaticAttributeTsvTest, ReadsValues) {
+  std::istringstream edges("a\tb\t1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&edges, &error);
+  ASSERT_TRUE(graph.has_value());
+  std::istringstream attrs("a\tf\nb\tm\n");
+  ASSERT_TRUE(ReadStaticAttributeTsv(&*graph, &attrs, "gender", &error)) << error;
+  AttrRef gender = *graph->FindAttribute("gender");
+  EXPECT_EQ(graph->ValueName(gender, graph->ValueCodeAt(gender, *graph->FindNode("a"), 0)),
+            "f");
+}
+
+TEST(StaticAttributeTsvTest, UnknownNodeFails) {
+  std::istringstream edges("a\tb\t1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&edges, &error);
+  std::istringstream attrs("zzz\tf\n");
+  EXPECT_FALSE(ReadStaticAttributeTsv(&*graph, &attrs, "gender", &error));
+  EXPECT_NE(error.find("unknown node"), std::string::npos);
+}
+
+TEST(StaticAttributeTsvTest, KindConflictFails) {
+  std::istringstream edges("a\tb\t1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&edges, &error);
+  graph->AddTimeVaryingAttribute("gender");
+  std::istringstream attrs("a\tf\n");
+  EXPECT_FALSE(ReadStaticAttributeTsv(&*graph, &attrs, "gender", &error));
+  EXPECT_NE(error.find("time-varying"), std::string::npos);
+}
+
+TEST(TimeVaryingAttributeTsvTest, ReadsValuesAndMarksPresence) {
+  std::istringstream edges("a\tb\t1\na\tb\t2\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&edges, &error);
+  ASSERT_TRUE(graph.has_value());
+  NodeId c = graph->GetOrAddNode("c");  // isolated node, no presence yet
+  std::istringstream attrs("a\t1\t3\nc\t2\t7\n");
+  ASSERT_TRUE(ReadTimeVaryingAttributeTsv(&*graph, &attrs, "score", &error)) << error;
+  AttrRef score = *graph->FindAttribute("score");
+  EXPECT_EQ(graph->ValueName(score, graph->ValueCodeAt(score, *graph->FindNode("a"), 0)),
+            "3");
+  // The observation made c present at time "2" (index 1).
+  EXPECT_TRUE(graph->NodePresentAt(c, 1));
+  EXPECT_EQ(graph->ValueName(score, graph->ValueCodeAt(score, c, 1)), "7");
+}
+
+TEST(TimeVaryingAttributeTsvTest, UnknownTimeFails) {
+  std::istringstream edges("a\tb\t1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadEdgeList(&edges, &error);
+  std::istringstream attrs("a\t99\tv\n");
+  EXPECT_FALSE(ReadTimeVaryingAttributeTsv(&*graph, &attrs, "score", &error));
+  EXPECT_NE(error.find("unknown time"), std::string::npos);
+}
+
+TEST(EdgeListFileTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_EQ(ReadEdgeListFromFile("/nonexistent/el.tsv", &error), std::nullopt);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,265 @@
+#include "core/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/aggregation.h"
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+/// Structural equality of two graphs (labels, presence, attributes).
+void ExpectGraphsEqual(const TemporalGraph& a, const TemporalGraph& b) {
+  ASSERT_EQ(a.num_times(), b.num_times());
+  for (TimeId t = 0; t < a.num_times(); ++t) {
+    EXPECT_EQ(a.time_label(t), b.time_label(t));
+  }
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    const std::string& label = a.node_label(n);
+    std::optional<NodeId> other = b.FindNode(label);
+    ASSERT_TRUE(other.has_value()) << "missing node " << label;
+    for (TimeId t = 0; t < a.num_times(); ++t) {
+      EXPECT_EQ(a.NodePresentAt(n, t), b.NodePresentAt(*other, t))
+          << label << " @ " << t;
+    }
+  }
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    auto [src, dst] = a.edge(e);
+    std::optional<NodeId> bsrc = b.FindNode(a.node_label(src));
+    std::optional<NodeId> bdst = b.FindNode(a.node_label(dst));
+    ASSERT_TRUE(bsrc && bdst);
+    std::optional<EdgeId> other = b.FindEdge(*bsrc, *bdst);
+    ASSERT_TRUE(other.has_value());
+    for (TimeId t = 0; t < a.num_times(); ++t) {
+      EXPECT_EQ(a.EdgePresentAt(e, t), b.EdgePresentAt(*other, t));
+    }
+  }
+  ASSERT_EQ(a.num_static_attributes(), b.num_static_attributes());
+  ASSERT_EQ(a.num_time_varying_attributes(), b.num_time_varying_attributes());
+  for (std::uint32_t i = 0; i < a.num_static_attributes(); ++i) {
+    const StaticColumn& col_a = a.static_attribute(i);
+    std::optional<AttrRef> ref_b = b.FindAttribute(col_a.name());
+    ASSERT_TRUE(ref_b.has_value() && ref_b->kind == AttrRef::Kind::kStatic);
+    const StaticColumn& col_b = b.static_attribute(ref_b->index);
+    for (NodeId n = 0; n < a.num_nodes(); ++n) {
+      NodeId bn = *b.FindNode(a.node_label(n));
+      bool set_a = col_a.CodeAt(n) != kNoValue;
+      bool set_b = col_b.CodeAt(bn) != kNoValue;
+      ASSERT_EQ(set_a, set_b);
+      if (set_a) {
+        EXPECT_EQ(col_a.ValueAt(n), col_b.ValueAt(bn));
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < a.num_time_varying_attributes(); ++i) {
+    const TimeVaryingColumn& col_a = a.time_varying_attribute(i);
+    std::optional<AttrRef> ref_b = b.FindAttribute(col_a.name());
+    ASSERT_TRUE(ref_b.has_value() && ref_b->kind == AttrRef::Kind::kTimeVarying);
+    const TimeVaryingColumn& col_b = b.time_varying_attribute(ref_b->index);
+    for (NodeId n = 0; n < a.num_nodes(); ++n) {
+      NodeId bn = *b.FindNode(a.node_label(n));
+      for (TimeId t = 0; t < a.num_times(); ++t) {
+        bool set_a = col_a.CodeAt(n, t) != kNoValue;
+        bool set_b = col_b.CodeAt(bn, t) != kNoValue;
+        ASSERT_EQ(set_a, set_b) << col_a.name() << " " << a.node_label(n) << " " << t;
+        if (set_a) {
+          EXPECT_EQ(col_a.ValueAt(n, t), col_b.ValueAt(bn, t));
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphIoTest, RoundTripPaperGraph) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::ostringstream out;
+  WriteGraph(graph, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  ExpectGraphsEqual(graph, *restored);
+}
+
+TEST(GraphIoTest, RoundTripRandomGraph) {
+  TemporalGraph graph = BuildRandomGraph(123, 30, 5);
+  std::ostringstream out;
+  WriteGraph(graph, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  ExpectGraphsEqual(graph, *restored);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::string path = ::testing::TempDir() + "/graphtempo_io_test_" +
+                     std::to_string(getpid()) + ".tsv";
+  std::string error;
+  ASSERT_TRUE(WriteGraphToFile(graph, path, &error)) << error;
+  std::optional<TemporalGraph> restored = ReadGraphFromFile(path, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  ExpectGraphsEqual(graph, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_EQ(ReadGraphFromFile("/nonexistent/path/graph.tsv", &error), std::nullopt);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(GraphIoTest, MissingHeaderFails) {
+  std::istringstream in("!section\ttimes\n2000\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("!format"), std::string::npos);
+}
+
+TEST(GraphIoTest, WrongVersionFails) {
+  std::istringstream in("!format\tgraphtempo\t2\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+}
+
+TEST(GraphIoTest, EntitySectionBeforeTimesFails) {
+  std::istringstream in("!format\tgraphtempo\t1\n!section\tnodes\nu1\t1\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("times"), std::string::npos);
+}
+
+TEST(GraphIoTest, BadPresenceLengthFails) {
+  std::istringstream in(
+      "!format\tgraphtempo\t1\n!section\ttimes\nt0\nt1\n!section\tnodes\nu1\t1\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("length"), std::string::npos);
+}
+
+TEST(GraphIoTest, BadPresenceCharacterFails) {
+  std::istringstream in(
+      "!format\tgraphtempo\t1\n!section\ttimes\nt0\n!section\tnodes\nu1\t2\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("0/1"), std::string::npos);
+}
+
+TEST(GraphIoTest, UnknownSectionFails) {
+  std::istringstream in("!format\tgraphtempo\t1\n!section\tnonsense\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("unknown section"), std::string::npos);
+}
+
+TEST(GraphIoTest, UnknownTimeLabelInVaryingSectionFails) {
+  std::istringstream in(
+      "!format\tgraphtempo\t1\n!section\ttimes\nt0\n!section\tvarying\tp\nu1\tt9\t3\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("unknown time"), std::string::npos);
+}
+
+TEST(GraphIoTest, ErrorsCarryLineNumbers) {
+  std::istringstream in(
+      "!format\tgraphtempo\t1\n!section\ttimes\nt0\n!section\tnodes\nu1\t2\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("line 5"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, TimesOnlyFileIsAValidEmptyGraph) {
+  std::istringstream in("!format\tgraphtempo\t1\n!section\ttimes\nt0\nt1\n");
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadGraph(&in, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_times(), 2u);
+  EXPECT_EQ(graph->num_nodes(), 0u);
+}
+
+
+TEST(GraphIoTest, RoundTripEdgeAttributes) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::uint32_t papers = graph.AddTimeVaryingEdgeAttribute("papers");
+  std::uint32_t venue = graph.AddStaticEdgeAttribute("venue");
+  EdgeId e = *graph.FindEdge(*graph.FindNode("u1"), *graph.FindNode("u2"));
+  graph.SetTimeVaryingEdgeValue(papers, e, 0, "2");
+  graph.SetTimeVaryingEdgeValue(papers, e, 1, "1");
+  graph.SetStaticEdgeValue(venue, e, "edbt");
+
+  std::ostringstream out;
+  WriteGraph(graph, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+
+  std::optional<EdgeAttrRef> rpapers = restored->FindEdgeAttribute("papers");
+  std::optional<EdgeAttrRef> rvenue = restored->FindEdgeAttribute("venue");
+  ASSERT_TRUE(rpapers.has_value());
+  ASSERT_TRUE(rvenue.has_value());
+  EXPECT_EQ(rpapers->kind, EdgeAttrRef::Kind::kTimeVarying);
+  EXPECT_EQ(rvenue->kind, EdgeAttrRef::Kind::kStatic);
+  EdgeId re = *restored->FindEdge(*restored->FindNode("u1"), *restored->FindNode("u2"));
+  EXPECT_EQ(restored->EdgeValueName(*rpapers, restored->EdgeValueCodeAt(*rpapers, re, 0)),
+            "2");
+  EXPECT_EQ(restored->EdgeValueName(*rpapers, restored->EdgeValueCodeAt(*rpapers, re, 1)),
+            "1");
+  EXPECT_EQ(restored->EdgeValueCodeAt(*rpapers, re, 2), kNoValue);
+  EXPECT_EQ(restored->EdgeValueName(*rvenue, restored->EdgeValueCodeAt(*rvenue, re, 0)),
+            "edbt");
+}
+
+TEST(GraphIoTest, BadEdgeVaryingRowFails) {
+  std::istringstream in(
+      "!format\tgraphtempo\t1\n!section\ttimes\nt0\n!section\tevarying\tw\n"
+      "a\tb\tt0\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("src, dst, time, value"), std::string::npos);
+}
+
+
+TEST(GraphIoTest, DuplicateTimeLabelFailsCleanly) {
+  std::istringstream in("!format\tgraphtempo\t1\n!section\ttimes\nt0\nt0\n");
+  std::string error;
+  EXPECT_EQ(ReadGraph(&in, &error), std::nullopt);
+  EXPECT_NE(error.find("duplicate time label"), std::string::npos);
+}
+
+TEST(GraphIoTest, RoundTripPreservesAggregates) {
+  // End-to-end: serialization must not change any analytical result.
+  TemporalGraph graph = BuildPaperGraph();
+  std::ostringstream out;
+  WriteGraph(graph, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"gender", "publications"});
+  std::vector<AttrRef> attrs2 = ResolveAttributes(*restored, {"gender", "publications"});
+  GraphView view = UnionOp(graph, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  GraphView view2 = UnionOp(*restored, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  AggregateGraph a = Aggregate(graph, view, attrs, AggregationSemantics::kAll);
+  AggregateGraph b = Aggregate(*restored, view2, attrs2, AggregationSemantics::kAll);
+  EXPECT_EQ(a.TotalNodeWeight(), b.TotalNodeWeight());
+  EXPECT_EQ(a.TotalEdgeWeight(), b.TotalEdgeWeight());
+  EXPECT_EQ(a.NodeCount(), b.NodeCount());
+  EXPECT_EQ(a.EdgeCount(), b.EdgeCount());
+}
+
+}  // namespace
+}  // namespace graphtempo

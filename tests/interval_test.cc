@@ -1,0 +1,106 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtempo {
+namespace {
+
+TEST(TimeRangeTest, LengthAndContains) {
+  TimeRange range{2, 5};
+  EXPECT_EQ(range.length(), 4u);
+  EXPECT_TRUE(range.Contains(2));
+  EXPECT_TRUE(range.Contains(5));
+  EXPECT_FALSE(range.Contains(1));
+  EXPECT_FALSE(range.Contains(6));
+  EXPECT_EQ((TimeRange{3, 3}).length(), 1u);
+}
+
+TEST(IntervalSetTest, EmptyByDefault) {
+  IntervalSet set(5);
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0u);
+  EXPECT_EQ(set.domain_size(), 5u);
+}
+
+TEST(IntervalSetTest, PointFactory) {
+  IntervalSet set = IntervalSet::Point(5, 3);
+  EXPECT_EQ(set.Count(), 1u);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_EQ(set.First(), 3u);
+  EXPECT_EQ(set.Last(), 3u);
+}
+
+TEST(IntervalSetTest, RangeFactory) {
+  IntervalSet set = IntervalSet::Range(10, 2, 6);
+  EXPECT_EQ(set.Count(), 5u);
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(6));
+  EXPECT_FALSE(set.Contains(7));
+}
+
+TEST(IntervalSetTest, OfTimeRange) {
+  IntervalSet set = IntervalSet::Of(10, TimeRange{1, 3});
+  EXPECT_EQ(set.ToVector(), (std::vector<TimeId>{1, 2, 3}));
+}
+
+TEST(IntervalSetTest, OfInitializerList) {
+  IntervalSet set = IntervalSet::Of(10, {7, 0, 3});
+  EXPECT_EQ(set.ToVector(), (std::vector<TimeId>{0, 3, 7}));
+  EXPECT_EQ(set.First(), 0u);
+  EXPECT_EQ(set.Last(), 7u);
+}
+
+TEST(IntervalSetTest, AllFactory) {
+  IntervalSet set = IntervalSet::All(4);
+  EXPECT_EQ(set.Count(), 4u);
+}
+
+TEST(IntervalSetTest, AddRemove) {
+  IntervalSet set(3);
+  set.Add(1);
+  EXPECT_TRUE(set.Contains(1));
+  set.Remove(1);
+  EXPECT_TRUE(set.Empty());
+}
+
+TEST(IntervalSetTest, SetAlgebra) {
+  IntervalSet a = IntervalSet::Of(6, {0, 1, 2});
+  IntervalSet b = IntervalSet::Of(6, {2, 3});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<TimeId>{0, 1, 2, 3}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<TimeId>{2}));
+  EXPECT_EQ((a - b).ToVector(), (std::vector<TimeId>{0, 1}));
+}
+
+TEST(IntervalSetTest, IntersectsAndSubset) {
+  IntervalSet a = IntervalSet::Of(6, {0, 1});
+  IntervalSet b = IntervalSet::Of(6, {1, 2});
+  IntervalSet c = IntervalSet::Of(6, {0, 1, 2});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.IsSubsetOf(c));
+  EXPECT_FALSE(c.IsSubsetOf(a));
+  EXPECT_FALSE(a.Intersects(IntervalSet(6)));
+}
+
+TEST(IntervalSetTest, ForEachAscending) {
+  IntervalSet set = IntervalSet::Of(70, {65, 3, 40});
+  std::vector<TimeId> seen;
+  set.ForEach([&](TimeId t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<TimeId>{3, 40, 65}));
+}
+
+TEST(IntervalSetTest, ToStringFormat) {
+  EXPECT_EQ(IntervalSet::Of(5, {0, 2}).ToString(), "{0,2}");
+  EXPECT_EQ(IntervalSet(5).ToString(), "{}");
+}
+
+TEST(IntervalSetTest, Equality) {
+  EXPECT_EQ(IntervalSet::Of(5, {1, 2}), IntervalSet::Range(5, 1, 2));
+  EXPECT_NE(IntervalSet::Of(5, {1}), IntervalSet::Of(5, {2}));
+}
+
+TEST(IntervalSetDeath, InvertedRangeAborts) {
+  EXPECT_DEATH(IntervalSet::Range(5, 3, 2), "inverted");
+}
+
+}  // namespace
+}  // namespace graphtempo

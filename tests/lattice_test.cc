@@ -1,0 +1,178 @@
+#include "core/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_exploration.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+TEST(IntervalLatticeTest, LevelsAndRangeCounts) {
+  IntervalLattice lattice(5);
+  EXPECT_EQ(lattice.num_levels(), 5u);
+  EXPECT_EQ(lattice.RangesAtLevel(0).size(), 5u);  // 5 points
+  EXPECT_EQ(lattice.RangesAtLevel(1).size(), 4u);  // 4 length-2 ranges
+  EXPECT_EQ(lattice.RangesAtLevel(4).size(), 1u);  // the full domain
+  EXPECT_EQ(lattice.AllRanges().size(), 15u);      // 5·6/2
+}
+
+TEST(IntervalLatticeTest, RangesAtLevelContents) {
+  IntervalLattice lattice(4);
+  EXPECT_EQ(lattice.RangesAtLevel(2),
+            (std::vector<TimeRange>{{0, 2}, {1, 3}}));
+}
+
+TEST(IntervalLatticeTest, ExtendAndShrink) {
+  IntervalLattice lattice(4);
+  TimeRange mid{1, 2};
+  EXPECT_EQ(lattice.ExtendLeft(mid), (TimeRange{0, 2}));
+  EXPECT_EQ(lattice.ExtendRight(mid), (TimeRange{1, 3}));
+  EXPECT_EQ(lattice.ShrinkLeft(mid), (TimeRange{2, 2}));
+  EXPECT_EQ(lattice.ShrinkRight(mid), (TimeRange{1, 1}));
+
+  EXPECT_EQ(lattice.ExtendLeft({0, 1}), std::nullopt);
+  EXPECT_EQ(lattice.ExtendRight({2, 3}), std::nullopt);
+  EXPECT_EQ(lattice.ShrinkLeft({2, 2}), std::nullopt);
+  EXPECT_EQ(lattice.ShrinkRight({2, 2}), std::nullopt);
+}
+
+TEST(IntervalLatticeTest, ExtendShrinkAreInverse) {
+  IntervalLattice lattice(6);
+  for (TimeRange range : lattice.AllRanges()) {
+    if (auto extended = lattice.ExtendRight(range)) {
+      EXPECT_EQ(lattice.ShrinkRight(*extended), range);
+    }
+    if (auto extended = lattice.ExtendLeft(range)) {
+      EXPECT_EQ(lattice.ShrinkLeft(*extended), range);
+    }
+  }
+}
+
+TEST(IntervalLatticeTest, AdjacentPairsCountMatchesFormula) {
+  // For each boundary b (1..n-1) there are b choices of old start and n-b of
+  // new end: Σ b·(n−b).
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    IntervalLattice lattice(n);
+    std::size_t expected = 0;
+    for (std::size_t b = 1; b < n; ++b) expected += b * (n - b);
+    EXPECT_EQ(lattice.AdjacentPairs().size(), expected) << "n=" << n;
+  }
+}
+
+TEST(IntervalLatticeTest, AdjacentPairsAreAdjacentAndInDomain) {
+  IntervalLattice lattice(6);
+  for (const auto& [old_range, new_range] : lattice.AdjacentPairs()) {
+    EXPECT_EQ(old_range.last + 1, new_range.first);
+    EXPECT_LE(old_range.first, old_range.last);
+    EXPECT_LE(new_range.first, new_range.last);
+    EXPECT_LT(new_range.last, 6u);
+  }
+}
+
+TEST(PairContainedInTest, Basics) {
+  std::pair<TimeRange, TimeRange> small{{1, 1}, {2, 2}};
+  std::pair<TimeRange, TimeRange> big{{0, 1}, {2, 4}};
+  EXPECT_TRUE(PairContainedIn(small, big));
+  EXPECT_FALSE(PairContainedIn(big, small));
+  EXPECT_TRUE(PairContainedIn(small, small));
+  std::pair<TimeRange, TimeRange> shifted{{0, 0}, {1, 1}};
+  EXPECT_FALSE(PairContainedIn(small, shifted));
+}
+
+// --- ExploreBothEnds -----------------------------------------------------------
+
+TEST(ExploreBothEndsTest, PaperGraphMinimalStabilityPair) {
+  TemporalGraph graph = BuildPaperGraph();
+  ExplorationSpec spec;
+  spec.event = EventType::kStability;
+  spec.semantics = ExtensionSemantics::kUnion;
+  spec.selector.kind = EntitySelector::Kind::kEdges;
+  spec.k = 2;
+  ExplorationResult result = ExploreBothEnds(graph, spec);
+  // Qualifying pairs: ({t0},{t1}) and ({t0},{t1,t2}); only the former is
+  // minimal under component-wise containment.
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].old_range, (TimeRange{0, 0}));
+  EXPECT_EQ(result.pairs[0].new_range, (TimeRange{1, 1}));
+  EXPECT_EQ(result.pairs[0].count, 2);
+  EXPECT_EQ(result.evaluations, 4u);  // all adjacent pairs of a 3-point domain
+}
+
+TEST(ExploreBothEndsTest, ResultsAreQualifyingAndUndominated) {
+  for (std::uint64_t seed : {3u, 9u, 27u}) {
+    TemporalGraph graph = BuildRandomGraph(seed, 25, 6);
+    for (EventType event :
+         {EventType::kStability, EventType::kGrowth, EventType::kShrinkage}) {
+      for (ExtensionSemantics semantics :
+           {ExtensionSemantics::kUnion, ExtensionSemantics::kIntersection}) {
+        ExplorationSpec spec;
+        spec.event = event;
+        spec.semantics = semantics;
+        spec.selector.kind = EntitySelector::Kind::kEdges;
+        spec.k = 5;
+        ExplorationResult result = ExploreBothEnds(graph, spec);
+        const bool minimal = semantics == ExtensionSemantics::kUnion;
+        IntervalLattice lattice(6);
+        for (const IntervalPair& pair : result.pairs) {
+          EXPECT_GE(pair.count, spec.k);
+          // Verify (un)dominatedness directly against all qualifying pairs.
+          for (const auto& [other_old, other_new] : lattice.AdjacentPairs()) {
+            std::pair<TimeRange, TimeRange> mine{pair.old_range, pair.new_range};
+            std::pair<TimeRange, TimeRange> other{other_old, other_new};
+            if (mine == other) continue;
+            bool contained = minimal ? PairContainedIn(other, mine)
+                                     : PairContainedIn(mine, other);
+            if (!contained) continue;
+            Weight count = CountEvents(graph, other_old, other_new, semantics, event,
+                                       spec.selector);
+            EXPECT_LT(count, spec.k)
+                << "pair dominated by a qualifying " << (minimal ? "sub" : "super")
+                << "-pair";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ExploreBothEndsTest, SupersetOfSingleReferenceCandidates) {
+  // Every pair found by the fixed-reference explorer is qualifying in the
+  // both-ends space, hence contains (minimal goal) a both-ends result.
+  TemporalGraph graph = BuildRandomGraph(12, 25, 6);
+  ExplorationSpec spec;
+  spec.event = EventType::kStability;
+  spec.semantics = ExtensionSemantics::kUnion;
+  spec.reference = ReferenceEnd::kOld;
+  spec.selector.kind = EntitySelector::Kind::kEdges;
+  spec.k = 8;
+  ExplorationResult fixed = Explore(graph, spec);
+  ExplorationResult both = ExploreBothEnds(graph, spec);
+  for (const IntervalPair& pair : fixed.pairs) {
+    bool covered = false;
+    for (const IntervalPair& candidate : both.pairs) {
+      if (PairContainedIn({candidate.old_range, candidate.new_range},
+                          {pair.old_range, pair.new_range})) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "fixed-reference pair has no minimal sub-pair";
+  }
+}
+
+TEST(IntervalLatticeDeath, BadLevelAborts) {
+  IntervalLattice lattice(3);
+  EXPECT_DEATH(lattice.RangesAtLevel(3), "level out of range");
+}
+
+TEST(IntervalLatticeDeath, RangeOutsideDomainAborts) {
+  IntervalLattice lattice(3);
+  EXPECT_DEATH(lattice.ExtendRight({1, 5}), "outside the time domain");
+}
+
+}  // namespace
+}  // namespace graphtempo

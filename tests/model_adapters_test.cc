@@ -1,0 +1,180 @@
+#include "core/model_adapters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+// --- Snapshot model ---------------------------------------------------------------
+
+TEST(FromSnapshotsTest, BuildsIntervalLabeledGraph) {
+  std::vector<Snapshot> snapshots = {
+      {"t0", {{"a", "b"}, {"b", "c"}}, {}},
+      {"t1", {{"a", "b"}}, {"c"}},
+  };
+  TemporalGraph graph = FromSnapshots(snapshots);
+  EXPECT_EQ(graph.num_times(), 2u);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  NodeId a = *graph.FindNode("a");
+  NodeId b = *graph.FindNode("b");
+  NodeId c = *graph.FindNode("c");
+  EdgeId ab = *graph.FindEdge(a, b);
+  EXPECT_TRUE(graph.EdgePresentAt(ab, 0));
+  EXPECT_TRUE(graph.EdgePresentAt(ab, 1));
+  EdgeId bc = *graph.FindEdge(b, c);
+  EXPECT_TRUE(graph.EdgePresentAt(bc, 0));
+  EXPECT_FALSE(graph.EdgePresentAt(bc, 1));
+  // c exists at t1 as an isolated node.
+  EXPECT_TRUE(graph.NodePresentAt(c, 1));
+}
+
+TEST(SnapshotRoundTripTest, PaperGraphPresenceSurvives) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<Snapshot> snapshots = ToSnapshots(graph);
+  ASSERT_EQ(snapshots.size(), 3u);
+  EXPECT_EQ(snapshots[0].edges.size(), 4u);
+  EXPECT_EQ(snapshots[1].edges.size(), 3u);
+  EXPECT_EQ(snapshots[2].edges.size(), 3u);
+
+  TemporalGraph restored = FromSnapshots(snapshots);
+  EXPECT_EQ(restored.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(restored.num_edges(), graph.num_edges());
+  for (TimeId t = 0; t < 3; ++t) {
+    EXPECT_EQ(restored.NodesAt(t), graph.NodesAt(t)) << "t=" << t;
+    EXPECT_EQ(restored.EdgesAt(t), graph.EdgesAt(t)) << "t=" << t;
+  }
+  // Entity-level presence too, matched by label.
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    NodeId rn = *restored.FindNode(graph.node_label(n));
+    for (TimeId t = 0; t < 3; ++t) {
+      EXPECT_EQ(graph.NodePresentAt(n, t), restored.NodePresentAt(rn, t));
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, RandomGraphsSurvive) {
+  for (std::uint64_t seed : {4u, 8u, 15u}) {
+    TemporalGraph graph = BuildRandomGraph(seed, 25, 5);
+    TemporalGraph restored = FromSnapshots(ToSnapshots(graph));
+    EXPECT_EQ(restored.num_nodes(), graph.num_nodes());
+    EXPECT_EQ(restored.num_edges(), graph.num_edges());
+    for (TimeId t = 0; t < 5; ++t) {
+      EXPECT_EQ(restored.NodesAt(t), graph.NodesAt(t));
+      EXPECT_EQ(restored.EdgesAt(t), graph.EdgesAt(t));
+    }
+  }
+}
+
+TEST(SnapshotTest, OperatorsAgreeAcrossModels) {
+  // A union over the snapshot-built graph equals the same union over the
+  // original: the adapter preserves operator semantics.
+  TemporalGraph graph = BuildRandomGraph(16, 25, 5);
+  TemporalGraph adapted = FromSnapshots(ToSnapshots(graph));
+  IntervalSet a = IntervalSet::Range(5, 0, 1);
+  IntervalSet b = IntervalSet::Range(5, 2, 4);
+  GraphView original = IntersectionOp(graph, a, b);
+  GraphView converted = IntersectionOp(adapted, a, b);
+  EXPECT_EQ(original.NodeCount(), converted.NodeCount());
+  EXPECT_EQ(original.EdgeCount(), converted.EdgeCount());
+}
+
+TEST(FromSnapshotsDeath, EmptySequenceAborts) {
+  EXPECT_DEATH(FromSnapshots({}), "at least one snapshot");
+}
+
+// --- Duration-labeled model ----------------------------------------------------------
+
+TEST(FromDurationLabeledTest, ExpandsDurations) {
+  TemporalGraph graph = FromDurationLabeled(
+      {"t0", "t1", "t2", "t3"},
+      {{"a", "b", 0, 2}, {"b", "c", 1, 1}, {"a", "b", 3, 1}});
+  NodeId a = *graph.FindNode("a");
+  NodeId b = *graph.FindNode("b");
+  EdgeId ab = *graph.FindEdge(a, b);
+  EXPECT_TRUE(graph.EdgePresentAt(ab, 0));
+  EXPECT_TRUE(graph.EdgePresentAt(ab, 1));
+  EXPECT_FALSE(graph.EdgePresentAt(ab, 2));
+  EXPECT_TRUE(graph.EdgePresentAt(ab, 3));
+  EdgeId bc = *graph.FindEdge(b, *graph.FindNode("c"));
+  EXPECT_EQ(graph.EdgeTimes(bc).ToVector(), (std::vector<TimeId>{1}));
+}
+
+TEST(FromDurationLabeledTest, ClampsOverlongDurations) {
+  TemporalGraph graph = FromDurationLabeled({"t0", "t1"}, {{"a", "b", 1, 99}});
+  EdgeId e = *graph.FindEdge(*graph.FindNode("a"), *graph.FindNode("b"));
+  EXPECT_TRUE(graph.EdgePresentAt(e, 1));
+  EXPECT_EQ(graph.EdgeTimes(e).Count(), 1u);
+}
+
+TEST(ToDurationLabeledTest, EmitsMaximalRuns) {
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<DurationEdge> records = ToDurationLabeled(graph);
+  // Each paper edge exists in one contiguous run, so 7 records.
+  EXPECT_EQ(records.size(), 7u);
+  auto find = [&](const char* src, const char* dst) {
+    auto it = std::find_if(records.begin(), records.end(), [&](const DurationEdge& r) {
+      return r.src == src && r.dst == dst;
+    });
+    EXPECT_NE(it, records.end());
+    return *it;
+  };
+  DurationEdge u2u4 = find("u2", "u4");
+  EXPECT_EQ(u2u4.start, 0u);
+  EXPECT_EQ(u2u4.duration, 3u);
+  DurationEdge u4u5 = find("u4", "u5");
+  EXPECT_EQ(u4u5.start, 2u);
+  EXPECT_EQ(u4u5.duration, 1u);
+}
+
+TEST(ToDurationLabeledTest, SplitsGappyPresence) {
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1", "t2"});
+  NodeId a = graph.AddNode("a");
+  NodeId b = graph.AddNode("b");
+  EdgeId e = graph.GetOrAddEdge(a, b);
+  graph.SetEdgePresent(e, 0);
+  graph.SetEdgePresent(e, 2);  // gap at t1
+  std::vector<DurationEdge> records = ToDurationLabeled(graph);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].start, 0u);
+  EXPECT_EQ(records[0].duration, 1u);
+  EXPECT_EQ(records[1].start, 2u);
+  EXPECT_EQ(records[1].duration, 1u);
+}
+
+TEST(DurationRoundTripTest, EdgePresenceSurvives) {
+  for (std::uint64_t seed : {23u, 42u}) {
+    TemporalGraph graph = BuildRandomGraph(seed, 20, 6);
+    std::vector<std::string> labels;
+    for (TimeId t = 0; t < 6; ++t) labels.push_back(graph.time_label(t));
+    TemporalGraph restored = FromDurationLabeled(labels, ToDurationLabeled(graph));
+    EXPECT_EQ(restored.num_edges(), graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      auto [src, dst] = graph.edge(e);
+      EdgeId re = *restored.FindEdge(*restored.FindNode(graph.node_label(src)),
+                                     *restored.FindNode(graph.node_label(dst)));
+      for (TimeId t = 0; t < 6; ++t) {
+        EXPECT_EQ(graph.EdgePresentAt(e, t), restored.EdgePresentAt(re, t));
+      }
+    }
+  }
+}
+
+TEST(FromDurationLabeledDeath, StartOutOfDomainAborts) {
+  EXPECT_DEATH(FromDurationLabeled({"t0"}, {{"a", "b", 5, 1}}), "out of domain");
+}
+
+TEST(FromDurationLabeledDeath, ZeroDurationAborts) {
+  EXPECT_DEATH(FromDurationLabeled({"t0"}, {{"a", "b", 0, 0}}), "positive");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,214 @@
+/// End-to-end walkthrough of the paper's running example: builds the Fig 1
+/// graph and checks every derived artifact the paper shows — the Table 2
+/// labeled arrays, the Fig 2 union graph, the Fig 3 aggregates, the Fig 4
+/// evolution graph — plus a full exploration pass over it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/evolution.h"
+#include "core/exploration.h"
+#include "core/graph_io.h"
+#include "core/materialization.h"
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : graph_(BuildPaperGraph()) {
+    gender_ = *graph_.FindAttribute("gender");
+    pubs_ = *graph_.FindAttribute("publications");
+    both_ = {gender_, pubs_};
+  }
+
+  AttrTuple GP(const std::string& g, const std::string& p) const {
+    AttrTuple tuple;
+    tuple.Append(*graph_.FindValueCode(gender_, g));
+    tuple.Append(*graph_.FindValueCode(pubs_, p));
+    return tuple;
+  }
+
+  TemporalGraph graph_;
+  AttrRef gender_;
+  AttrRef pubs_;
+  std::vector<AttrRef> both_;
+};
+
+// --- Table 2: the labeled arrays V, S, A -------------------------------------------
+
+TEST_F(PaperExampleTest, Table2NodeArray) {
+  // V: one row per node, one 0/1 column per time point.
+  struct Row {
+    const char* node;
+    bool t0, t1, t2;
+  };
+  const Row expected[] = {
+      {"u1", 1, 1, 0}, {"u2", 1, 1, 1}, {"u3", 1, 0, 0}, {"u4", 1, 1, 1},
+      {"u5", 0, 0, 1},
+  };
+  for (const Row& row : expected) {
+    NodeId n = *graph_.FindNode(row.node);
+    EXPECT_EQ(graph_.NodePresentAt(n, 0), row.t0) << row.node;
+    EXPECT_EQ(graph_.NodePresentAt(n, 1), row.t1) << row.node;
+    EXPECT_EQ(graph_.NodePresentAt(n, 2), row.t2) << row.node;
+  }
+}
+
+TEST_F(PaperExampleTest, Table2StaticArray) {
+  const std::pair<const char*, const char*> expected[] = {
+      {"u1", "m"}, {"u2", "f"}, {"u3", "f"}, {"u4", "f"}, {"u5", "m"},
+  };
+  for (const auto& [node, gender] : expected) {
+    NodeId n = *graph_.FindNode(node);
+    EXPECT_EQ(graph_.ValueName(gender_, graph_.ValueCodeAt(gender_, n, 0)), gender);
+  }
+}
+
+TEST_F(PaperExampleTest, Table2TimeVaryingArray) {
+  // '-' cells of the paper's A array are kNoValue here.
+  struct Row {
+    const char* node;
+    const char* t0;
+    const char* t1;
+    const char* t2;  // nullptr = '-'
+  };
+  const Row expected[] = {
+      {"u1", "3", "1", nullptr}, {"u2", "1", "1", "1"},       {"u3", "1", nullptr, nullptr},
+      {"u4", "2", "1", "1"},     {"u5", nullptr, nullptr, "3"},
+  };
+  for (const Row& row : expected) {
+    NodeId n = *graph_.FindNode(row.node);
+    const char* cells[3] = {row.t0, row.t1, row.t2};
+    for (TimeId t = 0; t < 3; ++t) {
+      AttrValueId code = graph_.ValueCodeAt(pubs_, n, t);
+      if (cells[t] == nullptr) {
+        EXPECT_EQ(code, kNoValue) << row.node << " t" << t;
+      } else {
+        ASSERT_NE(code, kNoValue) << row.node << " t" << t;
+        EXPECT_EQ(graph_.ValueName(pubs_, code), cells[t]) << row.node << " t" << t;
+      }
+    }
+  }
+}
+
+// --- Figure 2: the union graph on [t0, t1] ------------------------------------------
+
+TEST_F(PaperExampleTest, Figure2UnionGraph) {
+  GraphView view = UnionOp(graph_, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  EXPECT_EQ(view.NodeCount(), 4u);  // u1..u4; u5 only exists at t2
+  EXPECT_EQ(view.EdgeCount(), 5u);
+  EXPECT_FALSE(std::binary_search(view.nodes.begin(), view.nodes.end(),
+                                  *graph_.FindNode("u5")));
+}
+
+// --- Figure 3: aggregate weights quoted in the paper text ----------------------------
+
+TEST_F(PaperExampleTest, Figure3HeadlineWeights) {
+  GraphView view = UnionOp(graph_, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  AggregateGraph dist = Aggregate(graph_, view, both_, AggregationSemantics::kDistinct);
+  AggregateGraph all = Aggregate(graph_, view, both_, AggregationSemantics::kAll);
+  // "The weight for the node 'f,1' in G'_DIST is equal to 3 … while in
+  //  G'_ALL it is equal to 4."
+  EXPECT_EQ(dist.NodeWeight(GP("f", "1")), 3);
+  EXPECT_EQ(all.NodeWeight(GP("f", "1")), 4);
+}
+
+// --- Figure 4: the evolution graph and its aggregation -------------------------------
+
+TEST_F(PaperExampleTest, Figure4Evolution) {
+  IntervalSet t0 = IntervalSet::Point(3, 0);
+  IntervalSet t1 = IntervalSet::Point(3, 1);
+  EvolutionGraph evolution = MakeEvolutionGraph(graph_, t0, t1);
+  // V> = V∩ ∪ V− ∪ V'−  = {u1,u2,u4} ∪ {u1,u3,u4} ∪ {u1,u4}.
+  EXPECT_EQ(evolution.stability.NodeCount() , 3u);
+  EXPECT_EQ(evolution.shrinkage.NodeCount(), 3u);
+  EXPECT_EQ(evolution.growth.NodeCount(), 2u);
+
+  EvolutionAggregate agg = AggregateEvolution(graph_, t0, t1, both_);
+  // "node (f,1) … has a) stability weight 1 … b) growth weight 1 …
+  //  c) shrinkage weight 1".
+  EvolutionWeights f1 = agg.NodeWeights(GP("f", "1"));
+  EXPECT_EQ(f1.stability, 1);
+  EXPECT_EQ(f1.growth, 1);
+  EXPECT_EQ(f1.shrinkage, 1);
+  EXPECT_EQ(f1.ForEvent(EventType::kStability), 1);
+  EXPECT_EQ(f1.ForEvent(EventType::kGrowth), 1);
+  EXPECT_EQ(f1.ForEvent(EventType::kShrinkage), 1);
+}
+
+// --- Exploration over the example -----------------------------------------------------
+
+TEST_F(PaperExampleTest, ExplorationFindsTheStableCollaboration) {
+  // The f→f collaboration (u2,u4) persists across all three time points, so
+  // maximal-stability exploration with k=1 must return full-length pairs.
+  EntitySelector selector;
+  selector.kind = EntitySelector::Kind::kEdges;
+  selector.attrs = {gender_};
+  AttrTuple f;
+  f.Append(*graph_.FindValueCode(gender_, "f"));
+  selector.src_tuple = f;
+  selector.dst_tuple = f;
+
+  ExplorationSpec spec;
+  spec.event = EventType::kStability;
+  spec.semantics = ExtensionSemantics::kIntersection;
+  spec.reference = ReferenceEnd::kOld;
+  spec.selector = selector;
+  spec.k = 1;
+  ExplorationResult result = Explore(graph_, spec);
+  ASSERT_EQ(result.pairs.size(), 2u);
+  EXPECT_EQ(result.pairs[0].old_range, (TimeRange{0, 0}));
+  EXPECT_EQ(result.pairs[0].new_range, (TimeRange{1, 2}));  // maximal extension
+  EXPECT_EQ(result.pairs[0].count, 1);
+}
+
+// --- Materialization over the example ---------------------------------------------------
+
+TEST_F(PaperExampleTest, MaterializedRollUpChain) {
+  // (gender, publications) per-time-point aggregates → union-ALL over
+  // [t0,t1] → roll-up to gender — all without touching the graph again.
+  MaterializationStore store(&graph_, both_);
+  store.MaterializeAllTimePoints();
+  AggregateGraph fine = store.UnionAllAggregate(IntervalSet::Range(3, 0, 1));
+  const std::size_t keep_gender[] = {0};
+  AggregateGraph coarse = RollUp(fine, keep_gender);
+
+  GraphView view = UnionOp(graph_, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  std::vector<AttrRef> gender_only = {gender_};
+  AggregateGraph direct = Aggregate(graph_, view, gender_only,
+                                    AggregationSemantics::kAll);
+  EXPECT_EQ(coarse, direct);
+}
+
+// --- Round trip through the on-disk format ----------------------------------------------
+
+TEST_F(PaperExampleTest, SurvivesSerializationWithIdenticalResults) {
+  std::ostringstream out;
+  WriteGraph(graph_, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+
+  std::vector<AttrRef> attrs = ResolveAttributes(*restored, {"gender", "publications"});
+  GraphView view =
+      UnionOp(*restored, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  AggregateGraph dist = Aggregate(*restored, view, attrs,
+                                  AggregationSemantics::kDistinct);
+  AttrRef g2 = attrs[0];
+  AttrRef p2 = attrs[1];
+  AttrTuple f1;
+  f1.Append(*restored->FindValueCode(g2, "f"));
+  f1.Append(*restored->FindValueCode(p2, "1"));
+  EXPECT_EQ(dist.NodeWeight(f1), 3);
+}
+
+}  // namespace
+}  // namespace graphtempo

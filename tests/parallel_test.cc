@@ -1,0 +1,142 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/aggregation.h"
+#include "core/operators.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildRandomGraph;
+
+/// Restores the process-wide parallelism after each test so the rest of the
+/// suite is unaffected.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelism(1); }
+};
+
+TEST_F(ParallelTest, DefaultIsSerial) {
+  EXPECT_EQ(GetParallelism(), 1u);
+  ParallelPartition partition(100000);
+  EXPECT_EQ(partition.num_chunks(), 1u);
+}
+
+TEST_F(ParallelTest, SetAndGet) {
+  SetParallelism(4);
+  EXPECT_EQ(GetParallelism(), 4u);
+}
+
+TEST_F(ParallelTest, ChunksCoverRangeExactlyOnce) {
+  SetParallelism(4);
+  for (std::size_t count : {0u, 1u, 63u, 64u, 100u, 4096u, 10000u, 65537u}) {
+    ParallelPartition partition(count, /*min_per_chunk=*/16, /*alignment=*/64);
+    std::size_t covered = 0;
+    std::size_t previous_end = 0;
+    for (std::size_t c = 0; c < partition.num_chunks(); ++c) {
+      auto [begin, end] = partition.chunk(c);
+      EXPECT_EQ(begin, previous_end) << "gap before chunk " << c;
+      EXPECT_LE(begin, end);
+      covered += end - begin;
+      previous_end = end;
+    }
+    EXPECT_EQ(previous_end, count);
+    EXPECT_EQ(covered, count);
+  }
+}
+
+TEST_F(ParallelTest, ChunkBoundariesAreAligned) {
+  SetParallelism(8);
+  ParallelPartition partition(100000, /*min_per_chunk=*/16, /*alignment=*/64);
+  ASSERT_GT(partition.num_chunks(), 1u);
+  for (std::size_t c = 1; c < partition.num_chunks(); ++c) {
+    EXPECT_EQ(partition.chunk(c).first % 64, 0u) << "chunk " << c;
+  }
+}
+
+TEST_F(ParallelTest, SmallInputsStaySerial) {
+  SetParallelism(8);
+  ParallelPartition partition(100, /*min_per_chunk=*/2048);
+  EXPECT_EQ(partition.num_chunks(), 1u);
+}
+
+TEST_F(ParallelTest, RunVisitsEveryIndexOnce) {
+  SetParallelism(4);
+  const std::size_t count = 50000;
+  std::vector<std::atomic<int>> visits(count);
+  ParallelPartition partition(count, /*min_per_chunk=*/16);
+  EXPECT_GT(partition.num_chunks(), 1u);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ParallelForSumsCorrectly) {
+  SetParallelism(3);
+  const std::size_t count = 100000;
+  std::atomic<std::uint64_t> total{0};
+  ParallelFor(count, [&](std::size_t, std::size_t begin, std::size_t end) {
+    std::uint64_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += i;
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(count) * (count - 1) / 2);
+}
+
+// The operators must produce bit-identical views at any thread count.
+TEST_F(ParallelTest, OperatorsAreDeterministicAcrossThreadCounts) {
+  TemporalGraph graph = BuildRandomGraph(91, 3000, 10, 0.4, 3, 4, 0.02);
+  IntervalSet a = IntervalSet::Range(10, 0, 4);
+  IntervalSet b = IntervalSet::Range(10, 5, 9);
+
+  SetParallelism(1);
+  GraphView union_serial = UnionOp(graph, a, b);
+  GraphView inter_serial = IntersectionOp(graph, a, b);
+  GraphView diff_serial = DifferenceOp(graph, a, b);
+  GraphView project_serial = Project(graph, a);
+
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    SetParallelism(threads);
+    // Force multiple chunks even for this modest graph.
+    GraphView union_parallel = UnionOp(graph, a, b);
+    EXPECT_EQ(union_parallel.nodes, union_serial.nodes) << threads << " threads";
+    EXPECT_EQ(union_parallel.edges, union_serial.edges) << threads << " threads";
+    GraphView inter_parallel = IntersectionOp(graph, a, b);
+    EXPECT_EQ(inter_parallel.nodes, inter_serial.nodes);
+    EXPECT_EQ(inter_parallel.edges, inter_serial.edges);
+    GraphView diff_parallel = DifferenceOp(graph, a, b);
+    EXPECT_EQ(diff_parallel.nodes, diff_serial.nodes);
+    EXPECT_EQ(diff_parallel.edges, diff_serial.edges);
+    GraphView project_parallel = Project(graph, a);
+    EXPECT_EQ(project_parallel.nodes, project_serial.nodes);
+    EXPECT_EQ(project_parallel.edges, project_serial.edges);
+  }
+}
+
+TEST_F(ParallelTest, AggregationUnaffectedByParallelOperators) {
+  TemporalGraph graph = BuildRandomGraph(92, 2000, 8, 0.4, 3, 4, 0.03);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color"});
+  IntervalSet a = IntervalSet::Range(8, 0, 3);
+  IntervalSet b = IntervalSet::Range(8, 4, 7);
+
+  SetParallelism(1);
+  AggregateGraph serial = Aggregate(graph, UnionOp(graph, a, b), attrs,
+                                    AggregationSemantics::kAll);
+  SetParallelism(6);
+  AggregateGraph parallel = Aggregate(graph, UnionOp(graph, a, b), attrs,
+                                      AggregationSemantics::kAll);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeath, ZeroThreadsAborts) { EXPECT_DEATH(SetParallelism(0), "at least 1"); }
+
+}  // namespace
+}  // namespace graphtempo

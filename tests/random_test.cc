@@ -1,0 +1,121 @@
+#include "datagen/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace graphtempo::datagen {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Pcg32Test, NextBelowRespectsBound) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, NextBelowCoversAllValues) {
+  Pcg32 rng(7);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextBelow(8)];
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(counts[i], 700) << "value " << i << " badly under-represented";
+  }
+}
+
+TEST(Pcg32Test, NextInRangeInclusive) {
+  Pcg32 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t value = rng.NextInRange(5, 8);
+    EXPECT_GE(value, 5u);
+    EXPECT_LE(value, 8u);
+    saw_lo |= value == 5;
+    saw_hi |= value == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Pcg32Test, NextBoolMatchesProbabilityRoughly) {
+  Pcg32 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  Pcg32 rng(17);
+  ZipfSampler zipf(5, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(rng)];
+  for (int count : counts) EXPECT_NEAR(count, 2000, 300);
+}
+
+TEST(ZipfSamplerTest, SkewPrefersLowRanks) {
+  Pcg32 rng(19);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // rank 0 well above uniform share
+}
+
+TEST(ZipfSamplerTest, SingleRank) {
+  Pcg32 rng(21);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ShuffleTest, PermutesDeterministically) {
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  Pcg32 rng(23);
+  Shuffle(values, rng);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+
+  std::vector<int> again = {1, 2, 3, 4, 5, 6, 7, 8};
+  Pcg32 rng2(23);
+  Shuffle(again, rng2);
+  EXPECT_EQ(values, again);  // same seed, same permutation
+}
+
+TEST(Pcg32Death, ZeroBoundAborts) {
+  Pcg32 rng(1);
+  EXPECT_DEATH(rng.NextBelow(0), "positive");
+}
+
+}  // namespace
+}  // namespace graphtempo::datagen

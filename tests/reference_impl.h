@@ -1,0 +1,181 @@
+#ifndef GRAPHTEMPO_TESTS_REFERENCE_IMPL_H_
+#define GRAPHTEMPO_TESTS_REFERENCE_IMPL_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/operators.h"
+#include "core/temporal_graph.h"
+
+/// \file
+/// Literal, definition-by-definition reference implementations of the
+/// paper's operators and aggregation, written for obviousness rather than
+/// speed: τ as std::set<TimeId>, set algebra spelled out, no bit tricks, no
+/// fast paths. The differential test suite (`reference_test.cc`) checks the
+/// optimized library against these on randomized graphs.
+
+namespace graphtempo::testing {
+
+/// τu(u) as an ordered set (Def 2.1).
+inline std::set<TimeId> NodeTau(const TemporalGraph& graph, NodeId n) {
+  std::set<TimeId> tau;
+  for (TimeId t = 0; t < graph.num_times(); ++t) {
+    if (graph.NodePresentAt(n, t)) tau.insert(t);
+  }
+  return tau;
+}
+
+/// τe(e) as an ordered set (Def 2.1).
+inline std::set<TimeId> EdgeTau(const TemporalGraph& graph, EdgeId e) {
+  std::set<TimeId> tau;
+  for (TimeId t = 0; t < graph.num_times(); ++t) {
+    if (graph.EdgePresentAt(e, t)) tau.insert(t);
+  }
+  return tau;
+}
+
+inline std::set<TimeId> ToSet(const IntervalSet& interval) {
+  std::set<TimeId> result;
+  interval.ForEach([&](TimeId t) { result.insert(t); });
+  return result;
+}
+
+inline bool IntersectsSet(const std::set<TimeId>& a, const std::set<TimeId>& b) {
+  return std::any_of(a.begin(), a.end(), [&](TimeId t) { return b.count(t) != 0; });
+}
+
+inline bool SubsetOfSet(const std::set<TimeId>& sub, const std::set<TimeId>& super) {
+  return std::all_of(sub.begin(), sub.end(),
+                     [&](TimeId t) { return super.count(t) != 0; });
+}
+
+/// Def 2.2 — projection: V₁ = {u : T₁ ⊆ τu(u)}, E₁ = {e : T₁ ⊆ τe(e)}.
+inline GraphView RefProject(const TemporalGraph& graph, const IntervalSet& t1) {
+  GraphView view;
+  view.times = t1;
+  std::set<TimeId> interval = ToSet(t1);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (SubsetOfSet(interval, NodeTau(graph, n))) view.nodes.push_back(n);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (SubsetOfSet(interval, EdgeTau(graph, e))) view.edges.push_back(e);
+  }
+  return view;
+}
+
+/// Def 2.3 — union: τ ∩ T₁ ≠ ∅ or τ ∩ T₂ ≠ ∅, defined on T₁ ∪ T₂.
+inline GraphView RefUnion(const TemporalGraph& graph, const IntervalSet& t1,
+                          const IntervalSet& t2) {
+  GraphView view;
+  view.times = t1 | t2;
+  std::set<TimeId> s1 = ToSet(t1);
+  std::set<TimeId> s2 = ToSet(t2);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    std::set<TimeId> tau = NodeTau(graph, n);
+    if (IntersectsSet(tau, s1) || IntersectsSet(tau, s2)) view.nodes.push_back(n);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    std::set<TimeId> tau = EdgeTau(graph, e);
+    if (IntersectsSet(tau, s1) || IntersectsSet(tau, s2)) view.edges.push_back(e);
+  }
+  return view;
+}
+
+/// Def 2.4 — intersection: τ ∩ T₁ ≠ ∅ and τ ∩ T₂ ≠ ∅, defined on T₁ ∪ T₂.
+inline GraphView RefIntersection(const TemporalGraph& graph, const IntervalSet& t1,
+                                 const IntervalSet& t2) {
+  GraphView view;
+  view.times = t1 | t2;
+  std::set<TimeId> s1 = ToSet(t1);
+  std::set<TimeId> s2 = ToSet(t2);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    std::set<TimeId> tau = NodeTau(graph, n);
+    if (IntersectsSet(tau, s1) && IntersectsSet(tau, s2)) view.nodes.push_back(n);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    std::set<TimeId> tau = EdgeTau(graph, e);
+    if (IntersectsSet(tau, s1) && IntersectsSet(tau, s2)) view.edges.push_back(e);
+  }
+  return view;
+}
+
+/// Def 2.5 — difference T₁ − T₂: E₋ = {e : τe ∩ T₁ ≠ ∅ ∧ τe ∩ T₂ = ∅};
+/// V₋ = {u : τu ∩ T₁ ≠ ∅ ∧ (τu ∩ T₂ = ∅ ∨ ∃(u,v) ∈ E₋)}, defined on T₁.
+inline GraphView RefDifference(const TemporalGraph& graph, const IntervalSet& t1,
+                               const IntervalSet& t2) {
+  GraphView view;
+  view.times = t1;
+  std::set<TimeId> s1 = ToSet(t1);
+  std::set<TimeId> s2 = ToSet(t2);
+  std::set<NodeId> difference_endpoints;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    std::set<TimeId> tau = EdgeTau(graph, e);
+    if (IntersectsSet(tau, s1) && !IntersectsSet(tau, s2)) {
+      view.edges.push_back(e);
+      auto [src, dst] = graph.edge(e);
+      difference_endpoints.insert(src);
+      difference_endpoints.insert(dst);
+    }
+  }
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    std::set<TimeId> tau = NodeTau(graph, n);
+    if (!IntersectsSet(tau, s1)) continue;
+    if (!IntersectsSet(tau, s2) || difference_endpoints.count(n) != 0) {
+      view.nodes.push_back(n);
+    }
+  }
+  return view;
+}
+
+/// Def 2.6 / Algorithm 2, literal form: unpivot every (entity, time)
+/// appearance within the view interval, deduplicate per entity for DIST,
+/// group-count. std::map keyed by value vectors — slow and obvious.
+inline AggregateGraph RefAggregate(const TemporalGraph& graph, const GraphView& view,
+                                   const std::vector<AttrRef>& attrs,
+                                   AggregationSemantics semantics) {
+  AggregateGraph result;
+  std::set<TimeId> interval = ToSet(view.times);
+
+  auto tuple_at = [&](NodeId n, TimeId t) {
+    std::vector<AttrValueId> values;
+    for (const AttrRef& ref : attrs) values.push_back(graph.ValueCodeAt(ref, n, t));
+    return values;
+  };
+  auto to_attr_tuple = [](const std::vector<AttrValueId>& values) {
+    AttrTuple tuple;
+    for (AttrValueId value : values) tuple.Append(value);
+    return tuple;
+  };
+
+  for (NodeId n : view.nodes) {
+    std::set<std::vector<AttrValueId>> seen;
+    for (TimeId t : interval) {
+      if (!graph.NodePresentAt(n, t)) continue;
+      std::vector<AttrValueId> tuple = tuple_at(n, t);
+      if (semantics == AggregationSemantics::kDistinct) {
+        if (!seen.insert(tuple).second) continue;
+      }
+      result.AddNodeWeight(to_attr_tuple(tuple), 1);
+    }
+  }
+  for (EdgeId e : view.edges) {
+    auto [src, dst] = graph.edge(e);
+    std::set<std::pair<std::vector<AttrValueId>, std::vector<AttrValueId>>> seen;
+    for (TimeId t : interval) {
+      if (!graph.EdgePresentAt(e, t)) continue;
+      auto pair = std::make_pair(tuple_at(src, t), tuple_at(dst, t));
+      if (semantics == AggregationSemantics::kDistinct) {
+        if (!seen.insert(pair).second) continue;
+      }
+      result.AddEdgeWeight(to_attr_tuple(pair.first), to_attr_tuple(pair.second), 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace graphtempo::testing
+
+#endif  // GRAPHTEMPO_TESTS_REFERENCE_IMPL_H_

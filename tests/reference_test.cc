@@ -1,0 +1,150 @@
+/// Differential test suite: the optimized operators and aggregation are
+/// checked cell-for-cell against the literal reference implementations of
+/// `reference_impl.h` over a grid of random graphs and interval choices.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/aggregation.h"
+#include "core/operators.h"
+#include "reference_impl.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+void ExpectViewsEqual(const GraphView& actual, const GraphView& expected,
+                      const char* what) {
+  EXPECT_EQ(actual.nodes, expected.nodes) << what << " nodes";
+  EXPECT_EQ(actual.edges, expected.edges) << what << " edges";
+  EXPECT_EQ(actual.times, expected.times) << what << " times";
+}
+
+/// All interval pairs exercised per graph: contiguous, overlapping, nested,
+/// disjoint, single-point and non-contiguous sets.
+std::vector<std::pair<IntervalSet, IntervalSet>> IntervalGrid(std::size_t n) {
+  std::vector<std::pair<IntervalSet, IntervalSet>> grid;
+  grid.emplace_back(IntervalSet::Point(n, 0), IntervalSet::Point(n, 1));
+  grid.emplace_back(IntervalSet::Point(n, 0),
+                    IntervalSet::Point(n, static_cast<TimeId>(n - 1)));
+  grid.emplace_back(IntervalSet::Range(n, 0, static_cast<TimeId>(n / 2)),
+                    IntervalSet::Range(n, static_cast<TimeId>(n / 2 + 1),
+                                       static_cast<TimeId>(n - 1)));
+  grid.emplace_back(IntervalSet::Range(n, 0, static_cast<TimeId>(n - 2)),
+                    IntervalSet::Range(n, 1, static_cast<TimeId>(n - 1)));  // overlap
+  grid.emplace_back(IntervalSet::Range(n, 1, static_cast<TimeId>(n - 2)),
+                    IntervalSet::All(n));                                   // nested
+  grid.emplace_back(IntervalSet::Of(n, {0, static_cast<TimeId>(n - 1)}),
+                    IntervalSet::Of(n, {static_cast<TimeId>(n / 2)}));      // gaps
+  return grid;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  DifferentialTest() : graph_(BuildRandomGraph(GetParam(), 30, 7, 0.45)) {}
+  TemporalGraph graph_;
+};
+
+TEST_P(DifferentialTest, ProjectMatchesDefinition) {
+  const std::size_t n = graph_.num_times();
+  for (const auto& [a, b] : IntervalGrid(n)) {
+    ExpectViewsEqual(Project(graph_, a), testing::RefProject(graph_, a), "project a");
+    ExpectViewsEqual(Project(graph_, b), testing::RefProject(graph_, b), "project b");
+  }
+}
+
+TEST_P(DifferentialTest, UnionMatchesDefinition) {
+  for (const auto& [a, b] : IntervalGrid(graph_.num_times())) {
+    ExpectViewsEqual(UnionOp(graph_, a, b), testing::RefUnion(graph_, a, b), "union");
+  }
+}
+
+TEST_P(DifferentialTest, IntersectionMatchesDefinition) {
+  for (const auto& [a, b] : IntervalGrid(graph_.num_times())) {
+    ExpectViewsEqual(IntersectionOp(graph_, a, b),
+                     testing::RefIntersection(graph_, a, b), "intersection");
+  }
+}
+
+TEST_P(DifferentialTest, DifferenceMatchesDefinitionBothDirections) {
+  for (const auto& [a, b] : IntervalGrid(graph_.num_times())) {
+    ExpectViewsEqual(DifferenceOp(graph_, a, b), testing::RefDifference(graph_, a, b),
+                     "difference a-b");
+    ExpectViewsEqual(DifferenceOp(graph_, b, a), testing::RefDifference(graph_, b, a),
+                     "difference b-a");
+  }
+}
+
+TEST_P(DifferentialTest, AggregationMatchesDefinition) {
+  const std::size_t n = graph_.num_times();
+  std::vector<std::vector<AttrRef>> attr_sets = {
+      ResolveAttributes(graph_, {"color"}),
+      ResolveAttributes(graph_, {"level"}),
+      ResolveAttributes(graph_, {"color", "level"}),
+  };
+  for (const auto& [a, b] : IntervalGrid(n)) {
+    for (const GraphView& view :
+         {UnionOp(graph_, a, b), IntersectionOp(graph_, a, b),
+          DifferenceOp(graph_, a, b)}) {
+      for (const auto& attrs : attr_sets) {
+        for (auto semantics :
+             {AggregationSemantics::kDistinct, AggregationSemantics::kAll}) {
+          EXPECT_EQ(Aggregate(graph_, view, attrs, semantics),
+                    testing::RefAggregate(graph_, view, attrs, semantics));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(7, 21, 63, 189, 567, 1701));
+
+// The paper graph, against the references, for every operator.
+TEST(DifferentialPaperGraphTest, AllOperators) {
+  TemporalGraph graph = BuildPaperGraph();
+  for (TimeId i = 0; i < 3; ++i) {
+    for (TimeId j = 0; j < 3; ++j) {
+      IntervalSet a = IntervalSet::Point(3, i);
+      IntervalSet b = IntervalSet::Point(3, j);
+      ExpectViewsEqual(UnionOp(graph, a, b), testing::RefUnion(graph, a, b), "union");
+      ExpectViewsEqual(IntersectionOp(graph, a, b),
+                       testing::RefIntersection(graph, a, b), "intersection");
+      ExpectViewsEqual(DifferenceOp(graph, a, b), testing::RefDifference(graph, a, b),
+                       "difference");
+    }
+  }
+}
+
+// Sparse and dense extremes — fast paths must agree with the reference even
+// when almost nothing / almost everything is present.
+TEST(DifferentialExtremesTest, SparseGraph) {
+  TemporalGraph graph = testing::BuildRandomGraph(5, 25, 6, /*presence_p=*/0.05,
+                                                  /*colors=*/2, /*levels=*/2,
+                                                  /*edge_p=*/0.05);
+  for (const auto& [a, b] : IntervalGrid(6)) {
+    ExpectViewsEqual(UnionOp(graph, a, b), testing::RefUnion(graph, a, b), "union");
+    ExpectViewsEqual(DifferenceOp(graph, a, b), testing::RefDifference(graph, a, b),
+                     "difference");
+  }
+}
+
+TEST(DifferentialExtremesTest, DenseGraph) {
+  TemporalGraph graph = testing::BuildRandomGraph(6, 20, 6, /*presence_p=*/0.95,
+                                                  /*colors=*/2, /*levels=*/2,
+                                                  /*edge_p=*/0.6);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color", "level"});
+  for (const auto& [a, b] : IntervalGrid(6)) {
+    GraphView view = IntersectionOp(graph, a, b);
+    ExpectViewsEqual(view, testing::RefIntersection(graph, a, b), "intersection");
+    EXPECT_EQ(Aggregate(graph, view, attrs, AggregationSemantics::kAll),
+              testing::RefAggregate(graph, view, attrs, AggregationSemantics::kAll));
+  }
+}
+
+}  // namespace
+}  // namespace graphtempo

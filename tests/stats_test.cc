@@ -1,0 +1,112 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+
+TEST(SnapshotStatsTest, PaperGraphT0) {
+  TemporalGraph graph = BuildPaperGraph();
+  SnapshotStats stats = ComputeSnapshotStats(graph, 0);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.edges, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 1.0);
+  // u1 has out-edges to u2 and u3 at t0.
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.density, 4.0 / 12.0);
+}
+
+TEST(SnapshotStatsTest, EmptySnapshot) {
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1"});
+  graph.AddNode("lonely");  // never present
+  SnapshotStats stats = ComputeSnapshotStats(graph, 0);
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.0);
+  EXPECT_DOUBLE_EQ(stats.density, 0.0);
+}
+
+TEST(SnapshotJaccardTest, PaperGraphNodes) {
+  TemporalGraph graph = BuildPaperGraph();
+  // t0 = {u1..u4}, t1 = {u1,u2,u4}: ∩ = 3, ∪ = 4.
+  EXPECT_DOUBLE_EQ(SnapshotJaccard(graph, 0, 1, EntityKind::kNodes), 3.0 / 4.0);
+  // t0 vs t2: ∩ = {u2,u4} = 2, ∪ = {u1..u5} = 5.
+  EXPECT_DOUBLE_EQ(SnapshotJaccard(graph, 0, 2, EntityKind::kNodes), 2.0 / 5.0);
+  // Self-similarity is 1.
+  EXPECT_DOUBLE_EQ(SnapshotJaccard(graph, 1, 1, EntityKind::kNodes), 1.0);
+}
+
+TEST(SnapshotJaccardTest, PaperGraphEdges) {
+  TemporalGraph graph = BuildPaperGraph();
+  // t0 edges: 4; t1 edges: 3; common: (u1,u2),(u2,u4) = 2; union = 5.
+  EXPECT_DOUBLE_EQ(SnapshotJaccard(graph, 0, 1, EntityKind::kEdges), 2.0 / 5.0);
+}
+
+TEST(SnapshotJaccardTest, EmptySnapshotsGiveZero) {
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1"});
+  EXPECT_DOUBLE_EQ(SnapshotJaccard(graph, 0, 1, EntityKind::kNodes), 0.0);
+}
+
+TEST(OutDegreeHistogramTest, PaperGraphT0) {
+  TemporalGraph graph = BuildPaperGraph();
+  auto histogram = OutDegreeHistogram(graph, 0);
+  // t0: u1 → {u2,u3} (2), u2 → {u4} (1), u3 → {u4} (1), u4 → {} (0).
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 1u);
+  std::size_t total = 0;
+  for (const auto& [degree, count] : histogram) total += count;
+  EXPECT_EQ(total, graph.NodesAt(0));
+}
+
+TEST(LifespanHistogramTest, PaperGraphNodes) {
+  TemporalGraph graph = BuildPaperGraph();
+  auto histogram = LifespanHistogram(graph, EntityKind::kNodes);
+  EXPECT_EQ(histogram[1], 2u);  // u3, u5
+  EXPECT_EQ(histogram[2], 1u);  // u1
+  EXPECT_EQ(histogram[3], 2u);  // u2, u4
+}
+
+TEST(LifespanHistogramTest, PaperGraphEdges) {
+  TemporalGraph graph = BuildPaperGraph();
+  auto histogram = LifespanHistogram(graph, EntityKind::kEdges);
+  EXPECT_EQ(histogram[1], 5u);
+  EXPECT_EQ(histogram[2], 1u);  // (u1,u2)
+  EXPECT_EQ(histogram[3], 1u);  // (u2,u4)
+}
+
+TEST(AttributeDistributionTest, StaticAttribute) {
+  TemporalGraph graph = BuildPaperGraph();
+  AttrRef gender = *graph.FindAttribute("gender");
+  auto at_t0 = AttributeDistribution(graph, gender, 0);
+  EXPECT_EQ(at_t0["m"], 1u);
+  EXPECT_EQ(at_t0["f"], 3u);
+  auto at_t2 = AttributeDistribution(graph, gender, 2);
+  EXPECT_EQ(at_t2["m"], 1u);  // u5
+  EXPECT_EQ(at_t2["f"], 2u);
+}
+
+TEST(AttributeDistributionTest, TimeVaryingAttribute) {
+  TemporalGraph graph = BuildPaperGraph();
+  AttrRef pubs = *graph.FindAttribute("publications");
+  auto at_t0 = AttributeDistribution(graph, pubs, 0);
+  EXPECT_EQ(at_t0["3"], 1u);
+  EXPECT_EQ(at_t0["1"], 2u);
+  EXPECT_EQ(at_t0["2"], 1u);
+  auto at_t1 = AttributeDistribution(graph, pubs, 1);
+  EXPECT_EQ(at_t1["1"], 3u);
+  EXPECT_EQ(at_t1.count("3"), 0u);
+}
+
+TEST(StatsDeath, TimeOutOfRangeAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  EXPECT_DEATH(ComputeSnapshotStats(graph, 3), "time out of range");
+  EXPECT_DEATH(SnapshotJaccard(graph, 0, 9, EntityKind::kNodes), "time out of range");
+}
+
+}  // namespace
+}  // namespace graphtempo

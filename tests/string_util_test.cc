@@ -1,0 +1,81 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace graphtempo {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a||b", '|'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("|", '|'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, ';'), ';'), parts);
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({}, ','), "");
+  EXPECT_EQ(Join({"solo"}, ','), "solo");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StripWhitespaceTest, InteriorWhitespaceKept) {
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(ParseUint64Test, ParsesDigits) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("12345", &value));
+  EXPECT_EQ(value, 12345u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  std::uint64_t value = 0;
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));
+  EXPECT_FALSE(ParseUint64("12a", &value));
+  EXPECT_FALSE(ParseUint64(" 1", &value));
+}
+
+TEST(ParseUint64Test, RejectsOverflow) {
+  std::uint64_t value = 0;
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &value));  // 2^64
+  EXPECT_FALSE(ParseUint64("99999999999999999999", &value));
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("!section", "!"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,160 @@
+#include "core/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/aggregation.h"
+#include "core/graph_io.h"
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildPaperGraph;
+using testing::BuildRandomGraph;
+
+std::set<std::string> NodeLabelSet(const TemporalGraph& graph,
+                                   const std::vector<NodeId>& nodes) {
+  std::set<std::string> labels;
+  for (NodeId n : nodes) labels.insert(graph.node_label(n));
+  return labels;
+}
+
+TEST(ExtractSubgraphTest, KeepsOnlyViewEntities) {
+  TemporalGraph graph = BuildPaperGraph();
+  GraphView view = IntersectionOp(graph, IntervalSet::Point(3, 0),
+                                  IntervalSet::Point(3, 1));
+  TemporalGraph sub = ExtractSubgraph(graph, view);
+  EXPECT_EQ(sub.num_nodes(), 3u);  // u1, u2, u4
+  EXPECT_EQ(sub.num_edges(), 2u);  // (u1,u2), (u2,u4)
+  EXPECT_TRUE(sub.FindNode("u1").has_value());
+  EXPECT_FALSE(sub.FindNode("u3").has_value());
+  EXPECT_FALSE(sub.FindNode("u5").has_value());
+  EXPECT_EQ(sub.num_times(), 3u);  // time domain preserved
+  EXPECT_EQ(sub.time_label(2), "t2");
+}
+
+TEST(ExtractSubgraphTest, RestrictsPresenceToViewInterval) {
+  TemporalGraph graph = BuildPaperGraph();
+  // u2 exists at t0,t1,t2; a view on [t0,t1] must drop its t2 presence.
+  GraphView view = UnionOp(graph, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  TemporalGraph sub = ExtractSubgraph(graph, view);
+  NodeId u2 = *sub.FindNode("u2");
+  EXPECT_TRUE(sub.NodePresentAt(u2, 0));
+  EXPECT_TRUE(sub.NodePresentAt(u2, 1));
+  EXPECT_FALSE(sub.NodePresentAt(u2, 2));
+  EdgeId e = *sub.FindEdge(u2, *sub.FindNode("u4"));
+  EXPECT_TRUE(sub.EdgePresentAt(e, 0));
+  EXPECT_FALSE(sub.EdgePresentAt(e, 2));
+}
+
+TEST(ExtractSubgraphTest, CopiesAttributes) {
+  TemporalGraph graph = BuildPaperGraph();
+  GraphView view = UnionOp(graph, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1));
+  TemporalGraph sub = ExtractSubgraph(graph, view);
+  AttrRef gender = *sub.FindAttribute("gender");
+  AttrRef pubs = *sub.FindAttribute("publications");
+  NodeId u1 = *sub.FindNode("u1");
+  EXPECT_EQ(sub.ValueName(gender, sub.ValueCodeAt(gender, u1, 0)), "m");
+  EXPECT_EQ(sub.ValueName(pubs, sub.ValueCodeAt(pubs, u1, 0)), "3");
+  EXPECT_EQ(sub.ValueName(pubs, sub.ValueCodeAt(pubs, u1, 1)), "1");
+  // t2 is outside the view: the cell must be unset even for surviving nodes.
+  NodeId u2 = *sub.FindNode("u2");
+  EXPECT_EQ(sub.ValueCodeAt(pubs, u2, 2), kNoValue);
+}
+
+TEST(ExtractSubgraphTest, AggregationIsPreserved) {
+  // Aggregating the view in place ≡ aggregating the extracted graph.
+  TemporalGraph graph = BuildRandomGraph(31, 35, 6);
+  IntervalSet a = IntervalSet::Range(6, 0, 2);
+  IntervalSet b = IntervalSet::Range(6, 3, 5);
+  for (const GraphView& view :
+       {UnionOp(graph, a, b), IntersectionOp(graph, a, b), DifferenceOp(graph, a, b)}) {
+    TemporalGraph sub = ExtractSubgraph(graph, view);
+    std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color", "level"});
+    std::vector<AttrRef> sub_attrs = ResolveAttributes(sub, {"color", "level"});
+    GraphView whole = UnionOp(sub, view.times, view.times);
+    for (auto semantics :
+         {AggregationSemantics::kDistinct, AggregationSemantics::kAll}) {
+      AggregateGraph original = Aggregate(graph, view, attrs, semantics);
+      AggregateGraph extracted = Aggregate(sub, whole, sub_attrs, semantics);
+      // Dictionaries are rebuilt per graph, so compare dataset-independent
+      // quantities: weight multisets.
+      EXPECT_EQ(original.NodeCount(), extracted.NodeCount());
+      EXPECT_EQ(original.EdgeCount(), extracted.EdgeCount());
+      EXPECT_EQ(original.TotalNodeWeight(), extracted.TotalNodeWeight());
+      EXPECT_EQ(original.TotalEdgeWeight(), extracted.TotalEdgeWeight());
+    }
+  }
+}
+
+TEST(ExtractSubgraphTest, OperatorsCompose) {
+  // Entities stable across (t0,t1) and across (t1,t2) are exactly those of
+  // the full projection [t0..t2]: intersection results chain via extraction.
+  TemporalGraph graph = BuildPaperGraph();
+  TemporalGraph first = ExtractSubgraph(
+      graph, IntersectionOp(graph, IntervalSet::Point(3, 0), IntervalSet::Point(3, 1)));
+  TemporalGraph second = ExtractSubgraph(
+      graph, IntersectionOp(graph, IntervalSet::Point(3, 1), IntervalSet::Point(3, 2)));
+  std::set<std::string> chained;
+  for (NodeId n = 0; n < first.num_nodes(); ++n) {
+    if (second.FindNode(first.node_label(n)).has_value()) {
+      chained.insert(first.node_label(n));
+    }
+  }
+  GraphView always = Project(graph, IntervalSet::All(3));
+  EXPECT_EQ(chained, NodeLabelSet(graph, always.nodes));
+}
+
+TEST(ExtractSubgraphTest, UnionExtractionIsIdempotent) {
+  TemporalGraph graph = BuildRandomGraph(77, 30, 5);
+  IntervalSet interval = IntervalSet::Range(5, 1, 3);
+  GraphView view = UnionOp(graph, interval, interval);
+  TemporalGraph sub = ExtractSubgraph(graph, view);
+  GraphView again = UnionOp(sub, interval, interval);
+  TemporalGraph sub2 = ExtractSubgraph(sub, again);
+  EXPECT_EQ(sub.num_nodes(), sub2.num_nodes());
+  EXPECT_EQ(sub.num_edges(), sub2.num_edges());
+  for (TimeId t = 0; t < 5; ++t) {
+    EXPECT_EQ(sub.NodesAt(t), sub2.NodesAt(t));
+    EXPECT_EQ(sub.EdgesAt(t), sub2.EdgesAt(t));
+  }
+}
+
+TEST(ExtractSubgraphTest, ExtractedGraphSerializes) {
+  TemporalGraph graph = BuildPaperGraph();
+  GraphView view = DifferenceOp(graph, IntervalSet::Point(3, 0),
+                                IntervalSet::Point(3, 1));
+  TemporalGraph sub = ExtractSubgraph(graph, view);
+  std::ostringstream out;
+  WriteGraph(sub, &out);
+  std::istringstream in(out.str());
+  std::string error;
+  std::optional<TemporalGraph> restored = ReadGraph(&in, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->num_nodes(), sub.num_nodes());
+  EXPECT_EQ(restored->num_edges(), sub.num_edges());
+}
+
+TEST(ExtractSubgraphTest, EmptyViewGivesEmptyGraph) {
+  TemporalGraph graph = BuildPaperGraph();
+  GraphView empty;
+  empty.times = IntervalSet::Point(3, 0);
+  TemporalGraph sub = ExtractSubgraph(graph, empty);
+  EXPECT_EQ(sub.num_nodes(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+  EXPECT_EQ(sub.num_times(), 3u);
+}
+
+TEST(ExtractSubgraphDeath, DomainMismatchAborts) {
+  TemporalGraph graph = BuildPaperGraph();
+  GraphView bad;
+  bad.times = IntervalSet::Point(5, 0);
+  EXPECT_DEATH(ExtractSubgraph(graph, bad), "different time domain");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,159 @@
+#include "core/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.h"
+
+namespace graphtempo {
+namespace {
+
+TEST(TemporalGraphTest, TimeDomain) {
+  TemporalGraph graph(std::vector<std::string>{"2000", "2001", "2002"});
+  EXPECT_EQ(graph.num_times(), 3u);
+  EXPECT_EQ(graph.time_label(0), "2000");
+  EXPECT_EQ(graph.FindTime("2001"), std::optional<TimeId>(1u));
+  EXPECT_EQ(graph.FindTime("1999"), std::nullopt);
+}
+
+TEST(TemporalGraphTest, AddAndFindNodes) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  NodeId a = graph.AddNode("alice");
+  NodeId b = graph.AddNode("bob");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(graph.num_nodes(), 2u);
+  EXPECT_EQ(graph.FindNode("alice"), std::optional<NodeId>(a));
+  EXPECT_EQ(graph.FindNode("carol"), std::nullopt);
+  EXPECT_EQ(graph.node_label(b), "bob");
+}
+
+TEST(TemporalGraphTest, GetOrAddNodeDeduplicates) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  NodeId a = graph.GetOrAddNode("x");
+  NodeId b = graph.GetOrAddNode("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(graph.num_nodes(), 1u);
+}
+
+TEST(TemporalGraphTest, EdgesAreDirectedAndDeduplicated) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  NodeId a = graph.AddNode("a");
+  NodeId b = graph.AddNode("b");
+  EdgeId ab = graph.GetOrAddEdge(a, b);
+  EdgeId ab2 = graph.GetOrAddEdge(a, b);
+  EdgeId ba = graph.GetOrAddEdge(b, a);
+  EXPECT_EQ(ab, ab2);
+  EXPECT_NE(ab, ba);  // direction matters
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.edge(ab), (std::pair<NodeId, NodeId>{a, b}));
+  EXPECT_EQ(graph.FindEdge(a, b), std::optional<EdgeId>(ab));
+  EXPECT_EQ(graph.FindEdge(a, a), std::nullopt);
+}
+
+TEST(TemporalGraphTest, PresenceDefaultsToAbsent) {
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1"});
+  NodeId n = graph.AddNode("n");
+  EXPECT_FALSE(graph.NodePresentAt(n, 0));
+  EXPECT_FALSE(graph.NodePresentAt(n, 1));
+}
+
+TEST(TemporalGraphTest, EdgePresenceImpliesEndpointPresence) {
+  // The invariant of Def 2.1: an edge cannot exist without its endpoints.
+  TemporalGraph graph(std::vector<std::string>{"t0", "t1"});
+  NodeId a = graph.AddNode("a");
+  NodeId b = graph.AddNode("b");
+  EdgeId e = graph.GetOrAddEdge(a, b);
+  graph.SetEdgePresent(e, 1);
+  EXPECT_TRUE(graph.EdgePresentAt(e, 1));
+  EXPECT_TRUE(graph.NodePresentAt(a, 1));
+  EXPECT_TRUE(graph.NodePresentAt(b, 1));
+  EXPECT_FALSE(graph.NodePresentAt(a, 0));
+}
+
+TEST(TemporalGraphTest, NodeAndEdgeTimes) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  NodeId u1 = *graph.FindNode("u1");
+  EXPECT_EQ(graph.NodeTimes(u1).ToVector(), (std::vector<TimeId>{0, 1}));
+  NodeId u5 = *graph.FindNode("u5");
+  EXPECT_EQ(graph.NodeTimes(u5).ToVector(), (std::vector<TimeId>{2}));
+  EdgeId e = *graph.FindEdge(*graph.FindNode("u2"), *graph.FindNode("u4"));
+  EXPECT_EQ(graph.EdgeTimes(e).ToVector(), (std::vector<TimeId>{0, 1, 2}));
+}
+
+TEST(TemporalGraphTest, StaticAttributes) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  std::optional<AttrRef> gender = graph.FindAttribute("gender");
+  ASSERT_TRUE(gender.has_value());
+  EXPECT_EQ(gender->kind, AttrRef::Kind::kStatic);
+  NodeId u2 = *graph.FindNode("u2");
+  AttrValueId code = graph.ValueCodeAt(*gender, u2, 0);
+  EXPECT_EQ(graph.ValueName(*gender, code), "f");
+  // Static values ignore the time argument.
+  EXPECT_EQ(graph.ValueCodeAt(*gender, u2, 2), code);
+}
+
+TEST(TemporalGraphTest, TimeVaryingAttributes) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  std::optional<AttrRef> pubs = graph.FindAttribute("publications");
+  ASSERT_TRUE(pubs.has_value());
+  EXPECT_EQ(pubs->kind, AttrRef::Kind::kTimeVarying);
+  NodeId u1 = *graph.FindNode("u1");
+  EXPECT_EQ(graph.ValueName(*pubs, graph.ValueCodeAt(*pubs, u1, 0)), "3");
+  EXPECT_EQ(graph.ValueName(*pubs, graph.ValueCodeAt(*pubs, u1, 1)), "1");
+  EXPECT_EQ(graph.ValueCodeAt(*pubs, u1, 2), kNoValue);  // u1 absent at t2
+}
+
+TEST(TemporalGraphTest, FindValueCode) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  AttrRef gender = *graph.FindAttribute("gender");
+  EXPECT_TRUE(graph.FindValueCode(gender, "f").has_value());
+  EXPECT_FALSE(graph.FindValueCode(gender, "zzz").has_value());
+}
+
+TEST(TemporalGraphTest, FindAttributeUnknown) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  EXPECT_EQ(graph.FindAttribute("nope"), std::nullopt);
+}
+
+TEST(TemporalGraphTest, AttributesAddedAfterNodesCoverThem) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  graph.AddNode("a");
+  std::uint32_t attr = graph.AddStaticAttribute("late");
+  graph.SetStaticValue(attr, 0, "v");
+  EXPECT_EQ(graph.static_attribute(attr).ValueAt(0), "v");
+}
+
+TEST(TemporalGraphTest, NodesAndEdgesAtCountsMatchPaperTable) {
+  TemporalGraph graph = testing::BuildPaperGraph();
+  EXPECT_EQ(graph.NodesAt(0), 4u);  // u1..u4
+  EXPECT_EQ(graph.NodesAt(1), 3u);  // u1, u2, u4
+  EXPECT_EQ(graph.NodesAt(2), 3u);  // u2, u4, u5
+  EXPECT_EQ(graph.EdgesAt(0), 4u);
+  EXPECT_EQ(graph.EdgesAt(1), 3u);
+  EXPECT_EQ(graph.EdgesAt(2), 3u);
+}
+
+TEST(TemporalGraphDeath, DuplicateNodeLabelAborts) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  graph.AddNode("x");
+  EXPECT_DEATH(graph.AddNode("x"), "duplicate");
+}
+
+TEST(TemporalGraphDeath, DuplicateAttributeAborts) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  graph.AddStaticAttribute("a");
+  EXPECT_DEATH(graph.AddTimeVaryingAttribute("a"), "duplicate");
+}
+
+TEST(TemporalGraphDeath, EdgeEndpointOutOfRangeAborts) {
+  TemporalGraph graph(std::vector<std::string>{"t0"});
+  graph.AddNode("a");
+  EXPECT_DEATH(graph.GetOrAddEdge(0, 5), "out of range");
+}
+
+TEST(TemporalGraphDeath, DuplicateTimeLabelAborts) {
+  EXPECT_DEATH(TemporalGraph(std::vector<std::string>{"t0", "t0"}), "duplicate");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,88 @@
+#include "storage/tsv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace graphtempo {
+namespace {
+
+std::vector<std::vector<std::string>> ReadAll(const std::string& text) {
+  std::istringstream input(text);
+  TsvReader reader(&input);
+  std::vector<std::vector<std::string>> rows;
+  while (auto row = reader.ReadRow()) rows.push_back(*row);
+  return rows;
+}
+
+TEST(TsvReaderTest, ReadsRows) {
+  auto rows = ReadAll("a\tb\nc\td\te\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d", "e"}));
+}
+
+TEST(TsvReaderTest, SkipsCommentsAndBlanks) {
+  auto rows = ReadAll("# header\n\n   \na\n# tail\nb\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][0], "b");
+}
+
+TEST(TsvReaderTest, ToleratesCrlf) {
+  auto rows = ReadAll("a\tb\r\nc\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(TsvReaderTest, KeepsEmptyFields) {
+  auto rows = ReadAll("a\t\tb\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(TsvReaderTest, MissingTrailingNewline) {
+  auto rows = ReadAll("a\tb");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TsvReaderTest, LineNumberTracksPhysicalLines) {
+  std::istringstream input("# c\n\nrow\n");
+  TsvReader reader(&input);
+  auto row = reader.ReadRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(reader.line_number(), 3u);
+}
+
+TEST(TsvReaderTest, EmptyInput) {
+  auto rows = ReadAll("");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(TsvWriterTest, WritesRowsAndComments) {
+  std::ostringstream output;
+  TsvWriter writer(&output);
+  writer.WriteComment("hello");
+  writer.WriteRow({"a", "b"});
+  writer.WriteRow({"c"});
+  EXPECT_EQ(output.str(), "# hello\na\tb\nc\n");
+}
+
+TEST(TsvRoundTripTest, WriteThenRead) {
+  std::ostringstream output;
+  TsvWriter writer(&output);
+  std::vector<std::vector<std::string>> rows = {{"x", "y"}, {"1", "", "3"}};
+  for (const auto& row : rows) writer.WriteRow(row);
+  EXPECT_EQ(ReadAll(output.str()), rows);
+}
+
+TEST(TsvWriterDeath, FieldWithTabAborts) {
+  std::ostringstream output;
+  TsvWriter writer(&output);
+  EXPECT_DEATH(writer.WriteRow({"a\tb"}), "separator");
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -1,0 +1,853 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "core/aggregation.h"
+#include "core/coarsen.h"
+#include "core/edge_list_io.h"
+#include "core/evolution.h"
+#include "core/exploration.h"
+#include "core/graph_io.h"
+#include "core/lattice.h"
+#include "core/measures.h"
+#include "core/naive_exploration.h"
+#include "core/operators.h"
+#include "core/stats.h"
+#include "core/subgraph.h"
+#include "datagen/contact_gen.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/movielens_gen.h"
+#include "datagen/paper_example.h"
+#include "util/string_util.h"
+
+namespace graphtempo::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(graphtempo — temporal graph aggregation & evolution exploration
+
+usage: graphtempo <command> [options]
+
+commands:
+  help                                     this message
+  info <graph.tsv>                         sizes, attributes, overlap stats
+  generate <dblp|movielens|contact|paper> <out>   write a dataset [--seed N]
+  import <edges.tsv> <out.tsv>             convert a `src dst time` edge list
+          [--static name:path[,name:path...]] [--varying name:path[,...]]
+  operate <graph.tsv> --op <union|intersection|difference|project>
+          --t1 a[..b] [--t2 c[..d]] [--out sub.tsv]
+  aggregate <graph.tsv> --attrs a,b [--op ...] [--t1 ...] [--t2 ...]
+          [--semantics dist|all] [--symmetric yes] [--top N]
+  evolution <graph.tsv> --attrs a,b --old a..b --new c..d [--top N]
+  measure <graph.tsv> --attrs a,b --measure <edge-attr> --fn <sum|min|max|avg|count>
+          [--op ...] [--t1 ...] [--t2 ...] [--top N]
+  coarsen <graph.tsv> <out.tsv> --width N [--policy last|first]
+  explore <graph.tsv> --event <stability|growth|shrinkage>
+          --semantics <union|intersection> [--reference old|new] --k N
+          [--kind nodes|edges] [--attrs g] [--src v] [--dst v] [--node v]
+          [--strategy pruned|naive|both-ends]
+  suggest-k <graph.tsv> --event <...> [selector options]
+  stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
+
+time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
+)";
+
+/// Parsed `--name value` options plus positional arguments.
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::optional<std::string> Get(const std::string& name) const {
+    auto it = flags.find(name);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+bool ParseOptions(const std::vector<std::string>& args, std::size_t start,
+                  Options* options, std::ostream& err) {
+  for (std::size_t i = start; i < args.size(); ++i) {
+    if (StartsWith(args[i], "--")) {
+      std::string name = args[i].substr(2);
+      if (i + 1 >= args.size()) {
+        err << "error: flag --" << name << " needs a value\n";
+        return false;
+      }
+      options->flags[name] = args[++i];
+    } else {
+      options->positional.push_back(args[i]);
+    }
+  }
+  return true;
+}
+
+/// "2005" / "5" → TimeId; label lookup first, index fallback.
+std::optional<TimeId> ParseTimePoint(const TemporalGraph& graph, const std::string& text,
+                                     std::ostream& err) {
+  if (std::optional<TimeId> t = graph.FindTime(text)) return t;
+  std::uint64_t index = 0;
+  if (ParseUint64(text, &index) && index < graph.num_times()) {
+    return static_cast<TimeId>(index);
+  }
+  err << "error: unknown time point '" << text << "'\n";
+  return std::nullopt;
+}
+
+/// "a..b" or single point → IntervalSet.
+std::optional<IntervalSet> ParseInterval(const TemporalGraph& graph,
+                                         const std::string& text, std::ostream& err) {
+  std::size_t dots = text.find("..");
+  if (dots == std::string::npos) {
+    std::optional<TimeId> t = ParseTimePoint(graph, text, err);
+    if (!t.has_value()) return std::nullopt;
+    return IntervalSet::Point(graph.num_times(), *t);
+  }
+  std::optional<TimeId> first = ParseTimePoint(graph, text.substr(0, dots), err);
+  std::optional<TimeId> last = ParseTimePoint(graph, text.substr(dots + 2), err);
+  if (!first.has_value() || !last.has_value()) return std::nullopt;
+  if (*first > *last) {
+    err << "error: inverted range '" << text << "'\n";
+    return std::nullopt;
+  }
+  return IntervalSet::Range(graph.num_times(), *first, *last);
+}
+
+std::optional<std::vector<AttrRef>> ParseAttributes(const TemporalGraph& graph,
+                                                    const std::string& names,
+                                                    std::ostream& err) {
+  std::vector<AttrRef> refs;
+  for (const std::string& name : Split(names, ',')) {
+    std::optional<AttrRef> ref = graph.FindAttribute(name);
+    if (!ref.has_value()) {
+      err << "error: unknown attribute '" << name << "'\n";
+      return std::nullopt;
+    }
+    refs.push_back(*ref);
+  }
+  if (refs.empty()) {
+    err << "error: --attrs needs at least one attribute\n";
+    return std::nullopt;
+  }
+  return refs;
+}
+
+std::optional<TemporalGraph> LoadGraph(const std::string& path, std::ostream& err) {
+  std::string error;
+  std::optional<TemporalGraph> graph = ReadGraphFromFile(path, &error);
+  if (!graph.has_value()) err << "error: " << error << "\n";
+  return graph;
+}
+
+std::string IntervalLabel(const TemporalGraph& graph, const IntervalSet& interval) {
+  if (interval.Empty()) return "{}";
+  TimeId first = interval.First();
+  TimeId last = interval.Last();
+  if (first == last) return graph.time_label(first);
+  return graph.time_label(first) + ".." + graph.time_label(last);
+}
+
+// --- info --------------------------------------------------------------------
+
+int CmdInfo(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo info <graph.tsv>\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  out << "time points : " << graph->num_times() << "\n";
+  out << "nodes       : " << graph->num_nodes() << "\n";
+  out << "edges       : " << graph->num_edges() << "\n";
+  out << "attributes  :";
+  for (std::uint32_t a = 0; a < graph->num_static_attributes(); ++a) {
+    out << " " << graph->static_attribute(a).name() << "(static,"
+        << graph->static_attribute(a).dictionary().size() << " values)";
+  }
+  for (std::uint32_t a = 0; a < graph->num_time_varying_attributes(); ++a) {
+    out << " " << graph->time_varying_attribute(a).name() << "(varying,"
+        << graph->time_varying_attribute(a).dictionary().size() << " values)";
+  }
+  out << "\n\nper time point:\n";
+  out << "  time  nodes  edges  avg-deg  node-overlap-with-next\n";
+  for (TimeId t = 0; t < graph->num_times(); ++t) {
+    SnapshotStats stats = ComputeSnapshotStats(*graph, t);
+    out << "  " << graph->time_label(t) << "  " << stats.nodes << "  " << stats.edges
+        << "  ";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f", stats.avg_out_degree);
+    out << buffer;
+    if (t + 1 < graph->num_times()) {
+      std::snprintf(buffer, sizeof(buffer), "%.3f",
+                    SnapshotJaccard(*graph, t, t + 1, EntityKind::kNodes));
+      out << "  " << buffer;
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+// --- generate ----------------------------------------------------------------
+
+int CmdGenerate(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: graphtempo generate <dblp|movielens|contact|paper> <out.tsv> [--seed N]\n";
+    return 1;
+  }
+  const std::string& kind = options.positional[0];
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  if (std::optional<std::string> raw = options.Get("seed")) {
+    if (!ParseUint64(*raw, &seed)) {
+      err << "error: --seed must be a non-negative integer\n";
+      return 1;
+    }
+    have_seed = true;
+  }
+
+  std::optional<TemporalGraph> graph;
+  if (kind == "dblp") {
+    datagen::DblpOptions generator_options;
+    if (have_seed) generator_options.seed = seed;
+    graph.emplace(datagen::GenerateDblp(generator_options));
+  } else if (kind == "movielens") {
+    datagen::MovieLensOptions generator_options;
+    if (have_seed) generator_options.seed = seed;
+    graph.emplace(datagen::GenerateMovieLens(generator_options));
+  } else if (kind == "contact") {
+    datagen::ContactOptions generator_options;
+    if (have_seed) generator_options.seed = seed;
+    graph.emplace(datagen::GenerateContactNetwork(generator_options));
+  } else if (kind == "paper") {
+    graph.emplace(datagen::BuildPaperExampleGraph());
+  } else {
+    err << "error: unknown dataset '" << kind << "' (dblp|movielens|contact|paper)\n";
+    return 1;
+  }
+
+  std::string error;
+  if (!WriteGraphToFile(*graph, options.positional[1], &error)) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+  out << "wrote " << kind << ": " << graph->num_nodes() << " nodes, "
+      << graph->num_edges() << " edges, " << graph->num_times() << " time points to "
+      << options.positional[1] << "\n";
+  return 0;
+}
+
+// --- import ---------------------------------------------------------------------
+
+int CmdImport(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: graphtempo import <edges.tsv> <out.tsv> [--static name:path,...]"
+           " [--varying name:path,...]\n";
+    return 1;
+  }
+  std::string error;
+  std::optional<TemporalGraph> graph =
+      ReadEdgeListFromFile(options.positional[0], &error);
+  if (!graph.has_value()) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+
+  auto load_attributes = [&](const std::string& spec, bool is_static) -> bool {
+    for (const std::string& item : Split(spec, ',')) {
+      std::size_t colon = item.find(':');
+      if (colon == std::string::npos) {
+        err << "error: attribute spec must be name:path, got '" << item << "'\n";
+        return false;
+      }
+      std::string name = item.substr(0, colon);
+      std::string path = item.substr(colon + 1);
+      std::ifstream in(path);
+      if (!in) {
+        err << "error: cannot open for reading: " << path << "\n";
+        return false;
+      }
+      bool ok = is_static
+                    ? ReadStaticAttributeTsv(&*graph, &in, name, &error)
+                    : ReadTimeVaryingAttributeTsv(&*graph, &in, name, &error);
+      if (!ok) {
+        err << "error: " << path << ": " << error << "\n";
+        return false;
+      }
+    }
+    return true;
+  };
+  if (std::optional<std::string> spec = options.Get("static")) {
+    if (!load_attributes(*spec, /*is_static=*/true)) return 1;
+  }
+  if (std::optional<std::string> spec = options.Get("varying")) {
+    if (!load_attributes(*spec, /*is_static=*/false)) return 1;
+  }
+
+  if (!WriteGraphToFile(*graph, options.positional[1], &error)) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+  out << "imported " << graph->num_nodes() << " nodes, " << graph->num_edges()
+      << " edges over " << graph->num_times() << " time points to "
+      << options.positional[1] << "\n";
+  return 0;
+}
+
+// --- operate / aggregate shared view construction ------------------------------
+
+std::optional<GraphView> BuildView(const TemporalGraph& graph, const Options& options,
+                                   std::ostream& err) {
+  std::string op = options.Get("op").value_or("union");
+  std::optional<std::string> t1_raw = options.Get("t1");
+  if (!t1_raw.has_value()) {
+    err << "error: --t1 is required\n";
+    return std::nullopt;
+  }
+  std::optional<IntervalSet> t1 = ParseInterval(graph, *t1_raw, err);
+  if (!t1.has_value()) return std::nullopt;
+
+  if (op == "project") {
+    return Project(graph, *t1);
+  }
+  std::optional<IntervalSet> t2;
+  if (std::optional<std::string> t2_raw = options.Get("t2")) {
+    t2 = ParseInterval(graph, *t2_raw, err);
+    if (!t2.has_value()) return std::nullopt;
+  } else {
+    t2 = t1;  // single-interval union/intersection degenerate to "exists in T1"
+  }
+  if (op == "union") return UnionOp(graph, *t1, *t2);
+  if (op == "intersection") return IntersectionOp(graph, *t1, *t2);
+  if (op == "difference") return DifferenceOp(graph, *t1, *t2);
+  err << "error: unknown --op '" << op << "' (union|intersection|difference|project)\n";
+  return std::nullopt;
+}
+
+int CmdOperate(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo operate <graph.tsv> --op <...> --t1 <...> [--t2 <...>]\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+  std::optional<GraphView> view = BuildView(*graph, options, err);
+  if (!view.has_value()) return 1;
+
+  out << options.Get("op").value_or("union") << " on "
+      << IntervalLabel(*graph, view->times) << ": " << view->NodeCount() << " nodes, "
+      << view->EdgeCount() << " edges\n";
+
+  if (std::optional<std::string> out_path = options.Get("out")) {
+    TemporalGraph sub = ExtractSubgraph(*graph, *view);
+    std::string error;
+    if (!WriteGraphToFile(sub, *out_path, &error)) {
+      err << "error: " << error << "\n";
+      return 1;
+    }
+    out << "wrote subgraph to " << *out_path << "\n";
+  }
+  return 0;
+}
+
+// --- aggregate -----------------------------------------------------------------
+
+int CmdAggregate(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo aggregate <graph.tsv> --attrs a,b [--op ...] [--t1 ...]\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  std::optional<std::string> attr_names = options.Get("attrs");
+  if (!attr_names.has_value()) {
+    err << "error: --attrs is required\n";
+    return 1;
+  }
+  std::optional<std::vector<AttrRef>> attrs = ParseAttributes(*graph, *attr_names, err);
+  if (!attrs.has_value()) return 1;
+
+  std::optional<GraphView> view = BuildView(*graph, options, err);
+  if (!view.has_value()) return 1;
+
+  std::string semantics_raw = options.Get("semantics").value_or("dist");
+  AggregationSemantics semantics;
+  if (semantics_raw == "dist") {
+    semantics = AggregationSemantics::kDistinct;
+  } else if (semantics_raw == "all") {
+    semantics = AggregationSemantics::kAll;
+  } else {
+    err << "error: --semantics must be dist or all\n";
+    return 1;
+  }
+
+  std::uint64_t top = 20;
+  if (std::optional<std::string> top_raw = options.Get("top")) {
+    if (!ParseUint64(*top_raw, &top)) {
+      err << "error: --top must be a non-negative integer\n";
+      return 1;
+    }
+  }
+
+  AggregateGraph aggregate = Aggregate(*graph, *view, *attrs, semantics);
+  if (options.Get("symmetric").value_or("no") == "yes") {
+    aggregate = SymmetrizeAggregate(aggregate);
+  }
+  out << "aggregate on " << IntervalLabel(*graph, view->times) << " ("
+      << (semantics == AggregationSemantics::kDistinct ? "DIST" : "ALL")
+      << "): " << aggregate.NodeCount() << " aggregate nodes, " << aggregate.EdgeCount()
+      << " aggregate edges\n";
+
+  std::vector<std::pair<AttrTuple, Weight>> nodes(aggregate.nodes().begin(),
+                                                  aggregate.nodes().end());
+  std::sort(nodes.begin(), nodes.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "nodes:\n";
+  for (std::size_t i = 0; i < nodes.size() && i < top; ++i) {
+    out << "  (" << FormatTuple(*graph, *attrs, nodes[i].first) << ")  "
+        << nodes[i].second << "\n";
+  }
+
+  std::vector<std::pair<AttrTuplePair, Weight>> edges(aggregate.edges().begin(),
+                                                      aggregate.edges().end());
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "edges:\n";
+  for (std::size_t i = 0; i < edges.size() && i < top; ++i) {
+    out << "  (" << FormatTuple(*graph, *attrs, edges[i].first.src) << ") -> ("
+        << FormatTuple(*graph, *attrs, edges[i].first.dst) << ")  " << edges[i].second
+        << "\n";
+  }
+  return 0;
+}
+
+// --- evolution -------------------------------------------------------------------
+
+int CmdEvolution(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo evolution <graph.tsv> --attrs a --old a..b --new c..d\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  std::optional<std::string> attr_names = options.Get("attrs");
+  std::optional<std::string> old_raw = options.Get("old");
+  std::optional<std::string> new_raw = options.Get("new");
+  if (!attr_names || !old_raw || !new_raw) {
+    err << "error: --attrs, --old and --new are required\n";
+    return 1;
+  }
+  std::optional<std::vector<AttrRef>> attrs = ParseAttributes(*graph, *attr_names, err);
+  if (!attrs.has_value()) return 1;
+  std::optional<IntervalSet> old_side = ParseInterval(*graph, *old_raw, err);
+  std::optional<IntervalSet> new_side = ParseInterval(*graph, *new_raw, err);
+  if (!old_side || !new_side) return 1;
+
+  std::uint64_t top = 20;
+  if (std::optional<std::string> top_raw = options.Get("top")) {
+    if (!ParseUint64(*top_raw, &top)) {
+      err << "error: --top must be a non-negative integer\n";
+      return 1;
+    }
+  }
+
+  EvolutionAggregate evolution =
+      AggregateEvolution(*graph, *old_side, *new_side, *attrs);
+  out << "evolution " << IntervalLabel(*graph, *old_side) << " -> "
+      << IntervalLabel(*graph, *new_side) << "\n";
+
+  auto total = [](const EvolutionWeights& weights) {
+    return weights.stability + weights.growth + weights.shrinkage;
+  };
+  std::vector<std::pair<AttrTuple, EvolutionWeights>> nodes(evolution.nodes().begin(),
+                                                            evolution.nodes().end());
+  std::sort(nodes.begin(), nodes.end(), [&](const auto& a, const auto& b) {
+    return total(a.second) > total(b.second);
+  });
+  out << "nodes (stable/new/gone):\n";
+  for (std::size_t i = 0; i < nodes.size() && i < top; ++i) {
+    out << "  (" << FormatTuple(*graph, *attrs, nodes[i].first) << ")  "
+        << nodes[i].second.stability << "/" << nodes[i].second.growth << "/"
+        << nodes[i].second.shrinkage << "\n";
+  }
+  std::vector<std::pair<AttrTuplePair, EvolutionWeights>> edges(
+      evolution.edges().begin(), evolution.edges().end());
+  std::sort(edges.begin(), edges.end(), [&](const auto& a, const auto& b) {
+    return total(a.second) > total(b.second);
+  });
+  out << "edges (stable/new/gone):\n";
+  for (std::size_t i = 0; i < edges.size() && i < top; ++i) {
+    out << "  (" << FormatTuple(*graph, *attrs, edges[i].first.src) << ") -> ("
+        << FormatTuple(*graph, *attrs, edges[i].first.dst) << ")  "
+        << edges[i].second.stability << "/" << edges[i].second.growth << "/"
+        << edges[i].second.shrinkage << "\n";
+  }
+  return 0;
+}
+
+// --- stats -----------------------------------------------------------------------
+
+int CmdStats(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo stats <graph.tsv> [--t <time>] [--attr <name>]\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  TimeId t = 0;
+  if (std::optional<std::string> raw = options.Get("t")) {
+    std::optional<TimeId> parsed = ParseTimePoint(*graph, *raw, err);
+    if (!parsed.has_value()) return 1;
+    t = *parsed;
+  }
+
+  SnapshotStats snapshot = ComputeSnapshotStats(*graph, t);
+  char buffer[64];
+  out << "snapshot " << graph->time_label(t) << ": " << snapshot.nodes << " nodes, "
+      << snapshot.edges << " edges";
+  std::snprintf(buffer, sizeof(buffer), ", avg out-degree %.2f, max %zu, density %.4f",
+                snapshot.avg_out_degree, snapshot.max_out_degree, snapshot.density);
+  out << buffer << "\n";
+
+  out << "out-degree histogram (degree: nodes):";
+  for (const auto& [degree, count] : OutDegreeHistogram(*graph, t)) {
+    out << " " << degree << ":" << count;
+  }
+  out << "\n";
+
+  out << "node lifespans (#time points: entities):";
+  for (const auto& [span, count] : LifespanHistogram(*graph, EntityKind::kNodes)) {
+    out << " " << span << ":" << count;
+  }
+  out << "\nedge lifespans (#time points: entities):";
+  for (const auto& [span, count] : LifespanHistogram(*graph, EntityKind::kEdges)) {
+    out << " " << span << ":" << count;
+  }
+  out << "\n";
+
+  if (std::optional<std::string> attr_name = options.Get("attr")) {
+    std::optional<AttrRef> attr = graph->FindAttribute(*attr_name);
+    if (!attr.has_value()) {
+      err << "error: unknown attribute '" << *attr_name << "'\n";
+      return 1;
+    }
+    out << *attr_name << " distribution at " << graph->time_label(t) << ":";
+    for (const auto& [value, count] : AttributeDistribution(*graph, *attr, t)) {
+      out << " " << value << ":" << count;
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+// --- measure ---------------------------------------------------------------------
+
+int CmdMeasure(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo measure <graph.tsv> --attrs a --measure <edge-attr>"
+           " --fn <sum|min|max|avg|count>\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  std::optional<std::string> attr_names = options.Get("attrs");
+  std::optional<std::string> measure_name = options.Get("measure");
+  if (!attr_names || !measure_name) {
+    err << "error: --attrs and --measure are required\n";
+    return 1;
+  }
+  std::optional<std::vector<AttrRef>> attrs = ParseAttributes(*graph, *attr_names, err);
+  if (!attrs.has_value()) return 1;
+  std::optional<EdgeAttrRef> measure_attr = graph->FindEdgeAttribute(*measure_name);
+  if (!measure_attr.has_value()) {
+    err << "error: unknown edge attribute '" << *measure_name << "'\n";
+    return 1;
+  }
+
+  std::string fn_name = options.Get("fn").value_or("sum");
+  MeasureFunction function;
+  if (fn_name == "sum") {
+    function = MeasureFunction::kSum;
+  } else if (fn_name == "min") {
+    function = MeasureFunction::kMin;
+  } else if (fn_name == "max") {
+    function = MeasureFunction::kMax;
+  } else if (fn_name == "avg") {
+    function = MeasureFunction::kAvg;
+  } else if (fn_name == "count") {
+    function = MeasureFunction::kCount;
+  } else {
+    err << "error: --fn must be sum, min, max, avg or count\n";
+    return 1;
+  }
+
+  std::optional<GraphView> view = BuildView(*graph, options, err);
+  if (!view.has_value()) return 1;
+
+  std::uint64_t top = 20;
+  if (std::optional<std::string> top_raw = options.Get("top")) {
+    if (!ParseUint64(*top_raw, &top)) {
+      err << "error: --top must be a non-negative integer\n";
+      return 1;
+    }
+  }
+
+  EdgeMeasureMap measures =
+      AggregateEdgeMeasure(*graph, *view, *attrs, *measure_attr, function);
+  out << fn_name << "(" << *measure_name << ") on "
+      << IntervalLabel(*graph, view->times) << ", " << measures.size()
+      << " aggregate edge group(s):\n";
+  std::vector<std::pair<AttrTuplePair, MeasureValue>> rows(measures.begin(),
+                                                           measures.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.value > b.second.value; });
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    char value[32];
+    std::snprintf(value, sizeof(value), "%g", rows[i].second.value);
+    out << "  (" << FormatTuple(*graph, *attrs, rows[i].first.src) << ") -> ("
+        << FormatTuple(*graph, *attrs, rows[i].first.dst) << ")  " << value << "  ("
+        << rows[i].second.samples << " samples)\n";
+  }
+  return 0;
+}
+
+// --- coarsen ---------------------------------------------------------------------
+
+int CmdCoarsen(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "usage: graphtempo coarsen <graph.tsv> <out.tsv> --width N"
+           " [--policy last|first]\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  std::uint64_t width = 0;
+  if (!ParseUint64(options.Get("width").value_or(""), &width) || width == 0) {
+    err << "error: --width must be a positive integer\n";
+    return 1;
+  }
+  std::string policy_name = options.Get("policy").value_or("last");
+  CoarsenPolicy policy;
+  if (policy_name == "last") {
+    policy = CoarsenPolicy::kLast;
+  } else if (policy_name == "first") {
+    policy = CoarsenPolicy::kFirst;
+  } else {
+    err << "error: --policy must be last or first\n";
+    return 1;
+  }
+
+  TemporalGraph coarse =
+      CoarsenTime(*graph, UniformGrouping(*graph, width), policy);
+  std::string error;
+  if (!WriteGraphToFile(coarse, options.positional[1], &error)) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+  out << "coarsened " << graph->num_times() << " time points into "
+      << coarse.num_times() << " (width " << width << "); wrote "
+      << coarse.num_nodes() << " nodes, " << coarse.num_edges() << " edges to "
+      << options.positional[1] << "\n";
+  return 0;
+}
+
+// --- explore / suggest-k -----------------------------------------------------------
+
+std::optional<EventType> ParseEvent(const Options& options, std::ostream& err) {
+  std::optional<std::string> raw = options.Get("event");
+  if (!raw.has_value()) {
+    err << "error: --event is required (stability|growth|shrinkage)\n";
+    return std::nullopt;
+  }
+  if (*raw == "stability") return EventType::kStability;
+  if (*raw == "growth") return EventType::kGrowth;
+  if (*raw == "shrinkage") return EventType::kShrinkage;
+  err << "error: unknown --event '" << *raw << "'\n";
+  return std::nullopt;
+}
+
+std::optional<EntitySelector> ParseSelector(const TemporalGraph& graph,
+                                            const Options& options, std::ostream& err) {
+  EntitySelector selector;
+  std::string kind = options.Get("kind").value_or("edges");
+  if (kind == "edges") {
+    selector.kind = EntitySelector::Kind::kEdges;
+  } else if (kind == "nodes") {
+    selector.kind = EntitySelector::Kind::kNodes;
+  } else {
+    err << "error: --kind must be nodes or edges\n";
+    return std::nullopt;
+  }
+  if (std::optional<std::string> attr_names = options.Get("attrs")) {
+    std::optional<std::vector<AttrRef>> attrs = ParseAttributes(graph, *attr_names, err);
+    if (!attrs.has_value()) return std::nullopt;
+    selector.attrs = *attrs;
+  }
+  auto parse_tuple = [&](const std::string& values) -> std::optional<AttrTuple> {
+    std::vector<std::string> parts = Split(values, ',');
+    if (selector.attrs.empty() || parts.size() != selector.attrs.size()) {
+      err << "error: tuple '" << values << "' does not match --attrs arity\n";
+      return std::nullopt;
+    }
+    AttrTuple tuple;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      std::optional<AttrValueId> code = graph.FindValueCode(selector.attrs[i], parts[i]);
+      if (!code.has_value()) {
+        err << "error: attribute value '" << parts[i] << "' not found\n";
+        return std::nullopt;
+      }
+      tuple.Append(*code);
+    }
+    return tuple;
+  };
+  if (std::optional<std::string> node = options.Get("node")) {
+    std::optional<AttrTuple> tuple = parse_tuple(*node);
+    if (!tuple.has_value()) return std::nullopt;
+    selector.node_tuple = *tuple;
+  }
+  std::optional<std::string> src = options.Get("src");
+  std::optional<std::string> dst = options.Get("dst");
+  if (src.has_value() != dst.has_value()) {
+    err << "error: --src and --dst must be given together\n";
+    return std::nullopt;
+  }
+  if (src.has_value()) {
+    std::optional<AttrTuple> src_tuple = parse_tuple(*src);
+    std::optional<AttrTuple> dst_tuple = parse_tuple(*dst);
+    if (!src_tuple || !dst_tuple) return std::nullopt;
+    selector.src_tuple = *src_tuple;
+    selector.dst_tuple = *dst_tuple;
+  }
+  return selector;
+}
+
+int CmdExplore(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo explore <graph.tsv> --event <...> --semantics <...> --k N\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  ExplorationSpec spec;
+  std::optional<EventType> event = ParseEvent(options, err);
+  if (!event.has_value()) return 1;
+  spec.event = *event;
+
+  std::string semantics = options.Get("semantics").value_or("union");
+  if (semantics == "union") {
+    spec.semantics = ExtensionSemantics::kUnion;
+  } else if (semantics == "intersection") {
+    spec.semantics = ExtensionSemantics::kIntersection;
+  } else {
+    err << "error: --semantics must be union or intersection\n";
+    return 1;
+  }
+
+  std::string reference = options.Get("reference").value_or("old");
+  if (reference == "old") {
+    spec.reference = ReferenceEnd::kOld;
+  } else if (reference == "new") {
+    spec.reference = ReferenceEnd::kNew;
+  } else {
+    err << "error: --reference must be old or new\n";
+    return 1;
+  }
+
+  std::uint64_t k = 1;
+  if (std::optional<std::string> k_raw = options.Get("k")) {
+    if (!ParseUint64(*k_raw, &k) || k == 0) {
+      err << "error: --k must be a positive integer\n";
+      return 1;
+    }
+  }
+  spec.k = static_cast<Weight>(k);
+
+  std::optional<EntitySelector> selector = ParseSelector(*graph, options, err);
+  if (!selector.has_value()) return 1;
+  spec.selector = *selector;
+
+  std::string strategy = options.Get("strategy").value_or("pruned");
+  ExplorationResult result;
+  if (strategy == "pruned") {
+    result = Explore(*graph, spec);
+  } else if (strategy == "naive") {
+    result = ExploreNaive(*graph, spec);
+  } else if (strategy == "both-ends") {
+    result = ExploreBothEnds(*graph, spec);
+  } else {
+    err << "error: --strategy must be pruned, naive or both-ends\n";
+    return 1;
+  }
+
+  out << (spec.semantics == ExtensionSemantics::kUnion ? "minimal" : "maximal")
+      << " interval pairs with >= " << spec.k << " " << EventTypeName(spec.event)
+      << " events (" << result.evaluations << " evaluations):\n";
+  for (const IntervalPair& pair : result.pairs) {
+    out << "  old [" << graph->time_label(pair.old_range.first) << ".."
+        << graph->time_label(pair.old_range.last) << "]  new ["
+        << graph->time_label(pair.new_range.first) << ".."
+        << graph->time_label(pair.new_range.last) << "]  events " << pair.count << "\n";
+  }
+  if (result.pairs.empty()) out << "  (none)\n";
+  return 0;
+}
+
+int CmdSuggestK(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo suggest-k <graph.tsv> --event <...> [selector options]\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+  std::optional<EventType> event = ParseEvent(options, err);
+  if (!event.has_value()) return 1;
+  std::optional<EntitySelector> selector = ParseSelector(*graph, options, err);
+  if (!selector.has_value()) return 1;
+
+  ThresholdSuggestion suggestion = SuggestThreshold(*graph, *event, *selector);
+  out << EventTypeName(*event) << " events over consecutive time-point pairs: min "
+      << suggestion.min_weight << ", max " << suggestion.max_weight << "\n"
+      << "suggested starting k: " << suggestion.max_weight
+      << " (decrease gradually for decreasing configurations; start from "
+      << suggestion.min_weight << " and increase otherwise)\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  Options options;
+  if (!ParseOptions(args, 1, &options, err)) return 1;
+
+  const std::string& command = args[0];
+  if (command == "info") return CmdInfo(options, out, err);
+  if (command == "generate") return CmdGenerate(options, out, err);
+  if (command == "import") return CmdImport(options, out, err);
+  if (command == "operate") return CmdOperate(options, out, err);
+  if (command == "aggregate") return CmdAggregate(options, out, err);
+  if (command == "evolution") return CmdEvolution(options, out, err);
+  if (command == "measure") return CmdMeasure(options, out, err);
+  if (command == "coarsen") return CmdCoarsen(options, out, err);
+  if (command == "explore") return CmdExplore(options, out, err);
+  if (command == "suggest-k") return CmdSuggestK(options, out, err);
+  if (command == "stats") return CmdStats(options, out, err);
+  err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
+  return 1;
+}
+
+}  // namespace graphtempo::cli

@@ -1,0 +1,37 @@
+#ifndef GRAPHTEMPO_TOOLS_CLI_H_
+#define GRAPHTEMPO_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file
+/// The `graphtempo` command-line tool, as a testable library: `RunCli` takes
+/// the argument vector (without argv[0]) and the output/error streams, and
+/// returns the process exit code. Subcommands:
+///
+///   help                                     usage overview
+///   info <graph.tsv>                         sizes, attributes, overlap stats
+///   generate <dblp|movielens|contact> <out>  write a synthetic dataset
+///   operate <graph.tsv> --op <union|intersection|difference|project>
+///           --t1 a[..b] [--t2 c[..d]] [--out sub.tsv]
+///   aggregate <graph.tsv> --attrs a,b [--op …] [--t1 …] [--t2 …]
+///           [--semantics dist|all] [--top N]
+///   evolution <graph.tsv> --attrs a,b --old a..b --new c..d [--top N]
+///   explore <graph.tsv> --event <stability|growth|shrinkage>
+///           --semantics <union|intersection> [--reference old|new] --k N
+///           [--kind nodes|edges] [--attrs g] [--src v] [--dst v] [--node v]
+///           [--strategy pruned|naive|both-ends]
+///   suggest-k <graph.tsv> --event … [selector options]
+///
+/// Time points are given by label ("2005") or index ("5"); ranges as
+/// "2001..2004". All failures are reported on `err` with exit code 1 — the
+/// tool never throws and never aborts on bad user input.
+
+namespace graphtempo::cli {
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace graphtempo::cli
+
+#endif  // GRAPHTEMPO_TOOLS_CLI_H_

@@ -1,0 +1,13 @@
+/// Thin entry point for the `graphtempo` CLI; all logic lives in cli.cc so
+/// the test suite can drive it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return graphtempo::cli::RunCli(args, std::cout, std::cerr);
+}
