@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_attr_rollup"
+  "../bench/bench_fig11_attr_rollup.pdb"
+  "CMakeFiles/bench_fig11_attr_rollup.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_attr_rollup.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_attr_rollup.dir/bench_fig11_attr_rollup.cc.o"
+  "CMakeFiles/bench_fig11_attr_rollup.dir/bench_fig11_attr_rollup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_attr_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_attr_rollup.
+# This may be replaced when dependencies are built.

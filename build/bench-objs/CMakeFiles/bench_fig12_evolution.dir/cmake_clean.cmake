@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_evolution"
+  "../bench/bench_fig12_evolution.pdb"
+  "CMakeFiles/bench_fig12_evolution.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_evolution.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_evolution.dir/bench_fig12_evolution.cc.o"
+  "CMakeFiles/bench_fig12_evolution.dir/bench_fig12_evolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

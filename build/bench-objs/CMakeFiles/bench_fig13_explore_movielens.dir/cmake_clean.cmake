@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_explore_movielens"
+  "../bench/bench_fig13_explore_movielens.pdb"
+  "CMakeFiles/bench_fig13_explore_movielens.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_explore_movielens.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_explore_movielens.dir/bench_fig13_explore_movielens.cc.o"
+  "CMakeFiles/bench_fig13_explore_movielens.dir/bench_fig13_explore_movielens.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_explore_movielens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_explore_dblp"
+  "../bench/bench_fig14_explore_dblp.pdb"
+  "CMakeFiles/bench_fig14_explore_dblp.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_explore_dblp.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_explore_dblp.dir/bench_fig14_explore_dblp.cc.o"
+  "CMakeFiles/bench_fig14_explore_dblp.dir/bench_fig14_explore_dblp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_explore_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_timepoint_agg"
+  "../bench/bench_fig5_timepoint_agg.pdb"
+  "CMakeFiles/bench_fig5_timepoint_agg.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig5_timepoint_agg.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig5_timepoint_agg.dir/bench_fig5_timepoint_agg.cc.o"
+  "CMakeFiles/bench_fig5_timepoint_agg.dir/bench_fig5_timepoint_agg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_timepoint_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

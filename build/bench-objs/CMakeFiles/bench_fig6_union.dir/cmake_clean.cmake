@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_union"
+  "../bench/bench_fig6_union.pdb"
+  "CMakeFiles/bench_fig6_union.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6_union.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6_union.dir/bench_fig6_union.cc.o"
+  "CMakeFiles/bench_fig6_union.dir/bench_fig6_union.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_intersection"
+  "../bench/bench_fig7_intersection.pdb"
+  "CMakeFiles/bench_fig7_intersection.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_intersection.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_intersection.dir/bench_fig7_intersection.cc.o"
+  "CMakeFiles/bench_fig7_intersection.dir/bench_fig7_intersection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_difference_old_new"
+  "../bench/bench_fig8_difference_old_new.pdb"
+  "CMakeFiles/bench_fig8_difference_old_new.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig8_difference_old_new.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig8_difference_old_new.dir/bench_fig8_difference_old_new.cc.o"
+  "CMakeFiles/bench_fig8_difference_old_new.dir/bench_fig8_difference_old_new.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_difference_old_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_difference_old_new.
+# This may be replaced when dependencies are built.

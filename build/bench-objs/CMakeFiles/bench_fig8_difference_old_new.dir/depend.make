@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_difference_old_new.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_difference_new_old"
+  "../bench/bench_fig9_difference_new_old.pdb"
+  "CMakeFiles/bench_fig9_difference_new_old.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig9_difference_new_old.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig9_difference_new_old.dir/bench_fig9_difference_new_old.cc.o"
+  "CMakeFiles/bench_fig9_difference_new_old.dir/bench_fig9_difference_new_old.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_difference_new_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_core"
+  "../bench/bench_micro_core.pdb"
+  "CMakeFiles/bench_micro_core.dir/bench_common.cc.o"
+  "CMakeFiles/bench_micro_core.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o"
+  "CMakeFiles/bench_micro_core.dir/bench_micro_core.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_analysis.dir/collaboration_analysis.cc.o"
+  "CMakeFiles/collaboration_analysis.dir/collaboration_analysis.cc.o.d"
+  "collaboration_analysis"
+  "collaboration_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_network.dir/contact_network.cc.o"
+  "CMakeFiles/contact_network.dir/contact_network.cc.o.d"
+  "contact_network"
+  "contact_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movielens_exploration.dir/movielens_exploration.cc.o"
+  "CMakeFiles/movielens_exploration.dir/movielens_exploration.cc.o.d"
+  "movielens_exploration"
+  "movielens_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movielens_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

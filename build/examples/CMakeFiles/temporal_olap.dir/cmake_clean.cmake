@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_olap.dir/temporal_olap.cc.o"
+  "CMakeFiles/temporal_olap.dir/temporal_olap.cc.o.d"
+  "temporal_olap"
+  "temporal_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

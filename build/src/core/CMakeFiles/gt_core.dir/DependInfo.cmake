@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/gt_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/coarsen.cc" "src/core/CMakeFiles/gt_core.dir/coarsen.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/coarsen.cc.o.d"
+  "/root/repo/src/core/cube.cc" "src/core/CMakeFiles/gt_core.dir/cube.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/cube.cc.o.d"
+  "/root/repo/src/core/edge_list_io.cc" "src/core/CMakeFiles/gt_core.dir/edge_list_io.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/edge_list_io.cc.o.d"
+  "/root/repo/src/core/evolution.cc" "src/core/CMakeFiles/gt_core.dir/evolution.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/evolution.cc.o.d"
+  "/root/repo/src/core/exploration.cc" "src/core/CMakeFiles/gt_core.dir/exploration.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/exploration.cc.o.d"
+  "/root/repo/src/core/graph_io.cc" "src/core/CMakeFiles/gt_core.dir/graph_io.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/graph_io.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/gt_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/lattice.cc" "src/core/CMakeFiles/gt_core.dir/lattice.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/lattice.cc.o.d"
+  "/root/repo/src/core/materialization.cc" "src/core/CMakeFiles/gt_core.dir/materialization.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/materialization.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/gt_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/model_adapters.cc" "src/core/CMakeFiles/gt_core.dir/model_adapters.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/model_adapters.cc.o.d"
+  "/root/repo/src/core/naive_exploration.cc" "src/core/CMakeFiles/gt_core.dir/naive_exploration.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/naive_exploration.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/gt_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/gt_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/subgraph.cc" "src/core/CMakeFiles/gt_core.dir/subgraph.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/subgraph.cc.o.d"
+  "/root/repo/src/core/temporal_graph.cc" "src/core/CMakeFiles/gt_core.dir/temporal_graph.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/temporal_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/gt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgt_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/contact_gen.cc" "src/datagen/CMakeFiles/gt_datagen.dir/contact_gen.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/contact_gen.cc.o.d"
+  "/root/repo/src/datagen/dblp_gen.cc" "src/datagen/CMakeFiles/gt_datagen.dir/dblp_gen.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/movielens_gen.cc" "src/datagen/CMakeFiles/gt_datagen.dir/movielens_gen.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/movielens_gen.cc.o.d"
+  "/root/repo/src/datagen/paper_example.cc" "src/datagen/CMakeFiles/gt_datagen.dir/paper_example.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/paper_example.cc.o.d"
+  "/root/repo/src/datagen/profiles.cc" "src/datagen/CMakeFiles/gt_datagen.dir/profiles.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/profiles.cc.o.d"
+  "/root/repo/src/datagen/random.cc" "src/datagen/CMakeFiles/gt_datagen.dir/random.cc.o" "gcc" "src/datagen/CMakeFiles/gt_datagen.dir/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_datagen.dir/contact_gen.cc.o"
+  "CMakeFiles/gt_datagen.dir/contact_gen.cc.o.d"
+  "CMakeFiles/gt_datagen.dir/dblp_gen.cc.o"
+  "CMakeFiles/gt_datagen.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/gt_datagen.dir/movielens_gen.cc.o"
+  "CMakeFiles/gt_datagen.dir/movielens_gen.cc.o.d"
+  "CMakeFiles/gt_datagen.dir/paper_example.cc.o"
+  "CMakeFiles/gt_datagen.dir/paper_example.cc.o.d"
+  "CMakeFiles/gt_datagen.dir/profiles.cc.o"
+  "CMakeFiles/gt_datagen.dir/profiles.cc.o.d"
+  "CMakeFiles/gt_datagen.dir/random.cc.o"
+  "CMakeFiles/gt_datagen.dir/random.cc.o.d"
+  "libgt_datagen.a"
+  "libgt_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gt_datagen.
+# This may be replaced when dependencies are built.

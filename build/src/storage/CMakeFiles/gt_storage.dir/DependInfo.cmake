@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/attribute_table.cc" "src/storage/CMakeFiles/gt_storage.dir/attribute_table.cc.o" "gcc" "src/storage/CMakeFiles/gt_storage.dir/attribute_table.cc.o.d"
+  "/root/repo/src/storage/bit_matrix.cc" "src/storage/CMakeFiles/gt_storage.dir/bit_matrix.cc.o" "gcc" "src/storage/CMakeFiles/gt_storage.dir/bit_matrix.cc.o.d"
+  "/root/repo/src/storage/bitset.cc" "src/storage/CMakeFiles/gt_storage.dir/bitset.cc.o" "gcc" "src/storage/CMakeFiles/gt_storage.dir/bitset.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/storage/CMakeFiles/gt_storage.dir/dictionary.cc.o" "gcc" "src/storage/CMakeFiles/gt_storage.dir/dictionary.cc.o.d"
+  "/root/repo/src/storage/tsv.cc" "src/storage/CMakeFiles/gt_storage.dir/tsv.cc.o" "gcc" "src/storage/CMakeFiles/gt_storage.dir/tsv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

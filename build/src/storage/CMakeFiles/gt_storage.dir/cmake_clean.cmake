@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_storage.dir/attribute_table.cc.o"
+  "CMakeFiles/gt_storage.dir/attribute_table.cc.o.d"
+  "CMakeFiles/gt_storage.dir/bit_matrix.cc.o"
+  "CMakeFiles/gt_storage.dir/bit_matrix.cc.o.d"
+  "CMakeFiles/gt_storage.dir/bitset.cc.o"
+  "CMakeFiles/gt_storage.dir/bitset.cc.o.d"
+  "CMakeFiles/gt_storage.dir/dictionary.cc.o"
+  "CMakeFiles/gt_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/gt_storage.dir/tsv.cc.o"
+  "CMakeFiles/gt_storage.dir/tsv.cc.o.d"
+  "libgt_storage.a"
+  "libgt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

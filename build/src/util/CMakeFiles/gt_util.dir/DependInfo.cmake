@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/check.cc" "src/util/CMakeFiles/gt_util.dir/check.cc.o" "gcc" "src/util/CMakeFiles/gt_util.dir/check.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/util/CMakeFiles/gt_util.dir/parallel.cc.o" "gcc" "src/util/CMakeFiles/gt_util.dir/parallel.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/util/CMakeFiles/gt_util.dir/stopwatch.cc.o" "gcc" "src/util/CMakeFiles/gt_util.dir/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/gt_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/gt_util.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

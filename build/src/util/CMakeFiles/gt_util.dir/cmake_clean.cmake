@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_util.dir/check.cc.o"
+  "CMakeFiles/gt_util.dir/check.cc.o.d"
+  "CMakeFiles/gt_util.dir/parallel.cc.o"
+  "CMakeFiles/gt_util.dir/parallel.cc.o.d"
+  "CMakeFiles/gt_util.dir/stopwatch.cc.o"
+  "CMakeFiles/gt_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/gt_util.dir/string_util.cc.o"
+  "CMakeFiles/gt_util.dir/string_util.cc.o.d"
+  "libgt_util.a"
+  "libgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_test.dir/aggregation_test.cc.o"
+  "CMakeFiles/aggregation_test.dir/aggregation_test.cc.o.d"
+  "aggregation_test"
+  "aggregation_test.pdb"
+  "aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

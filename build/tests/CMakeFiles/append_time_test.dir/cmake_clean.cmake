@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_time_test.dir/append_time_test.cc.o"
+  "CMakeFiles/append_time_test.dir/append_time_test.cc.o.d"
+  "append_time_test"
+  "append_time_test.pdb"
+  "append_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

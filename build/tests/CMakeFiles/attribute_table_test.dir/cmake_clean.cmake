@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_table_test.dir/attribute_table_test.cc.o"
+  "CMakeFiles/attribute_table_test.dir/attribute_table_test.cc.o.d"
+  "attribute_table_test"
+  "attribute_table_test.pdb"
+  "attribute_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_matrix_test.dir/bit_matrix_test.cc.o"
+  "CMakeFiles/bit_matrix_test.dir/bit_matrix_test.cc.o.d"
+  "bit_matrix_test"
+  "bit_matrix_test.pdb"
+  "bit_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

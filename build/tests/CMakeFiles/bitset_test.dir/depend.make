@@ -1,0 +1,2 @@
+# Empty dependencies file for bitset_test.
+# This may be replaced when dependencies are built.

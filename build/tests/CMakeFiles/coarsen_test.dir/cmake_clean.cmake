@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsen_test.dir/coarsen_test.cc.o"
+  "CMakeFiles/coarsen_test.dir/coarsen_test.cc.o.d"
+  "coarsen_test"
+  "coarsen_test.pdb"
+  "coarsen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

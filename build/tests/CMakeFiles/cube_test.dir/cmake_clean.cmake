@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_test.dir/cube_test.cc.o"
+  "CMakeFiles/cube_test.dir/cube_test.cc.o.d"
+  "cube_test"
+  "cube_test.pdb"
+  "cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_list_io_test.dir/edge_list_io_test.cc.o"
+  "CMakeFiles/edge_list_io_test.dir/edge_list_io_test.cc.o.d"
+  "edge_list_io_test"
+  "edge_list_io_test.pdb"
+  "edge_list_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_list_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

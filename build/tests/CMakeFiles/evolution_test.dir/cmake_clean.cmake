@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_test.dir/evolution_test.cc.o"
+  "CMakeFiles/evolution_test.dir/evolution_test.cc.o.d"
+  "evolution_test"
+  "evolution_test.pdb"
+  "evolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

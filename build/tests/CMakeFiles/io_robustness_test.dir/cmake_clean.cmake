@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_robustness_test.dir/io_robustness_test.cc.o"
+  "CMakeFiles/io_robustness_test.dir/io_robustness_test.cc.o.d"
+  "io_robustness_test"
+  "io_robustness_test.pdb"
+  "io_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

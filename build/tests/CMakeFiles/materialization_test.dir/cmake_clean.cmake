@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialization_test.dir/materialization_test.cc.o"
+  "CMakeFiles/materialization_test.dir/materialization_test.cc.o.d"
+  "materialization_test"
+  "materialization_test.pdb"
+  "materialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

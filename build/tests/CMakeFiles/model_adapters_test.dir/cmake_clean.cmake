@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_adapters_test.dir/model_adapters_test.cc.o"
+  "CMakeFiles/model_adapters_test.dir/model_adapters_test.cc.o.d"
+  "model_adapters_test"
+  "model_adapters_test.pdb"
+  "model_adapters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_adapters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_example_test.dir/paper_example_test.cc.o"
+  "CMakeFiles/paper_example_test.dir/paper_example_test.cc.o.d"
+  "paper_example_test"
+  "paper_example_test.pdb"
+  "paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_test.dir/subgraph_test.cc.o"
+  "CMakeFiles/subgraph_test.dir/subgraph_test.cc.o.d"
+  "subgraph_test"
+  "subgraph_test.pdb"
+  "subgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

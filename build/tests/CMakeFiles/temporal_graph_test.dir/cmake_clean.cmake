@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_graph_test.dir/temporal_graph_test.cc.o"
+  "CMakeFiles/temporal_graph_test.dir/temporal_graph_test.cc.o.d"
+  "temporal_graph_test"
+  "temporal_graph_test.pdb"
+  "temporal_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsv_test.dir/tsv_test.cc.o"
+  "CMakeFiles/tsv_test.dir/tsv_test.cc.o.d"
+  "tsv_test"
+  "tsv_test.pdb"
+  "tsv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

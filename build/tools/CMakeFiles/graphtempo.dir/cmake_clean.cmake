@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphtempo.dir/graphtempo_main.cc.o"
+  "CMakeFiles/graphtempo.dir/graphtempo_main.cc.o.d"
+  "graphtempo"
+  "graphtempo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphtempo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_cli.dir/cli.cc.o"
+  "CMakeFiles/gt_cli.dir/cli.cc.o.d"
+  "libgt_cli.a"
+  "libgt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
