@@ -62,6 +62,97 @@ std::string X(double value) {
   return buffer;
 }
 
+std::vector<std::size_t> ThreadSweep() {
+  std::vector<std::size_t> sweep;
+  if (const char* env = std::getenv("GT_BENCH_THREADS")) {
+    std::size_t value = 0;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + static_cast<std::size_t>(*p - '0');
+      } else {
+        if (value > 0) sweep.push_back(value);
+        value = 0;
+        if (*p == '\0') break;
+      }
+    }
+    if (!sweep.empty()) return sweep;
+  }
+  return {1, 2, 4, 8};
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumber(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+JsonLine::JsonLine(const std::string& bench_name) {
+  body_ = "{\"bench\":";
+  AppendJsonString(&body_, bench_name);
+}
+
+JsonLine& JsonLine::Add(const std::string& key, double value) {
+  body_ += ",";
+  AppendJsonString(&body_, key);
+  body_ += ":" + JsonNumber(value);
+  return *this;
+}
+
+JsonLine& JsonLine::Add(const std::string& key, std::size_t value) {
+  body_ += ",";
+  AppendJsonString(&body_, key);
+  body_ += ":" + std::to_string(value);
+  return *this;
+}
+
+JsonLine& JsonLine::Add(const std::string& key, const std::string& value) {
+  body_ += ",";
+  AppendJsonString(&body_, key);
+  body_ += ":";
+  AppendJsonString(&body_, value);
+  return *this;
+}
+
+JsonLine& JsonLine::AddArray(const std::string& key, const std::vector<double>& values) {
+  body_ += ",";
+  AppendJsonString(&body_, key);
+  body_ += ":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) body_ += ",";
+    body_ += JsonNumber(values[i]);
+  }
+  body_ += "]";
+  return *this;
+}
+
+JsonLine& JsonLine::AddArray(const std::string& key,
+                             const std::vector<std::size_t>& values) {
+  body_ += ",";
+  AppendJsonString(&body_, key);
+  body_ += ":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) body_ += ",";
+    body_ += std::to_string(values[i]);
+  }
+  body_ += "]";
+  return *this;
+}
+
+void JsonLine::Print() const { std::printf("%s}\n", body_.c_str()); }
+
 EntitySelector FemaleFemaleEdges(const TemporalGraph& graph) {
   EntitySelector selector;
   selector.kind = EntitySelector::Kind::kEdges;

@@ -7,6 +7,7 @@
 #include "core/aggregation.h"
 #include "core/exploration.h"
 #include "core/temporal_graph.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 /// \file
@@ -80,6 +81,53 @@ double TimeMsPrecise(Fn&& fn, double min_total_ms = 20.0) {
               1;
     }
   }
+}
+
+/// Thread counts for scaling sweeps: 1 (serial baseline), 2, 4, 8. Override
+/// with the env var GT_BENCH_THREADS (comma-separated, e.g. "1,16,32").
+std::vector<std::size_t> ThreadSweep();
+
+/// Minimal one-line JSON object emitter for machine-readable bench output.
+/// Keys are emitted in insertion order; values are numbers, strings, or
+/// number arrays. Print writes `{"bench":"<name>",...}\n` to stdout.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench_name);
+
+  JsonLine& Add(const std::string& key, double value);
+  JsonLine& Add(const std::string& key, std::size_t value);
+  JsonLine& Add(const std::string& key, const std::string& value);
+  JsonLine& AddArray(const std::string& key, const std::vector<double>& values);
+  JsonLine& AddArray(const std::string& key, const std::vector<std::size_t>& values);
+
+  void Print() const;
+
+ private:
+  std::string body_;
+};
+
+/// Times `fn` at every thread count of `sweep` (restoring parallelism to 1
+/// afterwards), prints a `threads / time / speedup-vs-serial` table, and
+/// appends `threads`, `ms`, and `speedup` arrays to `json`.
+template <typename Fn>
+void RunThreadSweep(const std::vector<std::size_t>& sweep, JsonLine& json, Fn&& fn) {
+  TablePrinter table({"threads", "time(ms)", "speedup"});
+  table.PrintHeader();
+  std::vector<double> times;
+  std::vector<double> speedups;
+  for (std::size_t threads : sweep) {
+    SetParallelism(threads);
+    double ms = TimeMs(fn, /*reps=*/5);
+    times.push_back(ms);
+    double speedup = ms > 0 ? times.front() / ms : 0.0;
+    speedups.push_back(speedup);
+    table.PrintRow({std::to_string(threads), Ms(ms), X(speedup)});
+  }
+  SetParallelism(1);
+  std::vector<std::size_t> thread_counts(sweep.begin(), sweep.end());
+  json.AddArray("threads", thread_counts);
+  json.AddArray("ms", times);
+  json.AddArray("speedup", speedups);
 }
 
 /// Selector for f→f edges aggregated on `gender` (used by Figs 13/14).

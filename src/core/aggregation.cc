@@ -1,10 +1,69 @@
 #include "core/aggregation.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "core/stats.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace graphtempo {
 
 namespace {
+
+/// Entities per chunk for the parallel Algorithm 2 paths. Each entity costs
+/// an attribute lookup (or several) plus hash-map updates, so chunks earn
+/// their dispatch overhead much earlier than the raw presence scans of the
+/// operators (whose default is 2048).
+constexpr std::size_t kAggMinPerChunk = 512;
+
+/// Adds every node/edge weight of `src` into `dst`.
+void MergeInto(AggregateGraph* dst, const AggregateGraph& src) {
+  for (const auto& [tuple, weight] : src.nodes()) dst->AddNodeWeight(tuple, weight);
+  for (const auto& [pair, weight] : src.edges()) {
+    dst->AddEdgeWeight(pair.src, pair.dst, weight);
+  }
+}
+
+/// Parallel skeleton shared by both Algorithm 2 paths: runs
+/// `node_fn(out, begin, end)` over chunks of `view.nodes` (indices into the
+/// view's node list) and `edge_fn(out, begin, end)` over chunks of
+/// `view.edges`, each on the shared pool with one private `AggregateGraph`
+/// per chunk, then merges the partials in ascending chunk order. Integer
+/// COUNT weights make the sum order immaterial, and the chunk-ordered merge
+/// additionally fixes the hash-map insertion order — so the result is
+/// bit-identical at any thread count. Per-stage counters (rows scanned,
+/// chunks run, merge time) feed `GetExecCounters`.
+template <typename NodeFn, typename EdgeFn>
+AggregateGraph AggregateChunked(const GraphView& view, const NodeFn& node_fn,
+                                const EdgeFn& edge_fn) {
+  ParallelPartition node_partition(view.nodes.size(), kAggMinPerChunk,
+                                   /*alignment=*/1);
+  ParallelPartition edge_partition(view.edges.size(), kAggMinPerChunk,
+                                   /*alignment=*/1);
+
+  std::vector<AggregateGraph> node_parts(node_partition.num_chunks());
+  node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    node_fn(node_parts[chunk], begin, end);
+  });
+  std::vector<AggregateGraph> edge_parts(edge_partition.num_chunks());
+  edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    edge_fn(edge_parts[chunk], begin, end);
+  });
+
+  Stopwatch merge_watch;
+  merge_watch.Start();
+  AggregateGraph result = std::move(node_parts.front());
+  for (std::size_t c = 1; c < node_parts.size(); ++c) MergeInto(&result, node_parts[c]);
+  for (const AggregateGraph& part : edge_parts) MergeInto(&result, part);
+  std::uint64_t merge_nanos =
+      static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
+
+  internal_counters::AddAggregation(
+      view.nodes.size() + view.edges.size(),
+      node_partition.num_chunks() + edge_partition.num_chunks(), merge_nanos);
+  return result;
+}
 
 bool AllStatic(std::span<const AttrRef> attrs) {
   return std::all_of(attrs.begin(), attrs.end(), [](const AttrRef& ref) {
@@ -56,74 +115,91 @@ class SeenTuplePairs {
 
 /// General path of Algorithm 2: unpivot each node/edge over its appearance
 /// times, deduplicate per entity for DIST, group-count into the result.
+/// Entities are independent — the per-entity unpivot over time points and
+/// the SeenTuples deduplication never cross entity boundaries — so the scan
+/// chunks over the node/edge ranges with per-chunk partial maps (see
+/// AggregateChunked for the determinism argument).
 AggregateGraph AggregateGeneral(const TemporalGraph& graph, const GraphView& view,
                                 std::span<const AttrRef> attrs,
                                 const AggregationOptions& options) {
-  AggregateGraph result;
   const bool distinct = options.semantics == AggregationSemantics::kDistinct;
   const NodeTimeFilter* filter = options.filter;
 
-  SeenTuples seen;
-  for (NodeId n : view.nodes) {
-    seen.Clear();
-    graph.node_presence().ForEachSetBitMasked(n, view.times.bits(), [&](std::size_t t_raw) {
-      TimeId t = static_cast<TimeId>(t_raw);
-      if (filter != nullptr && !(*filter)(n, t)) return;
-      AttrTuple tuple = TupleAt(graph, attrs, n, t);
-      if (distinct) {
-        if (seen.Insert(tuple)) result.AddNodeWeight(tuple, 1);
-      } else {
-        result.AddNodeWeight(tuple, 1);
-      }
-    });
-  }
-
-  SeenTuplePairs seen_pairs;
-  for (EdgeId e : view.edges) {
-    seen_pairs.Clear();
-    auto [src, dst] = graph.edge(e);
-    graph.edge_presence().ForEachSetBitMasked(e, view.times.bits(), [&](std::size_t t_raw) {
-      TimeId t = static_cast<TimeId>(t_raw);
-      if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) return;
-      AttrTuplePair pair{TupleAt(graph, attrs, src, t), TupleAt(graph, attrs, dst, t)};
-      if (distinct) {
-        if (seen_pairs.Insert(pair)) result.AddEdgeWeight(pair.src, pair.dst, 1);
-      } else {
-        result.AddEdgeWeight(pair.src, pair.dst, 1);
-      }
-    });
-  }
-  return result;
+  auto node_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
+    SeenTuples seen;  // chunk-local scratch, reused across the entity range
+    for (std::size_t i = begin; i < end; ++i) {
+      NodeId n = view.nodes[i];
+      seen.Clear();
+      graph.node_presence().ForEachSetBitMasked(
+          n, view.times.bits(), [&](std::size_t t_raw) {
+            TimeId t = static_cast<TimeId>(t_raw);
+            if (filter != nullptr && !(*filter)(n, t)) return;
+            AttrTuple tuple = TupleAt(graph, attrs, n, t);
+            if (distinct) {
+              if (seen.Insert(tuple)) out.AddNodeWeight(tuple, 1);
+            } else {
+              out.AddNodeWeight(tuple, 1);
+            }
+          });
+    }
+  };
+  auto edge_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
+    SeenTuplePairs seen_pairs;
+    for (std::size_t i = begin; i < end; ++i) {
+      EdgeId e = view.edges[i];
+      seen_pairs.Clear();
+      auto [src, dst] = graph.edge(e);
+      graph.edge_presence().ForEachSetBitMasked(
+          e, view.times.bits(), [&](std::size_t t_raw) {
+            TimeId t = static_cast<TimeId>(t_raw);
+            if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) return;
+            AttrTuplePair pair{TupleAt(graph, attrs, src, t),
+                               TupleAt(graph, attrs, dst, t)};
+            if (distinct) {
+              if (seen_pairs.Insert(pair)) out.AddEdgeWeight(pair.src, pair.dst, 1);
+            } else {
+              out.AddEdgeWeight(pair.src, pair.dst, 1);
+            }
+          });
+    }
+  };
+  return AggregateChunked(view, node_fn, edge_fn);
 }
 
 /// Section 4.2 fast path: all aggregation attributes static and no filter.
 /// DIST never looks at time at all; ALL weights each entity by the popcount
-/// of its presence row under the view interval.
+/// of its presence row under the view interval. Chunked like the general
+/// path.
 AggregateGraph AggregateAllStatic(const TemporalGraph& graph, const GraphView& view,
                                   std::span<const AttrRef> attrs,
                                   AggregationSemantics semantics) {
-  AggregateGraph result;
   const bool distinct = semantics == AggregationSemantics::kDistinct;
 
-  for (NodeId n : view.nodes) {
-    AttrTuple tuple = StaticTuple(graph, attrs, n);
-    Weight weight =
-        distinct ? 1
-                 : static_cast<Weight>(
-                       graph.node_presence().RowCountMasked(n, view.times.bits()));
-    if (weight > 0) result.AddNodeWeight(tuple, weight);
-  }
-  for (EdgeId e : view.edges) {
-    auto [src, dst] = graph.edge(e);
-    AttrTuple src_tuple = StaticTuple(graph, attrs, src);
-    AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
-    Weight weight =
-        distinct ? 1
-                 : static_cast<Weight>(
-                       graph.edge_presence().RowCountMasked(e, view.times.bits()));
-    if (weight > 0) result.AddEdgeWeight(src_tuple, dst_tuple, weight);
-  }
-  return result;
+  auto node_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      NodeId n = view.nodes[i];
+      AttrTuple tuple = StaticTuple(graph, attrs, n);
+      Weight weight =
+          distinct ? 1
+                   : static_cast<Weight>(
+                         graph.node_presence().RowCountMasked(n, view.times.bits()));
+      if (weight > 0) out.AddNodeWeight(tuple, weight);
+    }
+  };
+  auto edge_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      EdgeId e = view.edges[i];
+      auto [src, dst] = graph.edge(e);
+      AttrTuple src_tuple = StaticTuple(graph, attrs, src);
+      AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
+      Weight weight =
+          distinct ? 1
+                   : static_cast<Weight>(
+                         graph.edge_presence().RowCountMasked(e, view.times.bits()));
+      if (weight > 0) out.AddEdgeWeight(src_tuple, dst_tuple, weight);
+    }
+  };
+  return AggregateChunked(view, node_fn, edge_fn);
 }
 
 }  // namespace

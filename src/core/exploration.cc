@@ -5,7 +5,9 @@
 #include <algorithm>
 
 #include "core/operators.h"
+#include "core/stats.h"
 #include "storage/bitset.h"
+#include "util/parallel.h"
 
 namespace graphtempo {
 
@@ -14,18 +16,24 @@ namespace {
 /// Membership of every row of `presence` in a side of a candidate pair:
 /// union semantics — present at ≥1 point of the side; intersection semantics —
 /// present at all points. For a single-point side the two coincide.
+/// Chunked over the entity range; the default 64-aligned chunk boundaries
+/// guarantee writers of `members` never share a bitset word.
 DynamicBitset SideMembers(const BitMatrix& presence, std::size_t entity_count,
                           const IntervalSet& side, ExtensionSemantics semantics) {
   DynamicBitset members(entity_count);
   const DynamicBitset& mask = side.bits();
   if (semantics == ExtensionSemantics::kUnion) {
-    for (std::size_t i = 0; i < entity_count; ++i) {
-      if (presence.RowAnyMasked(i, mask)) members.Set(i);
-    }
+    ParallelFor(entity_count, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (presence.RowAnyMasked(i, mask)) members.Set(i);
+      }
+    });
   } else {
-    for (std::size_t i = 0; i < entity_count; ++i) {
-      if (presence.RowAllMasked(i, mask)) members.Set(i);
-    }
+    ParallelFor(entity_count, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (presence.RowAllMasked(i, mask)) members.Set(i);
+      }
+    });
   }
   return members;
 }
@@ -193,16 +201,23 @@ EventEngine::EventEngine(const TemporalGraph& graph, const EntitySelector& selec
   node_columns_.assign(n, DynamicBitset(graph.num_nodes()));
   edge_columns_.assign(n, DynamicBitset(graph.num_edges()));
   IntervalSet all = IntervalSet::All(n);
-  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
-    graph.node_presence().ForEachSetBitMasked(node, all.bits(), [&](std::size_t t) {
-      node_columns_[t].Set(node);
-    });
-  }
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    graph.edge_presence().ForEachSetBitMasked(e, all.bits(), [&](std::size_t t) {
-      edge_columns_[t].Set(e);
-    });
-  }
+  // Presence transposition, chunked over entities. Entity `i` only ever
+  // writes bit `i` of each column; the default 64-aligned chunk boundaries
+  // keep concurrent chunks in disjoint words of every column.
+  ParallelFor(graph.num_nodes(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t node = begin; node < end; ++node) {
+      graph.node_presence().ForEachSetBitMasked(node, all.bits(), [&](std::size_t t) {
+        node_columns_[t].Set(node);
+      });
+    }
+  });
+  ParallelFor(graph.num_edges(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t e = begin; e < end; ++e) {
+      graph.edge_presence().ForEachSetBitMasked(e, all.bits(), [&](std::size_t t) {
+        edge_columns_[t].Set(e);
+      });
+    }
+  });
 
   edge_bitset_path_ =
       counter_.fast_path() && selector.kind == EntitySelector::Kind::kEdges;
@@ -349,8 +364,6 @@ ExplorationResult Explore(const TemporalGraph& graph, const ExplorationSpec& spe
       IsMonotonicallyIncreasing(spec.event, spec.reference, spec.semantics);
   const bool minimal_goal = spec.semantics == ExtensionSemantics::kUnion;
 
-  ExplorationResult result;
-
   // Builds the candidate pair for reference point `ref` and extension `len`.
   auto make_pair = [&](TimeId ref, std::size_t len) -> std::pair<TimeRange, TimeRange> {
     if (spec.reference == ReferenceEnd::kOld) {
@@ -365,42 +378,56 @@ ExplorationResult Explore(const TemporalGraph& graph, const ExplorationSpec& spe
   // and (for edge selectors) match bitset are built once, and every candidate
   // pair costs a handful of word-parallel set operations.
   internal_exploration::EventEngine engine(graph, spec.selector);
-  auto evaluate = [&](TimeId ref, std::size_t len) -> Weight {
-    auto [old_range, new_range] = make_pair(ref, len);
-    ++result.evaluations;
-    return engine.Count(old_range, new_range, spec.semantics, spec.event);
-  };
-
-  auto record = [&](TimeId ref, std::size_t len, Weight count) {
-    auto [old_range, new_range] = make_pair(ref, len);
-    result.pairs.push_back(IntervalPair{old_range, new_range, count});
-  };
 
   const TimeId ref_begin = spec.reference == ReferenceEnd::kOld ? 0 : 1;
   const TimeId ref_end =
       spec.reference == ReferenceEnd::kOld ? static_cast<TimeId>(n - 1)
                                            : static_cast<TimeId>(n);
-  for (TimeId ref = ref_begin; ref < ref_end; ++ref) {
+
+  /// What one reference point's scan produced: at most one qualifying pair,
+  /// plus how many candidates it evaluated.
+  struct RefOutcome {
+    std::optional<IntervalPair> pair;
+    std::size_t evaluations = 0;
+  };
+
+  // The scan of one reference point. The early-exit pruning of U-/I-Explore
+  // is a *per-reference* chain (each length depends on the previous count at
+  // the same reference), but distinct reference points never interact — so
+  // exploration parallelizes across references while the pruning inside each
+  // stays intact. `engine.Count` is const and allocates only locals.
+  auto scan_reference = [&](TimeId ref) -> RefOutcome {
+    RefOutcome outcome;
     const std::size_t max_len =
         spec.reference == ReferenceEnd::kOld ? (n - 1 - ref) : ref;
-    if (max_len == 0) continue;
+    if (max_len == 0) return outcome;
+
+    auto evaluate = [&](std::size_t len) -> Weight {
+      auto [old_range, new_range] = make_pair(ref, len);
+      ++outcome.evaluations;
+      return engine.Count(old_range, new_range, spec.semantics, spec.event);
+    };
+    auto record = [&](std::size_t len, Weight count) {
+      auto [old_range, new_range] = make_pair(ref, len);
+      outcome.pair = IntervalPair{old_range, new_range, count};
+    };
 
     if (minimal_goal) {
       if (increasing) {
         // U-Explore: extend until the threshold is first met; that pair is
         // minimal for this reference, and monotonicity prunes the rest.
         for (std::size_t len = 1; len <= max_len; ++len) {
-          Weight count = evaluate(ref, len);
+          Weight count = evaluate(len);
           if (count >= spec.k) {
-            record(ref, len, count);
+            record(len, count);
             break;
           }
         }
       } else {
         // Monotonically decreasing while searching minimal pairs: only the
         // shortest extension can qualify (the "⊆ of" rows of Table 1).
-        Weight count = evaluate(ref, 1);
-        if (count >= spec.k) record(ref, 1, count);
+        Weight count = evaluate(1);
+        if (count >= spec.k) record(1, count);
       }
     } else {
       if (!increasing) {
@@ -408,20 +435,45 @@ ExplorationResult Explore(const TemporalGraph& graph, const ExplorationSpec& spe
         // extension is the maximal pair. The first failure prunes the rest.
         std::optional<std::pair<std::size_t, Weight>> best;
         for (std::size_t len = 1; len <= max_len; ++len) {
-          Weight count = evaluate(ref, len);
+          Weight count = evaluate(len);
           if (count < spec.k) break;
           best = {len, count};
         }
-        if (best.has_value()) record(ref, best->first, best->second);
+        if (best.has_value()) record(best->first, best->second);
       } else {
         // Monotonically increasing while searching maximal pairs: the longest
         // extension dominates — a single check suffices (the "longest
         // interval" rows of Table 1).
-        Weight count = evaluate(ref, max_len);
-        if (count >= spec.k) record(ref, max_len, count);
+        Weight count = evaluate(max_len);
+        if (count >= spec.k) record(max_len, count);
       }
     }
+    return outcome;
+  };
+
+  // Chunked over reference points; per-chunk outcomes are stitched together
+  // in ascending reference order, so `result.pairs` and `result.evaluations`
+  // are identical at any thread count.
+  const std::size_t ref_count =
+      ref_end > ref_begin ? static_cast<std::size_t>(ref_end - ref_begin) : 0;
+  ParallelPartition partition(ref_count, /*min_per_chunk=*/1, /*alignment=*/1);
+  std::vector<std::vector<RefOutcome>> chunk_outcomes(partition.num_chunks());
+  partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    std::vector<RefOutcome>& outcomes = chunk_outcomes[chunk];
+    outcomes.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      outcomes.push_back(scan_reference(static_cast<TimeId>(ref_begin + i)));
+    }
+  });
+
+  ExplorationResult result;
+  for (const std::vector<RefOutcome>& outcomes : chunk_outcomes) {
+    for (const RefOutcome& outcome : outcomes) {
+      result.evaluations += outcome.evaluations;
+      if (outcome.pair.has_value()) result.pairs.push_back(*outcome.pair);
+    }
   }
+  internal_counters::AddExploreEvaluations(result.evaluations);
   return result;
 }
 
@@ -429,18 +481,22 @@ ThresholdSuggestion SuggestThreshold(const TemporalGraph& graph, EventType event
                                      const EntitySelector& selector) {
   const std::size_t n = graph.num_times();
   GT_CHECK_GE(n, 2u) << "threshold suggestion needs at least two time points";
-  ThresholdSuggestion suggestion;
-  bool first = true;
-  for (TimeId t = 0; t + 1 < n; ++t) {
-    Weight count = CountEvents(graph, TimeRange{t, t}, TimeRange{t + 1, t + 1},
-                               ExtensionSemantics::kUnion, event, selector);
-    if (first) {
-      suggestion.min_weight = suggestion.max_weight = count;
-      first = false;
-    } else {
-      suggestion.min_weight = std::min(suggestion.min_weight, count);
-      suggestion.max_weight = std::max(suggestion.max_weight, count);
+  // Consecutive pairs are independent; min/max are order-insensitive, so the
+  // result is identical at any thread count.
+  std::vector<Weight> counts(n - 1);
+  ParallelPartition partition(n - 1, /*min_per_chunk=*/1, /*alignment=*/1);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      TimeId t = static_cast<TimeId>(i);
+      counts[i] = CountEvents(graph, TimeRange{t, t}, TimeRange{t + 1, t + 1},
+                              ExtensionSemantics::kUnion, event, selector);
     }
+  });
+  ThresholdSuggestion suggestion;
+  suggestion.min_weight = suggestion.max_weight = counts[0];
+  for (Weight count : counts) {
+    suggestion.min_weight = std::min(suggestion.min_weight, count);
+    suggestion.max_weight = std::max(suggestion.max_weight, count);
   }
   return suggestion;
 }

@@ -1,6 +1,7 @@
 #include "core/materialization.h"
 
 #include "core/operators.h"
+#include "util/parallel.h"
 
 namespace graphtempo {
 
@@ -44,12 +45,23 @@ void MaterializationStore::MaterializeAllTimePoints() {
 }
 
 void MaterializationStore::Refresh() {
-  per_time_.reserve(graph_->num_times());
-  for (TimeId t = static_cast<TimeId>(per_time_.size()); t < graph_->num_times(); ++t) {
-    GraphView snapshot = Project(*graph_, IntervalSet::Point(graph_->num_times(), t));
-    per_time_.push_back(
-        Aggregate(*graph_, snapshot, attrs_, AggregationSemantics::kAll));
-  }
+  const TimeId first_new = static_cast<TimeId>(per_time_.size());
+  const TimeId num_times = static_cast<TimeId>(graph_->num_times());
+  if (first_new >= num_times) return;
+  per_time_.resize(num_times);
+  // Time points are independent snapshots; each chunk fills disjoint slots of
+  // `per_time_`, so the cache is identical at any thread count. The nested
+  // Project/Aggregate calls may themselves fan out — the shared pool is
+  // reentrant.
+  ParallelPartition partition(static_cast<std::size_t>(num_times - first_new),
+                              /*min_per_chunk=*/1, /*alignment=*/1);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      TimeId t = static_cast<TimeId>(first_new + i);
+      GraphView snapshot = Project(*graph_, IntervalSet::Point(graph_->num_times(), t));
+      per_time_[t] = Aggregate(*graph_, snapshot, attrs_, AggregationSemantics::kAll);
+    }
+  });
 }
 
 const AggregateGraph& MaterializationStore::AtTimePoint(TimeId t) const {

@@ -1,8 +1,10 @@
 #include "core/stats.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace graphtempo {
 
@@ -88,5 +90,51 @@ std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& gr
   }
   return distribution;
 }
+
+// --- execution counters -------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_agg_rows{0};
+std::atomic<std::uint64_t> g_agg_chunks{0};
+std::atomic<std::uint64_t> g_agg_merge_nanos{0};
+std::atomic<std::uint64_t> g_explore_evaluations{0};
+
+}  // namespace
+
+ExecCounters GetExecCounters() {
+  ExecCounters counters;
+  counters.agg_rows_scanned = g_agg_rows.load(std::memory_order_relaxed);
+  counters.agg_chunks = g_agg_chunks.load(std::memory_order_relaxed);
+  counters.agg_merge_nanos = g_agg_merge_nanos.load(std::memory_order_relaxed);
+  counters.explore_evaluations = g_explore_evaluations.load(std::memory_order_relaxed);
+  PoolStats pool = GetPoolStats();
+  counters.pool_jobs = pool.jobs;
+  counters.pool_chunks = pool.chunks;
+  return counters;
+}
+
+void ResetExecCounters() {
+  g_agg_rows.store(0, std::memory_order_relaxed);
+  g_agg_chunks.store(0, std::memory_order_relaxed);
+  g_agg_merge_nanos.store(0, std::memory_order_relaxed);
+  g_explore_evaluations.store(0, std::memory_order_relaxed);
+  ResetPoolStats();
+}
+
+namespace internal_counters {
+
+void AddAggregation(std::uint64_t rows, std::uint64_t chunks,
+                    std::uint64_t merge_nanos) {
+  g_agg_rows.fetch_add(rows, std::memory_order_relaxed);
+  g_agg_chunks.fetch_add(chunks, std::memory_order_relaxed);
+  g_agg_merge_nanos.fetch_add(merge_nanos, std::memory_order_relaxed);
+}
+
+void AddExploreEvaluations(std::uint64_t evaluations) {
+  g_explore_evaluations.fetch_add(evaluations, std::memory_order_relaxed);
+}
+
+}  // namespace internal_counters
 
 }  // namespace graphtempo

@@ -51,6 +51,33 @@ std::map<std::size_t, std::size_t> LifespanHistogram(const TemporalGraph& graph,
 std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& graph,
                                                          AttrRef attr, TimeId t);
 
+// --- execution counters -------------------------------------------------------
+
+/// Cumulative per-stage execution counters (process-wide, thread-safe):
+/// how much work the parallel hot paths did since process start or the last
+/// `ResetExecCounters`. Surfaced by the CLI's `--perf yes` flag and by the
+/// benchmark JSON emitters; see docs/PARALLELISM.md.
+struct ExecCounters {
+  std::uint64_t agg_rows_scanned = 0;    ///< node+edge rows walked by Aggregate
+  std::uint64_t agg_chunks = 0;          ///< partition chunks run by Aggregate
+  std::uint64_t agg_merge_nanos = 0;     ///< time merging per-chunk partials
+  std::uint64_t explore_evaluations = 0; ///< candidate interval pairs evaluated
+  std::uint64_t pool_jobs = 0;           ///< multi-chunk jobs on the shared pool
+  std::uint64_t pool_chunks = 0;         ///< chunks executed on the shared pool
+};
+
+/// Snapshot of the counters (pool counters are pulled from util/parallel).
+ExecCounters GetExecCounters();
+
+/// Zeroes all counters, including the shared pool's.
+void ResetExecCounters();
+
+/// Internal accumulation hooks for the parallel hot paths.
+namespace internal_counters {
+void AddAggregation(std::uint64_t rows, std::uint64_t chunks, std::uint64_t merge_nanos);
+void AddExploreEvaluations(std::uint64_t evaluations);
+}  // namespace internal_counters
+
 }  // namespace graphtempo
 
 #endif  // GRAPHTEMPO_CORE_STATS_H_

@@ -22,8 +22,12 @@ std::optional<std::vector<std::string>> TsvReader::ReadRow() {
 
 void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
+    // '\r' is rejected alongside the separators: a field ending in '\r' would
+    // be written verbatim but lose the '\r' on read-back through ReadRow's
+    // CRLF tolerance, silently corrupting the round trip.
     GT_CHECK(fields[i].find('\t') == std::string::npos &&
-             fields[i].find('\n') == std::string::npos)
+             fields[i].find('\n') == std::string::npos &&
+             fields[i].find('\r') == std::string::npos)
         << "TSV field contains separator: " << fields[i];
     if (i != 0) *output_ << '\t';
     *output_ << fields[i];

@@ -9,8 +9,9 @@
 /// \file
 /// Minimal TSV (tab-separated values) codec used by the on-disk graph format
 /// and the benchmark CSV emitters. Lines starting with '#' and blank lines
-/// are skipped on read; fields must not contain tabs or newlines (GT_CHECKed
-/// on write).
+/// are skipped on read; fields must not contain tabs, newlines, or carriage
+/// returns (GT_CHECKed on write — a trailing '\r' would be eaten by the
+/// reader's CRLF tolerance and break the round trip).
 
 namespace graphtempo {
 

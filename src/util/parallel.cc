@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <functional>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -15,17 +15,44 @@ namespace graphtempo {
 namespace {
 
 std::atomic<std::size_t> g_parallelism{1};
+std::atomic<std::uint64_t> g_pool_jobs{0};
+std::atomic<std::uint64_t> g_pool_chunks{0};
 
 /// A lazily-started, process-lifetime worker pool. Spawning std::threads per
 /// operator call costs more than a typical presence scan (≈1 ms on the DBLP
 /// graph); persistent workers make small-grained parallelism worthwhile.
 ///
-/// Jobs are heap-allocated and handed to workers as shared_ptrs, so a worker
-/// that wakes late simply finds the old job exhausted (next ≥ total) and goes
-/// back to sleep — no way to misattribute chunks across jobs. The pool object
-/// is intentionally leaked: workers may still be blocked on the condition
-/// variable at process exit, and the synchronization primitives must outlive
-/// them.
+/// ## Job hand-off
+///
+/// Earlier revisions handed work to the workers through a single
+/// `current_job_` slot. That scheme has two hazards this design removes:
+///
+///   1. *Nested issue*: a chunk body that itself called `RunChunks` swapped
+///      the slot mid-flight, so workers woken for the outer job could be
+///      retargeted at the inner one and the outer owner was left draining its
+///      job alone (and, with unlucky interleavings of the generation counter,
+///      risked waiting on a job no worker would ever revisit).
+///   2. *Concurrent owners*: a second application thread issuing a scan
+///      overwrote the first thread's job, silently serializing it.
+///
+/// Work is now handed over through a FIFO *queue of jobs*. Every `RunChunks`
+/// call enqueues its own job; workers scan the queue for any job with
+/// unclaimed chunks. Chunk claiming stays lock-free (`next` fetch_add), so
+/// the mutex only guards queue membership and the condition variables.
+///
+/// Progress argument (no deadlock, any nesting depth, any number of owners):
+/// an owner claims chunks of its *own* job until `next ≥ total` before it
+/// blocks, so every chunk of every job is claimed by some thread that then
+/// runs it to completion. A blocked owner therefore only ever waits on
+/// chunks that are actively executing on other threads; because a thread
+/// can only wait for a job it issued *below* the chunk it is executing, the
+/// waits-for graph follows the (finite, acyclic) call-nesting order.
+///
+/// Jobs are heap-allocated shared_ptrs, so a worker that wakes late simply
+/// finds the job exhausted and rescans — no way to misattribute chunks
+/// across jobs. The pool object is intentionally leaked: workers may still
+/// be blocked on the condition variable at process exit, and the
+/// synchronization primitives must outlive them.
 class ThreadPool {
  public:
   static ThreadPool& Instance() {
@@ -43,24 +70,34 @@ class ThreadPool {
   }
 
   /// Runs `fn(chunk)` for every chunk in [0, chunks); blocks until all chunks
-  /// completed. The calling thread participates.
+  /// completed. The calling thread participates, claiming every chunk no
+  /// worker has picked up yet. Safe to call from any thread, including from
+  /// inside a chunk body running on this very pool.
   void RunChunks(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
+    if (chunks == 0) return;
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->total = chunks;
     job->remaining.store(chunks, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      current_job_ = job;
-      generation_.fetch_add(1, std::memory_order_release);
+      queue_.push_back(job);
     }
     work_available_.notify_all();
+    g_pool_jobs.fetch_add(1, std::memory_order_relaxed);
 
+    // Drain our own job first: after this returns, every chunk is claimed
+    // (next ≥ total), so the wait below only covers chunks already running
+    // on other threads.
     Work(*job);
 
     std::unique_lock<std::mutex> lock(mutex_);
-    job_done_.wait(lock, [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
-    if (current_job_ == job) current_job_.reset();
+    job->done.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    // Retire the exhausted job. Only the owner erases, exactly once.
+    auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it != queue_.end()) queue_.erase(it);
   }
 
  private:
@@ -69,46 +106,56 @@ class ThreadPool {
     std::size_t total = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> remaining{0};
+    /// Signaled (under the pool mutex) when `remaining` hits zero. Per-job,
+    /// so owners of distinct jobs never wake each other spuriously.
+    std::condition_variable done;
   };
 
   ThreadPool() = default;
 
+  /// Claims and runs chunks of `job` until none are left unclaimed.
   void Work(Job& job) {
     while (true) {
       std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job.total) return;
       (*job.fn)(chunk);
+      g_pool_chunks.fetch_add(1, std::memory_order_relaxed);
       if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last chunk: wake the job owner. Locking the mutex (empty critical
         // section) pairs with the owner's wait and prevents a lost wakeup.
         { std::unique_lock<std::mutex> lock(mutex_); }
-        job_done_.notify_all();
+        job.done.notify_all();
       }
     }
   }
 
+  /// A job with unclaimed chunks, oldest first; nullptr when none.
+  /// Caller must hold `mutex_`. Exhausted jobs stay queued until their owner
+  /// retires them, but claiming is gated on `next < total` so they are
+  /// skipped here.
+  std::shared_ptr<Job> FindRunnableLocked() {
+    for (const std::shared_ptr<Job>& job : queue_) {
+      if (job->next.load(std::memory_order_relaxed) < job->total) return job;
+    }
+    return nullptr;
+  }
+
   void WorkerLoop() {
-    std::uint64_t seen_generation = 0;
     while (true) {
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        work_available_.wait(lock, [&] {
-          return generation_.load(std::memory_order_relaxed) != seen_generation;
-        });
-        seen_generation = generation_.load(std::memory_order_relaxed);
-        job = current_job_;
+        work_available_.wait(lock, [&] { return FindRunnableLocked() != nullptr; });
+        job = FindRunnableLocked();
       }
-      if (job != nullptr) Work(*job);
+      Work(*job);
     }
   }
 
   std::mutex mutex_;
   std::condition_variable work_available_;
-  std::condition_variable job_done_;
   std::vector<std::thread> workers_;
-  std::shared_ptr<Job> current_job_;
-  std::atomic<std::uint64_t> generation_{0};
+  std::deque<std::shared_ptr<Job>> queue_;  // live jobs, FIFO
 };
 
 }  // namespace
@@ -120,6 +167,18 @@ void SetParallelism(std::size_t threads) {
 }
 
 std::size_t GetParallelism() { return g_parallelism.load(std::memory_order_relaxed); }
+
+PoolStats GetPoolStats() {
+  PoolStats stats;
+  stats.jobs = g_pool_jobs.load(std::memory_order_relaxed);
+  stats.chunks = g_pool_chunks.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetPoolStats() {
+  g_pool_jobs.store(0, std::memory_order_relaxed);
+  g_pool_chunks.store(0, std::memory_order_relaxed);
+}
 
 ParallelPartition::ParallelPartition(std::size_t count, std::size_t min_per_chunk,
                                      std::size_t alignment) {

@@ -2,6 +2,7 @@
 #define GRAPHTEMPO_UTIL_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -17,10 +18,21 @@
 /// runs a callback per chunk. Chunk outputs indexed by chunk id keep results
 /// deterministic regardless of thread scheduling.
 ///
-/// Parallelism is off by default (1 thread); opt in per process via
-/// `SetParallelism` on multi-core machines. Every algorithm produces
-/// bit-identical results at any thread count — asserted by the test suite —
-/// so correctness never depends on the setting.
+/// Execution model (see docs/PARALLELISM.md for the full contract):
+///
+///   * The shared worker pool is a *multi-job* engine: every `Run` enqueues
+///     its own job, so any number of application threads may issue parallel
+///     scans concurrently — they share the workers instead of serializing or
+///     trampling each other's hand-off slot.
+///   * `Run`/`ParallelFor` are **reentrant**: a chunk body may itself invoke
+///     `ParallelFor` (e.g. an aggregation running inside a parallel
+///     exploration sweep). The issuing thread always drains its own job's
+///     unclaimed chunks before blocking, so nesting can never deadlock —
+///     in the worst case the nested scan simply runs inline.
+///   * Parallelism is off by default (1 thread); opt in per process via
+///     `SetParallelism` on multi-core machines. Every algorithm produces
+///     bit-identical results at any thread count — asserted by the test
+///     suite — so correctness never depends on the setting.
 
 namespace graphtempo {
 
@@ -30,6 +42,20 @@ void SetParallelism(std::size_t threads);
 
 /// Current process-wide worker-thread count.
 std::size_t GetParallelism();
+
+/// Cumulative counters of shared-pool activity (process-wide, all threads).
+/// `jobs` counts multi-chunk dispatches; `chunks` counts chunk executions.
+/// Single-chunk partitions run inline and are not pool activity.
+struct PoolStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t chunks = 0;
+};
+
+/// Snapshot of the pool counters since process start or the last reset.
+PoolStats GetPoolStats();
+
+/// Zeroes the pool counters (e.g. before one measured CLI command or bench).
+void ResetPoolStats();
 
 /// Internal: dispatches `chunks` invocations of `fn` onto the shared pool,
 /// blocking until all complete. Use ParallelPartition::Run instead.
@@ -53,7 +79,8 @@ class ParallelPartition {
 
   /// Runs `fn(chunk_index, begin, end)` for every chunk — inline when there
   /// is one chunk, on the shared persistent worker pool otherwise (the
-  /// calling thread participates). `fn` must not throw.
+  /// calling thread participates). Reentrant: `fn` may itself run nested
+  /// parallel scans. `fn` must not throw.
   template <typename Fn>
   void Run(Fn&& fn) const {
     if (num_chunks() == 1) {

@@ -10,6 +10,7 @@
 
 #include "core/graph_io.h"
 #include "test_graphs.h"
+#include "util/parallel.h"
 
 namespace graphtempo {
 namespace {
@@ -141,6 +142,56 @@ TEST_F(CliTest, AggregateUnknownAttributeFails) {
   CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "nope", "--t1", "t0"});
   EXPECT_EQ(run.exit_code, 1);
   EXPECT_NE(run.err.find("unknown attribute"), std::string::npos);
+}
+
+// --- Global execution options (--threads / --perf) -----------------------------------
+
+TEST_F(CliTest, ThreadsBeforeCommandIsAcceptedAndApplied) {
+  CliRun run = RunCliCapture({"--threads", "3", "info", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(GetParallelism(), 3u);
+  SetParallelism(1);
+}
+
+TEST_F(CliTest, ThreadsAfterCommandIsAcceptedToo) {
+  CliRun run = RunCliCapture({"info", path_, "--threads", "2"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(GetParallelism(), 2u);
+  SetParallelism(1);
+}
+
+TEST_F(CliTest, ThreadsRejectsZeroAndGarbage) {
+  for (const char* bad : {"0", "-1", "two", ""}) {
+    CliRun run = RunCliCapture({"--threads", bad, "info", path_});
+    EXPECT_EQ(run.exit_code, 1) << bad;
+    EXPECT_NE(run.err.find("--threads must be a positive integer"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(CliBasicsTest, DanglingGlobalFlagNeedsValue) {
+  CliRun run = RunCliCapture({"--threads"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("needs a value"), std::string::npos);
+}
+
+TEST_F(CliTest, PerfPrintsExecutionCounters) {
+  CliRun run = RunCliCapture({"--threads", "2", "--perf", "yes", "aggregate", path_,
+                              "--attrs", "gender", "--op", "union", "--t1", "t0",
+                              "--t2", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("perf: threads=2"), std::string::npos);
+  EXPECT_NE(run.out.find("agg_rows="), std::string::npos);
+  EXPECT_NE(run.out.find("agg_chunks="), std::string::npos);
+  EXPECT_NE(run.out.find("pool_jobs="), std::string::npos);
+  SetParallelism(1);
+}
+
+TEST_F(CliTest, NoPerfFlagPrintsNoCounters) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op", "union",
+                              "--t1", "t0", "--t2", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(run.out.find("perf:"), std::string::npos);
 }
 
 TEST_F(CliTest, AggregateBadSemanticsFails) {

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/exploration.h"
+#include "core/materialization.h"
+#include "core/operators.h"
+#include "test_graphs.h"
+#include "util/parallel.h"
+
+/// \file
+/// Property tests pinning the determinism guarantee of the parallel engine
+/// (docs/PARALLELISM.md): every public operation produces *bit-identical*
+/// results at any thread count. Each test computes a serial baseline at
+/// parallelism 1 and replays the same computation at 2, 7 and 16 threads —
+/// more threads than this container has cores, which exercises the pool's
+/// oversubscribed scheduling paths.
+
+namespace graphtempo {
+namespace {
+
+using testing::BuildRandomGraph;
+
+constexpr std::size_t kThreadCounts[] = {2, 7, 16};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelism(1); }
+};
+
+// --- Aggregation ----------------------------------------------------------------------
+
+/// Both Algorithm-2 paths (the static fast path and the general time-varying
+/// path), both semantics, on union and intersection views.
+TEST_F(DeterminismTest, AggregateMatchesSerialAtAnyThreadCount) {
+  TemporalGraph graph = BuildRandomGraph(1234, 2500, 9, 0.45, 3, 4, 0.02);
+  IntervalSet a = IntervalSet::Range(9, 0, 4);
+  IntervalSet b = IntervalSet::Range(9, 3, 8);
+
+  const std::vector<std::vector<std::string>> attr_sets = {
+      {"color"},           // static only → Section 4.2 fast path
+      {"level"},           // time-varying → general path
+      {"color", "level"},  // mixed
+  };
+  const AggregationSemantics semantics[] = {AggregationSemantics::kDistinct,
+                                            AggregationSemantics::kAll};
+
+  for (const auto& names : attr_sets) {
+    std::vector<AttrRef> attrs = ResolveAttributes(graph, names);
+    for (AggregationSemantics sem : semantics) {
+      SetParallelism(1);
+      GraphView union_view = UnionOp(graph, a, b);
+      GraphView inter_view = IntersectionOp(graph, a, b);
+      AggregateGraph union_serial = Aggregate(graph, union_view, attrs, sem);
+      AggregateGraph inter_serial = Aggregate(graph, inter_view, attrs, sem);
+
+      for (std::size_t threads : kThreadCounts) {
+        SetParallelism(threads);
+        AggregateGraph union_parallel =
+            Aggregate(graph, UnionOp(graph, a, b), attrs, sem);
+        AggregateGraph inter_parallel =
+            Aggregate(graph, IntersectionOp(graph, a, b), attrs, sem);
+        EXPECT_EQ(union_parallel, union_serial)
+            << names.front() << "... union, " << threads << " threads";
+        EXPECT_EQ(inter_parallel, inter_serial)
+            << names.front() << "... intersection, " << threads << " threads";
+      }
+    }
+  }
+}
+
+// --- Operators ------------------------------------------------------------------------
+
+TEST_F(DeterminismTest, OperatorsMatchSerialAtAnyThreadCount) {
+  TemporalGraph graph = BuildRandomGraph(77, 3000, 10, 0.4, 3, 4, 0.02);
+  IntervalSet a = IntervalSet::Range(10, 0, 5);
+  IntervalSet b = IntervalSet::Range(10, 4, 9);
+
+  SetParallelism(1);
+  GraphView union_serial = UnionOp(graph, a, b);
+  GraphView inter_serial = IntersectionOp(graph, a, b);
+  GraphView diff_serial = DifferenceOp(graph, a, b);
+
+  for (std::size_t threads : kThreadCounts) {
+    SetParallelism(threads);
+    GraphView union_parallel = UnionOp(graph, a, b);
+    GraphView inter_parallel = IntersectionOp(graph, a, b);
+    GraphView diff_parallel = DifferenceOp(graph, a, b);
+    EXPECT_EQ(union_parallel.nodes, union_serial.nodes) << threads << " threads";
+    EXPECT_EQ(union_parallel.edges, union_serial.edges) << threads << " threads";
+    EXPECT_EQ(inter_parallel.nodes, inter_serial.nodes) << threads << " threads";
+    EXPECT_EQ(inter_parallel.edges, inter_serial.edges) << threads << " threads";
+    EXPECT_EQ(diff_parallel.nodes, diff_serial.nodes) << threads << " threads";
+    EXPECT_EQ(diff_parallel.edges, diff_serial.edges) << threads << " threads";
+  }
+}
+
+// --- Exploration ----------------------------------------------------------------------
+
+/// U-Explore and I-Explore must return the same pairs *in the same order* and
+/// report the same evaluation count — the per-reference scans run in parallel
+/// but are stitched back in reference order.
+TEST_F(DeterminismTest, ExploreMatchesSerialAtAnyThreadCount) {
+  TemporalGraph graph = BuildRandomGraph(4321, 400, 12, 0.5, 3, 4, 0.05);
+
+  std::vector<ExplorationSpec> specs;
+  {
+    ExplorationSpec spec;  // U-Explore, growth of raw nodes.
+    spec.event = EventType::kGrowth;
+    spec.semantics = ExtensionSemantics::kUnion;
+    spec.reference = ReferenceEnd::kNew;
+    spec.selector.kind = EntitySelector::Kind::kNodes;
+    spec.k = 5;
+    specs.push_back(spec);
+  }
+  {
+    ExplorationSpec spec;  // I-Explore, stability of raw edges.
+    spec.event = EventType::kStability;
+    spec.semantics = ExtensionSemantics::kIntersection;
+    spec.reference = ReferenceEnd::kOld;
+    spec.selector.kind = EntitySelector::Kind::kEdges;
+    spec.k = 2;
+    specs.push_back(spec);
+  }
+  {
+    ExplorationSpec spec;  // U-Explore with a static-attribute selector
+    spec.event = EventType::kShrinkage;
+    spec.semantics = ExtensionSemantics::kUnion;
+    spec.reference = ReferenceEnd::kOld;
+    spec.selector.kind = EntitySelector::Kind::kNodes;
+    spec.selector.attrs = ResolveAttributes(graph, {"color"});
+    spec.k = 3;
+    specs.push_back(spec);
+  }
+
+  for (std::size_t spec_index = 0; spec_index < specs.size(); ++spec_index) {
+    const ExplorationSpec& spec = specs[spec_index];
+    SetParallelism(1);
+    ExplorationResult serial = Explore(graph, spec);
+    for (std::size_t threads : kThreadCounts) {
+      SetParallelism(threads);
+      ExplorationResult parallel = Explore(graph, spec);
+      EXPECT_EQ(parallel.pairs, serial.pairs)
+          << "spec " << spec_index << ", " << threads << " threads";
+      EXPECT_EQ(parallel.evaluations, serial.evaluations)
+          << "spec " << spec_index << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, SuggestThresholdMatchesSerial) {
+  TemporalGraph graph = BuildRandomGraph(99, 600, 10, 0.5, 3, 4, 0.04);
+  EntitySelector selector;
+  selector.kind = EntitySelector::Kind::kEdges;
+
+  SetParallelism(1);
+  ThresholdSuggestion serial = SuggestThreshold(graph, EventType::kStability, selector);
+  for (std::size_t threads : kThreadCounts) {
+    SetParallelism(threads);
+    ThresholdSuggestion parallel =
+        SuggestThreshold(graph, EventType::kStability, selector);
+    EXPECT_EQ(parallel.min_weight, serial.min_weight) << threads << " threads";
+    EXPECT_EQ(parallel.max_weight, serial.max_weight) << threads << " threads";
+  }
+}
+
+// --- Materialization ------------------------------------------------------------------
+
+/// MaterializeAllTimePoints runs one Aggregate per time point *inside* a
+/// worker chunk, which itself calls ParallelFor — the nested-pool case.
+TEST_F(DeterminismTest, MaterializationMatchesSerialAtAnyThreadCount) {
+  TemporalGraph graph = BuildRandomGraph(55, 1200, 8, 0.5, 3, 4, 0.03);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color"});
+
+  SetParallelism(1);
+  MaterializationStore serial_store(&graph, attrs);
+  serial_store.MaterializeAllTimePoints();
+
+  for (std::size_t threads : kThreadCounts) {
+    SetParallelism(threads);
+    MaterializationStore parallel_store(&graph, attrs);
+    parallel_store.MaterializeAllTimePoints();
+    for (TimeId t = 0; t < graph.num_times(); ++t) {
+      EXPECT_EQ(parallel_store.AtTimePoint(t), serial_store.AtTimePoint(t))
+          << "t" << t << ", " << threads << " threads";
+    }
+    IntervalSet all = IntervalSet::All(graph.num_times());
+    EXPECT_EQ(parallel_store.UnionAllAggregate(all), serial_store.UnionAllAggregate(all))
+        << threads << " threads";
+  }
+}
+
+// --- Nested ParallelFor ---------------------------------------------------------------
+
+/// A user callback running inside a worker chunk may itself call ParallelFor
+/// (e.g. Aggregate inside a materialization chunk). The result must still be
+/// exact and the call must not deadlock.
+TEST_F(DeterminismTest, NestedParallelForInsideWorkerChunkIsExact) {
+  SetParallelism(7);
+  const std::size_t outer = 64;
+  const std::size_t inner = 10000;
+  std::vector<std::uint64_t> sums(outer, 0);
+  // min_per_chunk = 1 forces both levels onto the pool (ParallelFor's default
+  // threshold would run these small counts inline and dodge the nesting).
+  ParallelPartition outer_partition(outer, /*min_per_chunk=*/1, /*alignment=*/1);
+  ASSERT_GT(outer_partition.num_chunks(), 1u);
+  outer_partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::atomic<std::uint64_t> local{0};
+      ParallelPartition inner_partition(inner, /*min_per_chunk=*/16, /*alignment=*/1);
+      inner_partition.Run([&](std::size_t, std::size_t ib, std::size_t ie) {
+        std::uint64_t partial = 0;
+        for (std::size_t j = ib; j < ie; ++j) partial += j + i;
+        local.fetch_add(partial, std::memory_order_relaxed);
+      });
+      sums[i] = local.load();
+    }
+  });
+  for (std::size_t i = 0; i < outer; ++i) {
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(inner) * (inner - 1) / 2 +
+        static_cast<std::uint64_t>(inner) * i;
+    ASSERT_EQ(sums[i], expected) << "outer index " << i;
+  }
+}
+
+/// Full-stack nesting: Aggregate called from inside a worker chunk must match
+/// the same Aggregate computed at top level.
+TEST_F(DeterminismTest, AggregateFromInsideWorkerChunkMatchesTopLevel) {
+  TemporalGraph graph = BuildRandomGraph(777, 1500, 6, 0.5, 3, 4, 0.03);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color", "level"});
+  IntervalSet all = IntervalSet::All(graph.num_times());
+
+  SetParallelism(1);
+  AggregateGraph baseline = Aggregate(graph, UnionOp(graph, all, all), attrs,
+                                      AggregationSemantics::kDistinct);
+
+  SetParallelism(7);
+  const std::size_t tasks = 8;
+  std::vector<AggregateGraph> results(tasks);
+  ParallelPartition partition(tasks, /*min_per_chunk=*/1, /*alignment=*/1);
+  ASSERT_GT(partition.num_chunks(), 1u);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = Aggregate(graph, UnionOp(graph, all, all), attrs,
+                             AggregationSemantics::kDistinct);
+    }
+  });
+  for (std::size_t i = 0; i < tasks; ++i) {
+    EXPECT_EQ(results[i], baseline) << "task " << i;
+  }
+}
+
+}  // namespace
+}  // namespace graphtempo

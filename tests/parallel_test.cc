@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "core/aggregation.h"
 #include "core/operators.h"
@@ -89,6 +91,89 @@ TEST_F(ParallelTest, ParallelForSumsCorrectly) {
     total.fetch_add(local);
   });
   EXPECT_EQ(total.load(), static_cast<std::uint64_t>(count) * (count - 1) / 2);
+}
+
+// Regression: under the old single-job hand-off slot, a Run issued from
+// *inside* a worker chunk overwrote the owner's job pointer — nested scans
+// either deadlocked (owner waiting on a job nobody completes) or corrupted
+// the outer job's chunk accounting. The queue-based pool must execute every
+// chunk of every nesting level exactly once.
+TEST_F(ParallelTest, NestedRunFromWorkerChunkExecutesEveryChunkOnce) {
+  SetParallelism(4);
+  const std::size_t outer_count = 32;
+  const std::size_t inner_count = 2048;
+  std::vector<std::atomic<int>> outer_visits(outer_count);
+  std::atomic<std::uint64_t> inner_total{0};
+
+  ParallelPartition outer(outer_count, /*min_per_chunk=*/1, /*alignment=*/1);
+  ASSERT_GT(outer.num_chunks(), 1u);
+  outer.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      outer_visits[i].fetch_add(1);
+      ParallelPartition inner(inner_count, /*min_per_chunk=*/16, /*alignment=*/1);
+      inner.Run([&](std::size_t, std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(ie - ib, std::memory_order_relaxed);
+      });
+    }
+  });
+
+  for (std::size_t i = 0; i < outer_count; ++i) {
+    ASSERT_EQ(outer_visits[i].load(), 1) << "outer index " << i;
+  }
+  EXPECT_EQ(inner_total.load(),
+            static_cast<std::uint64_t>(outer_count) * inner_count);
+}
+
+// Regression: two user threads issuing Run concurrently used to race on the
+// single hand-off slot — the second owner silently replaced the first job and
+// the first owner could block forever or miss chunks. With per-job queues
+// both owners must see all their own chunks executed exactly once.
+TEST_F(ParallelTest, ConcurrentOwnersEachCompleteTheirOwnJob) {
+  SetParallelism(4);
+  constexpr std::size_t kOwners = 4;
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kCount = 4096;
+  std::atomic<std::uint64_t> totals[kOwners] = {};
+
+  std::vector<std::thread> owners;
+  for (std::size_t o = 0; o < kOwners; ++o) {
+    owners.emplace_back([&, o] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        ParallelPartition partition(kCount, /*min_per_chunk=*/16, /*alignment=*/1);
+        partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+          std::uint64_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) local += i;
+          totals[o].fetch_add(local, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& owner : owners) owner.join();
+
+  const std::uint64_t per_round =
+      static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2;
+  for (std::size_t o = 0; o < kOwners; ++o) {
+    EXPECT_EQ(totals[o].load(), per_round * kRounds) << "owner " << o;
+  }
+}
+
+// Pool counters: a multi-chunk dispatch bumps jobs by 1 and chunks by the
+// chunk count; single-chunk partitions run inline and do not count.
+TEST_F(ParallelTest, PoolStatsCountJobsAndChunks) {
+  SetParallelism(4);
+  ResetPoolStats();
+  ParallelPartition multi(1000, /*min_per_chunk=*/16, /*alignment=*/1);
+  ASSERT_GT(multi.num_chunks(), 1u);
+  multi.Run([](std::size_t, std::size_t, std::size_t) {});
+  ParallelPartition single(10, /*min_per_chunk=*/2048);
+  ASSERT_EQ(single.num_chunks(), 1u);
+  single.Run([](std::size_t, std::size_t, std::size_t) {});
+  PoolStats stats = GetPoolStats();
+  EXPECT_EQ(stats.jobs, 1u);
+  EXPECT_EQ(stats.chunks, multi.num_chunks());
+  ResetPoolStats();
+  EXPECT_EQ(GetPoolStats().jobs, 0u);
+  EXPECT_EQ(GetPoolStats().chunks, 0u);
 }
 
 // The operators must produce bit-identical views at any thread count.

@@ -78,10 +78,32 @@ TEST(TsvRoundTripTest, WriteThenRead) {
   EXPECT_EQ(ReadAll(output.str()), rows);
 }
 
+TEST(TsvRoundTripTest, EveryWritableFieldSurvives) {
+  // Printable content plus spaces and punctuation — everything the writer
+  // accepts must read back bit-identical, even at end-of-field (where a
+  // hypothetical '\r' would be eaten by the reader's CRLF tolerance).
+  std::ostringstream output;
+  TsvWriter writer(&output);
+  std::vector<std::vector<std::string>> rows = {
+      {"plain", "with space", "punct!@$%"}, {"", "empty-first-above"}, {"trailing "}};
+  for (const auto& row : rows) writer.WriteRow(row);
+  EXPECT_EQ(ReadAll(output.str()), rows);
+}
+
 TEST(TsvWriterDeath, FieldWithTabAborts) {
   std::ostringstream output;
   TsvWriter writer(&output);
   EXPECT_DEATH(writer.WriteRow({"a\tb"}), "separator");
+}
+
+TEST(TsvWriterDeath, FieldWithCarriageReturnAborts) {
+  // Regression: "a\r" used to be written verbatim; ReadRow's CRLF tolerance
+  // then stripped the '\r', silently losing data on the round trip. The
+  // writer now rejects '\r' like the other separators.
+  std::ostringstream output;
+  TsvWriter writer(&output);
+  EXPECT_DEATH(writer.WriteRow({"a\r"}), "separator");
+  EXPECT_DEATH(writer.WriteRow({"a\rb"}), "separator");
 }
 
 }  // namespace

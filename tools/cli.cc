@@ -24,6 +24,7 @@
 #include "datagen/dblp_gen.h"
 #include "datagen/movielens_gen.h"
 #include "datagen/paper_example.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace graphtempo::cli {
@@ -54,6 +55,12 @@ commands:
           [--strategy pruned|naive|both-ends]
   suggest-k <graph.tsv> --event <...> [selector options]
   stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
+
+global options (any command):
+  --threads N     worker threads for parallel scans (default 1; results are
+                  bit-identical at any setting)
+  --perf yes      after the command, print per-stage execution counters
+                  (rows scanned, chunks run, merge time, pool activity)
 
 time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
 )";
@@ -827,25 +834,68 @@ int CmdSuggestK(const Options& options, std::ostream& out, std::ostream& err) {
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help") {
-    out << kUsage;
-    return args.empty() ? 1 : 0;
-  }
+  // Global execution options may precede the command:
+  //   graphtempo --threads 8 --perf yes aggregate ...
+  // (they are also accepted after it, like any other flag).
   Options options;
-  if (!ParseOptions(args, 1, &options, err)) return 1;
+  std::size_t command_index = 0;
+  while (command_index + 1 < args.size() &&
+         (args[command_index] == "--threads" || args[command_index] == "--perf")) {
+    options.flags[args[command_index].substr(2)] = args[command_index + 1];
+    command_index += 2;
+  }
+  if (command_index < args.size() &&
+      (args[command_index] == "--threads" || args[command_index] == "--perf")) {
+    err << "error: flag " << args[command_index] << " needs a value\n";
+    return 1;
+  }
+  if (command_index >= args.size() || args[command_index] == "help" ||
+      args[command_index] == "--help") {
+    out << kUsage;
+    return command_index >= args.size() ? 1 : 0;
+  }
+  if (!ParseOptions(args, command_index + 1, &options, err)) return 1;
 
-  const std::string& command = args[0];
-  if (command == "info") return CmdInfo(options, out, err);
-  if (command == "generate") return CmdGenerate(options, out, err);
-  if (command == "import") return CmdImport(options, out, err);
-  if (command == "operate") return CmdOperate(options, out, err);
-  if (command == "aggregate") return CmdAggregate(options, out, err);
-  if (command == "evolution") return CmdEvolution(options, out, err);
-  if (command == "measure") return CmdMeasure(options, out, err);
-  if (command == "coarsen") return CmdCoarsen(options, out, err);
-  if (command == "explore") return CmdExplore(options, out, err);
-  if (command == "suggest-k") return CmdSuggestK(options, out, err);
-  if (command == "stats") return CmdStats(options, out, err);
+  // Global execution options, honored by every command.
+  if (std::optional<std::string> threads_raw = options.Get("threads")) {
+    std::uint64_t threads = 0;
+    if (!ParseUint64(*threads_raw, &threads) || threads == 0) {
+      err << "error: --threads must be a positive integer\n";
+      return 1;
+    }
+    SetParallelism(static_cast<std::size_t>(threads));
+  }
+  const bool perf = options.Get("perf").value_or("no") == "yes";
+  if (perf) ResetExecCounters();
+
+  auto finish = [&](int code) {
+    if (perf && code == 0) {
+      ExecCounters counters = GetExecCounters();
+      char merge_ms[32];
+      std::snprintf(merge_ms, sizeof(merge_ms), "%.3f",
+                    static_cast<double>(counters.agg_merge_nanos) / 1e6);
+      out << "perf: threads=" << GetParallelism()
+          << " agg_rows=" << counters.agg_rows_scanned
+          << " agg_chunks=" << counters.agg_chunks << " agg_merge_ms=" << merge_ms
+          << " explore_evals=" << counters.explore_evaluations
+          << " pool_jobs=" << counters.pool_jobs
+          << " pool_chunks=" << counters.pool_chunks << "\n";
+    }
+    return code;
+  };
+
+  const std::string& command = args[command_index];
+  if (command == "info") return finish(CmdInfo(options, out, err));
+  if (command == "generate") return finish(CmdGenerate(options, out, err));
+  if (command == "import") return finish(CmdImport(options, out, err));
+  if (command == "operate") return finish(CmdOperate(options, out, err));
+  if (command == "aggregate") return finish(CmdAggregate(options, out, err));
+  if (command == "evolution") return finish(CmdEvolution(options, out, err));
+  if (command == "measure") return finish(CmdMeasure(options, out, err));
+  if (command == "coarsen") return finish(CmdCoarsen(options, out, err));
+  if (command == "explore") return finish(CmdExplore(options, out, err));
+  if (command == "suggest-k") return finish(CmdSuggestK(options, out, err));
+  if (command == "stats") return finish(CmdStats(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
   return 1;
 }
