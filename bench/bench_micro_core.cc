@@ -11,6 +11,7 @@
 #include "core/naive_exploration.h"
 #include "core/materialization.h"
 #include "core/operators.h"
+#include "storage/bitset.h"
 #include "util/parallel.h"
 
 namespace gt = graphtempo;
@@ -45,6 +46,39 @@ void BM_RowAnyMaskedNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_RowAnyMaskedNaive);
 
+// --- Bitset index extraction (kernel epilogue) --------------------------------------
+//
+// ToIndices turns the kernels' result bitsets back into sorted id vectors; the
+// countr_zero word walk is O(words + set bits), so the sparse and dense cases
+// bracket its cost (docs/KERNELS.md).
+
+gt::DynamicBitset MakeBitsetEveryNth(std::size_t size, std::size_t stride) {
+  gt::DynamicBitset bits(size);
+  for (std::size_t i = 0; i < size; i += stride) bits.Set(i);
+  return bits;
+}
+
+void BM_ToIndicesSparse(benchmark::State& state) {
+  gt::DynamicBitset bits = MakeBitsetEveryNth(std::size_t{1} << 20, 97);  // ~1%
+  for (auto _ : state) {
+    std::vector<std::uint32_t> ids = bits.ToIndices();
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_ToIndicesSparse);
+
+void BM_ToIndicesDense(benchmark::State& state) {
+  gt::DynamicBitset bits(std::size_t{1} << 20);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i % 4 != 3) bits.Set(i);  // ~75%
+  }
+  for (auto _ : state) {
+    std::vector<std::uint32_t> ids = bits.ToIndices();
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_ToIndicesDense);
+
 // --- Temporal operators ------------------------------------------------------------
 
 void BM_UnionOpDblp(benchmark::State& state) {
@@ -58,6 +92,18 @@ void BM_UnionOpDblp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnionOpDblp);
+
+void BM_UnionOpRowScanDblp(benchmark::State& state) {
+  const gt::TemporalGraph& graph = gt::bench::DblpGraph();
+  const std::size_t n = graph.num_times();
+  gt::IntervalSet a = gt::IntervalSet::Range(n, 0, 9);
+  gt::IntervalSet b = gt::IntervalSet::Range(n, 10, 20);
+  for (auto _ : state) {
+    gt::GraphView view = gt::UnionOpRowScan(graph, a, b);
+    benchmark::DoNotOptimize(view.NodeCount());
+  }
+}
+BENCHMARK(BM_UnionOpRowScanDblp);
 
 void BM_IntersectionOpDblp(benchmark::State& state) {
   const gt::TemporalGraph& graph = gt::bench::DblpGraph();

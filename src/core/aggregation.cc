@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "core/stats.h"
 #include "util/parallel.h"
@@ -23,46 +24,6 @@ void MergeInto(AggregateGraph* dst, const AggregateGraph& src) {
   for (const auto& [pair, weight] : src.edges()) {
     dst->AddEdgeWeight(pair.src, pair.dst, weight);
   }
-}
-
-/// Parallel skeleton shared by both Algorithm 2 paths: runs
-/// `node_fn(out, begin, end)` over chunks of `view.nodes` (indices into the
-/// view's node list) and `edge_fn(out, begin, end)` over chunks of
-/// `view.edges`, each on the shared pool with one private `AggregateGraph`
-/// per chunk, then merges the partials in ascending chunk order. Integer
-/// COUNT weights make the sum order immaterial, and the chunk-ordered merge
-/// additionally fixes the hash-map insertion order — so the result is
-/// bit-identical at any thread count. Per-stage counters (rows scanned,
-/// chunks run, merge time) feed `GetExecCounters`.
-template <typename NodeFn, typename EdgeFn>
-AggregateGraph AggregateChunked(const GraphView& view, const NodeFn& node_fn,
-                                const EdgeFn& edge_fn) {
-  ParallelPartition node_partition(view.nodes.size(), kAggMinPerChunk,
-                                   /*alignment=*/1);
-  ParallelPartition edge_partition(view.edges.size(), kAggMinPerChunk,
-                                   /*alignment=*/1);
-
-  std::vector<AggregateGraph> node_parts(node_partition.num_chunks());
-  node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    node_fn(node_parts[chunk], begin, end);
-  });
-  std::vector<AggregateGraph> edge_parts(edge_partition.num_chunks());
-  edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    edge_fn(edge_parts[chunk], begin, end);
-  });
-
-  Stopwatch merge_watch;
-  merge_watch.Start();
-  AggregateGraph result = std::move(node_parts.front());
-  for (std::size_t c = 1; c < node_parts.size(); ++c) MergeInto(&result, node_parts[c]);
-  for (const AggregateGraph& part : edge_parts) MergeInto(&result, part);
-  std::uint64_t merge_nanos =
-      static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
-
-  internal_counters::AddAggregation(
-      view.nodes.size() + view.edges.size(),
-      node_partition.num_chunks() + edge_partition.num_chunks(), merge_nanos);
-  return result;
 }
 
 bool AllStatic(std::span<const AttrRef> attrs) {
@@ -113,93 +74,308 @@ class SeenTuplePairs {
   std::vector<AttrTuplePair> pairs_;
 };
 
-/// General path of Algorithm 2: unpivot each node/edge over its appearance
-/// times, deduplicate per entity for DIST, group-count into the result.
-/// Entities are independent — the per-entity unpivot over time points and
-/// the SeenTuples deduplication never cross entity boundaries — so the scan
-/// chunks over the node/edge ranges with per-chunk partial maps (see
-/// AggregateChunked for the determinism argument).
-AggregateGraph AggregateGeneral(const TemporalGraph& graph, const GraphView& view,
-                                std::span<const AttrRef> attrs,
-                                const AggregationOptions& options) {
+// --- chunk bodies (sink-templated) ---------------------------------------------
+//
+// The per-entity logic of Algorithm 2, written once and instantiated against
+// two sinks: the hash-map sink (AggregateGraph partials) and the dense flat
+// array sink below. `add_node(tuple, w)` / `add_edge(src, dst, w)` are the
+// only output operations, so both grouping strategies share the exact same
+// appearance walk and therefore count the exact same things.
+
+/// General path of Algorithm 2 over a node chunk: unpivot each node over its
+/// appearance times, deduplicate per entity for DIST. Entities are
+/// independent — SeenTuples never crosses entity boundaries — so chunking
+/// over the node range is safe.
+template <typename AddNode>
+void GeneralNodeChunk(const TemporalGraph& graph, const GraphView& view,
+                      std::span<const AttrRef> attrs, const AggregationOptions& options,
+                      std::size_t begin, std::size_t end, const AddNode& add_node) {
   const bool distinct = options.semantics == AggregationSemantics::kDistinct;
   const NodeTimeFilter* filter = options.filter;
-
-  auto node_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
-    SeenTuples seen;  // chunk-local scratch, reused across the entity range
-    for (std::size_t i = begin; i < end; ++i) {
-      NodeId n = view.nodes[i];
-      seen.Clear();
-      graph.node_presence().ForEachSetBitMasked(
-          n, view.times.bits(), [&](std::size_t t_raw) {
-            TimeId t = static_cast<TimeId>(t_raw);
-            if (filter != nullptr && !(*filter)(n, t)) return;
-            AttrTuple tuple = TupleAt(graph, attrs, n, t);
-            if (distinct) {
-              if (seen.Insert(tuple)) out.AddNodeWeight(tuple, 1);
-            } else {
-              out.AddNodeWeight(tuple, 1);
-            }
-          });
-    }
-  };
-  auto edge_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
-    SeenTuplePairs seen_pairs;
-    for (std::size_t i = begin; i < end; ++i) {
-      EdgeId e = view.edges[i];
-      seen_pairs.Clear();
-      auto [src, dst] = graph.edge(e);
-      graph.edge_presence().ForEachSetBitMasked(
-          e, view.times.bits(), [&](std::size_t t_raw) {
-            TimeId t = static_cast<TimeId>(t_raw);
-            if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) return;
-            AttrTuplePair pair{TupleAt(graph, attrs, src, t),
-                               TupleAt(graph, attrs, dst, t)};
-            if (distinct) {
-              if (seen_pairs.Insert(pair)) out.AddEdgeWeight(pair.src, pair.dst, 1);
-            } else {
-              out.AddEdgeWeight(pair.src, pair.dst, 1);
-            }
-          });
-    }
-  };
-  return AggregateChunked(view, node_fn, edge_fn);
+  SeenTuples seen;  // chunk-local scratch, reused across the entity range
+  for (std::size_t i = begin; i < end; ++i) {
+    NodeId n = view.nodes[i];
+    seen.Clear();
+    graph.node_presence().ForEachSetBitMasked(
+        n, view.times.bits(), [&](std::size_t t_raw) {
+          TimeId t = static_cast<TimeId>(t_raw);
+          if (filter != nullptr && !(*filter)(n, t)) return;
+          AttrTuple tuple = TupleAt(graph, attrs, n, t);
+          if (distinct) {
+            if (seen.Insert(tuple)) add_node(tuple, Weight{1});
+          } else {
+            add_node(tuple, Weight{1});
+          }
+        });
+  }
 }
 
-/// Section 4.2 fast path: all aggregation attributes static and no filter.
-/// DIST never looks at time at all; ALL weights each entity by the popcount
-/// of its presence row under the view interval. Chunked like the general
-/// path.
-AggregateGraph AggregateAllStatic(const TemporalGraph& graph, const GraphView& view,
-                                  std::span<const AttrRef> attrs,
-                                  AggregationSemantics semantics) {
-  const bool distinct = semantics == AggregationSemantics::kDistinct;
+template <typename AddEdge>
+void GeneralEdgeChunk(const TemporalGraph& graph, const GraphView& view,
+                      std::span<const AttrRef> attrs, const AggregationOptions& options,
+                      std::size_t begin, std::size_t end, const AddEdge& add_edge) {
+  const bool distinct = options.semantics == AggregationSemantics::kDistinct;
+  const NodeTimeFilter* filter = options.filter;
+  SeenTuplePairs seen_pairs;
+  for (std::size_t i = begin; i < end; ++i) {
+    EdgeId e = view.edges[i];
+    seen_pairs.Clear();
+    auto [src, dst] = graph.edge(e);
+    graph.edge_presence().ForEachSetBitMasked(
+        e, view.times.bits(), [&](std::size_t t_raw) {
+          TimeId t = static_cast<TimeId>(t_raw);
+          if (filter != nullptr && (!(*filter)(src, t) || !(*filter)(dst, t))) return;
+          AttrTuplePair pair{TupleAt(graph, attrs, src, t),
+                             TupleAt(graph, attrs, dst, t)};
+          if (distinct) {
+            if (seen_pairs.Insert(pair)) add_edge(pair.src, pair.dst, Weight{1});
+          } else {
+            add_edge(pair.src, pair.dst, Weight{1});
+          }
+        });
+  }
+}
 
-  auto node_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      NodeId n = view.nodes[i];
-      AttrTuple tuple = StaticTuple(graph, attrs, n);
-      Weight weight =
-          distinct ? 1
-                   : static_cast<Weight>(
-                         graph.node_presence().RowCountMasked(n, view.times.bits()));
-      if (weight > 0) out.AddNodeWeight(tuple, weight);
+/// Section 4.2 fast path over a node chunk: all aggregation attributes static
+/// and no filter. DIST never looks at time at all; ALL weights each entity by
+/// the popcount of its presence row under the view interval.
+template <typename AddNode>
+void StaticNodeChunk(const TemporalGraph& graph, const GraphView& view,
+                     std::span<const AttrRef> attrs, AggregationSemantics semantics,
+                     std::size_t begin, std::size_t end, const AddNode& add_node) {
+  const bool distinct = semantics == AggregationSemantics::kDistinct;
+  for (std::size_t i = begin; i < end; ++i) {
+    NodeId n = view.nodes[i];
+    AttrTuple tuple = StaticTuple(graph, attrs, n);
+    Weight weight =
+        distinct ? 1
+                 : static_cast<Weight>(
+                       graph.node_presence().RowCountMasked(n, view.times.bits()));
+    if (weight > 0) add_node(tuple, weight);
+  }
+}
+
+template <typename AddEdge>
+void StaticEdgeChunk(const TemporalGraph& graph, const GraphView& view,
+                     std::span<const AttrRef> attrs, AggregationSemantics semantics,
+                     std::size_t begin, std::size_t end, const AddEdge& add_edge) {
+  const bool distinct = semantics == AggregationSemantics::kDistinct;
+  for (std::size_t i = begin; i < end; ++i) {
+    EdgeId e = view.edges[i];
+    auto [src, dst] = graph.edge(e);
+    AttrTuple src_tuple = StaticTuple(graph, attrs, src);
+    AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
+    Weight weight =
+        distinct ? 1
+                 : static_cast<Weight>(
+                       graph.edge_presence().RowCountMasked(e, view.times.bits()));
+    if (weight > 0) add_edge(src_tuple, dst_tuple, weight);
+  }
+}
+
+// --- dense grouping -------------------------------------------------------------
+
+/// Mixed-radix packer over the dictionary domains of the aggregation
+/// attributes: digit i is `code + 1` (0 reserved for kNoValue), radix i is
+/// `dictionary size + 1`. Packing is a bijection between attribute tuples and
+/// [0, cells()), so a flat Weight array replaces the hash map whenever
+/// cells() is small — one multiply-add per attribute instead of an FNV hash
+/// plus probe chain per appearance.
+class DensePacker {
+ public:
+  /// Returns nullopt when the cell-space product exceeds `max_cells` (the
+  /// dense table would be too large to be worth it).
+  static std::optional<DensePacker> Create(const TemporalGraph& graph,
+                                           std::span<const AttrRef> attrs,
+                                           std::size_t max_cells) {
+    DensePacker packer;
+    packer.radices_.reserve(attrs.size());
+    for (const AttrRef& ref : attrs) {
+      const Dictionary& dict = ref.kind == AttrRef::Kind::kStatic
+                                   ? graph.static_attribute(ref.index).dictionary()
+                                   : graph.time_varying_attribute(ref.index).dictionary();
+      const std::size_t radix = dict.size() + 1;  // +1: the kNoValue digit
+      if (packer.cells_ > max_cells / radix) return std::nullopt;
+      packer.cells_ *= radix;
+      packer.radices_.push_back(radix);
+    }
+    return packer;
+  }
+
+  std::size_t cells() const { return cells_; }
+
+  std::size_t Pack(const AttrTuple& tuple) const {
+    GT_DCHECK(tuple.size() == radices_.size());
+    std::size_t packed = 0;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+      const AttrValueId code = tuple[i];
+      const std::size_t digit =
+          code == kNoValue ? 0 : static_cast<std::size_t>(code) + 1;
+      GT_DCHECK(digit < radices_[i]);
+      packed = packed * radices_[i] + digit;
+    }
+    return packed;
+  }
+
+  AttrTuple Unpack(std::size_t packed) const {
+    std::array<std::size_t, AttrTuple::kMaxAttrs> digits = {};
+    for (std::size_t i = radices_.size(); i-- > 0;) {
+      digits[i] = packed % radices_[i];
+      packed /= radices_[i];
+    }
+    AttrTuple tuple;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+      tuple.Append(digits[i] == 0 ? kNoValue
+                                  : static_cast<AttrValueId>(digits[i] - 1));
+    }
+    return tuple;
+  }
+
+ private:
+  std::vector<std::size_t> radices_;
+  std::size_t cells_ = 1;
+};
+
+// --- driver ---------------------------------------------------------------------
+
+/// Runs Algorithm 2 with independently chosen node/edge grouping strategies.
+///
+/// Both strategies chunk the entity ranges onto the shared pool with private
+/// per-chunk accumulators and merge in ascending chunk order:
+///
+///   * hash  — per-chunk AggregateGraph partials, chunk-ordered MergeInto
+///     (fixes the map insertion order, so bit-identical at any thread count);
+///   * dense — per-chunk flat Weight arrays indexed by packed tuple,
+///     elementwise sum, then emission in ascending packed order (a canonical
+///     order independent of both thread count and chunking).
+///
+/// Per-stage counters (rows scanned, chunks, merge time, dense/hash group
+/// sizes) feed `GetExecCounters`.
+AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
+                             std::span<const AttrRef> attrs,
+                             const AggregationOptions& options,
+                             bool allow_static_path) {
+  const bool static_path =
+      allow_static_path && options.filter == nullptr && AllStatic(attrs);
+
+  std::optional<DensePacker> packer;
+  if (options.grouping != GroupingStrategy::kHash) {
+    packer = DensePacker::Create(graph, attrs, kDenseNodeCellsMax);
+  }
+  const bool dense_nodes = packer.has_value();
+  const bool dense_edges =
+      dense_nodes && packer->cells() * packer->cells() <= kDenseEdgePairsMax;
+  if (options.grouping == GroupingStrategy::kDense) {
+    GT_CHECK(dense_nodes && dense_edges)
+        << "attribute domain too large for forced dense grouping";
+  }
+
+  auto node_chunk = [&](std::size_t begin, std::size_t end, const auto& add_node) {
+    if (static_path) {
+      StaticNodeChunk(graph, view, attrs, options.semantics, begin, end, add_node);
+    } else {
+      GeneralNodeChunk(graph, view, attrs, options, begin, end, add_node);
     }
   };
-  auto edge_fn = [&](AggregateGraph& out, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      EdgeId e = view.edges[i];
-      auto [src, dst] = graph.edge(e);
-      AttrTuple src_tuple = StaticTuple(graph, attrs, src);
-      AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
-      Weight weight =
-          distinct ? 1
-                   : static_cast<Weight>(
-                         graph.edge_presence().RowCountMasked(e, view.times.bits()));
-      if (weight > 0) out.AddEdgeWeight(src_tuple, dst_tuple, weight);
+  auto edge_chunk = [&](std::size_t begin, std::size_t end, const auto& add_edge) {
+    if (static_path) {
+      StaticEdgeChunk(graph, view, attrs, options.semantics, begin, end, add_edge);
+    } else {
+      GeneralEdgeChunk(graph, view, attrs, options, begin, end, add_edge);
     }
   };
-  return AggregateChunked(view, node_fn, edge_fn);
+
+  ParallelPartition node_partition(view.nodes.size(), kAggMinPerChunk,
+                                   /*alignment=*/1);
+  ParallelPartition edge_partition(view.edges.size(), kAggMinPerChunk,
+                                   /*alignment=*/1);
+
+  AggregateGraph result;
+  std::uint64_t merge_nanos = 0;
+
+  if (dense_nodes) {
+    const std::size_t cells = packer->cells();
+    std::vector<std::vector<Weight>> parts(node_partition.num_chunks());
+    node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      std::vector<Weight>& table = parts[chunk];
+      table.assign(cells, 0);
+      node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
+        table[packer->Pack(tuple)] += w;
+      });
+    });
+    Stopwatch merge_watch;
+    merge_watch.Start();
+    std::vector<Weight>& total = parts.front();
+    for (std::size_t c = 1; c < parts.size(); ++c) {
+      for (std::size_t i = 0; i < cells; ++i) total[i] += parts[c][i];
+    }
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (total[i] != 0) result.AddNodeWeight(packer->Unpack(i), total[i]);
+    }
+    merge_nanos += static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
+    internal_counters::AddGroupingPath(/*dense=*/1, /*hash=*/0);
+  } else {
+    std::vector<AggregateGraph> parts(node_partition.num_chunks());
+    node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      AggregateGraph& out = parts[chunk];
+      node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
+        out.AddNodeWeight(tuple, w);
+      });
+    });
+    Stopwatch merge_watch;
+    merge_watch.Start();
+    result = std::move(parts.front());
+    for (std::size_t c = 1; c < parts.size(); ++c) MergeInto(&result, parts[c]);
+    merge_nanos += static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
+    internal_counters::AddGroupingPath(/*dense=*/0, /*hash=*/1);
+  }
+
+  if (dense_edges) {
+    const std::size_t cells = packer->cells();
+    const std::size_t pairs = cells * cells;
+    std::vector<std::vector<Weight>> parts(edge_partition.num_chunks());
+    edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      std::vector<Weight>& table = parts[chunk];
+      table.assign(pairs, 0);
+      edge_chunk(begin, end,
+                 [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
+                   table[packer->Pack(src) * cells + packer->Pack(dst)] += w;
+                 });
+    });
+    Stopwatch merge_watch;
+    merge_watch.Start();
+    std::vector<Weight>& total = parts.front();
+    for (std::size_t c = 1; c < parts.size(); ++c) {
+      for (std::size_t i = 0; i < pairs; ++i) total[i] += parts[c][i];
+    }
+    for (std::size_t i = 0; i < pairs; ++i) {
+      if (total[i] != 0) {
+        result.AddEdgeWeight(packer->Unpack(i / cells), packer->Unpack(i % cells),
+                             total[i]);
+      }
+    }
+    merge_nanos += static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
+    internal_counters::AddGroupingPath(/*dense=*/1, /*hash=*/0);
+  } else {
+    std::vector<AggregateGraph> parts(edge_partition.num_chunks());
+    edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      AggregateGraph& out = parts[chunk];
+      edge_chunk(begin, end,
+                 [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
+                   out.AddEdgeWeight(src, dst, w);
+                 });
+    });
+    Stopwatch merge_watch;
+    merge_watch.Start();
+    for (const AggregateGraph& part : parts) MergeInto(&result, part);
+    merge_nanos += static_cast<std::uint64_t>(merge_watch.ElapsedMicros()) * 1000u;
+    internal_counters::AddGroupingPath(/*dense=*/0, /*hash=*/1);
+  }
+
+  internal_counters::AddAggregation(
+      view.nodes.size() + view.edges.size(),
+      node_partition.num_chunks() + edge_partition.num_chunks(), merge_nanos);
+  return result;
 }
 
 }  // namespace
@@ -246,10 +422,7 @@ AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
                          std::span<const AttrRef> attrs,
                          const AggregationOptions& options) {
   GT_CHECK(!attrs.empty()) << "aggregation needs at least one attribute";
-  if (options.filter == nullptr && AllStatic(attrs)) {
-    return AggregateAllStatic(graph, view, attrs, options.semantics);
-  }
-  return AggregateGeneral(graph, view, attrs, options);
+  return AggregateImpl(graph, view, attrs, options, /*allow_static_path=*/true);
 }
 
 AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
@@ -263,7 +436,9 @@ AggregateGraph AggregateGeneralPath(const TemporalGraph& graph, const GraphView&
                                     std::span<const AttrRef> attrs,
                                     const AggregationOptions& options) {
   GT_CHECK(!attrs.empty()) << "aggregation needs at least one attribute";
-  return AggregateGeneral(graph, view, attrs, options);
+  AggregationOptions reference = options;
+  reference.grouping = GroupingStrategy::kHash;  // the reference never hashes densely
+  return AggregateImpl(graph, view, attrs, reference, /*allow_static_path=*/false);
 }
 
 namespace {

@@ -149,6 +149,26 @@ class AggregateGraph {
 /// DIST or ALL counting (see file comment).
 enum class AggregationSemantics { kDistinct, kAll };
 
+/// How Algorithm 2 groups tuples into aggregate nodes and edges.
+///
+/// The *dense* path packs each tuple into a mixed-radix integer over the
+/// attribute dictionary domains and accumulates weights in flat arrays (one
+/// add per appearance, no hashing); it applies when the packed cell space is
+/// small (see `kDenseNodeCellsMax` / `kDenseEdgePairsMax`). The *hash* path
+/// is the NodeMap/EdgeMap reference. Both produce identical AggregateGraphs;
+/// the differential suite in tests/operator_kernel_test.cc pins this.
+enum class GroupingStrategy {
+  kAuto,   ///< dense when the packed domain fits the thresholds (default)
+  kDense,  ///< force dense; GT_CHECKs that the domain fits
+  kHash,   ///< force the hash-map reference path
+};
+
+/// kAuto thresholds: a dense node table holds at most this many cells, and a
+/// dense edge table at most this many cell *pairs* (the edge table is the
+/// square of the node domain). 2 MiB / 8 MiB of Weight per chunk at most.
+inline constexpr std::size_t kDenseNodeCellsMax = std::size_t{1} << 18;
+inline constexpr std::size_t kDenseEdgePairsMax = std::size_t{1} << 20;
+
 /// Optional predicate limiting which (node, time) appearances participate in
 /// an aggregation; used e.g. by the paper's Fig 12 ("authors with
 /// #publications > 4"). An edge appearance at time t participates only if
@@ -158,6 +178,7 @@ using NodeTimeFilter = std::function<bool(NodeId, TimeId)>;
 struct AggregationOptions {
   AggregationSemantics semantics = AggregationSemantics::kDistinct;
   const NodeTimeFilter* filter = nullptr;
+  GroupingStrategy grouping = GroupingStrategy::kAuto;
 };
 
 /// Evaluates the attribute tuple of node `n` at time `t` for the given
@@ -176,8 +197,9 @@ AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
                          AggregationSemantics semantics = AggregationSemantics::kDistinct);
 
 /// Reference implementation without the static-only fast paths: always walks
-/// (entity, time) appearances. Used by tests to pin the fast paths and by the
-/// ablation benchmark.
+/// (entity, time) appearances and always groups through the hash maps
+/// (GroupingStrategy::kHash), whatever `options.grouping` says. Used by tests
+/// to pin the fast paths and by the ablation benchmark.
 AggregateGraph AggregateGeneralPath(const TemporalGraph& graph, const GraphView& view,
                                     std::span<const AttrRef> attrs,
                                     const AggregationOptions& options);

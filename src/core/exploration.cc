@@ -13,29 +13,15 @@ namespace graphtempo {
 
 namespace {
 
-/// Membership of every row of `presence` in a side of a candidate pair:
-/// union semantics — present at ≥1 point of the side; intersection semantics —
-/// present at all points. For a single-point side the two coincide.
-/// Chunked over the entity range; the default 64-aligned chunk boundaries
-/// guarantee writers of `members` never share a bitset word.
-DynamicBitset SideMembers(const BitMatrix& presence, std::size_t entity_count,
-                          const IntervalSet& side, ExtensionSemantics semantics) {
-  DynamicBitset members(entity_count);
-  const DynamicBitset& mask = side.bits();
-  if (semantics == ExtensionSemantics::kUnion) {
-    ParallelFor(entity_count, [&](std::size_t, std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        if (presence.RowAnyMasked(i, mask)) members.Set(i);
-      }
-    });
-  } else {
-    ParallelFor(entity_count, [&](std::size_t, std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        if (presence.RowAllMasked(i, mask)) members.Set(i);
-      }
-    });
-  }
-  return members;
+/// Membership of every entity in a side of a candidate pair: union semantics —
+/// present at ≥1 point of the side; intersection semantics — present at all
+/// points. For a single-point side the two coincide. Answered by the
+/// column-major presence index: an OR/AND fold over the side's columns,
+/// served from the sparse-table interval index for contiguous sides.
+DynamicBitset SideMembers(const PresenceIndex& index, const IntervalSet& side,
+                          ExtensionSemantics semantics) {
+  return semantics == ExtensionSemantics::kUnion ? index.UnionOver(side.bits())
+                                                 : index.IntersectionOver(side.bits());
 }
 
 }  // namespace
@@ -105,16 +91,14 @@ GraphView BuildEventViewFromSides(const TemporalGraph& graph,
 GraphView BuildEventView(const TemporalGraph& graph, const IntervalSet& old_side,
                          const IntervalSet& new_side, ExtensionSemantics semantics,
                          EventType event) {
-  const std::size_t num_nodes = graph.num_nodes();
-  const std::size_t num_edges = graph.num_edges();
   DynamicBitset nodes_old =
-      SideMembers(graph.node_presence(), num_nodes, old_side, semantics);
+      SideMembers(graph.node_presence_index(), old_side, semantics);
   DynamicBitset nodes_new =
-      SideMembers(graph.node_presence(), num_nodes, new_side, semantics);
+      SideMembers(graph.node_presence_index(), new_side, semantics);
   DynamicBitset edges_old =
-      SideMembers(graph.edge_presence(), num_edges, old_side, semantics);
+      SideMembers(graph.edge_presence_index(), old_side, semantics);
   DynamicBitset edges_new =
-      SideMembers(graph.edge_presence(), num_edges, new_side, semantics);
+      SideMembers(graph.edge_presence_index(), new_side, semantics);
   return BuildEventViewFromSides(graph, nodes_old, nodes_new, edges_old, edges_new,
                                  old_side, new_side, event);
 }
@@ -197,27 +181,11 @@ Weight SelectorCounter::Count(const GraphView& view) const {
 
 EventEngine::EventEngine(const TemporalGraph& graph, const EntitySelector& selector)
     : graph_(graph), counter_(graph, selector) {
-  const std::size_t n = graph.num_times();
-  node_columns_.assign(n, DynamicBitset(graph.num_nodes()));
-  edge_columns_.assign(n, DynamicBitset(graph.num_edges()));
-  IntervalSet all = IntervalSet::All(n);
-  // Presence transposition, chunked over entities. Entity `i` only ever
-  // writes bit `i` of each column; the default 64-aligned chunk boundaries
-  // keep concurrent chunks in disjoint words of every column.
-  ParallelFor(graph.num_nodes(), [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t node = begin; node < end; ++node) {
-      graph.node_presence().ForEachSetBitMasked(node, all.bits(), [&](std::size_t t) {
-        node_columns_[t].Set(node);
-      });
-    }
-  });
-  ParallelFor(graph.num_edges(), [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t e = begin; e < end; ++e) {
-      graph.edge_presence().ForEachSetBitMasked(e, all.bits(), [&](std::size_t t) {
-        edge_columns_[t].Set(e);
-      });
-    }
-  });
+  // The per-time columns live in the graph's PresenceIndex (maintained
+  // incrementally — no per-run transposition). Force the lazy sparse tables
+  // now so the parallel reference scans never serialize on the guarded build.
+  graph.node_presence_index().EnsureTables();
+  graph.edge_presence_index().EnsureTables();
 
   edge_bitset_path_ =
       counter_.fast_path() && selector.kind == EntitySelector::Kind::kEdges;
@@ -234,24 +202,24 @@ EventEngine::EventEngine(const TemporalGraph& graph, const EntitySelector& selec
   }
 }
 
-DynamicBitset EventEngine::FoldSide(const std::vector<DynamicBitset>& columns,
-                                    TimeRange range,
-                                    ExtensionSemantics semantics) const {
-  DynamicBitset side = columns[range.first];
-  for (TimeId t = range.first + 1; t <= range.last; ++t) {
-    if (semantics == ExtensionSemantics::kUnion) {
-      side |= columns[t];
-    } else {
-      side &= columns[t];
-    }
-  }
-  return side;
+namespace {
+
+/// A side fold straight off the interval index: two sparse-table lookups,
+/// whatever the side length.
+DynamicBitset FoldSide(const PresenceIndex& index, TimeRange range,
+                       ExtensionSemantics semantics) {
+  return semantics == ExtensionSemantics::kUnion
+             ? index.UnionRange(range.first, range.last)
+             : index.IntersectRange(range.first, range.last);
 }
+
+}  // namespace
 
 Weight EventEngine::Count(TimeRange old_range, TimeRange new_range,
                           ExtensionSemantics semantics, EventType event) const {
-  DynamicBitset edges_old = FoldSide(edge_columns_, old_range, semantics);
-  DynamicBitset edges_new = FoldSide(edge_columns_, new_range, semantics);
+  const PresenceIndex& edge_index = graph_.edge_presence_index();
+  DynamicBitset edges_old = FoldSide(edge_index, old_range, semantics);
+  DynamicBitset edges_new = FoldSide(edge_index, new_range, semantics);
 
   if (edge_bitset_path_) {
     DynamicBitset combined = [&] {
@@ -271,8 +239,9 @@ Weight EventEngine::Count(TimeRange old_range, TimeRange new_range,
   }
 
   const std::size_t n = graph_.num_times();
-  DynamicBitset nodes_old = FoldSide(node_columns_, old_range, semantics);
-  DynamicBitset nodes_new = FoldSide(node_columns_, new_range, semantics);
+  const PresenceIndex& node_index = graph_.node_presence_index();
+  DynamicBitset nodes_old = FoldSide(node_index, old_range, semantics);
+  DynamicBitset nodes_new = FoldSide(node_index, new_range, semantics);
   GraphView view = BuildEventViewFromSides(
       graph_, nodes_old, nodes_new, edges_old, edges_new,
       IntervalSet::Of(n, old_range), IntervalSet::Of(n, new_range), event);

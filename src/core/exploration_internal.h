@@ -51,12 +51,15 @@ GraphView BuildEventView(const TemporalGraph& graph, const IntervalSet& old_side
 /// The explorers' hot path: evaluates event counts for many candidate pairs
 /// against one selector.
 ///
-/// On construction the presence matrices are transposed into per-time-point
-/// entity columns; a side's membership is then a fold (OR for union
-/// semantics, AND for intersection) of ≤|T| cached columns — word operations
-/// instead of per-entity row scans. For edge selectors on the
-/// `SelectorCounter` fast path the count collapses further to
-/// popcount(side-combination ∧ match-bitset) and no view is materialized.
+/// Sides are contiguous time ranges, so a side's membership is answered by
+/// the graph's column-major `PresenceIndex` (docs/KERNELS.md): two
+/// sparse-table lookups per side (OR folds for union semantics, AND folds
+/// for intersection), independent of side length — instead of the ≤|T|
+/// column operations of the previous cached-transposition engine, let alone
+/// per-entity row scans. The constructor forces the lazy tables so the
+/// parallel reference scans never serialize on the guarded build. For edge
+/// selectors on the `SelectorCounter` fast path the count collapses further
+/// to popcount(side-combination ∧ match-bitset) and no view is materialized.
 class EventEngine {
  public:
   /// `graph` and `selector` must outlive the engine.
@@ -67,13 +70,8 @@ class EventEngine {
                EventType event) const;
 
  private:
-  DynamicBitset FoldSide(const std::vector<DynamicBitset>& columns, TimeRange range,
-                         ExtensionSemantics semantics) const;
-
   const TemporalGraph& graph_;
   SelectorCounter counter_;
-  std::vector<DynamicBitset> node_columns_;  // per time point: nodes present
-  std::vector<DynamicBitset> edge_columns_;  // per time point: edges present
   bool edge_bitset_path_ = false;
   DynamicBitset edge_match_bits_;
 };

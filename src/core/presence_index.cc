@@ -1,0 +1,247 @@
+#include "core/presence_index.h"
+
+#include <bit>
+#include <utility>
+
+#include "core/stats.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace graphtempo {
+
+namespace {
+
+/// Words per chunk below which a fold runs inline. Folding is pure streaming
+/// OR/AND, so chunks need to be large to earn their dispatch.
+constexpr std::size_t kFoldMinWordsPerChunk = 4096;
+
+/// out[w] = a[w] op b[w] over disjoint word ranges — the word-parallel
+/// combine every kernel bottoms out in. Each chunk owns a disjoint word
+/// range, so the result is identical at any thread count (bitwise ops are
+/// per-word pure functions). Counts the words it scanned.
+template <typename Op>
+void CombineWords(const DynamicBitset& a, const DynamicBitset& b, DynamicBitset& out,
+                  Op op) {
+  GT_DCHECK(a.num_words() == b.num_words() && a.num_words() == out.num_words());
+  const std::uint64_t* wa = a.word_data();
+  const std::uint64_t* wb = b.word_data();
+  std::uint64_t* wo = out.word_data();
+  const std::size_t words = out.num_words();
+  ParallelPartition partition(words, kFoldMinWordsPerChunk, /*alignment=*/1);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t w = begin; w < end; ++w) wo[w] = op(wa[w], wb[w]);
+  });
+  internal_counters::AddKernelWords(2 * words);
+}
+
+void OrInto(DynamicBitset& out, const DynamicBitset& src) {
+  CombineWords(out, src, out, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+}
+
+void AndInto(DynamicBitset& out, const DynamicBitset& src) {
+  CombineWords(out, src, out, [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+
+}  // namespace
+
+PresenceIndex::PresenceIndex(std::size_t num_times)
+    : columns_(num_times), mutex_(std::make_unique<std::mutex>()) {}
+
+PresenceIndex::PresenceIndex(PresenceIndex&& other) noexcept
+    : entities_(other.entities_),
+      columns_(std::move(other.columns_)),
+      generation_(other.generation_.load(std::memory_order_relaxed)),
+      mutex_(std::move(other.mutex_)) {
+  or_table_.levels_ = std::move(other.or_table_.levels_);
+  or_table_.built_generation.store(
+      other.or_table_.built_generation.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  and_table_.levels_ = std::move(other.and_table_.levels_);
+  and_table_.built_generation.store(
+      other.and_table_.built_generation.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+PresenceIndex& PresenceIndex::operator=(PresenceIndex&& other) noexcept {
+  if (this == &other) return *this;
+  entities_ = other.entities_;
+  columns_ = std::move(other.columns_);
+  generation_.store(other.generation_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  or_table_.levels_ = std::move(other.or_table_.levels_);
+  or_table_.built_generation.store(
+      other.or_table_.built_generation.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  and_table_.levels_ = std::move(other.and_table_.levels_);
+  and_table_.built_generation.store(
+      other.and_table_.built_generation.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  mutex_ = std::move(other.mutex_);
+  return *this;
+}
+
+void PresenceIndex::AddTimePoints(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) columns_.emplace_back(entities_);
+  Invalidate();
+}
+
+void PresenceIndex::AddEntities(std::size_t count) {
+  entities_ += count;
+  for (DynamicBitset& column : columns_) column.Resize(entities_);
+  // New entities are absent everywhere; existing folds stay correct for the
+  // old entity range but the bitset sizes changed — invalidate.
+  Invalidate();
+}
+
+void PresenceIndex::Set(std::size_t entity, std::size_t t) {
+  GT_CHECK_LT(t, columns_.size()) << "time out of range";
+  GT_CHECK_LT(entity, entities_) << "entity out of range";
+  columns_[t].Set(entity);
+  Invalidate();
+}
+
+const DynamicBitset& PresenceIndex::Column(std::size_t t) const {
+  GT_CHECK_LT(t, columns_.size()) << "time out of range";
+  return columns_[t];
+}
+
+std::size_t PresenceIndex::CountAt(std::size_t t) const { return Column(t).Count(); }
+
+void PresenceIndex::EnsureTables() const {
+  EnsureTable(Fold::kOr);
+  EnsureTable(Fold::kAnd);
+}
+
+void PresenceIndex::EnsureTable(Fold fold) const {
+  Table& t = table(fold);
+  const std::uint64_t current = generation_.load(std::memory_order_relaxed);
+  if (t.built_generation.load(std::memory_order_acquire) == current) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (t.built_generation.load(std::memory_order_relaxed) == current) return;
+
+  const std::size_t n = columns_.size();
+  t.levels_.clear();
+  if (n >= 2) {
+    const std::size_t num_levels =
+        static_cast<std::size_t>(std::bit_width(n) - 1);  // floor(log2 n)
+    t.levels_.reserve(num_levels);
+    for (std::size_t k = 1; k <= num_levels; ++k) {
+      const std::size_t window = std::size_t{1} << k;
+      const std::size_t half = window / 2;
+      const std::vector<DynamicBitset>& prev =
+          k == 1 ? columns_ : t.levels_[k - 2];
+      std::vector<DynamicBitset> level;
+      level.reserve(n - window + 1);
+      for (std::size_t i = 0; i + window <= n; ++i) {
+        DynamicBitset folded = prev[i];
+        if (fold == Fold::kOr) {
+          OrInto(folded, prev[i + half]);
+        } else {
+          AndInto(folded, prev[i + half]);
+        }
+        level.push_back(std::move(folded));
+      }
+      t.levels_.push_back(std::move(level));
+    }
+  }
+  t.built_generation.store(current, std::memory_order_release);
+}
+
+DynamicBitset PresenceIndex::FoldRange(Fold fold, std::size_t first,
+                                       std::size_t last) const {
+  GT_DCHECK(first <= last && last < columns_.size());
+  const std::size_t len = last - first + 1;
+  if (len == 1) {
+    internal_counters::AddIntervalIndex(/*hits=*/0, /*misses=*/1);
+    return columns_[first];
+  }
+  EnsureTable(fold);
+  const Table& t = table(fold);
+  // floor(log2 len) — the largest power-of-two window fitting the range.
+  const std::size_t k = static_cast<std::size_t>(std::bit_width(len) - 1);
+  const std::size_t window = std::size_t{1} << k;
+  const std::vector<DynamicBitset>& level = t.levels_[k - 1];
+  internal_counters::AddIntervalIndex(/*hits=*/1, /*misses=*/0);
+  DynamicBitset folded = level[first];
+  const DynamicBitset& tail = level[last + 1 - window];
+  if (fold == Fold::kOr) {
+    OrInto(folded, tail);
+  } else {
+    AndInto(folded, tail);
+  }
+  return folded;
+}
+
+DynamicBitset PresenceIndex::UnionRange(std::size_t first, std::size_t last) const {
+  GT_CHECK_LE(first, last);
+  GT_CHECK_LT(last, columns_.size()) << "time out of range";
+  return FoldRange(Fold::kOr, first, last);
+}
+
+DynamicBitset PresenceIndex::IntersectRange(std::size_t first, std::size_t last) const {
+  GT_CHECK_LE(first, last);
+  GT_CHECK_LT(last, columns_.size()) << "time out of range";
+  return FoldRange(Fold::kAnd, first, last);
+}
+
+namespace {
+
+/// Calls `fn(first, last)` for every maximal run of consecutive set bits in
+/// `times`, ascending.
+template <typename Fn>
+void ForEachRun(const DynamicBitset& times, Fn&& fn) {
+  bool in_run = false;
+  std::size_t run_first = 0;
+  std::size_t prev = 0;
+  times.ForEachSetBit([&](std::size_t t) {
+    if (!in_run) {
+      in_run = true;
+      run_first = t;
+    } else if (t != prev + 1) {
+      fn(run_first, prev);
+      run_first = t;
+    }
+    prev = t;
+  });
+  if (in_run) fn(run_first, prev);
+}
+
+}  // namespace
+
+DynamicBitset PresenceIndex::UnionOver(const DynamicBitset& times) const {
+  GT_CHECK_EQ(times.size(), columns_.size()) << "time mask/domain mismatch";
+  DynamicBitset result(entities_);
+  bool first_run = true;
+  ForEachRun(times, [&](std::size_t first, std::size_t last) {
+    if (first_run) {
+      result = FoldRange(Fold::kOr, first, last);
+      first_run = false;
+    } else {
+      OrInto(result, FoldRange(Fold::kOr, first, last));
+    }
+  });
+  return result;
+}
+
+DynamicBitset PresenceIndex::IntersectionOver(const DynamicBitset& times) const {
+  GT_CHECK_EQ(times.size(), columns_.size()) << "time mask/domain mismatch";
+  DynamicBitset result(entities_);
+  if (times.None()) {
+    // Vacuous truth: every entity is present "at all times" of an empty set,
+    // matching RowAllMasked on an empty mask.
+    result.SetAll();
+    return result;
+  }
+  bool first_run = true;
+  ForEachRun(times, [&](std::size_t first, std::size_t last) {
+    if (first_run) {
+      result = FoldRange(Fold::kAnd, first, last);
+      first_run = false;
+    } else {
+      AndInto(result, FoldRange(Fold::kAnd, first, last));
+    }
+  });
+  return result;
+}
+
+}  // namespace graphtempo

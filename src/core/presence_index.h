@@ -1,0 +1,126 @@
+#ifndef GRAPHTEMPO_CORE_PRESENCE_INDEX_H_
+#define GRAPHTEMPO_CORE_PRESENCE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/bitset.h"
+
+/// \file
+/// `PresenceIndex`: the column-major twin of the row-major presence
+/// `BitMatrix` — one `DynamicBitset` over entities *per time point*, plus a
+/// sparse-table interval index of precomputed column folds.
+///
+/// The row-major matrix answers "at which times does entity e exist?" in one
+/// cache line; this index answers the inverse question "which entities exist
+/// over interval T?" as pure word-parallel set algebra:
+///
+///   * union over T       — OR of the T columns            (Defs 2.3)
+///   * intersection over T— AND of the T columns           (Def 2.2 project)
+///
+/// and the temporal operators of Section 2 reduce to a handful of these
+/// folds (see docs/KERNELS.md). The sparse tables store the fold of every
+/// power-of-two-length window, so any *contiguous* interval folds in exactly
+/// two column operations (the two windows overlap; OR and AND are
+/// idempotent), independent of interval length. Non-contiguous interval sets
+/// decompose into maximal runs, each answered from the table.
+///
+/// Maintenance is incremental: `TemporalGraph` mirrors every presence
+/// mutation into the index (`Set`), every `AddNode`/`GetOrAddEdge` grows the
+/// columns (`AddEntities`, amortized O(1)), and every `AppendTimePoint`
+/// appends an empty column (`AddTimePoints`). The sparse tables are built
+/// lazily on first fold query and invalidated by any mutation; concurrent
+/// *queries* (e.g. exploration reference sweeps on the worker pool) may race
+/// on the lazy build, which is guarded by a mutex + generation counter.
+/// Queries concurrent with *mutation* are not supported — same contract as
+/// every other container in the engine.
+
+namespace graphtempo {
+
+class PresenceIndex {
+ public:
+  explicit PresenceIndex(std::size_t num_times = 0);
+
+  PresenceIndex(const PresenceIndex&) = delete;
+  PresenceIndex& operator=(const PresenceIndex&) = delete;
+  PresenceIndex(PresenceIndex&& other) noexcept;
+  PresenceIndex& operator=(PresenceIndex&& other) noexcept;
+
+  std::size_t num_times() const { return columns_.size(); }
+  std::size_t num_entities() const { return entities_; }
+
+  /// Appends `count` all-zero columns (new time points at the end).
+  void AddTimePoints(std::size_t count = 1);
+
+  /// Grows every column to hold `count` more entities (new bits zero).
+  void AddEntities(std::size_t count = 1);
+
+  /// Marks `entity` present at time `t`.
+  void Set(std::size_t entity, std::size_t t);
+
+  /// The raw presence column of time `t` (a bitset over entities).
+  const DynamicBitset& Column(std::size_t t) const;
+
+  // --- Interval folds --------------------------------------------------------
+  //
+  // All folds return a bitset over entities. `times` masks are bitsets over
+  // the time domain (`IntervalSet::bits()`); they must match `num_times()`.
+
+  /// OR of columns [first, last] (inclusive): entities present at ≥1 time.
+  /// Two table lookups for any length (sparse-table overlap trick).
+  DynamicBitset UnionRange(std::size_t first, std::size_t last) const;
+
+  /// AND of columns [first, last] (inclusive): entities present at every time.
+  DynamicBitset IntersectRange(std::size_t first, std::size_t last) const;
+
+  /// OR of the columns selected by `times` (maximal-run decomposition).
+  /// An empty mask yields the empty entity set.
+  DynamicBitset UnionOver(const DynamicBitset& times) const;
+
+  /// AND of the columns selected by `times`. An empty mask yields the full
+  /// entity set (vacuous truth — matching `BitMatrix::RowAllMasked` on an
+  /// empty mask).
+  DynamicBitset IntersectionOver(const DynamicBitset& times) const;
+
+  /// Entities present at ≥1 time of `times`, popcounted without
+  /// materializing the fold — used by per-column statistics.
+  std::size_t CountAt(std::size_t t) const;
+
+  /// Forces the lazy sparse tables to be built now (both fold kinds). Useful
+  /// before fanning queries out to worker threads so the guarded build does
+  /// not serialize them; queries call it implicitly otherwise.
+  void EnsureTables() const;
+
+ private:
+  enum class Fold : std::uint8_t { kOr, kAnd };
+
+  struct Table {
+    /// levels_[k-1][i] = fold of columns [i, i + 2^k) for k ≥ 1.
+    std::vector<std::vector<DynamicBitset>> levels_;
+    std::atomic<std::uint64_t> built_generation{0};
+  };
+
+  void Invalidate() { generation_.fetch_add(1, std::memory_order_relaxed); }
+  void EnsureTable(Fold fold) const;
+  Table& table(Fold fold) const { return fold == Fold::kOr ? or_table_ : and_table_; }
+
+  /// Fold of columns [first, last] via the (already built) sparse table.
+  DynamicBitset FoldRange(Fold fold, std::size_t first, std::size_t last) const;
+
+  std::size_t entities_ = 0;
+  std::vector<DynamicBitset> columns_;
+
+  /// Bumped on every mutation; tables with a stale built_generation rebuild
+  /// lazily under `mutex_`.
+  std::atomic<std::uint64_t> generation_{1};
+  mutable Table or_table_;
+  mutable Table and_table_;
+  std::unique_ptr<std::mutex> mutex_;
+};
+
+}  // namespace graphtempo
+
+#endif  // GRAPHTEMPO_CORE_PRESENCE_INDEX_H_

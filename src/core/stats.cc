@@ -99,6 +99,11 @@ std::atomic<std::uint64_t> g_agg_rows{0};
 std::atomic<std::uint64_t> g_agg_chunks{0};
 std::atomic<std::uint64_t> g_agg_merge_nanos{0};
 std::atomic<std::uint64_t> g_explore_evaluations{0};
+std::atomic<std::uint64_t> g_kernel_words{0};
+std::atomic<std::uint64_t> g_interval_hits{0};
+std::atomic<std::uint64_t> g_interval_misses{0};
+std::atomic<std::uint64_t> g_agg_dense_groups{0};
+std::atomic<std::uint64_t> g_agg_hash_groups{0};
 
 }  // namespace
 
@@ -108,6 +113,11 @@ ExecCounters GetExecCounters() {
   counters.agg_chunks = g_agg_chunks.load(std::memory_order_relaxed);
   counters.agg_merge_nanos = g_agg_merge_nanos.load(std::memory_order_relaxed);
   counters.explore_evaluations = g_explore_evaluations.load(std::memory_order_relaxed);
+  counters.kernel_words = g_kernel_words.load(std::memory_order_relaxed);
+  counters.interval_index_hits = g_interval_hits.load(std::memory_order_relaxed);
+  counters.interval_index_misses = g_interval_misses.load(std::memory_order_relaxed);
+  counters.agg_dense_groups = g_agg_dense_groups.load(std::memory_order_relaxed);
+  counters.agg_hash_groups = g_agg_hash_groups.load(std::memory_order_relaxed);
   PoolStats pool = GetPoolStats();
   counters.pool_jobs = pool.jobs;
   counters.pool_chunks = pool.chunks;
@@ -119,6 +129,11 @@ void ResetExecCounters() {
   g_agg_chunks.store(0, std::memory_order_relaxed);
   g_agg_merge_nanos.store(0, std::memory_order_relaxed);
   g_explore_evaluations.store(0, std::memory_order_relaxed);
+  g_kernel_words.store(0, std::memory_order_relaxed);
+  g_interval_hits.store(0, std::memory_order_relaxed);
+  g_interval_misses.store(0, std::memory_order_relaxed);
+  g_agg_dense_groups.store(0, std::memory_order_relaxed);
+  g_agg_hash_groups.store(0, std::memory_order_relaxed);
   ResetPoolStats();
 }
 
@@ -133,6 +148,20 @@ void AddAggregation(std::uint64_t rows, std::uint64_t chunks,
 
 void AddExploreEvaluations(std::uint64_t evaluations) {
   g_explore_evaluations.fetch_add(evaluations, std::memory_order_relaxed);
+}
+
+void AddKernelWords(std::uint64_t words) {
+  g_kernel_words.fetch_add(words, std::memory_order_relaxed);
+}
+
+void AddIntervalIndex(std::uint64_t hits, std::uint64_t misses) {
+  if (hits != 0) g_interval_hits.fetch_add(hits, std::memory_order_relaxed);
+  if (misses != 0) g_interval_misses.fetch_add(misses, std::memory_order_relaxed);
+}
+
+void AddGroupingPath(std::uint64_t dense, std::uint64_t hash) {
+  if (dense != 0) g_agg_dense_groups.fetch_add(dense, std::memory_order_relaxed);
+  if (hash != 0) g_agg_hash_groups.fetch_add(hash, std::memory_order_relaxed);
 }
 
 }  // namespace internal_counters

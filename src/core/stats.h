@@ -64,6 +64,11 @@ struct ExecCounters {
   std::uint64_t explore_evaluations = 0; ///< candidate interval pairs evaluated
   std::uint64_t pool_jobs = 0;           ///< multi-chunk jobs on the shared pool
   std::uint64_t pool_chunks = 0;         ///< chunks executed on the shared pool
+  std::uint64_t kernel_words = 0;        ///< 64-bit words streamed by the kernels
+  std::uint64_t interval_index_hits = 0;   ///< interval folds answered by the sparse table
+  std::uint64_t interval_index_misses = 0; ///< single-column folds (no table needed)
+  std::uint64_t agg_dense_groups = 0;    ///< aggregation sides grouped densely
+  std::uint64_t agg_hash_groups = 0;     ///< aggregation sides grouped via hash maps
 };
 
 /// Snapshot of the counters (pool counters are pulled from util/parallel).
@@ -76,6 +81,9 @@ void ResetExecCounters();
 namespace internal_counters {
 void AddAggregation(std::uint64_t rows, std::uint64_t chunks, std::uint64_t merge_nanos);
 void AddExploreEvaluations(std::uint64_t evaluations);
+void AddKernelWords(std::uint64_t words);
+void AddIntervalIndex(std::uint64_t hits, std::uint64_t misses);
+void AddGroupingPath(std::uint64_t dense, std::uint64_t hash);
 }  // namespace internal_counters
 
 }  // namespace graphtempo

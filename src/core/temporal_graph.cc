@@ -7,7 +7,9 @@ namespace graphtempo {
 TemporalGraph::TemporalGraph(std::vector<std::string> time_labels)
     : time_labels_(std::move(time_labels)),
       node_presence_(time_labels_.size()),
-      edge_presence_(time_labels_.size()) {
+      node_index_cols_(time_labels_.size()),
+      edge_presence_(time_labels_.size()),
+      edge_index_cols_(time_labels_.size()) {
   GT_CHECK(!time_labels_.empty()) << "time domain must be non-empty";
   for (std::size_t t = 0; t < time_labels_.size(); ++t) {
     bool inserted =
@@ -34,6 +36,8 @@ TimeId TemporalGraph::AppendTimePoint(std::string_view label) {
   GT_CHECK(inserted) << "duplicate time label: " << label;
   node_presence_.AddColumns(1);
   edge_presence_.AddColumns(1);
+  node_index_cols_.AddTimePoints(1);
+  edge_index_cols_.AddTimePoints(1);
   for (auto& column : varying_attrs_) column.AppendTimes(1);
   for (auto& column : varying_edge_attrs_) column.AppendTimes(1);
   return id;
@@ -46,6 +50,7 @@ NodeId TemporalGraph::AddNode(std::string_view label) {
   node_labels_.emplace_back(label);
   node_index_.emplace(node_labels_.back(), id);
   node_presence_.AddRows(1);
+  node_index_cols_.AddEntities(1);
   for (auto& column : static_attrs_) column.Resize(node_labels_.size());
   for (auto& column : varying_attrs_) column.Resize(node_labels_.size());
   return id;
@@ -67,18 +72,25 @@ EdgeId TemporalGraph::GetOrAddEdge(NodeId src, NodeId dst) {
   edge_endpoints_.emplace_back(src, dst);
   edge_index_.emplace(key, id);
   edge_presence_.AddRows(1);
+  edge_index_cols_.AddEntities(1);
   for (auto& column : static_edge_attrs_) column.Resize(edge_endpoints_.size());
   for (auto& column : varying_edge_attrs_) column.Resize(edge_endpoints_.size());
   return id;
 }
 
-void TemporalGraph::SetNodePresent(NodeId n, TimeId t) { node_presence_.Set(n, t); }
+void TemporalGraph::SetNodePresent(NodeId n, TimeId t) {
+  node_presence_.Set(n, t);
+  node_index_cols_.Set(n, t);
+}
 
 void TemporalGraph::SetEdgePresent(EdgeId e, TimeId t) {
   edge_presence_.Set(e, t);
+  edge_index_cols_.Set(e, t);
   auto [src, dst] = edge(e);
   node_presence_.Set(src, t);
   node_presence_.Set(dst, t);
+  node_index_cols_.Set(src, t);
+  node_index_cols_.Set(dst, t);
 }
 
 std::uint32_t TemporalGraph::AddStaticAttribute(std::string name) {
@@ -272,20 +284,12 @@ const std::string& TemporalGraph::EdgeValueName(EdgeAttrRef ref, AttrValueId cod
 
 std::size_t TemporalGraph::NodesAt(TimeId t) const {
   GT_CHECK_LT(t, num_times()) << "time out of range";
-  std::size_t count = 0;
-  for (std::size_t n = 0; n < num_nodes(); ++n) {
-    if (node_presence_.Test(n, t)) ++count;
-  }
-  return count;
+  return node_index_cols_.CountAt(t);  // column popcount, not a row scan
 }
 
 std::size_t TemporalGraph::EdgesAt(TimeId t) const {
   GT_CHECK_LT(t, num_times()) << "time out of range";
-  std::size_t count = 0;
-  for (std::size_t e = 0; e < num_edges(); ++e) {
-    if (edge_presence_.Test(e, t)) ++count;
-  }
-  return count;
+  return edge_index_cols_.CountAt(t);
 }
 
 }  // namespace graphtempo

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/interval.h"
+#include "core/presence_index.h"
 #include "storage/attribute_table.h"
 #include "storage/bit_matrix.h"
 
@@ -150,6 +151,13 @@ class TemporalGraph {
   const BitMatrix& node_presence() const { return node_presence_; }
   const BitMatrix& edge_presence() const { return edge_presence_; }
 
+  /// Column-major presence indexes (one bitset over entities per time point,
+  /// plus the sparse-table interval index) — the layout the operator and
+  /// aggregation kernels run on (docs/KERNELS.md). Maintained incrementally
+  /// alongside the row-major matrices by every mutation above.
+  const PresenceIndex& node_presence_index() const { return node_index_cols_; }
+  const PresenceIndex& edge_presence_index() const { return edge_index_cols_; }
+
   /// Looks up an attribute by name across both tables.
   std::optional<AttrRef> FindAttribute(std::string_view name) const;
 
@@ -212,10 +220,12 @@ class TemporalGraph {
   std::vector<std::string> node_labels_;
   std::unordered_map<std::string, NodeId> node_index_;
   BitMatrix node_presence_;
+  PresenceIndex node_index_cols_;
 
   std::vector<std::pair<NodeId, NodeId>> edge_endpoints_;
   std::unordered_map<std::uint64_t, EdgeId> edge_index_;
   BitMatrix edge_presence_;
+  PresenceIndex edge_index_cols_;
 
   std::vector<StaticColumn> static_attrs_;
   std::vector<TimeVaryingColumn> varying_attrs_;

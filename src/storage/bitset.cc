@@ -14,6 +14,16 @@ std::size_t WordsFor(std::size_t bits) { return (bits + kWordBits - 1) / kWordBi
 
 DynamicBitset::DynamicBitset(std::size_t size) : size_(size), words_(WordsFor(size), 0) {}
 
+void DynamicBitset::Resize(std::size_t size) {
+  words_.resize(WordsFor(size), 0);
+  size_ = size;
+  // Clear padding bits (relevant on shrink, harmless on growth).
+  std::size_t used = size_ % kWordBits;
+  if (used != 0) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
 void DynamicBitset::Set(std::size_t index, bool value) {
   GT_CHECK_LT(index, size_) << "bit index out of range";
   std::uint64_t mask = std::uint64_t{1} << (index % kWordBits);
@@ -120,6 +130,24 @@ std::vector<std::size_t> DynamicBitset::ToIndexVector() const {
   indices.reserve(Count());
   ForEachSetBit([&](std::size_t i) { indices.push_back(i); });
   return indices;
+}
+
+std::vector<std::uint32_t> DynamicBitset::ToIndices() const {
+  GT_CHECK_LE(size_, std::size_t{0xFFFFFFFFu}) << "universe exceeds 32-bit indices";
+  std::vector<std::uint32_t> indices;
+  indices.reserve(Count());
+  AppendWordRangeIndices(0, words_.size(), indices);
+  return indices;
+}
+
+std::size_t DynamicBitset::CountWordRange(std::size_t word_begin,
+                                          std::size_t word_end) const {
+  GT_DCHECK(word_end <= words_.size());
+  std::size_t total = 0;
+  for (std::size_t w = word_begin; w < word_end; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  return total;
 }
 
 }  // namespace graphtempo

@@ -1,6 +1,7 @@
 #ifndef GRAPHTEMPO_STORAGE_BITSET_H_
 #define GRAPHTEMPO_STORAGE_BITSET_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,12 @@ class DynamicBitset {
 
   /// Number of bits the set can hold (not the number of set bits).
   std::size_t size() const { return size_; }
+
+  /// Grows or shrinks the set to `size` bits. Existing bits up to
+  /// min(old, new) are preserved; new bits start at 0; padding bits of the
+  /// last word are kept zero so Count()/comparisons stay exact. Amortized
+  /// O(1) for single-bit growth (vector growth is geometric).
+  void Resize(std::size_t size);
 
   /// Sets bit `index` to 1 (or to `value`).
   void Set(std::size_t index, bool value = true);
@@ -87,12 +94,14 @@ class DynamicBitset {
   bool operator==(const DynamicBitset& other) const = default;
 
   /// Calls `fn(index)` for every set bit in ascending order.
+  /// `std::countr_zero` word iteration: each 64-bit word costs one
+  /// count-trailing-zeros per *set* bit, never one probe per bit.
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w];
       while (word != 0) {
-        int bit = __builtin_ctzll(word);
+        int bit = std::countr_zero(word);
         fn(w * 64 + static_cast<std::size_t>(bit));
         word &= word - 1;
       }
@@ -102,8 +111,43 @@ class DynamicBitset {
   /// Materializes the set bits as a sorted vector of indices.
   std::vector<std::size_t> ToIndexVector() const;
 
+  /// Set bits as ascending 32-bit indices (entity ids are 32-bit). GT_CHECKs
+  /// that the universe fits 32 bits. Uses the word-range extraction below.
+  std::vector<std::uint32_t> ToIndices() const;
+
+  /// Appends the indices of the set bits inside words [word_begin, word_end)
+  /// to `out`, ascending. The building block of the parallel operator
+  /// kernels: disjoint word ranges extract into per-chunk vectors that are
+  /// concatenated in chunk order, so parallel extraction is bit-identical to
+  /// a serial scan. Returns the number of words examined.
+  std::size_t AppendWordRangeIndices(std::size_t word_begin, std::size_t word_end,
+                                     std::vector<std::uint32_t>& out) const {
+    GT_DCHECK(word_end <= words_.size());
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      std::uint64_t word = words_[w];
+      const std::uint32_t base = static_cast<std::uint32_t>(w * 64);
+      while (word != 0) {
+        out.push_back(base + static_cast<std::uint32_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+    return word_end - word_begin;
+  }
+
+  /// Number of set bits inside words [word_begin, word_end).
+  std::size_t CountWordRange(std::size_t word_begin, std::size_t word_end) const;
+
   /// Raw word access used by BitMatrix's masked row predicates.
   const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Mutable raw word access for the word-parallel kernels (fold loops write
+  /// disjoint word ranges from different chunks). Callers must keep the
+  /// padding bits of the last word zero.
+  std::uint64_t* word_data() { return words_.data(); }
+  const std::uint64_t* word_data() const { return words_.data(); }
+
+  /// Number of 64-bit words backing the set.
+  std::size_t num_words() const { return words_.size(); }
 
  private:
   void CheckCompatible(const DynamicBitset& other) const {

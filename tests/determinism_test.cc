@@ -71,6 +71,33 @@ TEST_F(DeterminismTest, AggregateMatchesSerialAtAnyThreadCount) {
   }
 }
 
+/// The dense (packed-code flat array) grouping path must also be
+/// bit-identical at any thread count: per-chunk flat tables are summed
+/// elementwise and emitted in ascending packed order, a canonical order
+/// independent of chunking.
+TEST_F(DeterminismTest, DenseGroupingMatchesSerialAtAnyThreadCount) {
+  TemporalGraph graph = BuildRandomGraph(321, 2000, 8, 0.45, 4, 5, 0.02);
+  IntervalSet a = IntervalSet::Range(8, 0, 4);
+  IntervalSet b = IntervalSet::Range(8, 3, 7);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color", "level"});
+
+  for (AggregationSemantics sem :
+       {AggregationSemantics::kDistinct, AggregationSemantics::kAll}) {
+    AggregationOptions options;
+    options.semantics = sem;
+    options.grouping = GroupingStrategy::kDense;
+
+    SetParallelism(1);
+    AggregateGraph serial = Aggregate(graph, UnionOp(graph, a, b), attrs, options);
+    for (std::size_t threads : kThreadCounts) {
+      SetParallelism(threads);
+      AggregateGraph parallel =
+          Aggregate(graph, UnionOp(graph, a, b), attrs, options);
+      EXPECT_EQ(parallel, serial) << "dense grouping, " << threads << " threads";
+    }
+  }
+}
+
 // --- Operators ------------------------------------------------------------------------
 
 TEST_F(DeterminismTest, OperatorsMatchSerialAtAnyThreadCount) {

@@ -878,6 +878,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
           << " agg_rows=" << counters.agg_rows_scanned
           << " agg_chunks=" << counters.agg_chunks << " agg_merge_ms=" << merge_ms
           << " explore_evals=" << counters.explore_evaluations
+          << " kernel_words=" << counters.kernel_words
+          << " interval_hits=" << counters.interval_index_hits
+          << " interval_misses=" << counters.interval_index_misses
+          << " dense_groups=" << counters.agg_dense_groups
+          << " hash_groups=" << counters.agg_hash_groups
           << " pool_jobs=" << counters.pool_jobs
           << " pool_chunks=" << counters.pool_chunks << "\n";
     }
