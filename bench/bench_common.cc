@@ -6,6 +6,7 @@
 
 #include "datagen/dblp_gen.h"
 #include "datagen/movielens_gen.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace graphtempo::bench {
@@ -152,6 +153,34 @@ JsonLine& JsonLine::AddArray(const std::string& key,
 }
 
 void JsonLine::Print() const { std::printf("%s}\n", body_.c_str()); }
+
+TraceGuard::TraceGuard() {
+  const char* env = std::getenv("GT_TRACE");
+  if (env == nullptr || env[0] == '\0') return;
+  path_ = env;
+  session_.emplace();
+}
+
+TraceGuard::~TraceGuard() {
+  if (!session_.has_value()) return;
+  session_->Stop();
+  std::string error;
+  if (!session_->WriteJsonFile(path_, &error)) {
+    std::fprintf(stderr, "trace: %s\n", error.c_str());
+    return;
+  }
+  std::printf("trace: wrote %zu spans (%llu dropped) to %s\n",
+              session_->event_count(),
+              static_cast<unsigned long long>(session_->dropped()), path_.c_str());
+}
+
+void AddSpanPercentiles(JsonLine& json, const std::string& prefix,
+                        const std::string& span_name) {
+  obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  obs::HistogramSnapshot histogram = snapshot.HistogramValue("span/" + span_name);
+  json.Add(prefix + "_p50_ms", static_cast<double>(histogram.p50()) / 1000.0);
+  json.Add(prefix + "_p99_ms", static_cast<double>(histogram.p99()) / 1000.0);
+}
 
 EntitySelector FemaleFemaleEdges(const TemporalGraph& graph) {
   EntitySelector selector;

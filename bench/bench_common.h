@@ -1,12 +1,14 @@
 #ifndef GRAPHTEMPO_BENCH_BENCH_COMMON_H_
 #define GRAPHTEMPO_BENCH_BENCH_COMMON_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/aggregation.h"
 #include "core/exploration.h"
 #include "core/temporal_graph.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -129,6 +131,28 @@ void RunThreadSweep(const std::vector<std::size_t>& sweep, JsonLine& json, Fn&& 
   json.AddArray("ms", times);
   json.AddArray("speedup", speedups);
 }
+
+/// Declared in a bench's `main`, records a Chrome trace of the whole run when
+/// the env var GT_TRACE names an output path (used by the CI trace smoke).
+/// No-op when GT_TRACE is unset, so the timed regions stay span-free.
+class TraceGuard {
+ public:
+  TraceGuard();
+  ~TraceGuard();
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<obs::TraceSession> session_;
+};
+
+/// Adds `<prefix>_p50_ms` and `<prefix>_p99_ms` to `json` from the registry
+/// histogram `span/<span_name>` (recorded in microseconds whenever an
+/// obs::ScopedLatencyCapture is alive around the measured calls). Fields are
+/// 0 when the span never fired.
+void AddSpanPercentiles(JsonLine& json, const std::string& prefix,
+                        const std::string& span_name);
 
 /// Selector for f→f edges aggregated on `gender` (used by Figs 13/14).
 EntitySelector FemaleFemaleEdges(const TemporalGraph& graph);

@@ -10,6 +10,8 @@
 
 #include "bench_common.h"
 #include "core/operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gt = graphtempo;
 using gt::bench::Ms;
@@ -70,11 +72,22 @@ void RunThreadScaling(const gt::TemporalGraph& graph, const std::string& name,
 
   gt::bench::JsonLine json("fig5_thread_sweep");
   json.Add("dataset", name);
-  gt::bench::RunThreadSweep(gt::bench::ThreadSweep(), json, [&] {
-    gt::AggregateGraph agg =
-        gt::Aggregate(graph, view, attrs, gt::AggregationSemantics::kDistinct);
-    DoNotOptimize(agg.NodeCount());
-  });
+  {
+    // Per-phase latency percentiles across every timed call of the sweep,
+    // via the span/<name> registry histograms (microsecond resolution).
+    gt::obs::Registry::Instance().ResetAll();
+    gt::obs::ScopedLatencyCapture capture;
+    gt::bench::RunThreadSweep(gt::bench::ThreadSweep(), json, [&] {
+      gt::AggregateGraph agg =
+          gt::Aggregate(graph, view, attrs, gt::AggregationSemantics::kDistinct);
+      DoNotOptimize(agg.NodeCount());
+    });
+  }
+  gt::bench::AddSpanPercentiles(json, "agg", "agg/aggregate");
+  gt::bench::AddSpanPercentiles(json, "nodes_scan", "agg/nodes_scan");
+  gt::bench::AddSpanPercentiles(json, "edges_scan", "agg/edges_scan");
+  gt::bench::AddSpanPercentiles(json, "nodes_merge", "agg/nodes_merge");
+  gt::bench::AddSpanPercentiles(json, "edges_merge", "agg/edges_merge");
   json.Print();
   std::printf("\n");
 }
@@ -154,6 +167,7 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name,
 }  // namespace
 
 int main() {
+  gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Per-time-point aggregation by attribute type", "paper Figure 5");
 
   RunDataset(gt::bench::DblpGraph(), "DBLP (Fig 5a)",

@@ -12,6 +12,8 @@
 
 #include "bench_common.h"
 #include "core/operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gt = graphtempo;
 using gt::bench::DoNotOptimize;
@@ -72,12 +74,18 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
     gt::GraphView warm = gt::UnionOp(graph, prefix, next);
     DoNotOptimize(warm.NodeCount());
   }
-  double kernel_ms = TimeMs(
-      [&] {
-        gt::GraphView view = gt::UnionOp(graph, prefix, next);
-        DoNotOptimize(view.NodeCount());
-      },
-      /*reps=*/5);
+  gt::obs::Registry::Instance().ResetAll();
+  double kernel_ms = 0.0;
+  {
+    // Capture span/operators/* histograms for per-phase percentile fields.
+    gt::obs::ScopedLatencyCapture capture;
+    kernel_ms = TimeMs(
+        [&] {
+          gt::GraphView view = gt::UnionOp(graph, prefix, next);
+          DoNotOptimize(view.NodeCount());
+        },
+        /*reps=*/5);
+  }
   double rowscan_ms = TimeMs(
       [&] {
         gt::GraphView view = gt::UnionOpRowScan(graph, prefix, next);
@@ -93,6 +101,8 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
   json.Add("kernel_ms", kernel_ms);
   json.Add("rowscan_ms", rowscan_ms);
   json.Add("kernel", speedup);
+  gt::bench::AddSpanPercentiles(json, "union", "operators/union");
+  gt::bench::AddSpanPercentiles(json, "extract", "operators/extract");
   json.Print();
   std::printf("\n");
 }
@@ -100,6 +110,7 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
 }  // namespace
 
 int main() {
+  gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Union + aggregation while extending the interval", "paper Figure 6");
   RunDataset(gt::bench::DblpGraph(), "DBLP (Fig 6a-c)", "gender", "publications");
   RunDataset(gt::bench::MovieLensGraph(), "MovieLens (Fig 6d)", "gender", "rating");

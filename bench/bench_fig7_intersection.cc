@@ -13,6 +13,8 @@
 
 #include "bench_common.h"
 #include "core/operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gt = graphtempo;
 using gt::bench::DoNotOptimize;
@@ -74,12 +76,18 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
     gt::GraphView warm = gt::IntersectionOp(graph, first, second);
     DoNotOptimize(warm.NodeCount());
   }
-  double kernel_ms = TimeMs(
-      [&] {
-        gt::GraphView view = gt::IntersectionOp(graph, first, second);
-        DoNotOptimize(view.NodeCount());
-      },
-      /*reps=*/5);
+  gt::obs::Registry::Instance().ResetAll();
+  double kernel_ms = 0.0;
+  {
+    // Capture span/operators/* histograms for per-phase percentile fields.
+    gt::obs::ScopedLatencyCapture capture;
+    kernel_ms = TimeMs(
+        [&] {
+          gt::GraphView view = gt::IntersectionOp(graph, first, second);
+          DoNotOptimize(view.NodeCount());
+        },
+        /*reps=*/5);
+  }
   double rowscan_ms = TimeMs(
       [&] {
         gt::GraphView view = gt::IntersectionOpRowScan(graph, first, second);
@@ -95,6 +103,8 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
   json.Add("kernel_ms", kernel_ms);
   json.Add("rowscan_ms", rowscan_ms);
   json.Add("kernel", speedup);
+  gt::bench::AddSpanPercentiles(json, "intersection", "operators/intersection");
+  gt::bench::AddSpanPercentiles(json, "extract", "operators/extract");
   json.Print();
   std::printf("\n");
 }
@@ -102,6 +112,7 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
 }  // namespace
 
 int main() {
+  gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Intersection + aggregation while extending the interval",
              "paper Figure 7");
   RunDataset(gt::bench::DblpGraph(), "DBLP (Fig 7a-c)", "gender", "publications");

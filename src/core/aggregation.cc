@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/stats.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -255,6 +256,8 @@ AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
                              std::span<const AttrRef> attrs,
                              const AggregationOptions& options,
                              bool allow_static_path) {
+  GT_SPAN("agg/aggregate", {{"nodes", view.nodes.size()},
+                            {"edges", view.edges.size()}});
   const bool static_path =
       allow_static_path && options.filter == nullptr && AllStatic(attrs);
 
@@ -296,13 +299,17 @@ AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
   if (dense_nodes) {
     const std::size_t cells = packer->cells();
     std::vector<std::vector<Weight>> parts(node_partition.num_chunks());
-    node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-      std::vector<Weight>& table = parts[chunk];
-      table.assign(cells, 0);
-      node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
-        table[packer->Pack(tuple)] += w;
+    {
+      GT_SPAN("agg/nodes_scan", {{"rows", view.nodes.size()}, {"dense", 1}});
+      node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::vector<Weight>& table = parts[chunk];
+        table.assign(cells, 0);
+        node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
+          table[packer->Pack(tuple)] += w;
+        });
       });
-    });
+    }
+    GT_SPAN("agg/nodes_merge", {{"chunks", parts.size()}, {"dense", 1}});
     Stopwatch merge_watch;
     merge_watch.Start();
     std::vector<Weight>& total = parts.front();
@@ -316,12 +323,16 @@ AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
     internal_counters::AddGroupingPath(/*dense=*/1, /*hash=*/0);
   } else {
     std::vector<AggregateGraph> parts(node_partition.num_chunks());
-    node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-      AggregateGraph& out = parts[chunk];
-      node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
-        out.AddNodeWeight(tuple, w);
+    {
+      GT_SPAN("agg/nodes_scan", {{"rows", view.nodes.size()}, {"dense", 0}});
+      node_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        AggregateGraph& out = parts[chunk];
+        node_chunk(begin, end, [&](const AttrTuple& tuple, Weight w) {
+          out.AddNodeWeight(tuple, w);
+        });
       });
-    });
+    }
+    GT_SPAN("agg/nodes_merge", {{"chunks", parts.size()}, {"dense", 0}});
     Stopwatch merge_watch;
     merge_watch.Start();
     result = std::move(parts.front());
@@ -334,14 +345,18 @@ AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
     const std::size_t cells = packer->cells();
     const std::size_t pairs = cells * cells;
     std::vector<std::vector<Weight>> parts(edge_partition.num_chunks());
-    edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-      std::vector<Weight>& table = parts[chunk];
-      table.assign(pairs, 0);
-      edge_chunk(begin, end,
-                 [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
-                   table[packer->Pack(src) * cells + packer->Pack(dst)] += w;
-                 });
-    });
+    {
+      GT_SPAN("agg/edges_scan", {{"rows", view.edges.size()}, {"dense", 1}});
+      edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::vector<Weight>& table = parts[chunk];
+        table.assign(pairs, 0);
+        edge_chunk(begin, end,
+                   [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
+                     table[packer->Pack(src) * cells + packer->Pack(dst)] += w;
+                   });
+      });
+    }
+    GT_SPAN("agg/edges_merge", {{"chunks", parts.size()}, {"dense", 1}});
     Stopwatch merge_watch;
     merge_watch.Start();
     std::vector<Weight>& total = parts.front();
@@ -358,13 +373,17 @@ AggregateGraph AggregateImpl(const TemporalGraph& graph, const GraphView& view,
     internal_counters::AddGroupingPath(/*dense=*/1, /*hash=*/0);
   } else {
     std::vector<AggregateGraph> parts(edge_partition.num_chunks());
-    edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-      AggregateGraph& out = parts[chunk];
-      edge_chunk(begin, end,
-                 [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
-                   out.AddEdgeWeight(src, dst, w);
-                 });
-    });
+    {
+      GT_SPAN("agg/edges_scan", {{"rows", view.edges.size()}, {"dense", 0}});
+      edge_partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        AggregateGraph& out = parts[chunk];
+        edge_chunk(begin, end,
+                   [&](const AttrTuple& src, const AttrTuple& dst, Weight w) {
+                     out.AddEdgeWeight(src, dst, w);
+                   });
+      });
+    }
+    GT_SPAN("agg/edges_merge", {{"chunks", parts.size()}, {"dense", 0}});
     Stopwatch merge_watch;
     merge_watch.Start();
     for (const AggregateGraph& part : parts) MergeInto(&result, part);

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/trace.h"
 #include "storage/tsv.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -51,6 +52,7 @@ std::vector<std::string> OrderTimeLabels(const std::set<std::string>& labels) {
 }  // namespace
 
 std::optional<TemporalGraph> ReadEdgeList(std::istream* in, std::string* error) {
+  GT_SPAN("io/read_edge_list");
   GT_CHECK(error != nullptr);
 
   struct Triple {

@@ -6,6 +6,7 @@
 
 #include "core/operators.h"
 #include "core/stats.h"
+#include "obs/trace.h"
 #include "storage/bitset.h"
 #include "util/parallel.h"
 
@@ -208,6 +209,7 @@ namespace {
 /// whatever the side length.
 DynamicBitset FoldSide(const PresenceIndex& index, TimeRange range,
                        ExtensionSemantics semantics) {
+  GT_SPAN("explore/side_fold", {{"len", range.length()}});
   return semantics == ExtensionSemantics::kUnion
              ? index.UnionRange(range.first, range.last)
              : index.IntersectRange(range.first, range.last);
@@ -217,6 +219,8 @@ DynamicBitset FoldSide(const PresenceIndex& index, TimeRange range,
 
 Weight EventEngine::Count(TimeRange old_range, TimeRange new_range,
                           ExtensionSemantics semantics, EventType event) const {
+  GT_SPAN("explore/candidate",
+          {{"old_len", old_range.length()}, {"new_len", new_range.length()}});
   const PresenceIndex& edge_index = graph_.edge_presence_index();
   DynamicBitset edges_old = FoldSide(edge_index, old_range, semantics);
   DynamicBitset edges_new = FoldSide(edge_index, new_range, semantics);
@@ -328,6 +332,8 @@ ExplorationResult Explore(const TemporalGraph& graph, const ExplorationSpec& spe
   GT_CHECK_GE(spec.k, 1) << "threshold k must be positive";
   const std::size_t n = graph.num_times();
   GT_CHECK_GE(n, 2u) << "exploration needs at least two time points";
+  GT_SPAN("explore/run",
+          {{"times", n}, {"k", static_cast<std::uint64_t>(spec.k)}});
 
   const bool increasing =
       IsMonotonicallyIncreasing(spec.event, spec.reference, spec.semantics);

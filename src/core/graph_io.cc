@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "storage/tsv.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -37,6 +38,7 @@ bool Fail(std::string* error, std::size_t line, const std::string& message) {
 }  // namespace
 
 void WriteGraph(const TemporalGraph& graph, std::ostream* out) {
+  GT_SPAN("io/write_graph", {{"nodes", graph.num_nodes()}, {"edges", graph.num_edges()}});
   TsvWriter writer(out);
   writer.WriteComment("GraphTempo temporal attributed graph");
   writer.WriteRow({"!format", "graphtempo", "1"});
@@ -103,6 +105,7 @@ void WriteGraph(const TemporalGraph& graph, std::ostream* out) {
 }
 
 std::optional<TemporalGraph> ReadGraph(std::istream* in, std::string* error) {
+  GT_SPAN("io/read_graph");
   GT_CHECK(error != nullptr);
   TsvReader reader(in);
 

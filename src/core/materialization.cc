@@ -1,6 +1,7 @@
 #include "core/materialization.h"
 
 #include "core/operators.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace graphtempo {
@@ -48,6 +49,8 @@ void MaterializationStore::Refresh() {
   const TimeId first_new = static_cast<TimeId>(per_time_.size());
   const TimeId num_times = static_cast<TimeId>(graph_->num_times());
   if (first_new >= num_times) return;
+  GT_SPAN("materialize/all",
+          {{"points", static_cast<std::uint64_t>(num_times - first_new)}});
   per_time_.resize(num_times);
   // Time points are independent snapshots; each chunk fills disjoint slots of
   // `per_time_`, so the cache is identical at any thread count. The nested
@@ -58,6 +61,7 @@ void MaterializationStore::Refresh() {
   partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       TimeId t = static_cast<TimeId>(first_new + i);
+      GT_SPAN("materialize/point", {{"t", static_cast<std::uint64_t>(t)}});
       GraphView snapshot = Project(*graph_, IntervalSet::Point(graph_->num_times(), t));
       per_time_[t] = Aggregate(*graph_, snapshot, attrs_, AggregationSemantics::kAll);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/stats.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -28,6 +29,7 @@ constexpr std::size_t kExtractMinWordsPerChunk = 2048;
 /// serial scan at any thread count.
 std::vector<std::uint32_t> ExtractIndices(const DynamicBitset& bits) {
   const std::size_t words = bits.num_words();
+  GT_SPAN("operators/extract", {{"words", words}});
   internal_counters::AddKernelWords(words);
   ParallelPartition partition(words, kExtractMinWordsPerChunk, /*alignment=*/1);
   if (partition.num_chunks() == 1) {
@@ -101,6 +103,7 @@ std::vector<std::uint32_t> FilterRows(std::size_t count, const Pred& pred) {
 GraphView Project(const TemporalGraph& graph, const IntervalSet& t1) {
   CheckDomain(graph, t1);
   GT_CHECK(!t1.Empty()) << "projection interval must be non-empty";
+  GT_SPAN("operators/project", {{"times", t1.Count()}});
   GraphView view;
   view.times = t1;
   view.nodes = ExtractIndices(graph.node_presence_index().IntersectionOver(t1.bits()));
@@ -112,6 +115,7 @@ GraphView UnionOp(const TemporalGraph& graph, const IntervalSet& t1,
                   const IntervalSet& t2) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
+  GT_SPAN("operators/union", {{"times", t1.Count() + t2.Count()}});
   GraphView view;
   view.times = t1 | t2;
   const DynamicBitset& mask = view.times.bits();
@@ -124,6 +128,7 @@ GraphView IntersectionOp(const TemporalGraph& graph, const IntervalSet& t1,
                          const IntervalSet& t2) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
+  GT_SPAN("operators/intersection", {{"times", t1.Count() + t2.Count()}});
   GraphView view;
   view.times = t1 | t2;
   const PresenceIndex& nodes = graph.node_presence_index();
@@ -139,6 +144,7 @@ GraphView DifferenceOp(const TemporalGraph& graph, const IntervalSet& t1,
                        const IntervalSet& t2) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
+  GT_SPAN("operators/difference", {{"times", t1.Count() + t2.Count()}});
   GraphView view;
   view.times = t1;  // Def 2.5: the result is defined on T₁ (τu_(u) = τu(u) ∩ T₁).
 

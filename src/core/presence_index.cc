@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/stats.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -119,6 +120,9 @@ void PresenceIndex::EnsureTable(Fold fold) const {
   std::lock_guard<std::mutex> lock(*mutex_);
   if (t.built_generation.load(std::memory_order_relaxed) == current) return;
 
+  GT_SPAN(fold == Fold::kOr ? "presence/build_or_table"
+                            : "presence/build_and_table",
+          {{"times", columns_.size()}});
   const std::size_t n = columns_.size();
   t.levels_.clear();
   if (n >= 2) {
@@ -151,6 +155,8 @@ DynamicBitset PresenceIndex::FoldRange(Fold fold, std::size_t first,
                                        std::size_t last) const {
   GT_DCHECK(first <= last && last < columns_.size());
   const std::size_t len = last - first + 1;
+  GT_SPAN(fold == Fold::kOr ? "presence/fold_or" : "presence/fold_and",
+          {{"len", len}});
   if (len == 1) {
     internal_counters::AddIntervalIndex(/*hits=*/0, /*misses=*/1);
     return columns_[first];

@@ -1,8 +1,8 @@
 #include "core/stats.h"
 
 #include <algorithm>
-#include <atomic>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -92,76 +92,81 @@ std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& gr
 }
 
 // --- execution counters -------------------------------------------------------
+//
+// Since the observability layer landed, the exec counters are a *view* over
+// the unified obs::Registry (docs/OBSERVABILITY.md). The accumulation hooks
+// update registry counters through cached references (lock-free), and
+// GetExecCounters samples every field — including the pool's, which used to
+// live in a second source inside util/parallel — from ONE registry snapshot,
+// so a concurrent ResetExecCounters can never tear a `--perf` line in half.
 
 namespace {
 
-std::atomic<std::uint64_t> g_agg_rows{0};
-std::atomic<std::uint64_t> g_agg_chunks{0};
-std::atomic<std::uint64_t> g_agg_merge_nanos{0};
-std::atomic<std::uint64_t> g_explore_evaluations{0};
-std::atomic<std::uint64_t> g_kernel_words{0};
-std::atomic<std::uint64_t> g_interval_hits{0};
-std::atomic<std::uint64_t> g_interval_misses{0};
-std::atomic<std::uint64_t> g_agg_dense_groups{0};
-std::atomic<std::uint64_t> g_agg_hash_groups{0};
+obs::Counter& CounterRef(const char* name) {
+  return obs::Registry::Instance().GetCounter(name);
+}
 
 }  // namespace
 
 ExecCounters GetExecCounters() {
+  // One locked snapshot: either entirely pre-reset or entirely post-reset.
+  obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
   ExecCounters counters;
-  counters.agg_rows_scanned = g_agg_rows.load(std::memory_order_relaxed);
-  counters.agg_chunks = g_agg_chunks.load(std::memory_order_relaxed);
-  counters.agg_merge_nanos = g_agg_merge_nanos.load(std::memory_order_relaxed);
-  counters.explore_evaluations = g_explore_evaluations.load(std::memory_order_relaxed);
-  counters.kernel_words = g_kernel_words.load(std::memory_order_relaxed);
-  counters.interval_index_hits = g_interval_hits.load(std::memory_order_relaxed);
-  counters.interval_index_misses = g_interval_misses.load(std::memory_order_relaxed);
-  counters.agg_dense_groups = g_agg_dense_groups.load(std::memory_order_relaxed);
-  counters.agg_hash_groups = g_agg_hash_groups.load(std::memory_order_relaxed);
-  PoolStats pool = GetPoolStats();
-  counters.pool_jobs = pool.jobs;
-  counters.pool_chunks = pool.chunks;
+  counters.agg_rows_scanned = snapshot.CounterValue("agg/rows_scanned");
+  counters.agg_chunks = snapshot.CounterValue("agg/chunks");
+  counters.agg_merge_nanos = snapshot.CounterValue("agg/merge_nanos");
+  counters.explore_evaluations = snapshot.CounterValue("explore/evaluations");
+  counters.kernel_words = snapshot.CounterValue("kernel/words");
+  counters.interval_index_hits = snapshot.CounterValue("interval_index/hits");
+  counters.interval_index_misses = snapshot.CounterValue("interval_index/misses");
+  counters.agg_dense_groups = snapshot.CounterValue("agg/dense_groups");
+  counters.agg_hash_groups = snapshot.CounterValue("agg/hash_groups");
+  counters.pool_jobs = snapshot.CounterValue("pool/jobs");
+  counters.pool_chunks = snapshot.CounterValue("pool/chunks");
   return counters;
 }
 
 void ResetExecCounters() {
-  g_agg_rows.store(0, std::memory_order_relaxed);
-  g_agg_chunks.store(0, std::memory_order_relaxed);
-  g_agg_merge_nanos.store(0, std::memory_order_relaxed);
-  g_explore_evaluations.store(0, std::memory_order_relaxed);
-  g_kernel_words.store(0, std::memory_order_relaxed);
-  g_interval_hits.store(0, std::memory_order_relaxed);
-  g_interval_misses.store(0, std::memory_order_relaxed);
-  g_agg_dense_groups.store(0, std::memory_order_relaxed);
-  g_agg_hash_groups.store(0, std::memory_order_relaxed);
-  ResetPoolStats();
+  // Zeroes every registry metric (counters and histograms) in one locked
+  // generation — the pool's included, since util/parallel records into the
+  // same registry.
+  obs::Registry::Instance().ResetAll();
 }
 
 namespace internal_counters {
 
 void AddAggregation(std::uint64_t rows, std::uint64_t chunks,
                     std::uint64_t merge_nanos) {
-  g_agg_rows.fetch_add(rows, std::memory_order_relaxed);
-  g_agg_chunks.fetch_add(chunks, std::memory_order_relaxed);
-  g_agg_merge_nanos.fetch_add(merge_nanos, std::memory_order_relaxed);
+  static obs::Counter& agg_rows = CounterRef("agg/rows_scanned");
+  static obs::Counter& agg_chunks = CounterRef("agg/chunks");
+  static obs::Counter& agg_merge = CounterRef("agg/merge_nanos");
+  agg_rows.Add(rows);
+  agg_chunks.Add(chunks);
+  agg_merge.Add(merge_nanos);
 }
 
 void AddExploreEvaluations(std::uint64_t evaluations) {
-  g_explore_evaluations.fetch_add(evaluations, std::memory_order_relaxed);
+  static obs::Counter& counter = CounterRef("explore/evaluations");
+  counter.Add(evaluations);
 }
 
 void AddKernelWords(std::uint64_t words) {
-  g_kernel_words.fetch_add(words, std::memory_order_relaxed);
+  static obs::Counter& counter = CounterRef("kernel/words");
+  counter.Add(words);
 }
 
 void AddIntervalIndex(std::uint64_t hits, std::uint64_t misses) {
-  if (hits != 0) g_interval_hits.fetch_add(hits, std::memory_order_relaxed);
-  if (misses != 0) g_interval_misses.fetch_add(misses, std::memory_order_relaxed);
+  static obs::Counter& hit_counter = CounterRef("interval_index/hits");
+  static obs::Counter& miss_counter = CounterRef("interval_index/misses");
+  if (hits != 0) hit_counter.Add(hits);
+  if (misses != 0) miss_counter.Add(misses);
 }
 
 void AddGroupingPath(std::uint64_t dense, std::uint64_t hash) {
-  if (dense != 0) g_agg_dense_groups.fetch_add(dense, std::memory_order_relaxed);
-  if (hash != 0) g_agg_hash_groups.fetch_add(hash, std::memory_order_relaxed);
+  static obs::Counter& dense_counter = CounterRef("agg/dense_groups");
+  static obs::Counter& hash_counter = CounterRef("agg/hash_groups");
+  if (dense != 0) dense_counter.Add(dense);
+  if (hash != 0) hash_counter.Add(hash);
 }
 
 }  // namespace internal_counters

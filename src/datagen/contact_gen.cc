@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "datagen/random.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace graphtempo::datagen {
@@ -18,6 +19,7 @@ std::uint64_t PairKey(NodeId u, NodeId v) {
 }  // namespace
 
 TemporalGraph GenerateContactNetwork(const ContactOptions& options) {
+  GT_SPAN("datagen/contact", {{"days", options.num_days}});
   GT_CHECK_GE(options.num_days, 2u);
   GT_CHECK_LT(options.outbreak_day, options.reopen_day);
   GT_CHECK_LE(options.reopen_day, options.num_days);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "datagen/random.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace graphtempo::datagen {
@@ -34,6 +35,7 @@ TemporalGraph GenerateDblp(const DblpOptions& options) {
 
 TemporalGraph GenerateDblpWithProfile(const DatasetProfile& profile,
                                       const DblpOptions& options) {
+  GT_SPAN("datagen/dblp", {{"times", profile.num_times()}});
   const std::size_t num_times = profile.num_times();
   GT_CHECK_GE(num_times, 2u) << "profile needs at least two time points";
   GT_CHECK_EQ(profile.nodes_per_time.size(), num_times);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "datagen/random.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace graphtempo::datagen {
@@ -45,6 +46,7 @@ TemporalGraph GenerateMovieLens(const MovieLensOptions& options) {
 
 TemporalGraph GenerateMovieLensWithProfile(const DatasetProfile& profile,
                                            const MovieLensOptions& options) {
+  GT_SPAN("datagen/movielens", {{"times", profile.num_times()}});
   const std::size_t num_times = profile.num_times();
   GT_CHECK_GE(num_times, 2u) << "profile needs at least two time points";
   GT_CHECK_EQ(profile.nodes_per_time.size(), num_times);

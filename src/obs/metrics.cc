@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace graphtempo::obs {
+
+std::size_t HistogramBucketOf(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t HistogramBucketUpperBound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void HistogramSnapshot::Add(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+std::uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The true sample is somewhere in this bucket; the max caps the answer
+      // when the quantile lands in the final occupied bucket.
+      return std::min(HistogramBucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[HistogramBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+HistogramSnapshot MetricsSnapshot::HistogramValue(std::string_view name) const {
+  for (const auto& [key, value] : histograms) {
+    if (key == name) return value;
+  }
+  return HistogramSnapshot{};
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "generation %llu\n",
+                static_cast<unsigned long long>(generation));
+  out += line;
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%llu sum=%llu max=%llu p50=%llu p95=%llu "
+                  "p99=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(hist.count),
+                  static_cast<unsigned long long>(hist.sum),
+                  static_cast<unsigned long long>(hist.max),
+                  static_cast<unsigned long long>(hist.p50()),
+                  static_cast<unsigned long long>(hist.p95()),
+                  static_cast<unsigned long long>(hist.p99()));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+void AppendUint(std::string* out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu", static_cast<unsigned long long>(value));
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"generation\":";
+  AppendUint(&out, generation);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendUint(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\":";
+    AppendUint(&out, hist.count);
+    out += ",\"sum\":";
+    AppendUint(&out, hist.sum);
+    out += ",\"max\":";
+    AppendUint(&out, hist.max);
+    out += ",\"p50\":";
+    AppendUint(&out, hist.p50());
+    out += ",\"p95\":";
+    AppendUint(&out, hist.p95());
+    out += ",\"p99\":";
+    AppendUint(&out, hist.p99());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+/// Name → metric maps plus the mutex serializing creation, snapshot and
+/// reset. Heap-allocated values give the returned references stable
+/// addresses; the maps only ever grow.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+namespace {
+std::atomic<std::uint64_t> g_generation{0};
+}  // namespace
+
+Registry& Registry::Instance() {
+  // Leaked on purpose: detached pool workers may outlive static destruction.
+  static Registry& registry = *new Registry();
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl& impl = *new Impl();
+  return impl;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    it = state.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.histograms.find(name);
+  if (it == state.histograms.end()) {
+    it = state.histograms.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricsSnapshot snapshot;
+  snapshot.generation = g_generation.load(std::memory_order_relaxed);
+  snapshot.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void Registry::ResetAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, counter] : state.counters) counter->Reset();
+  for (const auto& [name, histogram] : state.histograms) histogram->Reset();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::generation() const {
+  return g_generation.load(std::memory_order_relaxed);
+}
+
+}  // namespace graphtempo::obs

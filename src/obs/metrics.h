@@ -1,0 +1,153 @@
+#ifndef GRAPHTEMPO_OBS_METRICS_H_
+#define GRAPHTEMPO_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// The unified metrics registry: named monotonic counters and log-bucketed
+/// (power-of-two, HDR-style) histograms for latencies and sizes.
+///
+/// Design constraints (docs/OBSERVABILITY.md):
+///
+///   * *Recording is lock-free.* `Counter::Add` and `Histogram::Record` are a
+///     handful of relaxed atomic RMWs; any thread — including pool workers —
+///     may record concurrently.
+///   * *Reading is consistent.* `Registry::Snapshot()` and
+///     `Registry::ResetAll()` serialize on one registry mutex, so a snapshot
+///     can never interleave with a reset: it observes either entirely
+///     pre-reset or entirely post-reset values. `ExecCounters` (core/stats)
+///     is a thin view over one such snapshot, which fixes the torn `--perf`
+///     reads the old two-source sampling allowed.
+///   * *Stable addresses.* `GetCounter`/`GetHistogram` return references that
+///     stay valid for the life of the process, so hot paths cache them in
+///     function-local statics and pay one indirection per update.
+///
+/// This library deliberately depends on nothing but the standard library: it
+/// sits below util/parallel (which instruments its worker lanes) and core.
+
+namespace graphtempo::obs {
+
+/// A process-wide monotonic counter. All operations are thread-safe.
+class Counter {
+ public:
+  void Add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Number of histogram buckets: bucket 0 holds the value 0 and bucket
+/// `i >= 1` holds values in [2^(i-1), 2^i - 1] — i.e. bucket index is
+/// `bit_width(value)`. 64-bit values therefore need 65 buckets.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Bucket index of `value`: 0 for 0, otherwise floor(log2 v) + 1.
+std::size_t HistogramBucketOf(std::uint64_t value);
+
+/// Inclusive upper bound of bucket `bucket` (0 for bucket 0, 2^bucket − 1
+/// otherwise, saturating at UINT64_MAX).
+std::uint64_t HistogramBucketUpperBound(std::size_t bucket);
+
+/// An immutable copy of a histogram's state. Snapshots form a commutative
+/// monoid under `Add` (element-wise sums, max of maxes), so merging per-chunk
+/// or per-run snapshots is associative — asserted by the test suite.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Merges `other` into this snapshot.
+  void Add(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket containing the nearest-rank `q`-quantile
+  /// (q in [0, 1]); 0 when empty. A log-bucketed histogram can only answer
+  /// within a factor of 2, so the conservative (upper) bound is reported.
+  std::uint64_t Percentile(double q) const;
+
+  std::uint64_t p50() const { return Percentile(0.50); }
+  std::uint64_t p95() const { return Percentile(0.95); }
+  std::uint64_t p99() const { return Percentile(0.99); }
+
+  /// Mean value (sum / count), 0 when empty.
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A log-bucketed histogram of non-negative integer samples (latencies in
+/// microseconds, sizes in entities/words/groups). Recording is lock-free.
+class Histogram {
+ public:
+  void Record(std::uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Everything the registry knew at one instant, taken under one lock: no
+/// interleaving reset can split it. Entries are sorted by name.
+struct MetricsSnapshot {
+  /// Reset generation the snapshot was taken in (bumped by `ResetAll`).
+  std::uint64_t generation = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of counter `name`, 0 when absent.
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Snapshot of histogram `name`, empty when absent.
+  HistogramSnapshot HistogramValue(std::string_view name) const;
+
+  /// Human-readable dump: one `name value` / `name count=… p50=…` per line.
+  std::string ToText() const;
+  /// Machine-readable dump: a single JSON object.
+  std::string ToJson() const;
+};
+
+/// The process-wide registry. Metric creation and snapshot/reset are
+/// mutex-guarded; updates through the returned references are lock-free.
+class Registry {
+ public:
+  /// The singleton. Intentionally leaked: detached pool workers may still
+  /// update counters at process exit.
+  static Registry& Instance();
+
+  /// Returns the counter/histogram named `name`, creating it on first use.
+  /// The reference is valid forever.
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Atomically (w.r.t. `ResetAll`) samples every metric.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric and bumps the reset generation, atomically w.r.t.
+  /// `Snapshot`.
+  void ResetAll();
+
+  /// Current reset generation (how many `ResetAll` calls have happened).
+  std::uint64_t generation() const;
+
+ private:
+  Registry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace graphtempo::obs
+
+#endif  // GRAPHTEMPO_OBS_METRICS_H_

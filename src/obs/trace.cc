@@ -1,0 +1,291 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace graphtempo::obs {
+
+namespace internal_trace {
+std::atomic<std::uint32_t> g_mode{0};
+}  // namespace internal_trace
+
+namespace {
+
+using internal_trace::g_mode;
+using internal_trace::kModeHistogram;
+using internal_trace::kModeTrace;
+
+/// One finished span as stored in a thread buffer. Slots are written exactly
+/// once (no wrap-around), then published by a release-store of the buffer
+/// size — the exporter's acquire-load of the size orders the reads.
+struct EventSlot {
+  const char* name;
+  std::uint64_t start_ns;  ///< relative to session start
+  std::uint64_t duration_ns;
+  SpanArg args[Span::kMaxArgs];
+  std::uint32_t num_args;
+};
+
+/// Append-only per-thread event buffer. Written only by the owning thread;
+/// read by the session thread after stopping.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t lane_id, const char* name,
+                        std::size_t capacity)
+      : lane(lane_id), lane_name(name) {
+    slots.resize(capacity);
+  }
+
+  std::vector<EventSlot> slots;
+  std::atomic<std::uint32_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  const std::uint32_t lane;
+  const char* lane_name;  ///< literal; combined with lane as "<name>-<lane>"
+};
+
+/// Global trace state. The mutex guards buffer registration and session
+/// start/stop; recording itself never takes it.
+struct TraceState {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;  // leaked with the threads they serve
+  std::size_t capacity = 1 << 15;
+  bool session_active = false;
+  std::atomic<std::uint64_t> session_start_ns{0};
+};
+
+TraceState& State() {
+  static TraceState& state = *new TraceState();
+  return state;
+}
+
+thread_local const char* t_lane_name = "lane";
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer& GetThreadBuffer() {
+  if (t_buffer != nullptr) return *t_buffer;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto* buffer =
+      new ThreadBuffer(static_cast<std::uint32_t>(state.buffers.size()), t_lane_name,
+                       state.capacity);
+  state.buffers.push_back(buffer);
+  t_buffer = buffer;
+  return *buffer;
+}
+
+/// Per-thread cache mapping span-name literals to their `span/<name>`
+/// registry histograms, so latency capture costs one hash probe instead of a
+/// registry mutex after the first hit per call site per thread.
+Histogram& SpanHistogram(const char* name) {
+  thread_local std::unordered_map<const void*, Histogram*> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    std::string metric = std::string("span/") + name;
+    it = cache.emplace(name, &Registry::Instance().GetHistogram(metric)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+namespace internal_trace {
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordSpan(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                const SpanArg* args, std::uint32_t num_args, std::uint32_t mode) {
+  const std::uint64_t duration = end_ns >= start_ns ? end_ns - start_ns : 0;
+  if ((mode & kModeHistogram) != 0) {
+    SpanHistogram(name).Record(duration / 1000);  // microseconds
+  }
+  if ((mode & kModeTrace) == 0) return;
+
+  ThreadBuffer& buffer = GetThreadBuffer();
+  const std::uint32_t index = buffer.size.load(std::memory_order_relaxed);
+  if (index >= buffer.slots.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  EventSlot& slot = buffer.slots[index];
+  slot.name = name;
+  const std::uint64_t session_start =
+      State().session_start_ns.load(std::memory_order_relaxed);
+  slot.start_ns = start_ns >= session_start ? start_ns - session_start : 0;
+  slot.duration_ns = duration;
+  slot.num_args = num_args;
+  for (std::uint32_t i = 0; i < num_args; ++i) slot.args[i] = args[i];
+  buffer.size.store(index + 1, std::memory_order_release);
+}
+
+}  // namespace internal_trace
+
+void SetCurrentThreadLaneName(const char* name) {
+  t_lane_name = name;
+  if (t_buffer != nullptr) t_buffer->lane_name = name;
+}
+
+namespace {
+std::atomic<int> g_latency_capture_depth{0};
+}  // namespace
+
+ScopedLatencyCapture::ScopedLatencyCapture() {
+  if (g_latency_capture_depth.fetch_add(1, std::memory_order_relaxed) == 0) {
+    g_mode.fetch_or(kModeHistogram, std::memory_order_relaxed);
+  }
+}
+
+ScopedLatencyCapture::~ScopedLatencyCapture() {
+  if (g_latency_capture_depth.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    g_mode.fetch_and(~kModeHistogram, std::memory_order_relaxed);
+  }
+}
+
+TraceSession::TraceSession() : TraceSession(Options()) {}
+
+TraceSession::TraceSession(Options options) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.session_active) {
+    std::fprintf(stderr, "graphtempo: nested TraceSession is not supported\n");
+    std::abort();
+  }
+  state.capacity = options.per_thread_capacity;
+  for (ThreadBuffer* buffer : state.buffers) {
+    // Safe: no session is active, so no thread is appending (stragglers from
+    // a previous session must have quiesced before starting a new one — see
+    // the header contract).
+    buffer->slots.resize(state.capacity);
+    buffer->size.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+  state.session_start_ns.store(internal_trace::NowNanos(), std::memory_order_relaxed);
+  state.session_active = true;
+  g_mode.fetch_or(kModeTrace, std::memory_order_relaxed);
+}
+
+TraceSession::~TraceSession() { Stop(); }
+
+void TraceSession::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  g_mode.fetch_and(~kModeTrace, std::memory_order_relaxed);
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.session_active = false;
+}
+
+const std::vector<CollectedEvent>& TraceSession::Collect() {
+  Stop();
+  if (collected_) return events_;
+  collected_ = true;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (ThreadBuffer* buffer : state.buffers) {
+    const std::uint32_t count = buffer->size.load(std::memory_order_acquire);
+    dropped_ += buffer->dropped.load(std::memory_order_relaxed);
+    lane_names_.emplace_back(
+        buffer->lane,
+        std::string(buffer->lane_name) + "-" + std::to_string(buffer->lane));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const EventSlot& slot = buffer->slots[i];
+      CollectedEvent event;
+      event.name = slot.name;
+      event.lane = buffer->lane;
+      event.start_ns = slot.start_ns;
+      event.duration_ns = slot.duration_ns;
+      event.num_args = slot.num_args;
+      for (std::uint32_t a = 0; a < slot.num_args; ++a) event.args[a] = slot.args[a];
+      events_.push_back(event);
+    }
+  }
+  return events_;
+}
+
+std::size_t TraceSession::event_count() { return Collect().size(); }
+
+std::uint64_t TraceSession::dropped() {
+  Collect();
+  return dropped_;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out->push_back('\\');
+    out->push_back(*p);
+  }
+}
+
+}  // namespace
+
+void TraceSession::WriteJson(std::ostream& out) {
+  const std::vector<CollectedEvent>& events = Collect();
+  std::string body = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[160];
+  for (const auto& [lane, name] : lane_names_) {
+    if (!first) body.push_back(',');
+    first = false;
+    body += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    body += std::to_string(lane);
+    body += ",\"args\":{\"name\":\"";
+    AppendEscaped(&body, name.c_str());
+    body += "\"}}";
+  }
+  for (const CollectedEvent& event : events) {
+    if (!first) body.push_back(',');
+    first = false;
+    body += "{\"ph\":\"X\",\"name\":\"";
+    AppendEscaped(&body, event.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f", event.lane,
+                  static_cast<double>(event.start_ns) / 1000.0,
+                  static_cast<double>(event.duration_ns) / 1000.0);
+    body += buffer;
+    if (event.num_args > 0) {
+      body += ",\"args\":{";
+      for (std::uint32_t a = 0; a < event.num_args; ++a) {
+        if (a != 0) body.push_back(',');
+        body.push_back('"');
+        AppendEscaped(&body, event.args[a].name);
+        body += "\":";
+        body += std::to_string(event.args[a].value);
+      }
+      body.push_back('}');
+    }
+    body.push_back('}');
+  }
+  body += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  body += std::to_string(dropped_);
+  body += "}}";
+  out << body << "\n";
+}
+
+bool TraceSession::WriteJsonFile(const std::string& path, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace graphtempo::obs

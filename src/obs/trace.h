@@ -1,0 +1,199 @@
+#ifndef GRAPHTEMPO_OBS_TRACE_H_
+#define GRAPHTEMPO_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// RAII trace spans recorded into per-thread append-only buffers and exported
+/// as Chrome Trace Event JSON (loadable in `chrome://tracing` and Perfetto).
+///
+/// Usage:
+///
+///   GT_SPAN("operators/union");                      // whole-scope span
+///   GT_SPAN("operators/extract", {{"words", n}});    // with numeric args
+///
+/// Cost model (the overhead-budget test pins it):
+///
+///   * *No session active*: one relaxed atomic load and a branch per span —
+///     no clock reads, no allocation, nothing written.
+///   * *Session active*: two `steady_clock` reads plus one slot write into
+///     the calling thread's buffer. Buffers are lock-free for the writer
+///     (single-producer, the owning thread) and published with a
+///     release-store of the size, so the exporter's acquire-load sees fully
+///     written slots only. Slots are never overwritten: when a thread's
+///     buffer fills, further spans are counted as dropped rather than
+///     wrapping, which keeps the export race-free.
+///   * *Latency-histogram capture active* (`ScopedLatencyCapture`): span
+///     durations also feed registry histograms named `span/<name>`, giving
+///     p50/p95/p99 per phase without recording individual events.
+///
+/// Span names must be string literals (or otherwise outlive the session):
+/// only the pointer is stored.
+///
+/// Contract: start/stop sessions from one thread while no instrumented work
+/// is in flight (the pool blocks until jobs finish, so any code that issues
+/// scans and then opens a session is fine). Only one session may be active.
+
+namespace graphtempo::obs {
+
+/// One numeric span argument (shown in the trace viewer's detail pane).
+struct SpanArg {
+  const char* name;
+  std::uint64_t value;
+};
+
+namespace internal_trace {
+
+inline constexpr std::uint32_t kModeTrace = 1;      ///< record events
+inline constexpr std::uint32_t kModeHistogram = 2;  ///< feed span/<name> histograms
+
+/// Bitmask of the active recording modes; 0 = spans are no-ops.
+extern std::atomic<std::uint32_t> g_mode;
+
+std::uint64_t NowNanos();
+
+/// Records one finished span on the calling thread's buffer and/or the
+/// registry histograms, per `mode` (captured at span construction).
+void RecordSpan(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                const SpanArg* args, std::uint32_t num_args, std::uint32_t mode);
+
+}  // namespace internal_trace
+
+/// True while a TraceSession is recording.
+inline bool TracingActive() {
+  return (internal_trace::g_mode.load(std::memory_order_relaxed) &
+          internal_trace::kModeTrace) != 0;
+}
+
+/// An RAII span. Prefer the GT_SPAN macro, which names the local for you.
+class Span {
+ public:
+  static constexpr std::uint32_t kMaxArgs = 2;
+
+  explicit Span(const char* name) {
+    mode_ = internal_trace::g_mode.load(std::memory_order_relaxed);
+    if (mode_ == 0) return;
+    name_ = name;
+    start_ns_ = internal_trace::NowNanos();
+  }
+
+  Span(const char* name, std::initializer_list<SpanArg> args) {
+    mode_ = internal_trace::g_mode.load(std::memory_order_relaxed);
+    if (mode_ == 0) return;
+    name_ = name;
+    for (const SpanArg& arg : args) {
+      if (num_args_ == kMaxArgs) break;
+      args_[num_args_++] = arg;
+    }
+    start_ns_ = internal_trace::NowNanos();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (mode_ == 0) return;
+    internal_trace::RecordSpan(name_, start_ns_, internal_trace::NowNanos(), args_,
+                               num_args_, mode_);
+  }
+
+ private:
+  std::uint32_t mode_ = 0;
+  std::uint32_t num_args_ = 0;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  SpanArg args_[kMaxArgs] = {};
+};
+
+#define GT_OBS_CONCAT_INNER(a, b) a##b
+#define GT_OBS_CONCAT(a, b) GT_OBS_CONCAT_INNER(a, b)
+
+/// Opens an RAII span for the rest of the enclosing scope.
+/// GT_SPAN("name") or GT_SPAN("name", {{"arg", value}, ...}).
+#define GT_SPAN(...) \
+  ::graphtempo::obs::Span GT_OBS_CONCAT(gt_span_, __COUNTER__)(__VA_ARGS__)
+
+/// Names the calling thread's lane in trace exports (e.g. "worker"). The
+/// final lane label is "<name>-<lane id>". Safe to call any time; the name
+/// must be a literal (only the pointer is stored).
+void SetCurrentThreadLaneName(const char* name);
+
+/// While alive, span durations feed registry histograms `span/<name>`
+/// (count/sum/p50/p95/p99/max via obs::Registry). Nestable; independent of
+/// TraceSession. Used by the benches for per-phase percentile JSON fields.
+class ScopedLatencyCapture {
+ public:
+  ScopedLatencyCapture();
+  ~ScopedLatencyCapture();
+  ScopedLatencyCapture(const ScopedLatencyCapture&) = delete;
+  ScopedLatencyCapture& operator=(const ScopedLatencyCapture&) = delete;
+};
+
+/// One event as collected from the per-thread buffers (for tests and custom
+/// sinks; WriteJson renders the same data as Chrome Trace JSON).
+struct CollectedEvent {
+  const char* name;
+  std::uint32_t lane;          ///< per-thread lane id (trace "tid")
+  std::uint64_t start_ns;      ///< relative to session start
+  std::uint64_t duration_ns;
+  std::uint32_t num_args;
+  SpanArg args[Span::kMaxArgs];
+};
+
+/// An active trace recording. Construction clears the per-thread buffers and
+/// starts recording; `Stop()` (or destruction) stops it. Export with
+/// WriteJson/WriteJsonFile after stopping (both stop implicitly).
+class TraceSession {
+ public:
+  struct Options {
+    /// Maximum events kept per thread; beyond it spans are dropped (counted).
+    std::size_t per_thread_capacity = 1 << 15;
+  };
+
+  TraceSession();
+  explicit TraceSession(Options options);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Stops recording (idempotent).
+  void Stop();
+
+  /// Events from every thread buffer, ordered by lane and, within a lane, by
+  /// completion order (a child span therefore precedes the span that
+  /// contains it). Stops the session first. Idempotent.
+  const std::vector<CollectedEvent>& Collect();
+
+  /// Writes Chrome Trace Event JSON ({"traceEvents":[...]}) — one complete
+  /// ("ph":"X") event per span plus thread-name metadata per lane. Stops the
+  /// session first.
+  void WriteJson(std::ostream& out);
+
+  /// WriteJson to `path`; returns false and sets `*error` on IO failure.
+  bool WriteJsonFile(const std::string& path, std::string* error);
+
+  /// Spans recorded across all lanes (stops and collects first).
+  std::size_t event_count();
+
+  /// Spans dropped because a thread buffer filled up (stops and collects
+  /// first).
+  std::uint64_t dropped();
+
+ private:
+  std::vector<CollectedEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> lane_names_;
+  std::uint64_t dropped_ = 0;
+  bool stopped_ = false;
+  bool collected_ = false;
+};
+
+}  // namespace graphtempo::obs
+
+#endif  // GRAPHTEMPO_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace graphtempo {
@@ -15,8 +17,21 @@ namespace graphtempo {
 namespace {
 
 std::atomic<std::size_t> g_parallelism{1};
-std::atomic<std::uint64_t> g_pool_jobs{0};
-std::atomic<std::uint64_t> g_pool_chunks{0};
+
+/// Pool activity counters live in the unified obs registry so a single
+/// `Registry::Snapshot()` (see GetExecCounters) observes them together with
+/// the core counters — one generation, no torn `--perf` lines.
+obs::Counter& PoolJobsCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Instance().GetCounter("pool/jobs");
+  return counter;
+}
+
+obs::Counter& PoolChunksCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Instance().GetCounter("pool/chunks");
+  return counter;
+}
 
 /// A lazily-started, process-lifetime worker pool. Spawning std::threads per
 /// operator call costs more than a typical presence scan (≈1 ms on the DBLP
@@ -75,6 +90,7 @@ class ThreadPool {
   /// inside a chunk body running on this very pool.
   void RunChunks(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
     if (chunks == 0) return;
+    GT_SPAN("pool/job", {{"chunks", chunks}});
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->total = chunks;
@@ -84,7 +100,7 @@ class ThreadPool {
       queue_.push_back(job);
     }
     work_available_.notify_all();
-    g_pool_jobs.fetch_add(1, std::memory_order_relaxed);
+    PoolJobsCounter().Add(1);
 
     // Drain our own job first: after this returns, every chunk is claimed
     // (next ≥ total), so the wait below only covers chunks already running
@@ -118,8 +134,14 @@ class ThreadPool {
     while (true) {
       std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job.total) return;
-      (*job.fn)(chunk);
-      g_pool_chunks.fetch_add(1, std::memory_order_relaxed);
+      {
+        // Span destructs (and its event is published to this thread's trace
+        // buffer) *before* the release `remaining.fetch_sub` below, so the
+        // owner's collection happens-after every chunk record.
+        GT_SPAN("pool/chunk", {{"chunk", chunk}});
+        (*job.fn)(chunk);
+      }
+      PoolChunksCounter().Add(1);
       if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last chunk: wake the job owner. Locking the mutex (empty critical
         // section) pairs with the owner's wait and prevents a lost wakeup.
@@ -141,6 +163,7 @@ class ThreadPool {
   }
 
   void WorkerLoop() {
+    obs::SetCurrentThreadLaneName("worker");
     while (true) {
       std::shared_ptr<Job> job;
       {
@@ -170,14 +193,16 @@ std::size_t GetParallelism() { return g_parallelism.load(std::memory_order_relax
 
 PoolStats GetPoolStats() {
   PoolStats stats;
-  stats.jobs = g_pool_jobs.load(std::memory_order_relaxed);
-  stats.chunks = g_pool_chunks.load(std::memory_order_relaxed);
+  stats.jobs = PoolJobsCounter().Value();
+  stats.chunks = PoolChunksCounter().Value();
   return stats;
 }
 
 void ResetPoolStats() {
-  g_pool_jobs.store(0, std::memory_order_relaxed);
-  g_pool_chunks.store(0, std::memory_order_relaxed);
+  // Resets only the pool's two registry counters; the core exec counters are
+  // untouched (ResetExecCounters zeroes the whole registry in one generation).
+  PoolJobsCounter().Reset();
+  PoolChunksCounter().Reset();
 }
 
 ParallelPartition::ParallelPartition(std::size_t count, std::size_t min_per_chunk,

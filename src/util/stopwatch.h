@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 /// \file
@@ -31,11 +33,37 @@ class Stopwatch {
   Clock::time_point start_ = Clock::now();
 };
 
+/// Nearest-rank `q`-quantile (q in [0, 1]) of `samples` in milliseconds.
+/// Does not assume `samples` is sorted; returns 0 for an empty vector.
+/// Nearest-rank (rank = ceil(q * n), 1-based) matches the histogram
+/// percentiles of obs::HistogramSnapshot, so bench fields computed from raw
+/// samples and from `span/<name>` histograms agree up to bucket rounding.
+inline double PercentileMillis(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return samples.front();
+  if (q >= 1.0) return samples.back();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
 /// Runs `fn` `repetitions` times and returns the median wall-clock time in
 /// milliseconds. Medians resist one-off scheduling noise better than means,
 /// which matters for the short per-time-point measurements of Figure 5.
+/// A median over fewer than 3 repetitions is mostly noise; the first time a
+/// caller asks for one, a warning is printed to stderr (once per process).
 template <typename Fn>
 double MedianMillis(int repetitions, Fn&& fn) {
+  if (repetitions < 3) {
+    static bool warned = [] {
+      std::fprintf(stderr,
+                   "graphtempo: warning: MedianMillis with fewer than 3 "
+                   "repetitions is dominated by noise; consider >= 3\n");
+      return true;
+    }();
+    (void)warned;
+  }
   std::vector<double> samples;
   samples.reserve(repetitions);
   for (int i = 0; i < repetitions; ++i) {
@@ -44,8 +72,7 @@ double MedianMillis(int repetitions, Fn&& fn) {
     fn();
     samples.push_back(watch.ElapsedMillis());
   }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return PercentileMillis(std::move(samples), 0.5);
 }
 
 }  // namespace graphtempo

@@ -423,5 +423,94 @@ TEST(CliGenerateTest, BadSeedFails) {
   EXPECT_NE(run.err.find("--seed"), std::string::npos);
 }
 
+// --- observability flags and the metrics command (docs/OBSERVABILITY.md) --------
+
+TEST_F(CliTest, BarePerfAfterCommandPrintsCounters) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op",
+                              "project", "--t1", "t0", "--perf"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("perf: threads="), std::string::npos);
+  EXPECT_NE(run.out.find("agg_rows="), std::string::npos);
+}
+
+TEST_F(CliTest, BarePerfBeforeCommandPrintsCounters) {
+  CliRun run = RunCliCapture({"--perf", "info", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("perf: threads="), std::string::npos);
+}
+
+TEST_F(CliTest, ExplicitPerfValuesStillWork) {
+  CliRun yes = RunCliCapture({"info", path_, "--perf", "yes"});
+  EXPECT_EQ(yes.exit_code, 0) << yes.err;
+  EXPECT_NE(yes.out.find("perf: threads="), std::string::npos);
+  CliRun no = RunCliCapture({"info", path_, "--perf", "no"});
+  EXPECT_EQ(no.exit_code, 0) << no.err;
+  EXPECT_EQ(no.out.find("perf:"), std::string::npos);
+}
+
+TEST_F(CliTest, BadPerfValueIsRejected) {
+  CliRun run = RunCliCapture({"info", path_, "--perf", "maybe"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--perf must be yes or no"), std::string::npos);
+  EXPECT_NE(run.err.find("maybe"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceWritesChromeTraceJson) {
+  std::string trace_path = ::testing::TempDir() + "/graphtempo_cli_trace_" +
+      std::to_string(getpid()) + ".json";
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op",
+                              "project", "--t1", "t0", "--trace", trace_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("trace: wrote"), std::string::npos);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << trace_path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str().rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(content.str().find("agg/aggregate"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, BareTraceDefaultsToTraceJson) {
+  // Bare --trace before the command: the command name must not be eaten as
+  // the flag's value; the default path trace.json is used instead.
+  CliRun run = RunCliCapture({"--trace", "info", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("trace.json"), std::string::npos);
+  std::remove("trace.json");
+}
+
+TEST_F(CliTest, EmptyTracePathIsRejected) {
+  CliRun run = RunCliCapture({"info", path_, "--trace", ""});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--trace needs a non-empty path"), std::string::npos);
+}
+
+TEST(CliMetricsTest, TextDumpShowsGeneration) {
+  CliRun run = RunCliCapture({"metrics"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("generation"), std::string::npos);
+}
+
+TEST(CliMetricsTest, JsonDumpIsAJsonObject) {
+  CliRun run = RunCliCapture({"metrics", "--format", "json"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(run.out.rfind("{\"generation\":", 0), 0u) << run.out.substr(0, 80);
+}
+
+TEST(CliMetricsTest, UnknownFormatIsRejected) {
+  CliRun run = RunCliCapture({"metrics", "--format", "xml"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--format must be text or json"), std::string::npos);
+}
+
+TEST(CliMetricsTest, HelpDocumentsTheObservabilityFlags) {
+  CliRun run = RunCliCapture({"help"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("metrics"), std::string::npos);
+  EXPECT_NE(run.out.find("--trace"), std::string::npos);
+  EXPECT_NE(run.out.find("--perf"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace graphtempo

@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/stats.h"
+#include "util/parallel.h"
+
+/// \file
+/// Unit tests for the metrics registry (docs/OBSERVABILITY.md): log-bucket
+/// boundary arithmetic, snapshot merge algebra, registry snapshot/reset
+/// atomicity, and the torn-read regression for GetExecCounters.
+
+namespace graphtempo::obs {
+namespace {
+
+// --- bucket arithmetic ----------------------------------------------------------
+
+TEST(HistogramBucketsTest, BucketOfBoundaries) {
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(7), 3u);
+  EXPECT_EQ(HistogramBucketOf(8), 4u);
+  EXPECT_EQ(HistogramBucketOf(~std::uint64_t{0}), 64u);
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t pow = std::uint64_t{1} << k;
+    EXPECT_EQ(HistogramBucketOf(pow - 1), k) << "2^" << k << " - 1";
+    EXPECT_EQ(HistogramBucketOf(pow), k + 1) << "2^" << k;
+  }
+}
+
+TEST(HistogramBucketsTest, UpperBoundsMatchBucketOf) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(3), 7u);
+  EXPECT_EQ(HistogramBucketUpperBound(64), ~std::uint64_t{0});
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    // The upper bound of a bucket must itself land in that bucket, and the
+    // next representable value must land in the next one.
+    EXPECT_EQ(HistogramBucketOf(HistogramBucketUpperBound(b)), b) << "bucket " << b;
+    if (b < 64) {
+      EXPECT_EQ(HistogramBucketOf(HistogramBucketUpperBound(b) + 1), b + 1)
+          << "bucket " << b;
+    }
+  }
+}
+
+// --- histogram recording and percentiles ----------------------------------------
+
+TEST(HistogramTest, RecordsCountSumMax) {
+  Histogram histogram;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) histogram.Record(v);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_EQ(snapshot.sum, 1006u);
+  EXPECT_EQ(snapshot.max, 1000u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);   // 0
+  EXPECT_EQ(snapshot.buckets[1], 1u);   // 1
+  EXPECT_EQ(snapshot.buckets[2], 2u);   // 2, 3
+  EXPECT_EQ(snapshot.buckets[10], 1u);  // 1000 in [512, 1023]
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 1006.0 / 5.0);
+}
+
+TEST(HistogramTest, PercentileReportsBucketUpperBoundCappedAtMax) {
+  Histogram histogram;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) histogram.Record(v);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // Rank 3 of 5 lands in bucket 2 ([2,3]) whose upper bound is 3.
+  EXPECT_EQ(snapshot.p50(), 3u);
+  // Ranks 5 land in bucket 10 ([512,1023]); the max (1000) caps the answer.
+  EXPECT_EQ(snapshot.p95(), 1000u);
+  EXPECT_EQ(snapshot.p99(), 1000u);
+}
+
+TEST(HistogramTest, SingleSamplePercentileIsTheSample) {
+  Histogram histogram;
+  histogram.Record(5);
+  EXPECT_EQ(histogram.Snapshot().p50(), 5u);  // min(upper bound 7, max 5)
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  HistogramSnapshot snapshot;
+  EXPECT_EQ(snapshot.p50(), 0u);
+  EXPECT_EQ(snapshot.p99(), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram histogram;
+  histogram.Record(123);
+  histogram.Reset();
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_EQ(snapshot.max, 0u);
+}
+
+// --- snapshot merge algebra -----------------------------------------------------
+
+HistogramSnapshot MakeSnapshot(std::uint64_t seed, int samples) {
+  Histogram histogram;
+  std::uint64_t state = seed;
+  for (int i = 0; i < samples; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    histogram.Record(state >> (state % 48));
+  }
+  return histogram.Snapshot();
+}
+
+void ExpectEqualSnapshots(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  HistogramSnapshot a = MakeSnapshot(1, 100);
+  HistogramSnapshot b = MakeSnapshot(2, 57);
+  HistogramSnapshot c = MakeSnapshot(3, 33);
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.Add(b);
+  ab_c.Add(c);
+  HistogramSnapshot bc = b;  // a + (b + c)
+  bc.Add(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.Add(bc);
+  ExpectEqualSnapshots(ab_c, a_bc);
+
+  HistogramSnapshot ba = b;  // commutativity
+  ba.Add(a);
+  HistogramSnapshot ab = a;
+  ab.Add(b);
+  ExpectEqualSnapshots(ab, ba);
+}
+
+TEST(HistogramTest, MergeMatchesRecordingEverythingInOne) {
+  Histogram whole;
+  Histogram left;
+  Histogram right;
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    whole.Record(v * v);
+    (v % 2 == 0 ? left : right).Record(v * v);
+  }
+  HistogramSnapshot merged = left.Snapshot();
+  merged.Add(right.Snapshot());
+  ExpectEqualSnapshots(merged, whole.Snapshot());
+}
+
+// --- counters and the registry --------------------------------------------------
+
+TEST(CounterTest, AddIncrementValueReset) {
+  Counter counter;
+  counter.Add(5);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 6u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(RegistryTest, ReturnsStableReferences) {
+  Registry& registry = Registry::Instance();
+  Counter& a = registry.GetCounter("test/stable_counter");
+  Counter& b = registry.GetCounter("test/stable_counter");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("test/stable_histogram");
+  Histogram& h2 = registry.GetHistogram("test/stable_histogram");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, SnapshotSeesUpdatesAndResetZeroes) {
+  Registry& registry = Registry::Instance();
+  Counter& counter = registry.GetCounter("test/snapshot_counter");
+  Histogram& histogram = registry.GetHistogram("test/snapshot_histogram");
+  registry.ResetAll();
+  counter.Add(7);
+  histogram.Record(42);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test/snapshot_counter"), 7u);
+  EXPECT_EQ(snapshot.HistogramValue("test/snapshot_histogram").count, 1u);
+  EXPECT_EQ(snapshot.CounterValue("test/never_created"), 0u);
+  EXPECT_EQ(snapshot.HistogramValue("test/never_created").count, 0u);
+
+  const std::uint64_t generation = snapshot.generation;
+  registry.ResetAll();
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.CounterValue("test/snapshot_counter"), 0u);
+  EXPECT_EQ(after.HistogramValue("test/snapshot_histogram").count, 0u);
+  EXPECT_EQ(after.generation, generation + 1);
+}
+
+TEST(RegistryTest, TextAndJsonDumpsNameEveryMetric) {
+  Registry& registry = Registry::Instance();
+  registry.GetCounter("test/dump_counter").Add(3);
+  registry.GetHistogram("test/dump_histogram").Record(9);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("counter test/dump_counter"), std::string::npos);
+  EXPECT_NE(text.find("histogram test/dump_histogram"), std::string::npos);
+  EXPECT_NE(text.find("generation"), std::string::npos);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"test/dump_counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test/dump_histogram\":{\"count\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- torn-read regression -------------------------------------------------------
+
+/// Counters only grow between resets, and `ResetAll` bumps the generation
+/// under the same lock `Snapshot` takes. So two snapshots with the same
+/// generation must be component-wise monotone. The old two-source sampling
+/// (pool atomics read separately from the stats atomics) could interleave
+/// with a reset and violate exactly this.
+TEST(RegistryTest, SnapshotsNeverTearAgainstConcurrentResets) {
+  SetParallelism(4);
+  Registry& registry = Registry::Instance();
+  registry.ResetAll();
+
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) ResetExecCounters();
+  });
+  std::thread worker([&] {
+    std::atomic<std::uint64_t> sink{0};
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Pool traffic updates pool/jobs and pool/chunks from several threads.
+      internal_RunOnPool(4, [&](std::size_t chunk) {
+        sink.fetch_add(chunk, std::memory_order_relaxed);
+      });
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    MetricsSnapshot s1 = registry.Snapshot();
+    MetricsSnapshot s2 = registry.Snapshot();
+    if (s1.generation == s2.generation) {
+      for (const auto& [name, value] : s1.counters) {
+        EXPECT_GE(s2.CounterValue(name), value)
+            << "counter " << name << " went backwards within generation "
+            << s1.generation;
+      }
+    }
+    // The ExecCounters view itself must stay usable under the race.
+    ExecCounters counters = GetExecCounters();
+    (void)counters;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  resetter.join();
+  worker.join();
+  SetParallelism(1);
+}
+
+TEST(RegistryTest, ExecCountersIncludePoolActivity) {
+  SetParallelism(4);
+  ResetExecCounters();
+  std::atomic<std::uint64_t> sink{0};
+  internal_RunOnPool(8, [&](std::size_t chunk) {
+    sink.fetch_add(chunk + 1, std::memory_order_relaxed);
+  });
+  ExecCounters counters = GetExecCounters();
+  EXPECT_GE(counters.pool_jobs, 1u);
+  EXPECT_GE(counters.pool_chunks, 8u);
+  ResetExecCounters();
+  counters = GetExecCounters();
+  EXPECT_EQ(counters.pool_jobs, 0u);
+  EXPECT_EQ(counters.pool_chunks, 0u);
+  SetParallelism(1);
+}
+
+}  // namespace
+}  // namespace graphtempo::obs

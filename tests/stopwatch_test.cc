@@ -1,0 +1,66 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+/// \file
+/// Tests for the timing helpers: nearest-rank percentiles (matching the
+/// histogram convention of obs::HistogramSnapshot) and MedianMillis.
+
+namespace graphtempo {
+namespace {
+
+TEST(PercentileMillisTest, NearestRankOnFourSamples) {
+  // Unsorted on purpose: PercentileMillis sorts its own copy.
+  std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.25), 1.0);  // rank ceil(1) = 1
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.5), 2.0);   // rank ceil(2) = 2
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.75), 3.0);  // rank ceil(3) = 3
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.9), 4.0);   // rank ceil(3.6) = 4
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 1.0), 4.0);
+}
+
+TEST(PercentileMillisTest, HundredSamplesMatchTextbookRanks) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileMillis(samples, 0.999), 100.0);  // rank ceil(99.9)
+}
+
+TEST(PercentileMillisTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(PercentileMillis({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileMillis({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(PercentileMillis({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(PercentileMillis({7.5}, 1.0), 7.5);
+}
+
+TEST(MedianMillisTest, RunsTheRequestedRepetitions) {
+  int calls = 0;
+  double ms = MedianMillis(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(ms, 0.0);
+}
+
+TEST(MedianMillisTest, FewRepetitionsStillMeasure) {
+  // Below-3 repetitions print a one-time stderr warning but must still work.
+  int calls = 0;
+  double ms = MedianMillis(1, [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(ms, 0.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  watch.Start();
+  double first = watch.ElapsedMillis();
+  double second = watch.ElapsedMillis();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace graphtempo

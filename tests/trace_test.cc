@@ -1,0 +1,250 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/interval.h"
+#include "core/operators.h"
+#include "obs/metrics.h"
+#include "test_graphs.h"
+#include "util/parallel.h"
+
+/// \file
+/// Tests for the RAII span recorder and Chrome-trace export
+/// (docs/OBSERVABILITY.md): a single-threaded golden run over the paper
+/// graph, JSON well-formedness with pool workers recording concurrently,
+/// bounded-buffer drop accounting, latency-histogram capture, and the
+/// determinism guarantee with tracing active at every thread count.
+
+namespace graphtempo {
+namespace {
+
+using obs::CollectedEvent;
+using obs::ScopedLatencyCapture;
+using obs::TraceSession;
+using obs::TracingActive;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelism(1); }
+};
+
+/// Index of the first event named `name` in `events`, or npos.
+std::size_t FirstIndexOf(const std::vector<CollectedEvent>& events,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].name == name) return i;
+  }
+  return std::string::npos;
+}
+
+TEST_F(TraceTest, SpansAreInactiveWithoutASession) {
+  EXPECT_FALSE(TracingActive());
+  obs::Registry::Instance().ResetAll();
+  { GT_SPAN("test/inactive"); }
+  EXPECT_EQ(obs::Registry::Instance().Snapshot().HistogramValue("span/test/inactive").count,
+            0u);
+}
+
+TEST_F(TraceTest, CollectsNestedSpansChildFirst) {
+  TraceSession session;
+  EXPECT_TRUE(TracingActive());
+  {
+    GT_SPAN("test/outer");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    { GT_SPAN("test/inner", {{"answer", 42}}); }
+  }
+  session.Stop();
+  EXPECT_FALSE(TracingActive());
+
+  const std::vector<CollectedEvent>& events = session.Collect();
+  std::size_t inner = FirstIndexOf(events, "test/inner");
+  std::size_t outer = FirstIndexOf(events, "test/outer");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  // Completion order: the nested span finishes (and is recorded) first.
+  EXPECT_LT(inner, outer);
+  EXPECT_EQ(events[inner].lane, events[outer].lane);
+  // The parent starts no later than the child and lasts at least as long.
+  EXPECT_LE(events[outer].start_ns, events[inner].start_ns);
+  EXPECT_GE(events[outer].duration_ns, events[inner].duration_ns);
+  ASSERT_EQ(events[inner].num_args, 1u);
+  EXPECT_STREQ(events[inner].args[0].name, "answer");
+  EXPECT_EQ(events[inner].args[0].value, 42u);
+  EXPECT_EQ(events[outer].num_args, 0u);
+}
+
+/// Golden single-threaded run: project + union + aggregate over the paper
+/// graph, asserting the span taxonomy and the child-precedes-parent ordering
+/// within the one lane.
+TEST_F(TraceTest, GoldenWorkloadSpanOrderAtOneThread) {
+  SetParallelism(1);
+  TemporalGraph graph = testing::BuildPaperGraph();
+  const std::size_t n = graph.num_times();
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"gender"});
+
+  TraceSession session;
+  GraphView view = UnionOp(graph, IntervalSet::Point(n, 0), IntervalSet::Point(n, 1));
+  AggregateGraph agg = Aggregate(graph, view, attrs, AggregationSemantics::kDistinct);
+  session.Stop();
+  EXPECT_GT(agg.NodeCount(), 0u);
+
+  const std::vector<CollectedEvent>& events = session.Collect();
+  ASSERT_GT(events.size(), 0u);
+  // Serial run: every span lives on the main thread's lane.
+  for (const CollectedEvent& event : events) {
+    EXPECT_EQ(event.lane, events.front().lane);
+  }
+
+  const std::size_t extract = FirstIndexOf(events, "operators/extract");
+  const std::size_t union_op = FirstIndexOf(events, "operators/union");
+  const std::size_t nodes_scan = FirstIndexOf(events, "agg/nodes_scan");
+  const std::size_t edges_scan = FirstIndexOf(events, "agg/edges_scan");
+  const std::size_t nodes_merge = FirstIndexOf(events, "agg/nodes_merge");
+  const std::size_t edges_merge = FirstIndexOf(events, "agg/edges_merge");
+  const std::size_t aggregate = FirstIndexOf(events, "agg/aggregate");
+  ASSERT_NE(extract, std::string::npos);
+  ASSERT_NE(union_op, std::string::npos);
+  ASSERT_NE(nodes_scan, std::string::npos);
+  ASSERT_NE(edges_scan, std::string::npos);
+  ASSERT_NE(nodes_merge, std::string::npos);
+  ASSERT_NE(edges_merge, std::string::npos);
+  ASSERT_NE(aggregate, std::string::npos);
+
+  // Children are recorded before the spans that contain them.
+  EXPECT_LT(extract, union_op);
+  EXPECT_LT(nodes_scan, aggregate);
+  EXPECT_LT(edges_scan, aggregate);
+  EXPECT_LT(nodes_merge, aggregate);
+  EXPECT_LT(edges_merge, aggregate);
+  // Phase order inside Algorithm 2: scan, then merge, per side.
+  EXPECT_LT(nodes_scan, nodes_merge);
+  EXPECT_LT(edges_scan, edges_merge);
+  // The union completes before aggregation starts.
+  EXPECT_LT(union_op, aggregate);
+}
+
+/// A permissive structural JSON check: balanced braces/brackets outside
+/// strings, escape-aware. Enough to catch interleaving/truncation bugs; the
+/// CI smoke re-validates with a real JSON parser (tools/validate_trace.py).
+bool LooksLikeValidJson(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST_F(TraceTest, JsonStructureSurvivesSevenWorkerThreads) {
+  SetParallelism(7);
+  TraceSession session;
+  // Enough chunks (with a short stall each) that pool workers are certain to
+  // execute some and register their own lanes.
+  std::atomic<std::uint64_t> sink{0};
+  internal_RunOnPool(64, [&](std::size_t chunk) {
+    GT_SPAN("test/chunk_body", {{"chunk", chunk}});
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    sink.fetch_add(chunk, std::memory_order_relaxed);
+  });
+  std::ostringstream out;
+  session.WriteJson(out);
+  const std::string json = out.str();
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 80);
+  EXPECT_TRUE(LooksLikeValidJson(json));
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test/chunk_body"), std::string::npos);
+  // Worker lanes carry the "worker-<lane>" label set by the pool.
+  EXPECT_NE(json.find("worker-"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_GE(session.event_count(), 64u);
+}
+
+TEST_F(TraceTest, FullBuffersCountDropsInsteadOfWrapping) {
+  TraceSession::Options options;
+  options.per_thread_capacity = 4;
+  TraceSession session(options);
+  for (int i = 0; i < 20; ++i) {
+    GT_SPAN("test/drop_me");
+  }
+  session.Stop();
+  EXPECT_EQ(session.event_count(), 4u);
+  EXPECT_EQ(session.dropped(), 16u);
+  std::ostringstream out;
+  session.WriteJson(out);
+  EXPECT_NE(out.str().find("\"dropped\":16"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopedLatencyCaptureFeedsSpanHistograms) {
+  obs::Registry::Instance().ResetAll();
+  {
+    ScopedLatencyCapture capture;
+    for (int i = 0; i < 10; ++i) {
+      GT_SPAN("test/latency");
+    }
+  }
+  // Capture ended: further spans must not record.
+  { GT_SPAN("test/latency"); }
+  obs::HistogramSnapshot histogram =
+      obs::Registry::Instance().Snapshot().HistogramValue("span/test/latency");
+  EXPECT_EQ(histogram.count, 10u);
+}
+
+/// Tracing must not perturb results: every thread count, with a session
+/// recording, reproduces the serial untraced aggregate bit-for-bit.
+TEST_F(TraceTest, ResultsStayDeterministicWithTracingActive) {
+  TemporalGraph graph = testing::BuildRandomGraph(77, 2500, 6, 0.5, 3, 4, 0.02);
+  const std::size_t n = graph.num_times();
+  IntervalSet a = IntervalSet::Range(n, 0, 3);
+  IntervalSet b = IntervalSet::Range(n, 2, 5);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color", "level"});
+
+  SetParallelism(1);
+  GraphView baseline_view = UnionOp(graph, a, b);
+  AggregateGraph baseline =
+      Aggregate(graph, baseline_view, attrs, AggregationSemantics::kAll);
+
+  for (std::size_t threads : {1u, 2u, 7u, 16u}) {
+    SetParallelism(threads);
+    TraceSession session;
+    GraphView view = UnionOp(graph, a, b);
+    AggregateGraph traced = Aggregate(graph, view, attrs, AggregationSemantics::kAll);
+    session.Stop();
+    EXPECT_EQ(traced, baseline) << threads << " threads";
+    EXPECT_GT(session.event_count(), 0u) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace graphtempo

@@ -24,6 +24,8 @@
 #include "datagen/dblp_gen.h"
 #include "datagen/movielens_gen.h"
 #include "datagen/paper_example.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -55,15 +57,43 @@ commands:
           [--strategy pruned|naive|both-ends]
   suggest-k <graph.tsv> --event <...> [selector options]
   stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
+  metrics [--format text|json]             dump the metrics registry snapshot
 
 global options (any command):
   --threads N     worker threads for parallel scans (default 1; results are
                   bit-identical at any setting)
-  --perf yes      after the command, print per-stage execution counters
-                  (rows scanned, chunks run, merge time, pool activity)
+  --perf [yes|no] after the command, print per-stage execution counters
+                  (rows scanned, chunks run, merge time, pool activity);
+                  bare --perf means yes
+  --trace [path]  record a Chrome Trace Event JSON of the command's spans
+                  (operators, aggregation, exploration, pool worker lanes)
+                  to `path`; bare --trace writes trace.json. Open the file
+                  in chrome://tracing or https://ui.perfetto.dev
 
 time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
 )";
+
+/// Flags that may appear without a value; the default used when bare.
+constexpr std::pair<const char*, const char*> kValueOptionalFlags[] = {
+    {"perf", "yes"},
+    {"trace", "trace.json"},
+};
+
+const char* BareFlagDefault(const std::string& name) {
+  for (const auto& [flag, fallback] : kValueOptionalFlags) {
+    if (name == flag) return fallback;
+  }
+  return nullptr;
+}
+
+bool IsCommandName(const std::string& word) {
+  static const char* kCommands[] = {"help",      "info",    "generate", "import",
+                                    "operate",   "aggregate", "evolution", "measure",
+                                    "coarsen",   "explore", "suggest-k", "stats",
+                                    "metrics"};
+  return std::any_of(std::begin(kCommands), std::end(kCommands),
+                     [&](const char* cmd) { return word == cmd; });
+}
 
 /// Parsed `--name value` options plus positional arguments.
 struct Options {
@@ -82,11 +112,17 @@ bool ParseOptions(const std::vector<std::string>& args, std::size_t start,
   for (std::size_t i = start; i < args.size(); ++i) {
     if (StartsWith(args[i], "--")) {
       std::string name = args[i].substr(2);
-      if (i + 1 >= args.size()) {
+      const char* bare_default = BareFlagDefault(name);
+      const bool next_is_value =
+          i + 1 < args.size() && !StartsWith(args[i + 1], "--");
+      if (next_is_value) {
+        options->flags[name] = args[++i];
+      } else if (bare_default != nullptr) {
+        options->flags[name] = bare_default;  // bare --perf / --trace
+      } else {
         err << "error: flag --" << name << " needs a value\n";
         return false;
       }
-      options->flags[name] = args[++i];
     } else {
       options->positional.push_back(args[i]);
     }
@@ -831,23 +867,51 @@ int CmdSuggestK(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// --- metrics ---------------------------------------------------------------------
+
+int CmdMetrics(const Options& options, std::ostream& out, std::ostream& err) {
+  std::string format = options.Get("format").value_or("text");
+  obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  if (format == "text") {
+    out << snapshot.ToText();
+  } else if (format == "json") {
+    out << snapshot.ToJson() << "\n";
+  } else {
+    err << "error: --format must be text or json\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   // Global execution options may precede the command:
-  //   graphtempo --threads 8 --perf yes aggregate ...
-  // (they are also accepted after it, like any other flag).
+  //   graphtempo --threads 8 --perf aggregate ...
+  //   graphtempo --trace out.json explore ...
+  // (they are also accepted after it, like any other flag). `--perf` and
+  // `--trace` may appear bare; the token after them is treated as their value
+  // only when it is neither a flag nor a command name.
   Options options;
   std::size_t command_index = 0;
-  while (command_index + 1 < args.size() &&
-         (args[command_index] == "--threads" || args[command_index] == "--perf")) {
-    options.flags[args[command_index].substr(2)] = args[command_index + 1];
-    command_index += 2;
-  }
-  if (command_index < args.size() &&
-      (args[command_index] == "--threads" || args[command_index] == "--perf")) {
-    err << "error: flag " << args[command_index] << " needs a value\n";
-    return 1;
+  while (command_index < args.size() &&
+         (args[command_index] == "--threads" || args[command_index] == "--perf" ||
+          args[command_index] == "--trace")) {
+    std::string name = args[command_index].substr(2);
+    const char* bare_default = BareFlagDefault(name);
+    const bool next_is_value = command_index + 1 < args.size() &&
+                               !StartsWith(args[command_index + 1], "--") &&
+                               !IsCommandName(args[command_index + 1]);
+    if (next_is_value) {
+      options.flags[name] = args[command_index + 1];
+      command_index += 2;
+    } else if (bare_default != nullptr) {
+      options.flags[name] = bare_default;
+      command_index += 1;
+    } else {
+      err << "error: flag --" << name << " needs a value\n";
+      return 1;
+    }
   }
   if (command_index >= args.size() || args[command_index] == "help" ||
       args[command_index] == "--help") {
@@ -865,10 +929,39 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
     }
     SetParallelism(static_cast<std::size_t>(threads));
   }
-  const bool perf = options.Get("perf").value_or("no") == "yes";
+  const std::string perf_raw = options.Get("perf").value_or("no");
+  if (perf_raw != "yes" && perf_raw != "no") {
+    err << "error: --perf must be yes or no (bare --perf means yes), got '"
+        << perf_raw << "'\n";
+    return 1;
+  }
+  const bool perf = perf_raw == "yes";
   if (perf) ResetExecCounters();
 
+  // --trace records every instrumented span of the command into a Chrome
+  // Trace Event file (one lane per thread, workers included).
+  std::optional<std::string> trace_path = options.Get("trace");
+  std::optional<obs::TraceSession> trace_session;
+  if (trace_path.has_value()) {
+    if (trace_path->empty()) {
+      err << "error: --trace needs a non-empty path\n";
+      return 1;
+    }
+    trace_session.emplace();
+  }
+
   auto finish = [&](int code) {
+    if (trace_session.has_value()) {
+      trace_session->Stop();
+      std::string error;
+      if (!trace_session->WriteJsonFile(*trace_path, &error)) {
+        err << "error: " << error << "\n";
+        if (code == 0) code = 1;
+      } else {
+        out << "trace: wrote " << trace_session->event_count() << " spans ("
+            << trace_session->dropped() << " dropped) to " << *trace_path << "\n";
+      }
+    }
     if (perf && code == 0) {
       ExecCounters counters = GetExecCounters();
       char merge_ms[32];
@@ -901,6 +994,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   if (command == "explore") return finish(CmdExplore(options, out, err));
   if (command == "suggest-k") return finish(CmdSuggestK(options, out, err));
   if (command == "stats") return finish(CmdStats(options, out, err));
+  if (command == "metrics") return finish(CmdMetrics(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
   return 1;
 }

@@ -23,6 +23,18 @@
 ///           [--kind nodes|edges] [--attrs g] [--src v] [--dst v] [--node v]
 ///           [--strategy pruned|naive|both-ends]
 ///   suggest-k <graph.tsv> --event … [selector options]
+///   metrics [--format text|json]             dump the metrics registry
+///
+/// Global options (before or after the command):
+///
+///   --threads N     worker threads for parallel scans
+///   --perf [yes|no] print per-stage execution counters after the command;
+///                   bare `--perf` means yes, any other value is an error
+///   --trace [path]  record the command's instrumented spans (operators,
+///                   aggregation, exploration, materialization, pool worker
+///                   lanes) as Chrome Trace Event JSON to `path`; bare
+///                   `--trace` writes trace.json. Load the file in
+///                   chrome://tracing or Perfetto (docs/OBSERVABILITY.md).
 ///
 /// Time points are given by label ("2005") or index ("5"); ranges as
 /// "2001..2004". All failures are reported on `err` with exit code 1 — the

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate GraphTempo observability artifacts.
+
+Two modes, composable in one invocation:
+
+  validate_trace.py --trace out.json            # a Chrome Trace Event file
+  validate_trace.py --bench-log bench.out       # stdout of a bench binary
+  validate_trace.py --trace out.json --bench-log bench.out
+
+Trace validation checks the schema WriteJson emits (docs/OBSERVABILITY.md):
+a top-level object with a `traceEvents` array of `"ph":"M"` thread-name
+metadata and `"ph":"X"` complete events carrying pid/tid/ts/dur, names in
+the `<area>/<name>` taxonomy, non-negative times, and an
+`otherData.dropped` count.
+
+Bench-log validation extracts the one-line JSON objects the benches print
+(`{"bench":...}`) and checks each parses, carries a string `bench` field,
+and that every `*_p50_ms` percentile field has a matching `*_p99_ms` with
+p50 <= p99.
+
+Exit code 0 = everything validated; 1 = any check failed.
+Standard library only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)+$")
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    return False
+
+
+def validate_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: not readable JSON: {error}")
+
+    if not isinstance(document, dict):
+        return fail(f"{path}: top level must be an object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: missing traceEvents array")
+    other = document.get("otherData", {})
+    if not isinstance(other.get("dropped"), int) or other["dropped"] < 0:
+        return fail(f"{path}: otherData.dropped must be a non-negative integer")
+
+    ok = True
+    lanes_named = set()
+    lanes_used = set()
+    spans = 0
+    for index, event in enumerate(events):
+        where = f"{path}: traceEvents[{index}]"
+        if not isinstance(event, dict):
+            ok = fail(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                ok = fail(f"{where}: metadata event is not thread_name")
+            elif not isinstance(event.get("args", {}).get("name"), str):
+                ok = fail(f"{where}: thread_name without args.name")
+            else:
+                lanes_named.add(event.get("tid"))
+        elif phase == "X":
+            spans += 1
+            name = event.get("name")
+            if not isinstance(name, str) or not SPAN_NAME_RE.match(name):
+                ok = fail(f"{where}: span name {name!r} outside the <area>/<name> taxonomy")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    ok = fail(f"{where}: missing integer {key}")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    ok = fail(f"{where}: {key} must be a non-negative number")
+            lanes_used.add(event.get("tid"))
+            args = event.get("args", {})
+            if not all(isinstance(v, int) for v in args.values()):
+                ok = fail(f"{where}: span args must be integers, got {args!r}")
+        else:
+            ok = fail(f"{where}: unexpected ph {phase!r}")
+
+    unnamed = lanes_used - lanes_named
+    if unnamed:
+        ok = fail(f"{path}: lanes {sorted(unnamed)} carry events but have no thread_name")
+    if spans == 0:
+        ok = fail(f"{path}: no complete (ph=X) span events")
+    if ok:
+        print(f"validate_trace: {path}: OK "
+              f"({spans} spans, {len(lanes_named)} lanes, "
+              f"{other['dropped']} dropped)")
+    return ok
+
+
+def validate_bench_log(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        return fail(f"{path}: {error}")
+
+    ok = True
+    objects = 0
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line.startswith('{"bench":'):
+            continue
+        where = f"{path}:{number}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            ok = fail(f"{where}: bench JSON does not parse: {error}")
+            continue
+        objects += 1
+        if not isinstance(record.get("bench"), str):
+            ok = fail(f"{where}: missing string 'bench' field")
+        for key, value in record.items():
+            if key.endswith("_p50_ms"):
+                partner = key[: -len("_p50_ms")] + "_p99_ms"
+                if partner not in record:
+                    ok = fail(f"{where}: {key} without {partner}")
+                elif value > record[partner]:
+                    ok = fail(f"{where}: {key}={value} exceeds {partner}={record[partner]}")
+    if objects == 0:
+        ok = fail(f"{path}: no bench JSON lines found")
+    if ok:
+        print(f"validate_trace: {path}: OK ({objects} bench JSON lines)")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome Trace Event JSON file to validate")
+    parser.add_argument("--bench-log", action="append", default=[],
+                        help="bench stdout capture whose JSON lines to validate")
+    arguments = parser.parse_args()
+    if not arguments.trace and not arguments.bench_log:
+        parser.error("nothing to validate: pass --trace and/or --bench-log")
+
+    ok = True
+    for path in arguments.trace:
+        ok = validate_trace(path) and ok
+    for path in arguments.bench_log:
+        ok = validate_bench_log(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
