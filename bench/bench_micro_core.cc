@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
-#include "core/cube.h"
+#include "engine/cube.h"
 #include "core/naive_exploration.h"
 #include "core/materialization.h"
 #include "core/operators.h"

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "core/coarsen.h"
-#include "core/cube.h"
+#include "engine/cube.h"
 #include "core/evolution.h"
 #include "core/operators.h"
 #include "datagen/dblp_gen.h"

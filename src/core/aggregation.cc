@@ -451,6 +451,19 @@ AggregateGraph Aggregate(const TemporalGraph& graph, const GraphView& view,
   return Aggregate(graph, view, attrs, options);
 }
 
+GroupingResolution ResolveGrouping(const TemporalGraph& graph,
+                                   std::span<const AttrRef> attrs,
+                                   GroupingStrategy requested) {
+  GroupingResolution resolution;
+  if (requested == GroupingStrategy::kHash) return resolution;
+  std::optional<DensePacker> packer =
+      DensePacker::Create(graph, attrs, kDenseNodeCellsMax);
+  resolution.dense_nodes = packer.has_value();
+  resolution.dense_edges = resolution.dense_nodes &&
+                           packer->cells() * packer->cells() <= kDenseEdgePairsMax;
+  return resolution;
+}
+
 AggregateGraph AggregateGeneralPath(const TemporalGraph& graph, const GraphView& view,
                                     std::span<const AttrRef> attrs,
                                     const AggregationOptions& options) {

@@ -181,6 +181,20 @@ struct AggregationOptions {
   GroupingStrategy grouping = GroupingStrategy::kAuto;
 };
 
+/// Which grouping paths Algorithm 2 will take for `attrs` on `graph` under
+/// `requested` — the same domain-size inspection `Aggregate` performs, exposed
+/// so the query planner can render its grouping decision in
+/// `QueryPlan::Explain` without running the aggregation (docs/ENGINE.md).
+/// Pure dictionary arithmetic; no data scan.
+struct GroupingResolution {
+  bool dense_nodes = false;  ///< node side uses the flat dense table
+  bool dense_edges = false;  ///< edge side uses the flat dense pair table
+};
+
+GroupingResolution ResolveGrouping(const TemporalGraph& graph,
+                                   std::span<const AttrRef> attrs,
+                                   GroupingStrategy requested);
+
 /// Evaluates the attribute tuple of node `n` at time `t` for the given
 /// aggregation attributes.
 AttrTuple TupleAt(const TemporalGraph& graph, std::span<const AttrRef> attrs, NodeId n,

@@ -2,12 +2,14 @@
 #define GRAPHTEMPO_CORE_GRAPHTEMPO_H_
 
 /// \file
-/// Umbrella header: the whole GraphTempo public API in one include.
+/// Umbrella header: the whole GraphTempo *core* API in one include.
 /// Fine-grained headers remain available for compile-time-conscious users.
+/// The query layer — planner, executor, and the OLAP cube built on them —
+/// lives above core in `engine/` (include "engine/engine.h" /
+/// "engine/cube.h"; docs/ENGINE.md).
 
 #include "core/aggregation.h"       // DIST/ALL aggregation, AggregateGraph
 #include "core/coarsen.h"           // time-granularity coarsening
-#include "core/cube.h"              // OLAP materialization manager
 #include "core/edge_list_io.h"      // `src dst time` ingestion
 #include "core/evolution.h"         // evolution graph + group ranking
 #include "core/exploration.h"       // U-Explore / I-Explore

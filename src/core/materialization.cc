@@ -22,6 +22,28 @@ AttrTuple ProjectTuple(const AttrTuple& tuple, std::span<const std::size_t> keep
 AggregateGraph RollUp(const AggregateGraph& aggregate,
                       std::span<const std::size_t> keep_positions) {
   GT_CHECK(!keep_positions.empty()) << "roll-up must keep at least one attribute";
+  // Duplicate positions are rejected up front: a duplicated column does not
+  // merge any groups, so the "rolled-up" weights silently double-report the
+  // same attribute instead of summing anything — never what a caller wants.
+  for (std::size_t i = 0; i < keep_positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < keep_positions.size(); ++j) {
+      GT_CHECK(keep_positions[i] != keep_positions[j])
+          << "duplicate roll-up position " << keep_positions[i];
+    }
+  }
+  // Range-check against the aggregate's tuple arity once, rather than only
+  // per visited tuple: an out-of-range position must abort even when the
+  // aggregate is small or the first tuples happen to be wider.
+  const std::size_t arity = [&]() -> std::size_t {
+    if (!aggregate.nodes().empty()) return aggregate.nodes().begin()->first.size();
+    if (!aggregate.edges().empty()) return aggregate.edges().begin()->first.src.size();
+    return 0;  // empty aggregate: nothing to project, nothing to check against
+  }();
+  if (arity != 0) {
+    for (std::size_t position : keep_positions) {
+      GT_CHECK_LT(position, arity) << "roll-up position out of tuple range";
+    }
+  }
   AggregateGraph result;
   for (const auto& [tuple, weight] : aggregate.nodes()) {
     result.AddNodeWeight(ProjectTuple(tuple, keep_positions), weight);

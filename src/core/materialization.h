@@ -59,6 +59,10 @@ class MaterializationStore {
 
   const std::vector<AttrRef>& attrs() const { return attrs_; }
 
+  /// How many time points are cached. Smaller than the graph's `num_times()`
+  /// exactly when the cache is stale (AppendTimePoint without Refresh).
+  std::size_t num_cached_points() const { return per_time_.size(); }
+
  private:
   const TemporalGraph* graph_;
   std::vector<AttrRef> attrs_;

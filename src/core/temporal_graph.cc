@@ -30,6 +30,7 @@ std::optional<TimeId> TemporalGraph::FindTime(std::string_view label) const {
 }
 
 TimeId TemporalGraph::AppendTimePoint(std::string_view label) {
+  ++mutation_generation_;
   TimeId id = static_cast<TimeId>(time_labels_.size());
   time_labels_.emplace_back(label);
   bool inserted = time_index_.emplace(time_labels_.back(), id).second;
@@ -44,6 +45,7 @@ TimeId TemporalGraph::AppendTimePoint(std::string_view label) {
 }
 
 NodeId TemporalGraph::AddNode(std::string_view label) {
+  ++mutation_generation_;
   GT_CHECK(node_index_.find(std::string(label)) == node_index_.end())
       << "duplicate node label: " << label;
   NodeId id = static_cast<NodeId>(node_labels_.size());
@@ -68,6 +70,7 @@ EdgeId TemporalGraph::GetOrAddEdge(NodeId src, NodeId dst) {
   std::uint64_t key = EdgeKey(src, dst);
   auto it = edge_index_.find(key);
   if (it != edge_index_.end()) return it->second;
+  ++mutation_generation_;
   EdgeId id = static_cast<EdgeId>(edge_endpoints_.size());
   edge_endpoints_.emplace_back(src, dst);
   edge_index_.emplace(key, id);
@@ -79,11 +82,13 @@ EdgeId TemporalGraph::GetOrAddEdge(NodeId src, NodeId dst) {
 }
 
 void TemporalGraph::SetNodePresent(NodeId n, TimeId t) {
+  ++mutation_generation_;
   node_presence_.Set(n, t);
   node_index_cols_.Set(n, t);
 }
 
 void TemporalGraph::SetEdgePresent(EdgeId e, TimeId t) {
+  ++mutation_generation_;
   edge_presence_.Set(e, t);
   edge_index_cols_.Set(e, t);
   auto [src, dst] = edge(e);
@@ -94,6 +99,7 @@ void TemporalGraph::SetEdgePresent(EdgeId e, TimeId t) {
 }
 
 std::uint32_t TemporalGraph::AddStaticAttribute(std::string name) {
+  ++mutation_generation_;
   GT_CHECK(!FindAttribute(name).has_value()) << "duplicate attribute: " << name;
   static_attrs_.emplace_back(std::move(name));
   static_attrs_.back().Resize(num_nodes());
@@ -101,6 +107,7 @@ std::uint32_t TemporalGraph::AddStaticAttribute(std::string name) {
 }
 
 std::uint32_t TemporalGraph::AddTimeVaryingAttribute(std::string name) {
+  ++mutation_generation_;
   GT_CHECK(!FindAttribute(name).has_value()) << "duplicate attribute: " << name;
   varying_attrs_.emplace_back(std::move(name), num_times());
   varying_attrs_.back().Resize(num_nodes());
@@ -108,17 +115,20 @@ std::uint32_t TemporalGraph::AddTimeVaryingAttribute(std::string name) {
 }
 
 void TemporalGraph::SetStaticValue(std::uint32_t attr, NodeId n, std::string_view value) {
+  ++mutation_generation_;
   GT_CHECK_LT(attr, static_attrs_.size()) << "static attribute index out of range";
   static_attrs_[attr].Set(n, value);
 }
 
 void TemporalGraph::SetTimeVaryingValue(std::uint32_t attr, NodeId n, TimeId t,
                                         std::string_view value) {
+  ++mutation_generation_;
   GT_CHECK_LT(attr, varying_attrs_.size()) << "time-varying attribute index out of range";
   varying_attrs_[attr].Set(n, t, value);
 }
 
 std::uint32_t TemporalGraph::AddStaticEdgeAttribute(std::string name) {
+  ++mutation_generation_;
   GT_CHECK(!FindEdgeAttribute(name).has_value()) << "duplicate edge attribute: " << name;
   static_edge_attrs_.emplace_back(std::move(name));
   static_edge_attrs_.back().Resize(num_edges());
@@ -126,6 +136,7 @@ std::uint32_t TemporalGraph::AddStaticEdgeAttribute(std::string name) {
 }
 
 std::uint32_t TemporalGraph::AddTimeVaryingEdgeAttribute(std::string name) {
+  ++mutation_generation_;
   GT_CHECK(!FindEdgeAttribute(name).has_value()) << "duplicate edge attribute: " << name;
   varying_edge_attrs_.emplace_back(std::move(name), num_times());
   varying_edge_attrs_.back().Resize(num_edges());
@@ -134,6 +145,7 @@ std::uint32_t TemporalGraph::AddTimeVaryingEdgeAttribute(std::string name) {
 
 void TemporalGraph::SetStaticEdgeValue(std::uint32_t attr, EdgeId e,
                                        std::string_view value) {
+  ++mutation_generation_;
   GT_CHECK_LT(attr, static_edge_attrs_.size())
       << "static edge attribute index out of range";
   static_edge_attrs_[attr].Set(e, value);
@@ -141,6 +153,7 @@ void TemporalGraph::SetStaticEdgeValue(std::uint32_t attr, EdgeId e,
 
 void TemporalGraph::SetTimeVaryingEdgeValue(std::uint32_t attr, EdgeId e, TimeId t,
                                             std::string_view value) {
+  ++mutation_generation_;
   GT_CHECK_LT(attr, varying_edge_attrs_.size())
       << "time-varying edge attribute index out of range";
   varying_edge_attrs_[attr].Set(e, t, value);

@@ -208,6 +208,18 @@ class TemporalGraph {
   std::size_t NodesAt(TimeId t) const;
   std::size_t EdgesAt(TimeId t) const;
 
+  // --- Mutation tracking ------------------------------------------------------
+
+  /// Monotonic counter bumped by every mutating call (AppendTimePoint,
+  /// AddNode/GetOrAddEdge, SetNodePresent/SetEdgePresent, attribute
+  /// declarations and assignments). Derived caches — most importantly the
+  /// query engine's fingerprint-keyed result cache (docs/ENGINE.md) — compare
+  /// the generation they were built at against the current one to decide
+  /// whether their entries are still valid. Mutations follow the same
+  /// single-writer contract as the rest of the class: no concurrent readers
+  /// while mutating, so a plain counter suffices.
+  std::uint64_t mutation_generation() const { return mutation_generation_; }
+
  private:
   // Key for the (src, dst) → EdgeId map.
   static std::uint64_t EdgeKey(NodeId src, NodeId dst) {
@@ -231,6 +243,8 @@ class TemporalGraph {
   std::vector<TimeVaryingColumn> varying_attrs_;
   std::vector<StaticColumn> static_edge_attrs_;
   std::vector<TimeVaryingColumn> varying_edge_attrs_;
+
+  std::uint64_t mutation_generation_ = 0;
 };
 
 }  // namespace graphtempo

@@ -1,17 +1,17 @@
-#ifndef GRAPHTEMPO_CORE_CUBE_H_
-#define GRAPHTEMPO_CORE_CUBE_H_
+#ifndef GRAPHTEMPO_ENGINE_CUBE_H_
+#define GRAPHTEMPO_ENGINE_CUBE_H_
 
-#include <cstdint>
+#include <cstddef>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
-#include "core/materialization.h"
+#include "engine/engine.h"
 
 /// \file
 /// `AggregateCube`: the OLAP-style materialization manager sketched in
-/// Section 4.3. Materializing *every* (attribute subset × interval) aggregate
-/// is unrealistic; the cube instead stores only per-time-point aggregates of
+/// Section 4.3, now a thin client of the query engine (docs/ENGINE.md).
+/// Materializing *every* (attribute subset × interval) aggregate is
+/// unrealistic; the cube instead stores only per-time-point aggregates of
 /// the full attribute set and derives everything else:
 ///
 ///   * an attribute subset comes from the full set by **roll-up**
@@ -20,8 +20,11 @@
 ///     summation** (T-distributive, ALL semantics).
 ///
 /// A query therefore never touches the original graph once the base layer is
-/// built. Derivation counters expose how much work the distributivity saves;
-/// the ablation benchmark prints them against from-scratch aggregation.
+/// built. Since PR 4 both memoizations live inside `engine::QueryEngine` —
+/// the cube forces the materialized plan route and keeps the historical
+/// OLAP-facing API (positional subsets, derivation counters). The embedded
+/// engine runs with result caching *disabled* so the derivation counters
+/// reflect every query, which is what the ablation benchmark measures.
 
 namespace graphtempo {
 
@@ -40,7 +43,7 @@ class AggregateCube {
   /// points' aggregates. No-op when up to date.
   void Refresh();
 
-  bool materialized() const { return base_.materialized(); }
+  bool materialized() const { return engine_.materialization_enabled(); }
 
   /// ALL-semantics aggregate of the union graph over `interval`, on the
   /// attribute subset selected by `keep_positions` (indices into
@@ -51,35 +54,28 @@ class AggregateCube {
   /// Convenience overload: the full attribute set.
   AggregateGraph Query(const IntervalSet& interval);
 
-  const std::vector<AttrRef>& base_attrs() const { return base_.attrs(); }
+  const std::vector<AttrRef>& base_attrs() const { return base_attrs_; }
 
-  /// Observability: how queries were answered.
+  /// Observability: how queries were answered. Derivation counters are the
+  /// embedded engine's (`QueryEngine::DerivationStats`).
   struct Stats {
-    std::size_t queries = 0;        ///< Query() calls
-    std::size_t rollups = 0;        ///< per-time-point roll-ups performed
-    std::size_t rollup_hits = 0;    ///< per-time-point roll-ups served from cache
-    std::size_t combines = 0;       ///< per-time-point aggregates summed
+    std::size_t queries = 0;      ///< Query() calls
+    std::size_t rollups = 0;      ///< per-time-point roll-ups performed
+    std::size_t rollup_hits = 0;  ///< per-time-point roll-ups served from cache
+    std::size_t combines = 0;     ///< per-time-point aggregates summed
   };
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+
+  /// The embedded engine, e.g. for planning/Explain against the cube's store.
+  engine::QueryEngine& query_engine() { return engine_; }
 
  private:
-  /// Bitmask over base attribute positions; position i → bit i.
-  using SubsetMask = std::uint32_t;
-
-  static SubsetMask MaskOf(std::span<const std::size_t> keep_positions,
-                           std::size_t arity);
-
-  /// The per-time-point aggregates for one subset, built lazily by roll-up.
-  const std::vector<AggregateGraph>& SubsetLayer(
-      std::span<const std::size_t> keep_positions);
-
-  const TemporalGraph* graph_;
-  MaterializationStore base_;
-  std::unordered_map<SubsetMask, std::vector<AggregateGraph>> subset_layers_;
-  Stats stats_;
+  std::vector<AttrRef> base_attrs_;
+  engine::QueryEngine engine_;
+  std::size_t queries_ = 0;
 };
 
 }  // namespace graphtempo
 
-#endif  // GRAPHTEMPO_CORE_CUBE_H_
+#endif  // GRAPHTEMPO_ENGINE_CUBE_H_

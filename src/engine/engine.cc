@@ -1,0 +1,382 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace graphtempo::engine {
+
+namespace {
+
+/// Registry counters mirrored from CacheStats / routing decisions. Cached in
+/// statics: metric creation locks, updates are lock-free.
+obs::Counter& QueriesCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/queries");
+  return c;
+}
+obs::Counter& RouteDirectCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/route_direct");
+  return c;
+}
+obs::Counter& RouteMaterializedCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/route_materialized");
+  return c;
+}
+obs::Counter& CacheHitCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_hit");
+  return c;
+}
+obs::Counter& CacheMissCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_miss");
+  return c;
+}
+obs::Counter& CacheBypassCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_bypass");
+  return c;
+}
+obs::Counter& CacheEvictCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_evict");
+  return c;
+}
+obs::Counter& CacheInvalidateCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_invalidate");
+  return c;
+}
+
+bool UsesT2(TemporalOperatorKind op) { return op != TemporalOperatorKind::kProject; }
+
+std::string JoinAttrNames(const TemporalGraph& graph, std::span<const AttrRef> attrs) {
+  std::string out;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i != 0) out += ",";
+    out += graph.attribute_name(attrs[i]);
+  }
+  return out;
+}
+
+std::string JoinPositions(std::span<const std::size_t> positions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(positions[i]);
+  }
+  out += "]";
+  return out;
+}
+
+/// The step-kind → span-name map. GT_SPAN names must be string literals, so
+/// the dynamic PlanStep::kind is mirrored by a fixed table here; Explain and
+/// trace output stay one-to-one.
+const char* OperatorSpanName(TemporalOperatorKind op) {
+  switch (op) {
+    case TemporalOperatorKind::kProject: return "engine/operator/project";
+    case TemporalOperatorKind::kUnion: return "engine/operator/union";
+    case TemporalOperatorKind::kIntersection: return "engine/operator/intersection";
+    case TemporalOperatorKind::kDifference: return "engine/operator/difference";
+  }
+  return "engine/operator";
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const TemporalGraph* graph, Config config)
+    : graph_(graph), config_(config) {
+  GT_CHECK(graph_ != nullptr);
+  cache_generation_ = graph_->mutation_generation();
+}
+
+void QueryEngine::EnableMaterialization(std::vector<AttrRef> attrs) {
+  if (store_.has_value()) {
+    GT_CHECK(store_->attrs() == attrs)
+        << "materialization already enabled over a different attribute list";
+    store_->MaterializeAllTimePoints();
+    return;
+  }
+  GT_CHECK(!attrs.empty()) << "materialization needs at least one attribute";
+  GT_CHECK_LE(attrs.size(), AttrTuple::kMaxAttrs) << "too many base attributes";
+  store_.emplace(graph_, std::move(attrs));
+  store_->MaterializeAllTimePoints();
+}
+
+const std::vector<AttrRef>& QueryEngine::materialized_attrs() const {
+  GT_CHECK(store_.has_value()) << "materialization is not enabled";
+  return store_->attrs();
+}
+
+void QueryEngine::Refresh() {
+  if (!store_.has_value()) return;
+  store_->Refresh();
+  const std::size_t num_times = graph_->num_times();
+  for (auto& [mask, layer] : subset_layers_) {
+    // Recover the canonical subset positions from the mask.
+    std::vector<std::size_t> keep;
+    for (std::size_t position = 0; position < store_->attrs().size(); ++position) {
+      if ((mask >> position) & 1u) keep.push_back(position);
+    }
+    for (TimeId t = static_cast<TimeId>(layer.size()); t < num_times; ++t) {
+      layer.push_back(RollUp(store_->AtTimePoint(t), keep));
+      ++derivation_stats_.rollups;
+    }
+  }
+}
+
+bool QueryEngine::MapToBasePositions(const QuerySpec& spec,
+                                     std::vector<std::size_t>* keep) const {
+  if (!store_.has_value()) return false;
+  const std::vector<AttrRef>& base = store_->attrs();
+  std::vector<std::size_t> positions;
+  positions.reserve(spec.attrs.size());
+  for (const AttrRef& ref : spec.attrs) {
+    auto it = std::find(base.begin(), base.end(), ref);
+    if (it == base.end()) return false;  // attribute not materialized
+    const std::size_t position = static_cast<std::size_t>(it - base.begin());
+    if (std::find(positions.begin(), positions.end(), position) != positions.end()) {
+      return false;  // duplicated attribute: mapping must stay injective
+    }
+    positions.push_back(position);
+  }
+  *keep = std::move(positions);
+  return true;
+}
+
+bool QueryEngine::Derivable(const QuerySpec& spec) const {
+  // An opaque filter makes the answer depend on data outside the store.
+  if (spec.filter != nullptr || !store_.has_value()) return false;
+  // T-distributivity covers union under ALL on any interval (Section 4.3);
+  // on a single evaluation point DIST coincides with ALL (Fig 3), which also
+  // admits project (a single-point projection *is* the snapshot). Multi-point
+  // project/intersection/difference are not distributive over time points.
+  const bool union_all = spec.op == TemporalOperatorKind::kUnion &&
+                         spec.semantics == AggregationSemantics::kAll;
+  const bool single_point = (spec.op == TemporalOperatorKind::kProject ||
+                             spec.op == TemporalOperatorKind::kUnion) &&
+                            spec.EvaluationInterval().Count() == 1;
+  if (!union_all && !single_point) return false;
+  std::vector<std::size_t> keep;
+  return MapToBasePositions(spec, &keep);
+}
+
+QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) const {
+  GT_SPAN("engine/plan");
+  GT_CHECK(!spec.attrs.empty()) << "spec needs at least one aggregation attribute";
+  GT_CHECK_LE(spec.attrs.size(), AttrTuple::kMaxAttrs) << "too many aggregation attributes";
+
+  QueryPlan plan;
+  plan.fingerprint = spec.Fingerprint();
+  plan.cacheable = spec.Cacheable();
+
+  const bool derivable = Derivable(spec);
+  if (options.force_route.has_value()) {
+    GT_CHECK(*options.force_route != PlanRoute::kMaterializedDerivation || derivable)
+        << "cannot force the materialized route: spec is not derivable";
+    plan.route = *options.force_route;
+  } else {
+    plan.route = derivable ? PlanRoute::kMaterializedDerivation : PlanRoute::kDirectKernel;
+  }
+
+  if (plan.route == PlanRoute::kMaterializedDerivation) {
+    GT_CHECK(MapToBasePositions(spec, &plan.keep_positions));
+    const std::vector<AttrRef>& base = store_->attrs();
+    bool identity = plan.keep_positions.size() == base.size();
+    for (std::size_t i = 0; identity && i < plan.keep_positions.size(); ++i) {
+      identity = plan.keep_positions[i] == i;
+    }
+    plan.needs_rollup = !identity;
+    plan.steps.push_back(
+        {"combine", "store=(" + JoinAttrNames(*graph_, base) +
+                        ") points=" + std::to_string(spec.EvaluationInterval().Count())});
+    if (plan.needs_rollup) {
+      plan.steps.push_back({"roll-up", "keep=" + JoinPositions(plan.keep_positions)});
+    }
+  } else {
+    const GroupingResolution resolution =
+        ResolveGrouping(*graph_, spec.attrs, spec.grouping);
+    plan.dense_nodes = resolution.dense_nodes;
+    plan.dense_edges = resolution.dense_edges;
+    std::string operand = "t1=" + spec.t1.ToString();
+    if (UsesT2(spec.op)) operand += " t2=" + spec.t2.ToString();
+    plan.steps.push_back(
+        {std::string("operator/") + TemporalOperatorName(spec.op), std::move(operand)});
+    std::string detail = "attrs=[" + JoinAttrNames(*graph_, spec.attrs) + "] semantics=";
+    detail += spec.semantics == AggregationSemantics::kDistinct ? "DIST" : "ALL";
+    detail += " nodes=";
+    detail += plan.dense_nodes ? "dense" : "hash";
+    detail += " edges=";
+    detail += plan.dense_edges ? "dense" : "hash";
+    if (spec.filter != nullptr) detail += " filter=yes";
+    plan.steps.push_back({"aggregate", std::move(detail)});
+  }
+  if (spec.symmetrize) plan.steps.push_back({"symmetrize", "mirror-edge merge"});
+  return plan;
+}
+
+void QueryEngine::InvalidateIfStale() {
+  const std::uint64_t generation = graph_->mutation_generation();
+  if (generation == cache_generation_) return;
+  if (!cache_.empty()) {
+    ++cache_stats_.invalidations;
+    CacheInvalidateCounter().Increment();
+    cache_.clear();
+    lru_.clear();
+  }
+  cache_generation_ = generation;
+}
+
+void QueryEngine::ClearCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& options) {
+  const QueryPlan plan = Plan(spec, options);
+  GT_SPAN("engine/execute", {{"route", static_cast<std::uint64_t>(plan.route)},
+                             {"steps", plan.steps.size()}});
+  QueriesCounter().Increment();
+
+  if (!plan.cacheable || config_.cache_capacity == 0) {
+    ++cache_stats_.bypasses;
+    CacheBypassCounter().Increment();
+    return Run(spec, plan);
+  }
+
+  InvalidateIfStale();
+  auto it = cache_.find(plan.fingerprint);
+  if (it != cache_.end() && it->second.spec.EquivalentTo(spec)) {
+    ++cache_stats_.hits;
+    CacheHitCounter().Increment();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.result;
+  }
+  ++cache_stats_.misses;
+  CacheMissCounter().Increment();
+
+  AggregateGraph result = Run(spec, plan);
+  if (it != cache_.end()) {
+    // Fingerprint collision with a non-equivalent spec: the newer query wins
+    // the slot (EquivalentTo above guarantees we never *served* the impostor).
+    it->second.spec = spec;
+    it->second.result = result;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return result;
+  }
+  lru_.push_front(plan.fingerprint);
+  cache_.emplace(plan.fingerprint, CachedResult{spec, result, lru_.begin()});
+  if (cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_stats_.evictions;
+    CacheEvictCounter().Increment();
+  }
+  return result;
+}
+
+AggregateGraph QueryEngine::Run(const QuerySpec& spec, const QueryPlan& plan) {
+  switch (plan.route) {
+    case PlanRoute::kDirectKernel:
+      RouteDirectCounter().Increment();
+      return RunDirect(spec, plan);
+    case PlanRoute::kMaterializedDerivation:
+      RouteMaterializedCounter().Increment();
+      return RunMaterialized(spec, plan);
+  }
+  GT_CHECK(false) << "unreachable plan route";
+  return AggregateGraph{};
+}
+
+AggregateGraph QueryEngine::RunDirect(const QuerySpec& spec, const QueryPlan& /*plan*/) {
+  GraphView view;
+  {
+    obs::Span span(OperatorSpanName(spec.op));
+    view = BuildOperatorView(*graph_, spec);
+  }
+  AggregationOptions options;
+  options.semantics = spec.semantics;
+  options.filter = spec.filter;
+  options.grouping = spec.grouping;
+  AggregateGraph result;
+  {
+    GT_SPAN("engine/aggregate", {{"nodes", view.NodeCount()}, {"edges", view.EdgeCount()}});
+    result = Aggregate(*graph_, view, spec.attrs, options);
+  }
+  if (spec.symmetrize) {
+    GT_SPAN("engine/symmetrize");
+    result = SymmetrizeAggregate(result);
+  }
+  return result;
+}
+
+const std::vector<AggregateGraph>& QueryEngine::SubsetLayer(
+    std::span<const std::size_t> canonical) {
+  SubsetMask mask = 0;
+  for (std::size_t position : canonical) {
+    GT_CHECK_LT(position, store_->attrs().size()) << "subset position out of range";
+    mask |= SubsetMask{1} << position;
+  }
+  auto it = subset_layers_.find(mask);
+  if (it != subset_layers_.end()) {
+    derivation_stats_.rollup_hits += graph_->num_times();
+    return it->second;
+  }
+  std::vector<AggregateGraph> layer;
+  layer.reserve(graph_->num_times());
+  for (TimeId t = 0; t < graph_->num_times(); ++t) {
+    layer.push_back(RollUp(store_->AtTimePoint(t), canonical));
+    ++derivation_stats_.rollups;
+  }
+  return subset_layers_.emplace(mask, std::move(layer)).first->second;
+}
+
+AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPlan& plan) {
+  GT_CHECK(store_.has_value() && store_->materialized())
+      << "materialized route without a materialized store";
+  GT_CHECK_EQ(store_->num_cached_points(), graph_->num_times())
+      << "materialization is stale — call Refresh() after AppendTimePoint()";
+  const IntervalSet interval = spec.EvaluationInterval();
+  GT_CHECK(!interval.Empty()) << "evaluation interval must be non-empty";
+
+  // Canonicalize the kept positions: the subset-layer cache is keyed by the
+  // attribute *set*; a caller-ordered subset is served from the canonical
+  // layer and reordered at the end (D-distributivity again).
+  std::vector<std::size_t> canonical(plan.keep_positions);
+  std::sort(canonical.begin(), canonical.end());
+  const bool full_set = canonical.size() == store_->attrs().size();
+  const std::vector<AggregateGraph>* layer = full_set ? nullptr : &SubsetLayer(canonical);
+
+  AggregateGraph combined;
+  {
+    GT_SPAN("engine/combine", {{"points", interval.Count()}});
+    interval.ForEach([&](TimeId t) {
+      const AggregateGraph& point = full_set ? store_->AtTimePoint(t) : (*layer)[t];
+      for (const auto& [tuple, weight] : point.nodes()) {
+        combined.AddNodeWeight(tuple, weight);
+      }
+      for (const auto& [pair, weight] : point.edges()) {
+        combined.AddEdgeWeight(pair.src, pair.dst, weight);
+      }
+      ++derivation_stats_.combines;
+    });
+  }
+
+  const bool reordered =
+      !std::equal(canonical.begin(), canonical.end(), plan.keep_positions.begin(),
+                  plan.keep_positions.end());
+  if (reordered) {
+    GT_SPAN("engine/roll-up");
+    std::vector<std::size_t> order(plan.keep_positions.size());
+    for (std::size_t i = 0; i < plan.keep_positions.size(); ++i) {
+      auto it = std::find(canonical.begin(), canonical.end(), plan.keep_positions[i]);
+      order[i] = static_cast<std::size_t>(it - canonical.begin());
+    }
+    combined = RollUp(combined, order);
+  }
+  if (spec.symmetrize) {
+    GT_SPAN("engine/symmetrize");
+    combined = SymmetrizeAggregate(combined);
+  }
+  return combined;
+}
+
+}  // namespace graphtempo::engine

@@ -1,0 +1,175 @@
+#ifndef GRAPHTEMPO_ENGINE_ENGINE_H_
+#define GRAPHTEMPO_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/materialization.h"
+#include "engine/plan.h"
+#include "engine/query_spec.h"
+
+/// \file
+/// `QueryEngine`: the unified planner + executor every entry point funnels
+/// through (docs/ENGINE.md).
+///
+/// One engine wraps one `TemporalGraph` and answers `QuerySpec`s. For each
+/// spec the *planner* picks a route:
+///
+///   * **direct** — run the temporal-operator bitset kernels and Algorithm 2;
+///     the plan records the dense-vs-hash grouping resolution
+///     (`ResolveGrouping`) so `--explain` shows which kernel path fires;
+///   * **materialized** — when `EnableMaterialization` built per-time-point
+///     ALL aggregates and the spec is Section 4.3-derivable (T-distributive
+///     union under ALL, or a single-point project/union where DIST ≡ ALL, on
+///     an attribute subset of the base list), answer by weight summation over
+///     the store plus a D-distributive `RollUp` — never touching the graph.
+///
+/// The *executor* runs the plan under GT_SPAN instrumentation (one span per
+/// plan step, mirroring `QueryPlan::Explain`) and memoizes:
+///
+///   * per-(attribute-subset, time-point) roll-up layers, exactly the
+///     Section 4.3 cube lattice (`DerivationStats` counts the savings);
+///   * whole results in a bounded LRU cache keyed by `QuerySpec::Fingerprint`
+///     with a full `EquivalentTo` collision guard. The cache is invalidated
+///     wholesale whenever the graph's `mutation_generation()` moves, so
+///     `AppendTimePoint` + `Refresh` can never serve a stale answer. Specs
+///     carrying an opaque filter bypass the cache entirely.
+///
+/// Thread-safety: an engine is a single-writer object like the graph it
+/// wraps. The *internals* of one query fan out on the shared pool; concurrent
+/// `Execute` calls from different threads are not supported.
+
+namespace graphtempo::engine {
+
+class QueryEngine {
+ public:
+  struct Config {
+    /// Result-cache entries kept (LRU). 0 disables result caching — the
+    /// derivation layers still memoize.
+    std::size_t cache_capacity = 64;
+  };
+
+  /// Does not take ownership of `graph`; `graph` must outlive the engine.
+  explicit QueryEngine(const TemporalGraph* graph) : QueryEngine(graph, Config{}) {}
+  QueryEngine(const TemporalGraph* graph, Config config);
+
+  const TemporalGraph& graph() const { return *graph_; }
+
+  // --- Materialization (Section 4.3 base layer) ---
+
+  /// Builds the per-time-point ALL-aggregate store over `attrs` (at most
+  /// AttrTuple::kMaxAttrs), unlocking the materialized route for derivable
+  /// specs. Idempotent for the same attribute list; GT_CHECKs against
+  /// re-enabling with a different one.
+  void EnableMaterialization(std::vector<AttrRef> attrs);
+
+  bool materialization_enabled() const { return store_.has_value(); }
+
+  /// Base attribute list of the store; GT_CHECKs materialization_enabled().
+  const std::vector<AttrRef>& materialized_attrs() const;
+
+  /// Incremental maintenance after `TemporalGraph::AppendTimePoint`: extends
+  /// the base store and every memoized subset layer to the new time points.
+  /// No-op when up to date or when materialization is disabled. (The result
+  /// cache needs no call here — it invalidates itself on the next Execute via
+  /// the graph's mutation generation.)
+  void Refresh();
+
+  // --- Planning ---
+
+  struct PlanOptions {
+    /// Force the route instead of letting the planner choose — the
+    /// differential suite uses this to pin route equivalence. Forcing
+    /// kMaterializedDerivation GT_CHECKs that the spec is derivable.
+    std::optional<PlanRoute> force_route;
+  };
+
+  /// Plans without executing — what the CLI's `--explain` prints.
+  QueryPlan Plan(const QuerySpec& spec) const { return Plan(spec, PlanOptions{}); }
+  QueryPlan Plan(const QuerySpec& spec, const PlanOptions& options) const;
+
+  /// True when the planner may answer `spec` from the materialization store.
+  bool Derivable(const QuerySpec& spec) const;
+
+  // --- Execution ---
+
+  AggregateGraph Execute(const QuerySpec& spec) { return Execute(spec, PlanOptions{}); }
+  AggregateGraph Execute(const QuerySpec& spec, const PlanOptions& options);
+
+  /// Drops every cached result (stats keep counting). Forced-route
+  /// experiments call this between runs so each route really executes.
+  void ClearCache();
+
+  // --- Observability ---
+
+  /// Result-cache behaviour. Mirrored into the obs registry as
+  /// `engine/cache_hit` etc. so `--perf` and the benches see them.
+  struct CacheStats {
+    std::uint64_t hits = 0;           ///< served from cache
+    std::uint64_t misses = 0;         ///< computed (cacheable specs only)
+    std::uint64_t bypasses = 0;       ///< uncacheable (filtered) executions
+    std::uint64_t evictions = 0;      ///< LRU evictions
+    std::uint64_t invalidations = 0;  ///< whole-cache drops on graph mutation
+  };
+
+  /// Section 4.3 derivation work, cube-compatible semantics: `rollups` /
+  /// `rollup_hits` count per-time-point subset roll-ups computed / served
+  /// from a memoized layer; `combines` counts per-time-point aggregates
+  /// weight-summed into union results.
+  struct DerivationStats {
+    std::size_t rollups = 0;
+    std::size_t rollup_hits = 0;
+    std::size_t combines = 0;
+  };
+
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  const DerivationStats& derivation_stats() const { return derivation_stats_; }
+
+ private:
+  /// Bitmask over base attribute positions; position i → bit i.
+  using SubsetMask = std::uint32_t;
+
+  /// Maps `spec.attrs` into positions of the base attribute list (caller
+  /// order). Returns false — leaving `keep` untouched — when any attribute is
+  /// not in the base list or appears twice.
+  bool MapToBasePositions(const QuerySpec& spec, std::vector<std::size_t>* keep) const;
+
+  /// The memoized per-time-point roll-up layer for an ascending,
+  /// duplicate-free strict subset of base positions.
+  const std::vector<AggregateGraph>& SubsetLayer(std::span<const std::size_t> canonical);
+
+  AggregateGraph Run(const QuerySpec& spec, const QueryPlan& plan);
+  AggregateGraph RunDirect(const QuerySpec& spec, const QueryPlan& plan);
+  AggregateGraph RunMaterialized(const QuerySpec& spec, const QueryPlan& plan);
+
+  /// Clears the cache if the graph mutated since it was filled.
+  void InvalidateIfStale();
+
+  const TemporalGraph* graph_;
+  Config config_;
+
+  std::optional<MaterializationStore> store_;
+  std::unordered_map<SubsetMask, std::vector<AggregateGraph>> subset_layers_;
+
+  /// LRU result cache: `lru_` holds fingerprints, most recent first;
+  /// `cache_` maps fingerprint → (guard spec, result, lru position).
+  struct CachedResult {
+    QuerySpec spec;
+    AggregateGraph result;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, CachedResult> cache_;
+  std::uint64_t cache_generation_ = 0;  ///< graph generation the cache matches
+
+  CacheStats cache_stats_;
+  DerivationStats derivation_stats_;
+};
+
+}  // namespace graphtempo::engine
+
+#endif  // GRAPHTEMPO_ENGINE_ENGINE_H_

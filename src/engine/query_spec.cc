@@ -1,0 +1,121 @@
+#include "engine/query_spec.h"
+
+#include "util/check.h"
+
+namespace graphtempo::engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void HashByte(std::uint64_t* h, std::uint8_t byte) {
+  *h ^= byte;
+  *h *= kFnvPrime;
+}
+
+void HashU64(std::uint64_t* h, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    HashByte(h, static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void HashInterval(std::uint64_t* h, const IntervalSet& interval) {
+  HashU64(h, interval.domain_size());
+  HashU64(h, interval.Count());
+  interval.ForEach([&](TimeId t) { HashU64(h, t); });
+}
+
+/// t2 does not participate in a projection's result; normalize it away so
+/// syntactically different but semantically identical specs share a cache
+/// entry.
+bool UsesT2(TemporalOperatorKind op) { return op != TemporalOperatorKind::kProject; }
+
+}  // namespace
+
+const char* TemporalOperatorName(TemporalOperatorKind op) {
+  switch (op) {
+    case TemporalOperatorKind::kProject: return "project";
+    case TemporalOperatorKind::kUnion: return "union";
+    case TemporalOperatorKind::kIntersection: return "intersection";
+    case TemporalOperatorKind::kDifference: return "difference";
+  }
+  return "?";
+}
+
+IntervalSet QuerySpec::EvaluationInterval() const {
+  switch (op) {
+    case TemporalOperatorKind::kProject:
+    case TemporalOperatorKind::kDifference:
+      return t1;
+    case TemporalOperatorKind::kUnion:
+    case TemporalOperatorKind::kIntersection:
+      return t1 | t2;
+  }
+  return t1;
+}
+
+std::uint64_t QuerySpec::Fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  HashByte(&h, static_cast<std::uint8_t>(op));
+  HashByte(&h, static_cast<std::uint8_t>(semantics));
+  HashByte(&h, static_cast<std::uint8_t>(grouping));
+  HashByte(&h, symmetrize ? 1 : 0);
+  HashU64(&h, attrs.size());
+  for (const AttrRef& ref : attrs) {
+    HashByte(&h, static_cast<std::uint8_t>(ref.kind));
+    HashU64(&h, ref.index);
+  }
+  HashInterval(&h, t1);
+  if (UsesT2(op)) {
+    HashInterval(&h, t2);
+  } else {
+    HashByte(&h, 0xffu);  // domain separator: "no t2"
+  }
+  return h;
+}
+
+bool QuerySpec::EquivalentTo(const QuerySpec& other) const {
+  return op == other.op && semantics == other.semantics &&
+         grouping == other.grouping && symmetrize == other.symmetrize &&
+         filter == other.filter && attrs == other.attrs && t1 == other.t1 &&
+         (!UsesT2(op) || t2 == other.t2);
+}
+
+std::string QuerySpec::ToString(const TemporalGraph& graph) const {
+  std::string out = TemporalOperatorName(op);
+  out += " t1=";
+  out += t1.ToString();
+  if (UsesT2(op)) {
+    out += " t2=";
+    out += t2.ToString();
+  }
+  out += " attrs=[";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i != 0) out += ",";
+    out += graph.attribute_name(attrs[i]);
+  }
+  out += "] semantics=";
+  out += semantics == AggregationSemantics::kDistinct ? "DIST" : "ALL";
+  if (filter != nullptr) out += " filter=yes";
+  if (symmetrize) out += " symmetrize=yes";
+  return out;
+}
+
+GraphView BuildOperatorView(const TemporalGraph& graph, const QuerySpec& spec) {
+  switch (spec.op) {
+    case TemporalOperatorKind::kProject:
+      return Project(graph, spec.t1);
+    case TemporalOperatorKind::kUnion:
+      return UnionOp(graph, spec.t1, spec.t2);
+    case TemporalOperatorKind::kIntersection:
+      return IntersectionOp(graph, spec.t1, spec.t2);
+    case TemporalOperatorKind::kDifference:
+      return DifferenceOp(graph, spec.t1, spec.t2);
+  }
+  GT_CHECK(false) << "unreachable operator kind";
+  GraphView unreachable;
+  return unreachable;
+}
+
+}  // namespace graphtempo::engine

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/cube.h"
+#include "engine/cube.h"
 #include "core/materialization.h"
 #include "core/operators.h"
 #include "storage/bit_matrix.h"
@@ -189,6 +189,61 @@ TEST(RefreshTest, CubeExtendsBaseAndSubsetLayers) {
   std::vector<AttrRef> gender_only = ResolveAttributes(graph, {"gender"});
   EXPECT_EQ(cube.Query(grown, keep_gender),
             Aggregate(graph, view, gender_only, AggregationSemantics::kAll));
+}
+
+TEST(RefreshTest, CubeSurvivesSuccessiveAppendRounds) {
+  // Several append → ingest → Refresh rounds against a cube whose subset
+  // layers were memoized *before* the first round. After every round the
+  // incrementally maintained cube must answer exactly like a cube built from
+  // scratch on the grown graph — and extend each memoized layer by exactly
+  // one roll-up per round instead of recomputing it.
+  TemporalGraph graph = BuildPaperGraph();
+  std::vector<AttrRef> base = ResolveAttributes(graph, {"gender", "publications"});
+  AggregateCube cube(&graph, base);
+  cube.Materialize();
+  const std::size_t keep_gender[] = {0};
+  const std::size_t keep_pubs[] = {1};
+  // Memoize both single-attribute layers over the initial domain.
+  cube.Query(IntervalSet::Range(3, 0, 2), keep_gender);
+  cube.Query(IntervalSet::Range(3, 0, 2), keep_pubs);
+
+  AttrRef pubs = *graph.FindAttribute("publications");
+  NodeId u1 = *graph.FindNode("u1");
+  NodeId u2 = *graph.FindNode("u2");
+  NodeId u5 = *graph.FindNode("u5");
+
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t n = graph.num_times();
+    graph.AppendTimePoint("t" + std::to_string(n));
+    const TimeId t = static_cast<TimeId>(n);
+    // Alternate the ingested snapshot so every round changes the answers.
+    if (round % 2 == 0) {
+      graph.SetEdgePresent(*graph.FindEdge(u2, u5), t);
+      graph.SetTimeVaryingValue(pubs.index, u2, t, "2");
+      graph.SetTimeVaryingValue(pubs.index, u5, t, "1");
+    } else {
+      graph.SetNodePresent(u1, t);
+      graph.SetTimeVaryingValue(pubs.index, u1, t, "3");
+    }
+    const std::size_t rollups_before = cube.stats().rollups;
+    cube.Refresh();
+    // One new point × two memoized layers.
+    EXPECT_EQ(cube.stats().rollups, rollups_before + 2) << "round " << round;
+
+    AggregateCube fresh(&graph, base);
+    fresh.Materialize();
+    IntervalSet grown = IntervalSet::All(graph.num_times());
+    EXPECT_EQ(cube.Query(grown), fresh.Query(grown)) << "round " << round;
+    EXPECT_EQ(cube.Query(grown, keep_gender), fresh.Query(grown, keep_gender))
+        << "round " << round;
+    EXPECT_EQ(cube.Query(grown, keep_pubs), fresh.Query(grown, keep_pubs))
+        << "round " << round;
+    // And both agree with the direct computation.
+    GraphView view = UnionOp(graph, grown, grown);
+    EXPECT_EQ(cube.Query(grown),
+              Aggregate(graph, view, base, AggregationSemantics::kAll))
+        << "round " << round;
+  }
 }
 
 }  // namespace

@@ -201,6 +201,76 @@ TEST_F(CliTest, AggregateBadSemanticsFails) {
   EXPECT_NE(run.err.find("--semantics"), std::string::npos);
 }
 
+// --- Query-engine options (--grouping / --explain / --materialize) --------------------
+
+TEST_F(CliTest, AggregateGroupingForcedPathsAgree) {
+  // gender over [t0, t1] has tie-free weights (nodes m=2 f=5, edges
+  // (m,f)=4 (f,f)=3), so the weight-sorted output is order-deterministic and
+  // comparable across grouping paths.
+  std::vector<std::string> base = {"aggregate", path_, "--attrs", "gender",
+                                   "--op", "union", "--t1", "t0..t1", "--semantics", "all"};
+  CliRun auto_run = RunCliCapture(base);
+  std::vector<std::string> dense = base;
+  dense.insert(dense.end(), {"--grouping", "dense"});
+  std::vector<std::string> hash = base;
+  hash.insert(hash.end(), {"--grouping", "hash"});
+  CliRun dense_run = RunCliCapture(dense);
+  CliRun hash_run = RunCliCapture(hash);
+  EXPECT_EQ(auto_run.exit_code, 0) << auto_run.err;
+  EXPECT_EQ(dense_run.exit_code, 0) << dense_run.err;
+  EXPECT_EQ(hash_run.exit_code, 0) << hash_run.err;
+  // Same weights whichever grouping path Algorithm 2 takes.
+  EXPECT_EQ(auto_run.out, dense_run.out);
+  EXPECT_EQ(auto_run.out, hash_run.out);
+}
+
+TEST_F(CliTest, AggregateBadGroupingFails) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--t1", "t0",
+                    "--grouping", "sparse"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--grouping"), std::string::npos);
+}
+
+TEST_F(CliTest, AggregateExplainPrintsPlanWithoutExecuting) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op", "union",
+                    "--t1", "t0..t2", "--semantics", "all", "--explain", "yes"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("route=direct"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("operator/union"), std::string::npos) << run.out;
+  EXPECT_EQ(run.out.find("aggregate on"), std::string::npos);  // no result output
+}
+
+TEST_F(CliTest, AggregateExplainShowsMaterializedRoute) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op", "union",
+                    "--t1", "t0..t2", "--semantics", "all", "--materialize", "yes",
+                    "--explain", "yes"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("route=materialized"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("combine"), std::string::npos) << run.out;
+}
+
+TEST_F(CliTest, AggregateMaterializedMatchesDirect) {
+  // Same tie-free configuration as above so both routes' weight-sorted
+  // outputs are directly comparable.
+  std::vector<std::string> direct = {"aggregate", path_, "--attrs", "gender", "--op",
+                                     "union", "--t1", "t0..t1", "--semantics", "all"};
+  std::vector<std::string> derived = direct;
+  derived.insert(derived.end(), {"--materialize", "yes"});
+  CliRun direct_run = RunCliCapture(direct);
+  CliRun derived_run = RunCliCapture(derived);
+  EXPECT_EQ(direct_run.exit_code, 0) << direct_run.err;
+  EXPECT_EQ(derived_run.exit_code, 0) << derived_run.err;
+  EXPECT_EQ(direct_run.out, derived_run.out);
+}
+
+TEST_F(CliTest, HelpDocumentsQueryEngineFlags) {
+  CliRun run = RunCliCapture({"--help"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("--grouping"), std::string::npos);
+  EXPECT_NE(run.out.find("--explain"), std::string::npos);
+  EXPECT_NE(run.out.find("--materialize"), std::string::npos);
+}
+
 TEST_F(CliTest, EvolutionPrintsTransitions) {
   CliRun run = RunCliCapture({"evolution", path_, "--attrs", "gender,publications", "--old", "t0",
                     "--new", "t1"});

@@ -1,4 +1,4 @@
-#include "core/cube.h"
+#include "engine/cube.h"
 
 #include <gtest/gtest.h>
 

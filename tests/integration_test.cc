@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "core/coarsen.h"
-#include "core/cube.h"
+#include "engine/cube.h"
 #include "core/evolution.h"
 #include "core/exploration.h"
 #include "core/graph_io.h"

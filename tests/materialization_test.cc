@@ -97,6 +97,36 @@ TEST(RollUpDeath, PositionOutOfRangeAborts) {
   EXPECT_DEATH(RollUp(fine, bad), "out of tuple range");
 }
 
+TEST(RollUpDeath, DuplicatePositionAborts) {
+  // Regression: a duplicated keep position used to pass through silently and
+  // double-report one attribute instead of merging any groups.
+  AggregateGraph fine;
+  fine.AddNodeWeight(AttrTuple::Of({1, 10}), 2);
+  const std::size_t duplicate[] = {0, 0};
+  EXPECT_DEATH(RollUp(fine, duplicate), "duplicate roll-up position");
+  const std::size_t duplicate_apart[] = {1, 0, 1};
+  EXPECT_DEATH(RollUp(fine, duplicate_apart), "duplicate roll-up position");
+}
+
+TEST(RollUpDeath, OutOfRangeAbortsOnEdgeOnlyAggregates) {
+  // Regression: the arity check must also fire when the aggregate has edge
+  // tuples but no node tuples.
+  AggregateGraph fine;
+  fine.AddEdgeWeight(AttrTuple::Of({1, 10}), AttrTuple::Of({2, 10}), 3);
+  const std::size_t bad[] = {0, 2};
+  EXPECT_DEATH(RollUp(fine, bad), "out of tuple range");
+}
+
+TEST(RollUpTest, EmptyAggregateRollsUpToEmpty) {
+  // An empty aggregate has no tuple arity to validate against; any (non-empty,
+  // duplicate-free) keep list yields the empty aggregate rather than aborting.
+  AggregateGraph fine;
+  const std::size_t keep[] = {5};
+  AggregateGraph coarse = RollUp(fine, keep);
+  EXPECT_EQ(coarse.NodeCount(), 0u);
+  EXPECT_EQ(coarse.EdgeCount(), 0u);
+}
+
 // --- MaterializationStore (T-distributivity, Section 4.3) --------------------------
 
 TEST(MaterializationStoreTest, PerTimePointAggregatesMatchSnapshots) {

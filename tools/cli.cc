@@ -21,6 +21,7 @@
 #include "core/stats.h"
 #include "core/subgraph.h"
 #include "datagen/contact_gen.h"
+#include "engine/engine.h"
 #include "datagen/dblp_gen.h"
 #include "datagen/movielens_gen.h"
 #include "datagen/paper_example.h"
@@ -46,10 +47,12 @@ commands:
   operate <graph.tsv> --op <union|intersection|difference|project>
           --t1 a[..b] [--t2 c[..d]] [--out sub.tsv]
   aggregate <graph.tsv> --attrs a,b [--op ...] [--t1 ...] [--t2 ...]
-          [--semantics dist|all] [--symmetric yes] [--top N]
+          [--semantics dist|all] [--grouping auto|dense|hash] [--symmetric yes]
+          [--materialize [yes|no]] [--explain [yes|no]] [--top N]
   evolution <graph.tsv> --attrs a,b --old a..b --new c..d [--top N]
+          [--explain [yes|no]]
   measure <graph.tsv> --attrs a,b --measure <edge-attr> --fn <sum|min|max|avg|count>
-          [--op ...] [--t1 ...] [--t2 ...] [--top N]
+          [--op ...] [--t1 ...] [--t2 ...] [--top N] [--explain [yes|no]]
   coarsen <graph.tsv> <out.tsv> --width N [--policy last|first]
   explore <graph.tsv> --event <stability|growth|shrinkage>
           --semantics <union|intersection> [--reference old|new] --k N
@@ -71,12 +74,26 @@ global options (any command):
                   in chrome://tracing or https://ui.perfetto.dev
 
 time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
+
+query-engine options (aggregate / evolution / measure; docs/ENGINE.md):
+  --grouping <auto|dense|hash>  how Algorithm 2 groups tuples: auto picks the
+                  dense flat-array path when the attribute domains fit, dense
+                  forces it (aborts when the domain is too large), hash forces
+                  the hash-map reference path (aggregate only)
+  --explain [yes|no]  print the query plan — chosen route (direct kernels vs
+                  materialized derivation), grouping resolution and the step
+                  list — instead of executing; bare --explain means yes
+  --materialize [yes|no]  build per-time-point aggregates first so derivable
+                  queries take the materialized route (aggregate only);
+                  bare --materialize means yes
 )";
 
 /// Flags that may appear without a value; the default used when bare.
 constexpr std::pair<const char*, const char*> kValueOptionalFlags[] = {
     {"perf", "yes"},
     {"trace", "trace.json"},
+    {"explain", "yes"},
+    {"materialize", "yes"},
 };
 
 const char* BareFlagDefault(const std::string& name) {
@@ -342,11 +359,30 @@ int CmdImport(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-// --- operate / aggregate shared view construction ------------------------------
+// --- operate / aggregate / measure shared query-spec construction --------------
 
-std::optional<GraphView> BuildView(const TemporalGraph& graph, const Options& options,
-                                   std::ostream& err) {
-  std::string op = options.Get("op").value_or("union");
+/// Parses the operator half of a query — `--op`, `--t1`, `--t2` — into a
+/// `QuerySpec` (attributes/semantics/grouping left at defaults). Shared by
+/// every command that evaluates a temporal operator, so `operate`,
+/// `aggregate` and `measure` agree on defaults (union; `--t2` falling back to
+/// `--t1`, degenerating to "exists in T1").
+std::optional<engine::QuerySpec> BuildSpecBase(const TemporalGraph& graph,
+                                               const Options& options,
+                                               std::ostream& err) {
+  engine::QuerySpec spec;
+  const std::string op = options.Get("op").value_or("union");
+  if (op == "project") {
+    spec.op = engine::TemporalOperatorKind::kProject;
+  } else if (op == "union") {
+    spec.op = engine::TemporalOperatorKind::kUnion;
+  } else if (op == "intersection") {
+    spec.op = engine::TemporalOperatorKind::kIntersection;
+  } else if (op == "difference") {
+    spec.op = engine::TemporalOperatorKind::kDifference;
+  } else {
+    err << "error: unknown --op '" << op << "' (union|intersection|difference|project)\n";
+    return std::nullopt;
+  }
   std::optional<std::string> t1_raw = options.Get("t1");
   if (!t1_raw.has_value()) {
     err << "error: --t1 is required\n";
@@ -354,22 +390,37 @@ std::optional<GraphView> BuildView(const TemporalGraph& graph, const Options& op
   }
   std::optional<IntervalSet> t1 = ParseInterval(graph, *t1_raw, err);
   if (!t1.has_value()) return std::nullopt;
+  spec.t1 = *t1;
+  if (spec.op != engine::TemporalOperatorKind::kProject) {
+    if (std::optional<std::string> t2_raw = options.Get("t2")) {
+      std::optional<IntervalSet> t2 = ParseInterval(graph, *t2_raw, err);
+      if (!t2.has_value()) return std::nullopt;
+      spec.t2 = *t2;
+    } else {
+      spec.t2 = *t1;  // single-interval union/intersection degenerate to "exists in T1"
+    }
+  }
+  return spec;
+}
 
-  if (op == "project") {
-    return Project(graph, *t1);
+std::optional<GraphView> BuildView(const TemporalGraph& graph, const Options& options,
+                                   std::ostream& err) {
+  std::optional<engine::QuerySpec> spec = BuildSpecBase(graph, options, err);
+  if (!spec.has_value()) return std::nullopt;
+  return engine::BuildOperatorView(graph, *spec);
+}
+
+/// Shared `--explain [yes|no]` handling: returns false on a bad value,
+/// otherwise stores whether the command should print its plan and stop.
+bool ParseExplainFlag(const Options& options, bool* explain, std::ostream& err) {
+  const std::string raw = options.Get("explain").value_or("no");
+  if (raw != "yes" && raw != "no") {
+    err << "error: --explain must be yes or no (bare --explain means yes), got '" << raw
+        << "'\n";
+    return false;
   }
-  std::optional<IntervalSet> t2;
-  if (std::optional<std::string> t2_raw = options.Get("t2")) {
-    t2 = ParseInterval(graph, *t2_raw, err);
-    if (!t2.has_value()) return std::nullopt;
-  } else {
-    t2 = t1;  // single-interval union/intersection degenerate to "exists in T1"
-  }
-  if (op == "union") return UnionOp(graph, *t1, *t2);
-  if (op == "intersection") return IntersectionOp(graph, *t1, *t2);
-  if (op == "difference") return DifferenceOp(graph, *t1, *t2);
-  err << "error: unknown --op '" << op << "' (union|intersection|difference|project)\n";
-  return std::nullopt;
+  *explain = raw == "yes";
+  return true;
 }
 
 int CmdOperate(const Options& options, std::ostream& out, std::ostream& err) {
@@ -416,19 +467,33 @@ int CmdAggregate(const Options& options, std::ostream& out, std::ostream& err) {
   std::optional<std::vector<AttrRef>> attrs = ParseAttributes(*graph, *attr_names, err);
   if (!attrs.has_value()) return 1;
 
-  std::optional<GraphView> view = BuildView(*graph, options, err);
-  if (!view.has_value()) return 1;
+  std::optional<engine::QuerySpec> spec = BuildSpecBase(*graph, options, err);
+  if (!spec.has_value()) return 1;
+  spec->attrs = *attrs;
 
   std::string semantics_raw = options.Get("semantics").value_or("dist");
-  AggregationSemantics semantics;
   if (semantics_raw == "dist") {
-    semantics = AggregationSemantics::kDistinct;
+    spec->semantics = AggregationSemantics::kDistinct;
   } else if (semantics_raw == "all") {
-    semantics = AggregationSemantics::kAll;
+    spec->semantics = AggregationSemantics::kAll;
   } else {
     err << "error: --semantics must be dist or all\n";
     return 1;
   }
+
+  std::string grouping_raw = options.Get("grouping").value_or("auto");
+  if (grouping_raw == "auto") {
+    spec->grouping = GroupingStrategy::kAuto;
+  } else if (grouping_raw == "dense") {
+    spec->grouping = GroupingStrategy::kDense;
+  } else if (grouping_raw == "hash") {
+    spec->grouping = GroupingStrategy::kHash;
+  } else {
+    err << "error: --grouping must be auto, dense or hash\n";
+    return 1;
+  }
+
+  spec->symmetrize = options.Get("symmetric").value_or("no") == "yes";
 
   std::uint64_t top = 20;
   if (std::optional<std::string> top_raw = options.Get("top")) {
@@ -438,12 +503,26 @@ int CmdAggregate(const Options& options, std::ostream& out, std::ostream& err) {
     }
   }
 
-  AggregateGraph aggregate = Aggregate(*graph, *view, *attrs, semantics);
-  if (options.Get("symmetric").value_or("no") == "yes") {
-    aggregate = SymmetrizeAggregate(aggregate);
+  const std::string materialize_raw = options.Get("materialize").value_or("no");
+  if (materialize_raw != "yes" && materialize_raw != "no") {
+    err << "error: --materialize must be yes or no (bare --materialize means yes), got '"
+        << materialize_raw << "'\n";
+    return 1;
   }
-  out << "aggregate on " << IntervalLabel(*graph, view->times) << " ("
-      << (semantics == AggregationSemantics::kDistinct ? "DIST" : "ALL")
+  bool explain = false;
+  if (!ParseExplainFlag(options, &explain, err)) return 1;
+
+  engine::QueryEngine engine(&*graph);
+  if (materialize_raw == "yes") engine.EnableMaterialization(*attrs);
+
+  if (explain) {
+    out << engine.Plan(*spec).Explain();
+    return 0;
+  }
+
+  AggregateGraph aggregate = engine.Execute(*spec);
+  out << "aggregate on " << IntervalLabel(*graph, spec->EvaluationInterval()) << " ("
+      << (spec->semantics == AggregationSemantics::kDistinct ? "DIST" : "ALL")
       << "): " << aggregate.NodeCount() << " aggregate nodes, " << aggregate.EdgeCount()
       << " aggregate edges\n";
 
@@ -499,6 +578,31 @@ int CmdEvolution(const Options& options, std::ostream& out, std::ostream& err) {
       err << "error: --top must be a non-negative integer\n";
       return 1;
     }
+  }
+
+  bool explain = false;
+  if (!ParseExplainFlag(options, &explain, err)) return 1;
+  if (explain) {
+    // The evolution graph classifies per-entity transitions, but its three
+    // weight components are exactly the Section 3.1 operator queries below;
+    // explain the plan of each (docs/ENGINE.md).
+    engine::QueryEngine engine(&*graph);
+    auto component = [&](engine::TemporalOperatorKind op, const IntervalSet& t1,
+                         const IntervalSet& t2) {
+      engine::QuerySpec spec;
+      spec.op = op;
+      spec.t1 = t1;
+      spec.t2 = t2;
+      spec.attrs = *attrs;
+      return engine.Plan(spec).Explain();
+    };
+    out << "stability (intersection old, new):\n"
+        << component(engine::TemporalOperatorKind::kIntersection, *old_side, *new_side);
+    out << "growth (difference new - old):\n"
+        << component(engine::TemporalOperatorKind::kDifference, *new_side, *old_side);
+    out << "shrinkage (difference old - new):\n"
+        << component(engine::TemporalOperatorKind::kDifference, *old_side, *new_side);
+    return 0;
   }
 
   EvolutionAggregate evolution =
@@ -633,8 +737,21 @@ int CmdMeasure(const Options& options, std::ostream& out, std::ostream& err) {
     return 1;
   }
 
-  std::optional<GraphView> view = BuildView(*graph, options, err);
-  if (!view.has_value()) return 1;
+  std::optional<engine::QuerySpec> spec = BuildSpecBase(*graph, options, err);
+  if (!spec.has_value()) return 1;
+  spec->attrs = *attrs;
+
+  bool explain = false;
+  if (!ParseExplainFlag(options, &explain, err)) return 1;
+  if (explain) {
+    // Measures aggregate something other than COUNT over the same operator
+    // view; the plan shown is the view/grouping half the engine would run.
+    engine::QueryEngine engine(&*graph);
+    out << engine.Plan(*spec).Explain();
+    return 0;
+  }
+
+  GraphView view = engine::BuildOperatorView(*graph, *spec);
 
   std::uint64_t top = 20;
   if (std::optional<std::string> top_raw = options.Get("top")) {
@@ -645,9 +762,9 @@ int CmdMeasure(const Options& options, std::ostream& out, std::ostream& err) {
   }
 
   EdgeMeasureMap measures =
-      AggregateEdgeMeasure(*graph, *view, *attrs, *measure_attr, function);
+      AggregateEdgeMeasure(*graph, view, *attrs, *measure_attr, function);
   out << fn_name << "(" << *measure_name << ") on "
-      << IntervalLabel(*graph, view->times) << ", " << measures.size()
+      << IntervalLabel(*graph, view.times) << ", " << measures.size()
       << " aggregate edge group(s):\n";
   std::vector<std::pair<AttrTuplePair, MeasureValue>> rows(measures.begin(),
                                                            measures.end());
