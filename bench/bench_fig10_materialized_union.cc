@@ -13,6 +13,7 @@
 #include "core/materialization.h"
 #include "core/operators.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 
 namespace gt = graphtempo;
 using gt::bench::DoNotOptimize;
@@ -76,8 +77,13 @@ void RunAttribute(const gt::TemporalGraph& graph, const std::string& dataset,
   json.Add("route", std::string(gt::engine::PlanRouteName(plan.route)));
   json.Add("engine_cold_ms", cold_ms);
   json.Add("engine_warm_ms", warm_ms);
-  json.Add("cache_hits", static_cast<std::size_t>(engine.cache_stats().hits));
-  json.Add("cache_misses", static_cast<std::size_t>(engine.cache_stats().misses));
+  const gt::engine::QueryEngine::CacheStats cache = engine.cache_stats();
+  json.Add("cache_hits", static_cast<std::size_t>(cache.hits));
+  json.Add("cache_misses", static_cast<std::size_t>(cache.misses));
+  json.Add("cache_invalidations", static_cast<std::size_t>(cache.invalidations));
+  json.Add("stale_fallbacks",
+           static_cast<std::size_t>(gt::obs::Registry::Instance().Snapshot().CounterValue(
+               "engine/stale_fallback")));
   json.Print();
   std::printf("\n");
 }

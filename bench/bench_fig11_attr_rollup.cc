@@ -17,6 +17,7 @@
 #include "core/materialization.h"
 #include "core/operators.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 
 namespace gt = graphtempo;
 using gt::bench::DoNotOptimize;
@@ -124,15 +125,20 @@ void RunEngineDerivation(const gt::TemporalGraph& graph) {
     DoNotOptimize(engine.Execute(spec).NodeCount());  // re-derives from the layer
     DoNotOptimize(engine.Execute(spec).NodeCount());  // pure result-cache hit
   }
-  const gt::engine::QueryEngine::DerivationStats& derivation = engine.derivation_stats();
+  const gt::engine::QueryEngine::DerivationStats derivation = engine.derivation_stats();
+  const gt::engine::QueryEngine::CacheStats cache = engine.cache_stats();
   gt::bench::JsonLine json("fig11_engine");
   json.Add("dataset", std::string("DBLP"));
   json.Add("route", route);
   json.Add("rollups", derivation.rollups);
   json.Add("rollup_hits", derivation.rollup_hits);
   json.Add("combines", derivation.combines);
-  json.Add("cache_hits", static_cast<std::size_t>(engine.cache_stats().hits));
-  json.Add("cache_misses", static_cast<std::size_t>(engine.cache_stats().misses));
+  json.Add("cache_hits", static_cast<std::size_t>(cache.hits));
+  json.Add("cache_misses", static_cast<std::size_t>(cache.misses));
+  json.Add("cache_invalidations", static_cast<std::size_t>(cache.invalidations));
+  json.Add("stale_fallbacks",
+           static_cast<std::size_t>(gt::obs::Registry::Instance().Snapshot().CounterValue(
+               "engine/stale_fallback")));
   json.Print();
 }
 

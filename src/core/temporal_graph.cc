@@ -11,6 +11,7 @@ TemporalGraph::TemporalGraph(std::vector<std::string> time_labels)
       edge_presence_(time_labels_.size()),
       edge_index_cols_(time_labels_.size()) {
   GT_CHECK(!time_labels_.empty()) << "time domain must be non-empty";
+  time_mutation_generations_.assign(time_labels_.size(), 0);
   for (std::size_t t = 0; t < time_labels_.size(); ++t) {
     bool inserted =
         time_index_.emplace(time_labels_[t], static_cast<TimeId>(t)).second;
@@ -33,6 +34,9 @@ TimeId TemporalGraph::AppendTimePoint(std::string_view label) {
   ++mutation_generation_;
   TimeId id = static_cast<TimeId>(time_labels_.size());
   time_labels_.emplace_back(label);
+  // Only the new point is stamped: append-only growth leaves every existing
+  // time point's data — and therefore every answer over it — untouched.
+  time_mutation_generations_.push_back(mutation_generation_);
   bool inserted = time_index_.emplace(time_labels_.back(), id).second;
   GT_CHECK(inserted) << "duplicate time label: " << label;
   node_presence_.AddColumns(1);
@@ -42,6 +46,33 @@ TimeId TemporalGraph::AppendTimePoint(std::string_view label) {
   for (auto& column : varying_attrs_) column.AppendTimes(1);
   for (auto& column : varying_edge_attrs_) column.AppendTimes(1);
   return id;
+}
+
+void TemporalGraph::MarkTimeMutated(TimeId t) {
+  GT_CHECK_LT(t, time_mutation_generations_.size()) << "time out of range";
+  time_mutation_generations_[t] = mutation_generation_;
+}
+
+void TemporalGraph::MarkAllTimesMutated() {
+  for (std::uint64_t& generation : time_mutation_generations_) {
+    generation = mutation_generation_;
+  }
+}
+
+std::uint64_t TemporalGraph::time_mutation_generation(TimeId t) const {
+  GT_CHECK_LT(t, time_mutation_generations_.size()) << "time out of range";
+  return time_mutation_generations_[t];
+}
+
+bool TemporalGraph::IntervalUnchangedSince(const IntervalSet& interval,
+                                           std::uint64_t generation) const {
+  GT_CHECK_LE(interval.domain_size(), num_times())
+      << "interval domain exceeds the graph's time domain";
+  bool unchanged = true;
+  interval.ForEach([&](TimeId t) {
+    if (time_mutation_generations_[t] > generation) unchanged = false;
+  });
+  return unchanged;
 }
 
 NodeId TemporalGraph::AddNode(std::string_view label) {
@@ -83,12 +114,14 @@ EdgeId TemporalGraph::GetOrAddEdge(NodeId src, NodeId dst) {
 
 void TemporalGraph::SetNodePresent(NodeId n, TimeId t) {
   ++mutation_generation_;
+  MarkTimeMutated(t);
   node_presence_.Set(n, t);
   node_index_cols_.Set(n, t);
 }
 
 void TemporalGraph::SetEdgePresent(EdgeId e, TimeId t) {
   ++mutation_generation_;
+  MarkTimeMutated(t);
   edge_presence_.Set(e, t);
   edge_index_cols_.Set(e, t);
   auto [src, dst] = edge(e);
@@ -116,6 +149,7 @@ std::uint32_t TemporalGraph::AddTimeVaryingAttribute(std::string name) {
 
 void TemporalGraph::SetStaticValue(std::uint32_t attr, NodeId n, std::string_view value) {
   ++mutation_generation_;
+  MarkAllTimesMutated();  // the value is visible at every time the node exists
   GT_CHECK_LT(attr, static_attrs_.size()) << "static attribute index out of range";
   static_attrs_[attr].Set(n, value);
 }
@@ -123,6 +157,7 @@ void TemporalGraph::SetStaticValue(std::uint32_t attr, NodeId n, std::string_vie
 void TemporalGraph::SetTimeVaryingValue(std::uint32_t attr, NodeId n, TimeId t,
                                         std::string_view value) {
   ++mutation_generation_;
+  MarkTimeMutated(t);
   GT_CHECK_LT(attr, varying_attrs_.size()) << "time-varying attribute index out of range";
   varying_attrs_[attr].Set(n, t, value);
 }
@@ -146,6 +181,7 @@ std::uint32_t TemporalGraph::AddTimeVaryingEdgeAttribute(std::string name) {
 void TemporalGraph::SetStaticEdgeValue(std::uint32_t attr, EdgeId e,
                                        std::string_view value) {
   ++mutation_generation_;
+  MarkAllTimesMutated();  // the value is visible at every time the edge exists
   GT_CHECK_LT(attr, static_edge_attrs_.size())
       << "static edge attribute index out of range";
   static_edge_attrs_[attr].Set(e, value);
@@ -154,6 +190,7 @@ void TemporalGraph::SetStaticEdgeValue(std::uint32_t attr, EdgeId e,
 void TemporalGraph::SetTimeVaryingEdgeValue(std::uint32_t attr, EdgeId e, TimeId t,
                                             std::string_view value) {
   ++mutation_generation_;
+  MarkTimeMutated(t);
   GT_CHECK_LT(attr, varying_edge_attrs_.size())
       << "time-varying edge attribute index out of range";
   varying_edge_attrs_[attr].Set(e, t, value);

@@ -217,8 +217,33 @@ class TemporalGraph {
   /// the generation they were built at against the current one to decide
   /// whether their entries are still valid. Mutations follow the same
   /// single-writer contract as the rest of the class: no concurrent readers
-  /// while mutating, so a plain counter suffices.
+  /// while mutating (the query engine brokers this with a readers/writer
+  /// lock), so a plain counter suffices.
   std::uint64_t mutation_generation() const { return mutation_generation_; }
+
+  /// Generation at which the *data of time point `t`* last changed. Only
+  /// mutations that can alter an existing query answer mark a time point:
+  ///
+  ///   * `SetNodePresent` / `SetEdgePresent` and time-varying attribute
+  ///     writes mark exactly the written time point;
+  ///   * static attribute writes mark every time point (the value is visible
+  ///     wherever the entity exists);
+  ///   * `AppendTimePoint` stamps only the *new* point — existing points are
+  ///     untouched, which is what makes append-only ingestion cheap for
+  ///     per-entry cache validity (docs/ENGINE.md §3);
+  ///   * structural additions (AddNode, GetOrAddEdge, attribute
+  ///     declarations) are **time-neutral**: they bump
+  ///     `mutation_generation()` but mark nothing, because a new entity is
+  ///     absent from every time point and a new attribute is referenced by
+  ///     no existing query.
+  std::uint64_t time_mutation_generation(TimeId t) const;
+
+  /// True iff no time point of `interval` was data-mutated after
+  /// `generation` — i.e. a result computed at `generation` that depends only
+  /// on the data of those time points is still valid. `interval` may come
+  /// from a smaller (pre-append) domain; appended points never affect it.
+  bool IntervalUnchangedSince(const IntervalSet& interval,
+                              std::uint64_t generation) const;
 
  private:
   // Key for the (src, dst) → EdgeId map.
@@ -226,8 +251,19 @@ class TemporalGraph {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  /// Records that the data of time point `t` changed in the current
+  /// (already bumped) mutation generation.
+  void MarkTimeMutated(TimeId t);
+
+  /// Records a mutation whose effect is not confined to one time point
+  /// (static attribute writes).
+  void MarkAllTimesMutated();
+
   std::vector<std::string> time_labels_;
   std::unordered_map<std::string, TimeId> time_index_;
+  /// Per-time-point last-data-mutation generations (see
+  /// `time_mutation_generation`); always sized `num_times()`.
+  std::vector<std::uint64_t> time_mutation_generations_;
 
   std::vector<std::string> node_labels_;
   std::unordered_map<std::string, NodeId> node_index_;

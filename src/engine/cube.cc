@@ -53,7 +53,7 @@ AggregateGraph AggregateCube::Query(const IntervalSet& interval) {
 }
 
 AggregateCube::Stats AggregateCube::stats() const {
-  const engine::QueryEngine::DerivationStats& derivation = engine_.derivation_stats();
+  const engine::QueryEngine::DerivationStats derivation = engine_.derivation_stats();
   Stats stats;
   stats.queries = queries_;
   stats.rollups = derivation.rollups;

@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -45,6 +47,10 @@ obs::Counter& CacheInvalidateCounter() {
   static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cache_invalidate");
   return c;
 }
+obs::Counter& StaleFallbackCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/stale_fallback");
+  return c;
+}
 
 bool UsesT2(TemporalOperatorKind op) { return op != TemporalOperatorKind::kProject; }
 
@@ -85,10 +91,14 @@ const char* OperatorSpanName(TemporalOperatorKind op) {
 QueryEngine::QueryEngine(const TemporalGraph* graph, Config config)
     : graph_(graph), config_(config) {
   GT_CHECK(graph_ != nullptr);
-  cache_generation_ = graph_->mutation_generation();
+}
+
+std::unique_lock<std::shared_mutex> QueryEngine::AcquireWriterLock() const {
+  return std::unique_lock<std::shared_mutex>(state_mutex_);
 }
 
 void QueryEngine::EnableMaterialization(std::vector<AttrRef> attrs) {
+  std::unique_lock<std::shared_mutex> writer(state_mutex_);
   if (store_.has_value()) {
     GT_CHECK(store_->attrs() == attrs)
         << "materialization already enabled over a different attribute list";
@@ -101,12 +111,19 @@ void QueryEngine::EnableMaterialization(std::vector<AttrRef> attrs) {
   store_->MaterializeAllTimePoints();
 }
 
+bool QueryEngine::materialization_enabled() const {
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  return store_.has_value();
+}
+
 const std::vector<AttrRef>& QueryEngine::materialized_attrs() const {
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
   GT_CHECK(store_.has_value()) << "materialization is not enabled";
   return store_->attrs();
 }
 
 void QueryEngine::Refresh() {
+  std::unique_lock<std::shared_mutex> writer(state_mutex_);
   if (!store_.has_value()) return;
   store_->Refresh();
   const std::size_t num_times = graph_->num_times();
@@ -116,9 +133,22 @@ void QueryEngine::Refresh() {
     for (std::size_t position = 0; position < store_->attrs().size(); ++position) {
       if ((mask >> position) & 1u) keep.push_back(position);
     }
-    for (TimeId t = static_cast<TimeId>(layer.size()); t < num_times; ++t) {
-      layer.push_back(RollUp(store_->AtTimePoint(t), keep));
-      ++derivation_stats_.rollups;
+    for (TimeId t = static_cast<TimeId>(layer->size()); t < num_times; ++t) {
+      layer->push_back(RollUp(store_->AtTimePoint(t), keep));
+      derivation_stats_.rollups.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Per-entry sweep: only results whose dependency time points were actually
+  // touched are stale; append-only growth leaves old intervals' answers
+  // valid, so they stay resident and keep hitting.
+  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!EntryValid(*it->second)) {
+      it = cache_.erase(it);
+      cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      CacheInvalidateCounter().Increment();
+    } else {
+      ++it;
     }
   }
 }
@@ -142,7 +172,7 @@ bool QueryEngine::MapToBasePositions(const QuerySpec& spec,
   return true;
 }
 
-bool QueryEngine::Derivable(const QuerySpec& spec) const {
+bool QueryEngine::DerivableLocked(const QuerySpec& spec) const {
   // An opaque filter makes the answer depend on data outside the store.
   if (spec.filter != nullptr || !store_.has_value()) return false;
   // T-distributivity covers union under ALL on any interval (Section 4.3);
@@ -159,7 +189,22 @@ bool QueryEngine::Derivable(const QuerySpec& spec) const {
   return MapToBasePositions(spec, &keep);
 }
 
+bool QueryEngine::Derivable(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  return DerivableLocked(spec);
+}
+
+bool QueryEngine::StoreStale() const {
+  return store_.has_value() && store_->num_cached_points() != graph_->num_times();
+}
+
 QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) const {
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  return PlanLocked(spec, options);
+}
+
+QueryPlan QueryEngine::PlanLocked(const QuerySpec& spec,
+                                  const PlanOptions& options) const {
   GT_SPAN("engine/plan");
   GT_CHECK(!spec.attrs.empty()) << "spec needs at least one aggregation attribute";
   GT_CHECK_LE(spec.attrs.size(), AttrTuple::kMaxAttrs) << "too many aggregation attributes";
@@ -168,13 +213,22 @@ QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) c
   plan.fingerprint = spec.Fingerprint();
   plan.cacheable = spec.Cacheable();
 
-  const bool derivable = Derivable(spec);
+  const bool derivable = DerivableLocked(spec);
   if (options.force_route.has_value()) {
     GT_CHECK(*options.force_route != PlanRoute::kMaterializedDerivation || derivable)
         << "cannot force the materialized route: spec is not derivable";
     plan.route = *options.force_route;
   } else {
     plan.route = derivable ? PlanRoute::kMaterializedDerivation : PlanRoute::kDirectKernel;
+  }
+
+  // Graceful degradation: a derivable spec cannot be served from a store that
+  // AppendTimePoint outran — answer through the kernels instead of crashing
+  // (or worse, summing aggregates that miss the new points).
+  if (plan.route == PlanRoute::kMaterializedDerivation && StoreStale()) {
+    plan.route = PlanRoute::kDirectKernel;
+    plan.stale_fallback = true;
+    StaleFallbackCounter().Increment();
   }
 
   if (plan.route == PlanRoute::kMaterializedDerivation) {
@@ -213,64 +267,129 @@ QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) c
   return plan;
 }
 
-void QueryEngine::InvalidateIfStale() {
-  const std::uint64_t generation = graph_->mutation_generation();
-  if (generation == cache_generation_) return;
-  if (!cache_.empty()) {
-    ++cache_stats_.invalidations;
-    CacheInvalidateCounter().Increment();
-    cache_.clear();
-    lru_.clear();
-  }
-  cache_generation_ = generation;
+bool QueryEngine::EntryValid(const CachedResult& entry) const {
+  return graph_->IntervalUnchangedSince(entry.dependencies, entry.generation);
 }
 
 void QueryEngine::ClearCache() {
+  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
   cache_.clear();
-  lru_.clear();
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  CacheStats stats;
+  stats.hits = cache_stats_.hits.load(std::memory_order_relaxed);
+  stats.misses = cache_stats_.misses.load(std::memory_order_relaxed);
+  stats.bypasses = cache_stats_.bypasses.load(std::memory_order_relaxed);
+  stats.evictions = cache_stats_.evictions.load(std::memory_order_relaxed);
+  stats.invalidations = cache_stats_.invalidations.load(std::memory_order_relaxed);
+  return stats;
+}
+
+QueryEngine::DerivationStats QueryEngine::derivation_stats() const {
+  DerivationStats stats;
+  stats.rollups = static_cast<std::size_t>(
+      derivation_stats_.rollups.load(std::memory_order_relaxed));
+  stats.rollup_hits = static_cast<std::size_t>(
+      derivation_stats_.rollup_hits.load(std::memory_order_relaxed));
+  stats.combines = static_cast<std::size_t>(
+      derivation_stats_.combines.load(std::memory_order_relaxed));
+  return stats;
 }
 
 AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& options) {
-  const QueryPlan plan = Plan(spec, options);
+  // Shared (reader) lock for the whole query: plan, lookup, run. Writers —
+  // Refresh, EnableMaterialization, graph mutations under AcquireWriterLock —
+  // are excluded until we return, so the graph and store are frozen from this
+  // thread's point of view.
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  const QueryPlan plan = PlanLocked(spec, options);
   GT_SPAN("engine/execute", {{"route", static_cast<std::uint64_t>(plan.route)},
                              {"steps", plan.steps.size()}});
   QueriesCounter().Increment();
 
   if (!plan.cacheable || config_.cache_capacity == 0) {
-    ++cache_stats_.bypasses;
+    cache_stats_.bypasses.fetch_add(1, std::memory_order_relaxed);
     CacheBypassCounter().Increment();
     return Run(spec, plan);
   }
 
-  InvalidateIfStale();
-  auto it = cache_.find(plan.fingerprint);
-  if (it != cache_.end() && it->second.spec.EquivalentTo(spec)) {
-    ++cache_stats_.hits;
-    CacheHitCounter().Increment();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.result;
+  const std::uint64_t generation = graph_->mutation_generation();
+  {
+    // Hit path: shared cache lock only, plus a relaxed sloppy-LRU touch.
+    std::shared_lock<std::shared_mutex> cache_reader(cache_mutex_);
+    auto it = cache_.find(plan.fingerprint);
+    if (it != cache_.end()) {
+      CachedResult& entry = *it->second;
+      if (EntryValid(entry) && entry.spec.EquivalentTo(spec)) {
+        cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        CacheHitCounter().Increment();
+        entry.last_used.store(
+            lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        return entry.result;  // copy while the shared lock pins the entry
+      }
+    }
   }
-  ++cache_stats_.misses;
+  cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
   CacheMissCounter().Increment();
 
   AggregateGraph result = Run(spec, plan);
-  if (it != cache_.end()) {
-    // Fingerprint collision with a non-equivalent spec: the newer query wins
-    // the slot (EquivalentTo above guarantees we never *served* the impostor).
-    it->second.spec = spec;
-    it->second.result = result;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return result;
+  InsertResult(spec, plan, result, generation);
+  return result;
+}
+
+void QueryEngine::InsertResult(const QuerySpec& spec, const QueryPlan& plan,
+                               const AggregateGraph& result, std::uint64_t generation) {
+  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
+  // Per-entry invalidation sweep: evict exactly the entries whose dependency
+  // time points mutated past their stamp. Append-only growth touches only
+  // appended points, so disjoint old-interval entries survive here.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!EntryValid(*it->second)) {
+      it = cache_.erase(it);
+      cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      CacheInvalidateCounter().Increment();
+    } else {
+      ++it;
+    }
   }
-  lru_.push_front(plan.fingerprint);
-  cache_.emplace(plan.fingerprint, CachedResult{spec, result, lru_.begin()});
+
+  const std::uint64_t stamp = lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto it = cache_.find(plan.fingerprint);
+  if (it != cache_.end()) {
+    // Either a concurrent reader filled the slot while we computed, or a
+    // fingerprint collision with a non-equivalent spec: the newer query wins
+    // (EquivalentTo on the hit path guarantees an impostor is never served).
+    CachedResult& entry = *it->second;
+    entry.spec = spec;
+    entry.result = result;
+    entry.dependencies = spec.DependencyInterval();
+    entry.generation = generation;
+    entry.last_used.store(stamp, std::memory_order_relaxed);
+    return;
+  }
+  cache_.emplace(plan.fingerprint,
+                 std::make_unique<CachedResult>(spec, result, spec.DependencyInterval(),
+                                                generation, stamp));
   if (cache_.size() > config_.cache_capacity) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
-    ++cache_stats_.evictions;
+    // Sloppy LRU: evict the smallest last-used stamp. O(capacity) scan, but
+    // only on an insert that overflows — the hit path never pays it.
+    auto victim = cache_.begin();
+    std::uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto candidate = std::next(cache_.begin()); candidate != cache_.end();
+         ++candidate) {
+      const std::uint64_t used =
+          candidate->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = candidate;
+      }
+    }
+    cache_.erase(victim);
+    cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     CacheEvictCounter().Increment();
   }
-  return result;
 }
 
 AggregateGraph QueryEngine::Run(const QuerySpec& spec, const QueryPlan& plan) {
@@ -309,31 +428,44 @@ AggregateGraph QueryEngine::RunDirect(const QuerySpec& spec, const QueryPlan& /*
 }
 
 const std::vector<AggregateGraph>& QueryEngine::SubsetLayer(
-    std::span<const std::size_t> canonical) {
+    std::span<const std::size_t> canonical, bool* served_from_memo) {
   SubsetMask mask = 0;
   for (std::size_t position : canonical) {
     GT_CHECK_LT(position, store_->attrs().size()) << "subset position out of range";
     mask |= SubsetMask{1} << position;
   }
-  auto it = subset_layers_.find(mask);
-  if (it != subset_layers_.end()) {
-    derivation_stats_.rollup_hits += graph_->num_times();
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(subset_mutex_);
+    auto it = subset_layers_.find(mask);
+    if (it != subset_layers_.end()) {
+      *served_from_memo = true;
+      return *it->second;  // stable storage: the vector lives behind the ptr
+    }
   }
-  std::vector<AggregateGraph> layer;
-  layer.reserve(graph_->num_times());
+  // Build outside the lock so first queries for *different* subsets roll up
+  // in parallel; a lost race for the same subset discards the duplicate.
+  auto layer = std::make_unique<std::vector<AggregateGraph>>();
+  layer->reserve(graph_->num_times());
   for (TimeId t = 0; t < graph_->num_times(); ++t) {
-    layer.push_back(RollUp(store_->AtTimePoint(t), canonical));
-    ++derivation_stats_.rollups;
+    layer->push_back(RollUp(store_->AtTimePoint(t), canonical));
+    derivation_stats_.rollups.fetch_add(1, std::memory_order_relaxed);
   }
-  return subset_layers_.emplace(mask, std::move(layer)).first->second;
+  std::lock_guard<std::mutex> lock(subset_mutex_);
+  auto [it, inserted] = subset_layers_.emplace(mask, std::move(layer));
+  // Insert-once: if another reader won the race, serve its layer (identical
+  // contents — the store is frozen under the shared state lock).
+  *served_from_memo = !inserted;
+  return *it->second;
 }
 
 AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPlan& plan) {
   GT_CHECK(store_.has_value() && store_->materialized())
       << "materialized route without a materialized store";
+  // The planner degrades stale stores to the direct route, and the shared
+  // state lock keeps the store current between planning and here — this is
+  // an internal invariant, not a user-reachable crash.
   GT_CHECK_EQ(store_->num_cached_points(), graph_->num_times())
-      << "materialization is stale — call Refresh() after AppendTimePoint()";
+      << "materialized route reached a stale store";
   const IntervalSet interval = spec.EvaluationInterval();
   GT_CHECK(!interval.Empty()) << "evaluation interval must be non-empty";
 
@@ -343,7 +475,15 @@ AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPl
   std::vector<std::size_t> canonical(plan.keep_positions);
   std::sort(canonical.begin(), canonical.end());
   const bool full_set = canonical.size() == store_->attrs().size();
-  const std::vector<AggregateGraph>* layer = full_set ? nullptr : &SubsetLayer(canonical);
+  bool layer_memoized = false;
+  const std::vector<AggregateGraph>* layer =
+      full_set ? nullptr : &SubsetLayer(canonical, &layer_memoized);
+  if (layer_memoized) {
+    // Count only the evaluation points this query actually consumes from the
+    // layer — fig11's derivation savings stay exact for partial intervals.
+    derivation_stats_.rollup_hits.fetch_add(interval.Count(),
+                                            std::memory_order_relaxed);
+  }
 
   AggregateGraph combined;
   {
@@ -356,7 +496,7 @@ AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPl
       for (const auto& [pair, weight] : point.edges()) {
         combined.AddEdgeWeight(pair.src, pair.dst, weight);
       }
-      ++derivation_stats_.combines;
+      derivation_stats_.combines.fetch_add(1, std::memory_order_relaxed);
     });
   }
 

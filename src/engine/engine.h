@@ -1,9 +1,12 @@
 #ifndef GRAPHTEMPO_ENGINE_ENGINE_H_
 #define GRAPHTEMPO_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -27,29 +30,59 @@
 ///     union under ALL, or a single-point project/union where DIST ≡ ALL, on
 ///     an attribute subset of the base list), answer by weight summation over
 ///     the store plus a D-distributive `RollUp` — never touching the graph.
+///     A store left stale by `AppendTimePoint` without `Refresh()` degrades
+///     gracefully: the planner falls back to the direct route and bumps
+///     `engine/stale_fallback`.
 ///
 /// The *executor* runs the plan under GT_SPAN instrumentation (one span per
 /// plan step, mirroring `QueryPlan::Explain`) and memoizes:
 ///
 ///   * per-(attribute-subset, time-point) roll-up layers, exactly the
 ///     Section 4.3 cube lattice (`DerivationStats` counts the savings);
-///   * whole results in a bounded LRU cache keyed by `QuerySpec::Fingerprint`
-///     with a full `EquivalentTo` collision guard. The cache is invalidated
-///     wholesale whenever the graph's `mutation_generation()` moves, so
-///     `AppendTimePoint` + `Refresh` can never serve a stale answer. Specs
-///     carrying an opaque filter bypass the cache entirely.
+///   * whole results in a bounded sloppy-LRU cache keyed by
+///     `QuerySpec::Fingerprint` with a full `EquivalentTo` collision guard.
+///     Each entry is stamped with the graph's `mutation_generation()` and the
+///     spec's `DependencyInterval()`; an entry is served only while none of
+///     its dependency time points mutated after the stamp
+///     (`TemporalGraph::IntervalUnchangedSince`). Because `AppendTimePoint`
+///     stamps only the *new* point, append-only ingestion leaves every
+///     old-interval answer valid — entries are evicted per-entry, never
+///     wholesale. Specs carrying an opaque filter bypass the cache entirely.
 ///
-/// Thread-safety: an engine is a single-writer object like the graph it
-/// wraps. The *internals* of one query fan out on the shared pool; concurrent
-/// `Execute` calls from different threads are not supported.
+/// ## Thread safety: any number of readers, one writer
+///
+/// `Execute`, `Plan` and `Derivable` are safe to call concurrently from any
+/// number of threads. Readers hold a shared (reader) lock for the duration of
+/// a query; a cache hit takes only that shared lock plus a relaxed-atomic
+/// "sloppy LRU" touch — no exclusive lock ever sits on the hit path. Stats
+/// are atomics; subset-layer memoization is insert-once under its own mutex
+/// and hands out stable storage.
+///
+/// Writers — `EnableMaterialization`, `Refresh`, `ClearCache` — take the
+/// exclusive side of the same lock and therefore drain in-flight readers
+/// first. Mutating the *wrapped graph* while readers may be executing must
+/// happen under `AcquireWriterLock()`:
+///
+/// ```cpp
+/// {
+///   auto writer = engine.AcquireWriterLock();
+///   graph.AppendTimePoint("2021");
+///   graph.SetEdgePresent(e, t);
+/// }                  // readers resume; a stale store falls back gracefully
+/// engine.Refresh();  // takes the writer lock itself — do not hold it here
+/// ```
+///
+/// Engine methods must not be called while holding the writer lock (the lock
+/// is not reentrant). Single-threaded callers may keep mutating the graph
+/// directly, as every test and CLI invocation does.
 
 namespace graphtempo::engine {
 
 class QueryEngine {
  public:
   struct Config {
-    /// Result-cache entries kept (LRU). 0 disables result caching — the
-    /// derivation layers still memoize.
+    /// Result-cache entries kept (sloppy LRU). 0 disables result caching —
+    /// the derivation layers still memoize.
     std::size_t cache_capacity = 64;
   };
 
@@ -64,27 +97,38 @@ class QueryEngine {
   /// Builds the per-time-point ALL-aggregate store over `attrs` (at most
   /// AttrTuple::kMaxAttrs), unlocking the materialized route for derivable
   /// specs. Idempotent for the same attribute list; GT_CHECKs against
-  /// re-enabling with a different one.
+  /// re-enabling with a different one. Exclusive writer: drains readers.
   void EnableMaterialization(std::vector<AttrRef> attrs);
 
-  bool materialization_enabled() const { return store_.has_value(); }
+  bool materialization_enabled() const;
 
   /// Base attribute list of the store; GT_CHECKs materialization_enabled().
   const std::vector<AttrRef>& materialized_attrs() const;
 
   /// Incremental maintenance after `TemporalGraph::AppendTimePoint`: extends
-  /// the base store and every memoized subset layer to the new time points.
-  /// No-op when up to date or when materialization is disabled. (The result
-  /// cache needs no call here — it invalidates itself on the next Execute via
-  /// the graph's mutation generation.)
+  /// the base store and every memoized subset layer to the new time points,
+  /// and sweeps result-cache entries whose dependency intervals were touched
+  /// (untouched entries survive — append-only means old snapshots are
+  /// immutable). No-op when up to date or when materialization is disabled.
+  /// Exclusive writer: drains readers.
   void Refresh();
+
+  /// Exclusive access for mutating the wrapped graph while concurrent
+  /// readers may be executing: blocks until in-flight `Execute`/`Plan` calls
+  /// drain and holds off new ones until released. Do not call engine methods
+  /// while holding it (the lock is not reentrant) — in particular, release
+  /// it *before* `Refresh()`; the planner's stale-store fallback keeps the
+  /// window between the two safe.
+  [[nodiscard]] std::unique_lock<std::shared_mutex> AcquireWriterLock() const;
 
   // --- Planning ---
 
   struct PlanOptions {
     /// Force the route instead of letting the planner choose — the
     /// differential suite uses this to pin route equivalence. Forcing
-    /// kMaterializedDerivation GT_CHECKs that the spec is derivable.
+    /// kMaterializedDerivation GT_CHECKs that the spec is derivable (a
+    /// *stale* store still degrades to the direct route, see
+    /// QueryPlan::stale_fallback).
     std::optional<PlanRoute> force_route;
   };
 
@@ -102,23 +146,26 @@ class QueryEngine {
 
   /// Drops every cached result (stats keep counting). Forced-route
   /// experiments call this between runs so each route really executes.
+  /// Exclusive writer: drains readers.
   void ClearCache();
 
   // --- Observability ---
 
-  /// Result-cache behaviour. Mirrored into the obs registry as
-  /// `engine/cache_hit` etc. so `--perf` and the benches see them.
+  /// Result-cache behaviour, read as one relaxed snapshot of the atomic
+  /// counters. Mirrored into the obs registry as `engine/cache_hit` etc. so
+  /// `--perf` and the benches see them.
   struct CacheStats {
     std::uint64_t hits = 0;           ///< served from cache
     std::uint64_t misses = 0;         ///< computed (cacheable specs only)
     std::uint64_t bypasses = 0;       ///< uncacheable (filtered) executions
-    std::uint64_t evictions = 0;      ///< LRU evictions
-    std::uint64_t invalidations = 0;  ///< whole-cache drops on graph mutation
+    std::uint64_t evictions = 0;      ///< capacity (sloppy-LRU) evictions
+    std::uint64_t invalidations = 0;  ///< per-entry stale evictions on mutation
   };
 
   /// Section 4.3 derivation work, cube-compatible semantics: `rollups` /
   /// `rollup_hits` count per-time-point subset roll-ups computed / served
-  /// from a memoized layer; `combines` counts per-time-point aggregates
+  /// from a memoized layer (hits count only the evaluation points the query
+  /// actually consumed); `combines` counts per-time-point aggregates
   /// weight-summed into union results.
   struct DerivationStats {
     std::size_t rollups = 0;
@@ -126,48 +173,116 @@ class QueryEngine {
     std::size_t combines = 0;
   };
 
-  const CacheStats& cache_stats() const { return cache_stats_; }
-  const DerivationStats& derivation_stats() const { return derivation_stats_; }
+  CacheStats cache_stats() const;
+  DerivationStats derivation_stats() const;
 
  private:
   /// Bitmask over base attribute positions; position i → bit i.
   using SubsetMask = std::uint32_t;
+
+  /// One cached result plus everything needed to decide, per entry, whether
+  /// it is still valid and when it was last useful. Heap-allocated so the
+  /// address is stable regardless of map rehashing; `last_used` is atomic so
+  /// the hit path can touch it under a shared lock.
+  struct CachedResult {
+    CachedResult(QuerySpec spec_in, AggregateGraph result_in,
+                 IntervalSet dependencies_in, std::uint64_t generation_in,
+                 std::uint64_t last_used_in)
+        : spec(std::move(spec_in)),
+          result(std::move(result_in)),
+          dependencies(std::move(dependencies_in)),
+          generation(generation_in),
+          last_used(last_used_in) {}
+
+    QuerySpec spec;                ///< collision guard (EquivalentTo)
+    AggregateGraph result;
+    IntervalSet dependencies;      ///< spec.DependencyInterval() at fill time
+    std::uint64_t generation = 0;  ///< graph generation the result reflects
+    std::atomic<std::uint64_t> last_used{0};  ///< sloppy-LRU clock stamp
+  };
 
   /// Maps `spec.attrs` into positions of the base attribute list (caller
   /// order). Returns false — leaving `keep` untouched — when any attribute is
   /// not in the base list or appears twice.
   bool MapToBasePositions(const QuerySpec& spec, std::vector<std::size_t>* keep) const;
 
+  /// `Plan`/`Derivable` bodies; callers hold `state_mutex_` (shared or
+  /// exclusive).
+  QueryPlan PlanLocked(const QuerySpec& spec, const PlanOptions& options) const;
+  bool DerivableLocked(const QuerySpec& spec) const;
+
+  /// True when the store exists but `AppendTimePoint` outran `Refresh()`.
+  bool StoreStale() const;
+
   /// The memoized per-time-point roll-up layer for an ascending,
-  /// duplicate-free strict subset of base positions.
-  const std::vector<AggregateGraph>& SubsetLayer(std::span<const std::size_t> canonical);
+  /// duplicate-free strict subset of base positions. Insert-once under
+  /// `subset_mutex_`; the returned storage is stable (never reallocated by
+  /// later insertions). `*served_from_memo` reports whether the layer
+  /// already existed.
+  const std::vector<AggregateGraph>& SubsetLayer(std::span<const std::size_t> canonical,
+                                                 bool* served_from_memo);
+
+  /// True while no dependency time point of `entry` mutated past its stamp.
+  bool EntryValid(const CachedResult& entry) const;
+
+  /// Inserts (or overwrites) the result computed for `spec` at graph
+  /// `generation`, sweeping genuinely stale entries and evicting the least
+  /// recently used beyond capacity. Takes `cache_mutex_` exclusively.
+  void InsertResult(const QuerySpec& spec, const QueryPlan& plan,
+                    const AggregateGraph& result, std::uint64_t generation);
 
   AggregateGraph Run(const QuerySpec& spec, const QueryPlan& plan);
   AggregateGraph RunDirect(const QuerySpec& spec, const QueryPlan& plan);
   AggregateGraph RunMaterialized(const QuerySpec& spec, const QueryPlan& plan);
 
-  /// Clears the cache if the graph mutated since it was filled.
-  void InvalidateIfStale();
-
   const TemporalGraph* graph_;
   Config config_;
 
+  /// Readers/writer brokerage for everything reachable from a query: the
+  /// wrapped graph, `store_` and the subset-layer *contents*. Readers
+  /// (Execute/Plan/Derivable) take it shared; EnableMaterialization, Refresh
+  /// and AcquireWriterLock take it exclusive.
+  mutable std::shared_mutex state_mutex_;
+
+  /// Guards the result-cache map structure. Hits take it shared; inserts,
+  /// sweeps and ClearCache take it exclusive. Ordered after `state_mutex_`
+  /// (never acquire `state_mutex_` while holding it).
+  mutable std::shared_mutex cache_mutex_;
+
+  /// Guards subset-layer insertion (insert-once; lookups also lock — the map
+  /// itself is small and the critical section is a hash probe).
+  std::mutex subset_mutex_;
+
   std::optional<MaterializationStore> store_;
-  std::unordered_map<SubsetMask, std::vector<AggregateGraph>> subset_layers_;
+  std::unordered_map<SubsetMask, std::unique_ptr<std::vector<AggregateGraph>>>
+      subset_layers_;
 
-  /// LRU result cache: `lru_` holds fingerprints, most recent first;
-  /// `cache_` maps fingerprint → (guard spec, result, lru position).
-  struct CachedResult {
-    QuerySpec spec;
-    AggregateGraph result;
-    std::list<std::uint64_t>::iterator lru_pos;
+  /// Fingerprint → cached result. unique_ptr keeps entry addresses stable
+  /// across rehash so the hit path can read an entry while other readers
+  /// probe the map.
+  std::unordered_map<std::uint64_t, std::unique_ptr<CachedResult>> cache_;
+
+  /// Logical clock behind the sloppy LRU: hits stamp their entry with the
+  /// next tick (relaxed); eviction scans for the smallest stamp. Exactness
+  /// under concurrent hits is deliberately not guaranteed — only that
+  /// recently-served entries outrank idle ones.
+  std::atomic<std::uint64_t> lru_clock_{0};
+
+  struct AtomicCacheStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> bypasses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> invalidations{0};
   };
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t, CachedResult> cache_;
-  std::uint64_t cache_generation_ = 0;  ///< graph generation the cache matches
+  struct AtomicDerivationStats {
+    std::atomic<std::uint64_t> rollups{0};
+    std::atomic<std::uint64_t> rollup_hits{0};
+    std::atomic<std::uint64_t> combines{0};
+  };
 
-  CacheStats cache_stats_;
-  DerivationStats derivation_stats_;
+  AtomicCacheStats cache_stats_;
+  AtomicDerivationStats derivation_stats_;
 };
 
 }  // namespace graphtempo::engine

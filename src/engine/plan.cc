@@ -19,6 +19,7 @@ std::string QueryPlan::Explain() const {
   std::string out = header;
   out += "  route=";
   out += PlanRouteName(route);
+  if (stale_fallback) out += "(stale-store-fallback)";
   out += "  cache=";
   out += cacheable ? "eligible" : "bypass(filter)";
   out += "\n";

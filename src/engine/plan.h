@@ -43,6 +43,12 @@ struct QueryPlan {
   PlanRoute route = PlanRoute::kDirectKernel;
   bool cacheable = true;  ///< false when the spec carries an opaque filter
 
+  /// True when the spec was derivable but the materialization store had not
+  /// been `Refresh()`ed after an `AppendTimePoint` — the planner degrades to
+  /// the direct route instead of serving (or crashing on) stale aggregates,
+  /// and bumps the `engine/stale_fallback` counter.
+  bool stale_fallback = false;
+
   /// Direct route: the grouping paths Algorithm 2 will take (dense vs hash,
   /// resolved from the requested GroupingStrategy and the dictionary
   /// domains). Meaningless for the materialized route.

@@ -55,11 +55,17 @@ IntervalSet QuerySpec::EvaluationInterval() const {
   return t1;
 }
 
+IntervalSet QuerySpec::DependencyInterval() const {
+  if (!UsesT2(op)) return t1;
+  return t1 | t2;
+}
+
 std::uint64_t QuerySpec::Fingerprint() const {
   std::uint64_t h = kFnvOffset;
   HashByte(&h, static_cast<std::uint8_t>(op));
   HashByte(&h, static_cast<std::uint8_t>(semantics));
-  HashByte(&h, static_cast<std::uint8_t>(grouping));
+  // `grouping` is intentionally not hashed: dense vs hash is an execution
+  // hint with bit-identical results, so both spellings share a cache slot.
   HashByte(&h, symmetrize ? 1 : 0);
   HashU64(&h, attrs.size());
   for (const AttrRef& ref : attrs) {
@@ -76,10 +82,10 @@ std::uint64_t QuerySpec::Fingerprint() const {
 }
 
 bool QuerySpec::EquivalentTo(const QuerySpec& other) const {
+  // `grouping` is a hint, not part of the query's identity (see Fingerprint).
   return op == other.op && semantics == other.semantics &&
-         grouping == other.grouping && symmetrize == other.symmetrize &&
-         filter == other.filter && attrs == other.attrs && t1 == other.t1 &&
-         (!UsesT2(op) || t2 == other.t2);
+         symmetrize == other.symmetrize && filter == other.filter &&
+         attrs == other.attrs && t1 == other.t1 && (!UsesT2(op) || t2 == other.t2);
 }
 
 std::string QuerySpec::ToString(const TemporalGraph& graph) const {

@@ -71,9 +71,19 @@ struct QuerySpec {
   /// T₁ ∪ T₂ for union/intersection, T₁ for project and difference.
   IntervalSet EvaluationInterval() const;
 
-  /// Stable 64-bit FNV-1a over (op, semantics, grouping, symmetrize, attrs,
-  /// t1, t2) with t2 normalized to empty for kProject. Independent of process,
-  /// pointer values and map iteration order.
+  /// The time points the *result data* depends on: T₁ ∪ T₂ for every
+  /// operator consuming T₂ (a difference's answer changes when T₂'s data
+  /// does, even though it is evaluated on T₁), T₁ alone for project. This is
+  /// the validity interval of a cached result — if no dependency point was
+  /// mutated since the result was computed, it is still exact.
+  IntervalSet DependencyInterval() const;
+
+  /// Stable 64-bit FNV-1a over (op, semantics, symmetrize, attrs, t1, t2)
+  /// with t2 normalized to empty for kProject. Independent of process,
+  /// pointer values and map iteration order. `grouping` is deliberately
+  /// excluded: it is an execution hint — dense and hash grouping are
+  /// bit-identical (pinned by the determinism suite) — so specs differing
+  /// only in the hint share one cache entry.
   std::uint64_t Fingerprint() const;
 
   /// Structural equality under the same normalization as `Fingerprint` (the

@@ -335,14 +335,41 @@ TEST(EngineFingerprintTest, DistinguishesEveryField) {
   changed.symmetrize = true;
   EXPECT_NE(changed.Fingerprint(), fp);
   changed = spec;
-  changed.grouping = GroupingStrategy::kHash;
-  EXPECT_NE(changed.Fingerprint(), fp);
-  changed = spec;
   changed.t1 = IntervalSet::Range(4, 0, 3);
   EXPECT_NE(changed.Fingerprint(), fp);
   changed = spec;
   changed.op = TemporalOperatorKind::kIntersection;
   EXPECT_NE(changed.Fingerprint(), fp);
+}
+
+TEST(EngineFingerprintTest, GroupingIsAHintNotIdentity) {
+  // Dense vs hash grouping produce bit-identical results (determinism
+  // suite), so the hint must not split the cache key — otherwise dense and
+  // hash spellings of one query would duplicate entries and miss each
+  // other's hits.
+  QuerySpec spec = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Range(4, 0, 2),
+                            IntervalSet::Point(4, 3), {AttrRef{}},
+                            AggregationSemantics::kAll);
+  spec.grouping = GroupingStrategy::kDense;
+  QuerySpec hashed = spec;
+  hashed.grouping = GroupingStrategy::kHash;
+  EXPECT_EQ(spec.Fingerprint(), hashed.Fingerprint());
+  EXPECT_TRUE(spec.EquivalentTo(hashed));
+}
+
+TEST(EngineFingerprintTest, DependencyIntervalCoversT2) {
+  // A difference is *evaluated* on T1 but its answer also depends on T2's
+  // data — the cache validity interval must cover both.
+  QuerySpec diff = MakeSpec(TemporalOperatorKind::kDifference, IntervalSet::Point(4, 3),
+                            IntervalSet::Point(4, 0), {AttrRef{}},
+                            AggregationSemantics::kAll);
+  EXPECT_EQ(diff.EvaluationInterval(), IntervalSet::Point(4, 3));
+  EXPECT_EQ(diff.DependencyInterval(), IntervalSet::Of(4, {0, 3}));
+
+  QuerySpec project = MakeSpec(TemporalOperatorKind::kProject, IntervalSet::Point(4, 1),
+                               IntervalSet::All(4), {AttrRef{}},
+                               AggregationSemantics::kAll);
+  EXPECT_EQ(project.DependencyInterval(), IntervalSet::Point(4, 1));  // t2 ignored
 }
 
 // --- Result cache -----------------------------------------------------------------
@@ -367,6 +394,30 @@ TEST(EngineCacheTest, RepeatedQueriesHit) {
   EXPECT_EQ(engine.cache_stats().misses, 2u);
   engine.Execute(spec);
   EXPECT_EQ(engine.cache_stats().hits, 2u);
+}
+
+TEST(EngineCacheTest, GroupingHintsShareOneEntry) {
+  // Dense and hash spellings of the same query are bit-identical, so they
+  // must share one cache entry: the hash spec hits the dense spec's result.
+  TemporalGraph graph = BuildRandomGraph(95, 40, 5);
+  QueryEngine engine(&graph);
+  QuerySpec dense = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::All(5),
+                             IntervalSet(5), ResolveAttributes(graph, {"color"}),
+                             AggregationSemantics::kAll);
+  dense.grouping = GroupingStrategy::kDense;
+  QuerySpec hashed = dense;
+  hashed.grouping = GroupingStrategy::kHash;
+
+  AggregateGraph first = engine.Execute(dense);
+  AggregateGraph second = engine.Execute(hashed);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+
+  // The hint is still honored on a miss: a forced-hash spec plans the hash
+  // aggregation path even though it shares the dense spec's fingerprint.
+  EXPECT_EQ(engine.Plan(dense).Explain().find("nodes=hash"), std::string::npos);
+  EXPECT_NE(engine.Plan(hashed).Explain().find("nodes=hash"), std::string::npos);
 }
 
 TEST(EngineCacheTest, LruEvictsAtCapacity) {
@@ -465,20 +516,90 @@ TEST(EngineInvalidationTest, AppendTimePointPlusRefreshServesGrownDomain) {
   QueryEngine::PlanOptions materialized;
   materialized.force_route = PlanRoute::kMaterializedDerivation;
   EXPECT_EQ(engine.Execute(grown, materialized), DirectReference(graph, grown));
-  EXPECT_EQ(engine.cache_stats().invalidations, 1u);
+
+  // Append-only growth never touched t0..t2, so the entry cached for the old
+  // domain is still valid — it survives Refresh and keeps hitting.
+  EXPECT_EQ(engine.cache_stats().invalidations, 0u);
+  engine.Execute(old_spec);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
 }
 
-TEST(EngineInvalidationDeath, StaleStoreWithoutRefreshAborts) {
+TEST(EngineInvalidationTest, StaleStoreFallsBackToDirectRoute) {
+  // Between a graph mutation and the matching Refresh() the store lags the
+  // graph. The planner must detect this and degrade gracefully to the direct
+  // kernel route instead of aborting (the old behavior was a GT_CHECK death).
   TemporalGraph graph = BuildPaperGraph();
   std::vector<AttrRef> base = ResolveAttributes(graph, {"gender"});
   QueryEngine engine(&graph);
   engine.EnableMaterialization(base);
   graph.AppendTimePoint("t3");
+  NodeId u1 = *graph.FindNode("u1");
+  graph.SetNodePresent(u1, 3);
+
   QuerySpec spec = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::All(4),
                             IntervalSet(4), base, AggregationSemantics::kAll);
   QueryEngine::PlanOptions materialized;
   materialized.force_route = PlanRoute::kMaterializedDerivation;
-  EXPECT_DEATH(engine.Execute(spec, materialized), "stale");
+
+  QueryPlan plan = engine.Plan(spec, materialized);
+  EXPECT_EQ(plan.route, PlanRoute::kDirectKernel);
+  EXPECT_TRUE(plan.stale_fallback);
+  EXPECT_NE(plan.Explain().find("stale-store-fallback"), std::string::npos);
+  EXPECT_EQ(engine.Execute(spec, materialized), DirectReference(graph, spec));
+
+  // Once refreshed, the forced materialized route works again.
+  engine.Refresh();
+  QueryPlan refreshed = engine.Plan(spec, materialized);
+  EXPECT_EQ(refreshed.route, PlanRoute::kMaterializedDerivation);
+  EXPECT_FALSE(refreshed.stale_fallback);
+}
+
+TEST(EngineInvalidationTest, PerEntryInvalidationKeepsDisjointIntervals) {
+  // Three cached answers over disjoint intervals. A mutation at one time
+  // point must evict only the entries whose dependency interval covers it.
+  TemporalGraph graph = BuildRandomGraph(96, 30, 6);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color"});
+  QueryEngine engine(&graph);
+
+  QuerySpec early = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Of(6, {0, 1}),
+                             IntervalSet(6), attrs, AggregationSemantics::kAll);
+  QuerySpec middle = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Of(6, {2, 3}),
+                              IntervalSet(6), attrs, AggregationSemantics::kAll);
+  QuerySpec late = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Of(6, {4, 5}),
+                            IntervalSet(6), attrs, AggregationSemantics::kAll);
+  engine.Execute(early);
+  engine.Execute(middle);
+  engine.Execute(late);
+  ASSERT_EQ(engine.cache_stats().misses, 3u);
+
+  // Mutate t2: only `middle` depends on it.
+  graph.SetNodePresent(0, 2);
+
+  engine.Execute(early);
+  engine.Execute(late);
+  EXPECT_EQ(engine.cache_stats().hits, 2u);
+  AggregateGraph refreshed = engine.Execute(middle);
+  EXPECT_EQ(refreshed, DirectReference(graph, middle));
+  EXPECT_EQ(engine.cache_stats().misses, 4u);
+  EXPECT_EQ(engine.cache_stats().invalidations, 1u);
+}
+
+TEST(EngineInvalidationTest, DifferenceEntriesDependOnT2) {
+  // difference(t1, t2) is evaluated on t1 but its answer reads t2's data:
+  // a mutation inside t2 must invalidate the cached entry.
+  TemporalGraph graph = BuildRandomGraph(97, 30, 5);
+  std::vector<AttrRef> attrs = ResolveAttributes(graph, {"color"});
+  QueryEngine engine(&graph);
+  QuerySpec spec = MakeSpec(TemporalOperatorKind::kDifference, IntervalSet::Point(5, 0),
+                            IntervalSet::Of(5, {3, 4}), attrs, AggregationSemantics::kAll);
+  AggregateGraph before = engine.Execute(spec);
+
+  graph.SetNodePresent(0, 4);  // inside t2, outside the evaluation interval t1
+
+  AggregateGraph after = engine.Execute(spec);
+  EXPECT_EQ(after, DirectReference(graph, spec));
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+  EXPECT_EQ(engine.cache_stats().invalidations, 1u);
 }
 
 // --- Derivation layer stats -------------------------------------------------------
@@ -504,6 +625,35 @@ TEST(EngineDerivationTest, SubsetLayersMemoizeAcrossQueries) {
   EXPECT_EQ(engine.derivation_stats().rollups, 5u);  // layer reused
   EXPECT_EQ(engine.derivation_stats().rollup_hits, 5u);
   EXPECT_EQ(engine.derivation_stats().combines, 10u);
+}
+
+TEST(EngineDerivationTest, RollupHitsCountServedPointsOnly) {
+  // Regression: a memoized subset layer used to credit rollup_hits with
+  // num_times() per query regardless of how many points were actually read.
+  // A single-point query served from a warm layer is exactly one hit.
+  TemporalGraph graph = BuildRandomGraph(98, 30, 5);
+  std::vector<AttrRef> base = ResolveAttributes(graph, {"color", "level"});
+  QueryEngine::Config config;
+  config.cache_capacity = 0;  // isolate the derivation layer from the cache
+  QueryEngine engine(&graph, config);
+  engine.EnableMaterialization(base);
+  QueryEngine::PlanOptions materialized;
+  materialized.force_route = PlanRoute::kMaterializedDerivation;
+
+  QuerySpec warm = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::All(5),
+                            IntervalSet(5), {base[0]}, AggregationSemantics::kAll);
+  engine.Execute(warm, materialized);  // builds the {color} layer
+  ASSERT_EQ(engine.derivation_stats().rollup_hits, 0u);
+
+  QuerySpec point = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Point(5, 2),
+                             IntervalSet(5), {base[0]}, AggregationSemantics::kAll);
+  engine.Execute(point, materialized);
+  EXPECT_EQ(engine.derivation_stats().rollup_hits, 1u);  // not num_times()
+
+  QuerySpec pair = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Of(5, {1, 3}),
+                            IntervalSet(5), {base[0]}, AggregationSemantics::kAll);
+  engine.Execute(pair, materialized);
+  EXPECT_EQ(engine.derivation_stats().rollup_hits, 3u);
 }
 
 }  // namespace

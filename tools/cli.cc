@@ -85,7 +85,13 @@ query-engine options (aggregate / evolution / measure; docs/ENGINE.md):
                   list — instead of executing; bare --explain means yes
   --materialize [yes|no]  build per-time-point aggregates first so derivable
                   queries take the materialized route (aggregate only);
-                  bare --materialize means yes
+                  bare --materialize means yes. A store that lags the graph
+                  (append without refresh) degrades gracefully: the planner
+                  falls back to the direct route and counts
+                  engine/stale_fallback. The engine itself is safe for any
+                  number of concurrent readers plus one writer; cached
+                  answers are invalidated per entry, only when a time point
+                  they depend on actually mutates
 )";
 
 /// Flags that may appear without a value; the default used when bare.

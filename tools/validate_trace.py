@@ -16,7 +16,11 @@ the `<area>/<name>` taxonomy, non-negative times, and an
 Bench-log validation extracts the one-line JSON objects the benches print
 (`{"bench":...}`) and checks each parses, carries a string `bench` field,
 and that every `*_p50_ms` percentile field has a matching `*_p99_ms` with
-p50 <= p99.
+p50 <= p99. Engine records (any record carrying a `route` field) must
+additionally report the executor counters as non-negative integers:
+`cache_hits`, `cache_misses` and `stale_fallbacks` (docs/ENGINE.md §3;
+`stale_fallbacks` counts planner degradations from a stale store to the
+direct route).
 
 Exit code 0 = everything validated; 1 = any check failed.
 Standard library only.
@@ -128,6 +132,13 @@ def validate_bench_log(path):
                     ok = fail(f"{where}: {key} without {partner}")
                 elif value > record[partner]:
                     ok = fail(f"{where}: {key}={value} exceeds {partner}={record[partner]}")
+        if "route" in record:
+            # Engine records: the executor counters must be present and sane.
+            for counter in ("cache_hits", "cache_misses", "stale_fallbacks"):
+                value = record.get(counter)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    ok = fail(f"{where}: engine record needs non-negative integer "
+                              f"{counter!r}, got {value!r}")
     if objects == 0:
         ok = fail(f"{path}: no bench JSON lines found")
     if ok:
