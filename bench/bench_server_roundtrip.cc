@@ -1,0 +1,116 @@
+/// Server round-trip overhead: end-to-end HTTP latency of the query server
+/// against direct in-process engine calls for the same specs, on the paper
+/// example graph. The wire should add transport + (de)serialization cost
+/// only — the served answer is byte-identical to the direct one, so the
+/// delta IS the server tax. A second pass measures the cached-hit round
+/// trip, where transport dominates and the engine contributes microseconds.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/paper_example.h"
+#include "engine/engine.h"
+#include "engine/wire.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "util/json.h"
+
+namespace gt = graphtempo;
+using gt::bench::Ms;
+using gt::bench::PrintTitle;
+using gt::bench::TablePrinter;
+using gt::bench::TimeMsPrecise;
+
+namespace {
+
+struct Case {
+  std::string label;
+  std::string request;
+};
+
+int Run() {
+  PrintTitle("Server round-trip overhead",
+             "HTTP wire vs direct engine calls, paper example graph");
+
+  gt::TemporalGraph graph = gt::datagen::BuildPaperExampleGraph();
+  gt::engine::QueryEngine engine(&graph);
+  gt::server::ServerConfig config;
+  config.worker_threads = 2;
+  gt::server::Server server(&graph, &engine, config);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  const int port = server.port();
+
+  // A reference graph+engine pair answers the direct side, so the served
+  // engine's cache does not subsidize the comparison.
+  gt::TemporalGraph reference = gt::datagen::BuildPaperExampleGraph();
+  gt::engine::QueryEngine direct_engine(&reference);
+
+  const std::vector<Case> cases = {
+      {"union", R"({"op":"union","t1":"t0","t2":"t1","attrs":["gender"]})"},
+      {"intersection",
+       R"({"op":"intersection","t1":"t0","t2":"t1","attrs":["gender","publications"]})"},
+      {"project_all", R"({"op":"project","t1":"t0..t2","attrs":["publications"]})"},
+  };
+
+  TablePrinter table({"spec", "direct(ms)", "wire(ms)", "overhead(ms)"});
+  table.PrintHeader();
+
+  gt::bench::JsonLine json("server_roundtrip");
+  std::vector<double> direct_ms;
+  std::vector<double> wire_ms;
+  for (const Case& c : cases) {
+    std::optional<gt::json::Value> parsed = gt::json::Parse(c.request, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "bad request %s: %s\n", c.label.c_str(), error.c_str());
+      return 1;
+    }
+    gt::engine::wire::RequestOptions options;
+    std::optional<gt::engine::QuerySpec> spec =
+        gt::engine::wire::BindQuerySpec(reference, *parsed, &options, &error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "bad spec %s: %s\n", c.label.c_str(), error.c_str());
+      return 1;
+    }
+
+    const double direct = TimeMsPrecise([&] {
+      std::string body = gt::engine::wire::ResultToJson(
+          reference, *spec, direct_engine.Plan(*spec), direct_engine.Execute(*spec),
+          options.top);
+      gt::bench::DoNotOptimize(body.size());
+    });
+
+    const double wire = TimeMsPrecise([&] {
+      std::string fetch_error;
+      std::optional<gt::server::HttpResponse> response = gt::server::HttpFetch(
+          "127.0.0.1", port, "POST", "/query", c.request, &fetch_error);
+      gt::bench::DoNotOptimize(
+          response.has_value() ? response->body.size() : 0);
+    });
+
+    direct_ms.push_back(direct);
+    wire_ms.push_back(wire);
+    table.PrintRow({c.label, Ms(direct), Ms(wire), Ms(wire - direct)});
+  }
+
+  json.AddArray("direct_ms", direct_ms);
+  json.AddArray("wire_ms", wire_ms);
+  json.Add("requests_served", static_cast<std::size_t>(server.requests_served()));
+  const gt::engine::QueryEngine::CacheStats stats = engine.cache_stats();
+  json.Add("cache_hits", static_cast<std::size_t>(stats.hits));
+  json.Add("cache_invalidations", static_cast<std::size_t>(stats.invalidations));
+  json.Print();
+
+  server.Shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -51,6 +51,20 @@ std::vector<TimeId> IntervalSet::ToVector() const {
   return times;
 }
 
+bool IntervalSet::SameMembers(const IntervalSet& other) const {
+  const std::vector<std::uint64_t>& a = bits_.words();
+  const std::vector<std::uint64_t>& b = other.bits_.words();
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  const std::vector<std::uint64_t>& longer = a.size() >= b.size() ? a : b;
+  for (std::size_t i = common; i < longer.size(); ++i) {
+    if (longer[i] != 0) return false;
+  }
+  return true;
+}
+
 std::string IntervalSet::ToString() const {
   std::string out = "{";
   bool first = true;

@@ -96,6 +96,13 @@ class IntervalSet {
 
   bool operator==(const IntervalSet&) const = default;
 
+  /// Membership equality that ignores domain size: `{t0,t1}` over a 3-point
+  /// domain equals `{t0,t1}` over a 13-point domain. Query identity must use
+  /// this rather than `operator==` so that appending time points (which grows
+  /// every subsequently parsed interval's domain) does not orphan cached
+  /// answers keyed by interval.
+  bool SameMembers(const IntervalSet& other) const;
+
   /// Calls `fn(TimeId)` for each member, ascending.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -20,8 +20,11 @@ void HashU64(std::uint64_t* h, std::uint64_t value) {
   }
 }
 
+/// Hashes membership only, never the domain size: appending a time point
+/// grows the domain of every interval parsed afterwards, and a spec naming
+/// the same set of time points must keep the same fingerprint so cached
+/// answers for old intervals stay reachable (append-only ingestion).
 void HashInterval(std::uint64_t* h, const IntervalSet& interval) {
-  HashU64(h, interval.domain_size());
   HashU64(h, interval.Count());
   interval.ForEach([&](TimeId t) { HashU64(h, t); });
 }
@@ -83,9 +86,12 @@ std::uint64_t QuerySpec::Fingerprint() const {
 
 bool QuerySpec::EquivalentTo(const QuerySpec& other) const {
   // `grouping` is a hint, not part of the query's identity (see Fingerprint).
+  // Intervals compare by membership, not domain size, so a spec bound before
+  // a time point was appended still matches its re-bound twin afterwards.
   return op == other.op && semantics == other.semantics &&
          symmetrize == other.symmetrize && filter == other.filter &&
-         attrs == other.attrs && t1 == other.t1 && (!UsesT2(op) || t2 == other.t2);
+         attrs == other.attrs && t1.SameMembers(other.t1) &&
+         (!UsesT2(op) || t2.SameMembers(other.t2));
 }
 
 std::string QuerySpec::ToString(const TemporalGraph& graph) const {

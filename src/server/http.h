@@ -1,0 +1,68 @@
+#ifndef GRAPHTEMPO_SERVER_HTTP_H_
+#define GRAPHTEMPO_SERVER_HTTP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Minimal HTTP/1.1 plumbing over blocking POSIX sockets — just enough for
+/// the query service's wire protocol (docs/SERVER.md): request parsing with a
+/// size cap and deadline, response writing, `Connection: close` semantics
+/// (one request per connection, SSE streams excepted), and a tiny blocking
+/// client used by the load generator and the test suite. No TLS, no chunked
+/// transfer, no keep-alive — a reverse proxy fronts a real deployment.
+
+namespace graphtempo::server {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" / "POST"
+  std::string path;    ///< path without the query string
+  std::string query;   ///< raw query string ("" when absent)
+  std::map<std::string, std::string> headers;  ///< keys lowercased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits.
+const char* StatusReason(int status);
+
+/// Reads one request from `fd`. Enforces `max_bytes` over header + body and
+/// an overall `timeout_ms` deadline. On failure returns nullopt with a
+/// diagnostic (caller answers 400 or drops the connection).
+std::optional<HttpRequest> ReadHttpRequest(int fd, std::size_t max_bytes,
+                                           int timeout_ms, std::string* error);
+
+/// Writes a complete response with Content-Length and Connection: close.
+bool WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// Writes raw bytes (SSE frames); EPIPE-safe (returns false, no signal).
+bool WriteRaw(int fd, std::string_view data);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns the fd, or
+/// -1 with a diagnostic.
+int CreateListenSocket(int port, std::string* error);
+
+/// The locally-bound port of a listening socket (resolves ephemeral binds).
+int ListenSocketPort(int fd);
+
+/// Blocking TCP connect to host:port. Returns the fd, or -1 with diagnostic.
+int ConnectTcp(const std::string& host, int port, std::string* error);
+
+/// One blocking request/response round trip (the load generator's client).
+std::optional<HttpResponse> HttpFetch(const std::string& host, int port,
+                                      const std::string& method,
+                                      const std::string& path, const std::string& body,
+                                      std::string* error, int timeout_ms = 10000);
+
+}  // namespace graphtempo::server
+
+#endif  // GRAPHTEMPO_SERVER_HTTP_H_

@@ -1,0 +1,195 @@
+#include "server/ingest.h"
+
+#include "engine/wire.h"
+#include "util/string_util.h"
+
+namespace graphtempo::server {
+
+namespace {
+
+/// Splits on runs of spaces/tabs, dropping empty fields (log lines are
+/// whitespace-separated; labels and values therefore cannot contain spaces,
+/// which WriteGraphToFile's TSV dialect already enforces for labels).
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+bool WrongArity(const std::vector<std::string>& fields, std::size_t expected,
+                std::string* error) {
+  if (fields.size() == expected) return false;
+  *error = "record '" + fields[0] + "' takes " + std::to_string(expected - 1) +
+           " field(s), got " + std::to_string(fields.size() - 1);
+  return true;
+}
+
+}  // namespace
+
+std::string IngestRecord::ToLine() const {
+  switch (kind) {
+    case Kind::kAppendTime:
+      return "t " + time;
+    case Kind::kNodePresent:
+      return "n " + node + " " + time;
+    case Kind::kEdgePresent:
+      return "e " + node + " " + node2 + " " + time;
+    case Kind::kStaticValue:
+      return "sa " + attr + " " + node + " " + value;
+    case Kind::kTimeVaryingValue:
+      return "va " + attr + " " + node + " " + time + " " + value;
+  }
+  return "";
+}
+
+std::optional<IngestRecord> ParseIngestLine(const std::string& line, std::string* error) {
+  error->clear();
+  std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty() || stripped[0] == '#') return std::nullopt;
+
+  std::vector<std::string> fields = SplitFields(line);
+  IngestRecord record;
+  const std::string& kind = fields[0];
+  if (kind == "t") {
+    if (WrongArity(fields, 2, error)) return std::nullopt;
+    record.kind = IngestRecord::Kind::kAppendTime;
+    record.time = fields[1];
+  } else if (kind == "n") {
+    if (WrongArity(fields, 3, error)) return std::nullopt;
+    record.kind = IngestRecord::Kind::kNodePresent;
+    record.node = fields[1];
+    record.time = fields[2];
+  } else if (kind == "e") {
+    if (WrongArity(fields, 4, error)) return std::nullopt;
+    record.kind = IngestRecord::Kind::kEdgePresent;
+    record.node = fields[1];
+    record.node2 = fields[2];
+    record.time = fields[3];
+  } else if (kind == "sa") {
+    if (WrongArity(fields, 4, error)) return std::nullopt;
+    record.kind = IngestRecord::Kind::kStaticValue;
+    record.attr = fields[1];
+    record.node = fields[2];
+    record.value = fields[3];
+  } else if (kind == "va") {
+    if (WrongArity(fields, 5, error)) return std::nullopt;
+    record.kind = IngestRecord::Kind::kTimeVaryingValue;
+    record.attr = fields[1];
+    record.node = fields[2];
+    record.time = fields[3];
+    record.value = fields[4];
+  } else {
+    *error = "unknown record kind '" + kind + "' (t|n|e|sa|va)";
+    return std::nullopt;
+  }
+  return record;
+}
+
+std::optional<std::vector<IngestRecord>> ParseIngestBatch(const std::string& body,
+                                                          std::string* error) {
+  std::vector<IngestRecord> records;
+  std::size_t line_number = 0;
+  for (const std::string& line : Split(body, '\n')) {
+    ++line_number;
+    std::string line_error;
+    std::optional<IngestRecord> record = ParseIngestLine(line, &line_error);
+    if (record.has_value()) {
+      records.push_back(std::move(*record));
+    } else if (!line_error.empty()) {
+      *error = "line " + std::to_string(line_number) + ": " + line_error;
+      return std::nullopt;
+    }
+  }
+  return records;
+}
+
+bool ApplyIngestRecord(TemporalGraph* graph, const IngestRecord& record,
+                       std::string* error) {
+  auto resolve_time = [&](const std::string& text) -> std::optional<TimeId> {
+    return engine::wire::ParseTimePoint(*graph, text, error);
+  };
+
+  switch (record.kind) {
+    case IngestRecord::Kind::kAppendTime: {
+      if (graph->FindTime(record.time).has_value()) {
+        *error = "time point '" + record.time + "' already exists";
+        return false;
+      }
+      graph->AppendTimePoint(record.time);
+      return true;
+    }
+    case IngestRecord::Kind::kNodePresent: {
+      std::optional<TimeId> t = resolve_time(record.time);
+      if (!t.has_value()) return false;
+      graph->SetNodePresent(graph->GetOrAddNode(record.node), *t);
+      return true;
+    }
+    case IngestRecord::Kind::kEdgePresent: {
+      std::optional<TimeId> t = resolve_time(record.time);
+      if (!t.has_value()) return false;
+      NodeId src = graph->GetOrAddNode(record.node);
+      NodeId dst = graph->GetOrAddNode(record.node2);
+      graph->SetEdgePresent(graph->GetOrAddEdge(src, dst), *t);
+      return true;
+    }
+    case IngestRecord::Kind::kStaticValue: {
+      std::optional<AttrRef> attr = graph->FindAttribute(record.attr);
+      if (!attr.has_value() || attr->kind != AttrRef::Kind::kStatic) {
+        *error = "unknown static attribute '" + record.attr + "'";
+        return false;
+      }
+      graph->SetStaticValue(attr->index, graph->GetOrAddNode(record.node), record.value);
+      return true;
+    }
+    case IngestRecord::Kind::kTimeVaryingValue: {
+      std::optional<AttrRef> attr = graph->FindAttribute(record.attr);
+      if (!attr.has_value() || attr->kind != AttrRef::Kind::kTimeVarying) {
+        *error = "unknown time-varying attribute '" + record.attr + "'";
+        return false;
+      }
+      std::optional<TimeId> t = resolve_time(record.time);
+      if (!t.has_value()) return false;
+      graph->SetTimeVaryingValue(attr->index, graph->GetOrAddNode(record.node), *t,
+                                 record.value);
+      return true;
+    }
+  }
+  *error = "corrupt record";
+  return false;
+}
+
+bool IngestQueue::Push(std::vector<IngestRecord> records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || queue_.size() + records.size() > capacity_) return false;
+  for (IngestRecord& record : records) queue_.push_back(std::move(record));
+  available_.notify_one();
+  return true;
+}
+
+std::vector<IngestRecord> IngestQueue::PopBatch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  std::vector<IngestRecord> batch(std::make_move_iterator(queue_.begin()),
+                                  std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return batch;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  available_.notify_all();
+}
+
+std::size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace graphtempo::server

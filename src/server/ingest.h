@@ -1,0 +1,110 @@
+#ifndef GRAPHTEMPO_SERVER_INGEST_H_
+#define GRAPHTEMPO_SERVER_INGEST_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.h"
+
+/// \file
+/// The append-only ingestion log of the query server (docs/SERVER.md §4): a
+/// line-oriented changefeed of graph mutations. Clients POST batches of
+/// records; a single writer thread applies them in order under the engine's
+/// writer lock. Records are plain text, one per line, whitespace-separated:
+///
+/// ```
+/// t  <label>                      append a new time point
+/// n  <node> <time>                mark node present at time
+/// e  <src> <dst> <time>           mark edge (and endpoints) present at time
+/// sa <attr> <node> <value>        set a static node-attribute value
+/// va <attr> <node> <time> <value> set a time-varying node-attribute value
+/// ```
+///
+/// Times are labels or indices (wire::ParseTimePoint). Nodes are labels,
+/// created on first reference; attributes must already exist. Blank lines and
+/// `#` comments are skipped. The same format serves as the on-disk log
+/// (`serve --ingest-log`): the server replays it on startup and appends every
+/// accepted record, so a restarted server resumes from the same state.
+///
+/// Append-only discipline: `t` grows the domain, and data records may only
+/// target existing time points — in the intended streaming use, the *latest*
+/// one. Writing only to the newest point is what keeps every cached
+/// old-interval answer valid (per-entry invalidation, docs/ENGINE.md §3).
+
+namespace graphtempo::server {
+
+/// One parsed changefeed record.
+struct IngestRecord {
+  enum class Kind : std::uint8_t {
+    kAppendTime,        ///< t <label>
+    kNodePresent,       ///< n <node> <time>
+    kEdgePresent,       ///< e <src> <dst> <time>
+    kStaticValue,       ///< sa <attr> <node> <value>
+    kTimeVaryingValue,  ///< va <attr> <node> <time> <value>
+  };
+
+  Kind kind = Kind::kAppendTime;
+  std::string time;   ///< time label/index (or the new label for kAppendTime)
+  std::string node;   ///< node label (src for kEdgePresent)
+  std::string node2;  ///< dst for kEdgePresent
+  std::string attr;   ///< attribute name
+  std::string value;  ///< attribute value
+
+  /// Renders the record back to its log-line form.
+  std::string ToLine() const;
+};
+
+/// Parses one changefeed line. Returns nullopt for blank/comment lines with
+/// `*error` left empty, and nullopt with a diagnostic in `*error` for
+/// malformed records.
+std::optional<IngestRecord> ParseIngestLine(const std::string& line, std::string* error);
+
+/// Parses a whole batch (newline-separated). Stops at the first malformed
+/// line, reporting it as `line <n>: <reason>`.
+std::optional<std::vector<IngestRecord>> ParseIngestBatch(const std::string& body,
+                                                          std::string* error);
+
+/// Applies one record to `graph`. Label-resolving and validating; returns
+/// false with a diagnostic when the record references an unknown time,
+/// attribute, or value slot. Caller must hold the writer side of whatever
+/// lock brokers graph access (single-writer contract).
+bool ApplyIngestRecord(TemporalGraph* graph, const IngestRecord& record,
+                       std::string* error);
+
+/// The bounded MPSC queue between HTTP ingest handlers and the writer
+/// thread. Producers block never (Push fails when full); the single consumer
+/// blocks in PopBatch until records arrive or the queue is closed.
+class IngestQueue {
+ public:
+  explicit IngestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues a batch. False (rejecting the whole batch) when fewer than
+  /// `records.size()` slots remain — backpressure surfaces as HTTP 503.
+  bool Push(std::vector<IngestRecord> records);
+
+  /// Blocks until records are available, then drains everything queued (the
+  /// writer applies whole batches per lock acquisition). Empty result means
+  /// the queue was closed and fully drained — the writer thread exits.
+  std::vector<IngestRecord> PopBatch();
+
+  /// Wakes the consumer and makes every later Push fail.
+  void Close();
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<IngestRecord> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace graphtempo::server
+
+#endif  // GRAPHTEMPO_SERVER_INGEST_H_

@@ -1,0 +1,25 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+
+namespace graphtempo::server {
+
+RateLimiter::RateLimiter(double per_second, double burst)
+    : per_second_(per_second),
+      burst_(burst > 0 ? burst : std::max(per_second, 1.0)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+bool RateLimiter::TryAcquire() {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Clock::time_point now = Clock::now();
+  double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * per_second_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace graphtempo::server

@@ -1,0 +1,39 @@
+#ifndef GRAPHTEMPO_SERVER_RATE_LIMITER_H_
+#define GRAPHTEMPO_SERVER_RATE_LIMITER_H_
+
+#include <chrono>
+#include <mutex>
+
+/// \file
+/// A token-bucket rate limiter for the query read path (docs/SERVER.md §5).
+/// Tokens accrue continuously at `per_second` up to `burst`; each admitted
+/// request spends one. Zero `per_second` disables limiting entirely (the
+/// default — admission control still bounds concurrency).
+
+namespace graphtempo::server {
+
+class RateLimiter {
+ public:
+  /// `per_second` ≤ 0 builds an unlimited limiter. `burst` ≤ 0 defaults to
+  /// max(per_second, 1) — one second of headroom.
+  RateLimiter(double per_second, double burst);
+
+  /// True when a token was available (and spent). Never blocks.
+  bool TryAcquire();
+
+  bool unlimited() const { return per_second_ <= 0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const double per_second_;
+  const double burst_;
+
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace graphtempo::server
+
+#endif  // GRAPHTEMPO_SERVER_RATE_LIMITER_H_

@@ -1,0 +1,518 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "engine/wire.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace graphtempo::server {
+
+namespace {
+
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/requests");
+  return c;
+}
+obs::Counter& BadRequestCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/bad_request");
+  return c;
+}
+obs::Counter& RejectedRateCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/rejected_rate");
+  return c;
+}
+obs::Counter& RejectedAdmissionCounter() {
+  static obs::Counter& c =
+      obs::Registry::Instance().GetCounter("server/rejected_admission");
+  return c;
+}
+obs::Counter& IngestRecordsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/ingest_records");
+  return c;
+}
+obs::Counter& IngestBatchesCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/ingest_batches");
+  return c;
+}
+obs::Counter& EventsPushedCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/events_pushed");
+  return c;
+}
+obs::Histogram& QueryLatencyHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Instance().GetHistogram("server/query_latency_us");
+  return h;
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  json::Value body = json::Value::Object();
+  body.Set("error", json::Value::String(message));
+  return HttpResponse{status, "application/json", body.Serialize()};
+}
+
+/// One SSE frame: `event: <name>` + one `data:` line per payload line.
+std::string SseFrame(const std::string& event, const std::string& data) {
+  std::string frame = "event: " + event + "\n";
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    std::size_t newline = data.find('\n', start);
+    if (newline == std::string::npos) {
+      frame += "data: " + data.substr(start) + "\n";
+      break;
+    }
+    frame += "data: " + data.substr(start, newline - start) + "\n";
+    start = newline + 1;
+  }
+  frame += "\n";
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(TemporalGraph* graph, engine::QueryEngine* engine, ServerConfig config)
+    : graph_(graph),
+      engine_(engine),
+      config_(std::move(config)),
+      ingest_queue_(config_.ingest_queue_capacity),
+      rate_limiter_(config_.rate_limit_qps, config_.rate_limit_burst) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+}
+
+Server::~Server() { Shutdown(); }
+
+bool Server::Start(std::string* error) {
+  State expected = State::kIdle;
+  if (!state_.compare_exchange_strong(expected, State::kRunning)) {
+    *error = "server already started";
+    return false;
+  }
+
+  if (!config_.ingest_log_path.empty()) {
+    std::ifstream log(config_.ingest_log_path);
+    if (log.is_open()) {
+      // Replay under the same locks live ingestion takes, so Start may be
+      // called on an engine that is already serving.
+      std::unique_lock<std::shared_mutex> server_writer(graph_mutex_);
+      auto engine_writer = engine_->AcquireWriterLock();
+      std::string line;
+      std::size_t line_number = 0;
+      while (std::getline(log, line)) {
+        ++line_number;
+        std::string parse_error;
+        std::optional<IngestRecord> record = ParseIngestLine(line, &parse_error);
+        if (!record.has_value()) {
+          if (parse_error.empty()) continue;  // blank / comment
+          *error = config_.ingest_log_path + ":" + std::to_string(line_number) + ": " +
+                   parse_error;
+          state_.store(State::kIdle);
+          return false;
+        }
+        std::string apply_error;
+        if (!ApplyIngestRecord(graph_, *record, &apply_error)) {
+          *error = config_.ingest_log_path + ":" + std::to_string(line_number) + ": " +
+                   apply_error;
+          state_.store(State::kIdle);
+          return false;
+        }
+      }
+      engine_writer.unlock();
+      server_writer.unlock();
+      engine_->Refresh();
+    }
+  }
+
+  const int listen_fd = CreateListenSocket(config_.port, error);
+  if (listen_fd < 0) {
+    state_.store(State::kIdle);
+    return false;
+  }
+  listen_fd_.store(listen_fd);
+  port_ = ListenSocketPort(listen_fd);
+
+  listener_ = std::thread([this] { ListenerLoop(); });
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+  return true;
+}
+
+void Server::ListenerLoop() {
+  while (state_.load() == State::kRunning) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by Shutdown (or fatal error)
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn_queue_.push_back(fd);
+    }
+    conn_available_.notify_one();
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(conn_mutex_);
+      conn_available_.wait(lock, [&] { return !conn_queue_.empty(); });
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    if (fd < 0) return;  // shutdown sentinel
+    HandleConnection(fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string error;
+  std::optional<HttpRequest> request = ReadHttpRequest(
+      fd, config_.max_request_bytes, config_.request_timeout_ms, &error);
+  if (!request.has_value()) {
+    WriteHttpResponse(fd, JsonError(400, error));
+    ::close(fd);
+    return;
+  }
+  std::optional<HttpResponse> response = Dispatch(*request, fd);
+  requests_served_.fetch_add(1);
+  RequestsCounter().Increment();
+  if (!response.has_value()) return;  // fd adopted by the SSE subscriber set
+  WriteHttpResponse(fd, *response);
+  ::close(fd);
+}
+
+std::optional<HttpResponse> Server::Dispatch(const HttpRequest& request, int fd) {
+  const std::string& path = request.path;
+  if (path == "/healthz") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    return HttpResponse{200, "text/plain", "ok\n"};
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    return HttpResponse{200, "application/json",
+                        obs::Registry::Instance().Snapshot().ToJson()};
+  }
+  if (path == "/stats") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    return HandleStats();
+  }
+  if (path == "/query") {
+    if (request.method != "POST") return JsonError(405, "POST only");
+    return HandleQuery(request);
+  }
+  if (path == "/ingest") {
+    if (request.method != "POST") return JsonError(405, "POST only");
+    return HandleIngest(request);
+  }
+  if (path == "/events") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    if (HandleSubscribe(fd)) return std::nullopt;
+    return JsonError(503, "subscriber limit reached");
+  }
+  if (path == "/shutdown") {
+    if (request.method != "POST") return JsonError(405, "POST only");
+    shutdown_requested_.store(true);
+    json::Value body = json::Value::Object();
+    body.Set("shutting_down", json::Value::Bool(true));
+    return HttpResponse{200, "application/json", body.Serialize()};
+  }
+  return JsonError(404, "no such endpoint: " + path);
+}
+
+HttpResponse Server::HandleQuery(const HttpRequest& request) {
+  if (!rate_limiter_.TryAcquire()) {
+    RejectedRateCounter().Increment();
+    return JsonError(429, "rate limit exceeded");
+  }
+
+  // Admission control: bound concurrently-executing queries so a burst
+  // degrades to fast 503s instead of a convoy on the engine.
+  std::int64_t inflight = inflight_.fetch_add(1) + 1;
+  if (inflight > static_cast<std::int64_t>(config_.max_inflight)) {
+    inflight_.fetch_sub(1);
+    RejectedAdmissionCounter().Increment();
+    return JsonError(503, "server at capacity (" +
+                              std::to_string(config_.max_inflight) +
+                              " queries in flight)");
+  }
+  auto admission_release = [this] { inflight_.fetch_sub(1); };
+
+  auto started = std::chrono::steady_clock::now();
+  HttpResponse response;
+  {
+    std::string parse_error;
+    std::optional<json::Value> body = json::Parse(request.body, &parse_error);
+    if (!body.has_value()) {
+      admission_release();
+      BadRequestCounter().Increment();
+      return JsonError(400, "invalid JSON: " + parse_error);
+    }
+
+    // Shared lock spans binding + execution: binding reads the graph's time
+    // and attribute tables, which the ingestion writer mutates exclusively.
+    std::shared_lock<std::shared_mutex> reader(graph_mutex_);
+    engine::wire::RequestOptions options;
+    options.top = config_.default_top;
+    std::string bind_error;
+    std::optional<engine::QuerySpec> spec =
+        engine::wire::BindQuerySpec(*graph_, *body, &options, &bind_error);
+    if (!spec.has_value()) {
+      admission_release();
+      BadRequestCounter().Increment();
+      return JsonError(400, bind_error);
+    }
+
+    if (options.explain) {
+      engine::QueryPlan plan = engine_->Plan(*spec);
+      response = HttpResponse{200, "application/json", engine::wire::PlanToJson(plan)};
+    } else {
+      engine::QueryPlan plan = engine_->Plan(*spec);
+      AggregateGraph result = engine_->Execute(*spec);
+      response = HttpResponse{
+          200, "application/json",
+          engine::wire::ResultToJson(*graph_, *spec, plan, result, options.top)};
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  QueryLatencyHistogram().Record(static_cast<std::uint64_t>(elapsed.count()));
+  admission_release();
+  return response;
+}
+
+HttpResponse Server::HandleIngest(const HttpRequest& request) {
+  std::string error;
+  std::optional<std::vector<IngestRecord>> records =
+      ParseIngestBatch(request.body, &error);
+  if (!records.has_value()) {
+    BadRequestCounter().Increment();
+    return JsonError(400, error);
+  }
+  std::size_t count = records->size();
+  if (count > 0 && !ingest_queue_.Push(std::move(*records))) {
+    return JsonError(503, "ingestion queue full");
+  }
+  json::Value body = json::Value::Object();
+  body.Set("accepted", json::Value::Number(static_cast<std::uint64_t>(count)));
+  return HttpResponse{202, "application/json", body.Serialize()};
+}
+
+HttpResponse Server::HandleStats() {
+  json::Value body = json::Value::Object();
+  {
+    // Graph shape, so clients (the load generator) can build valid specs.
+    std::shared_lock<std::shared_mutex> reader(graph_mutex_);
+    body.Set("num_times", json::Value::Number(
+                              static_cast<std::uint64_t>(graph_->num_times())));
+    body.Set("nodes",
+             json::Value::Number(static_cast<std::uint64_t>(graph_->num_nodes())));
+    body.Set("edges",
+             json::Value::Number(static_cast<std::uint64_t>(graph_->num_edges())));
+  }
+  body.Set("requests", json::Value::Number(requests_served_.load()));
+  body.Set("inflight", json::Value::Number(
+                           static_cast<std::uint64_t>(std::max<std::int64_t>(
+                               0, inflight_.load()))));
+  body.Set("ingest_queue_depth",
+           json::Value::Number(static_cast<std::uint64_t>(ingest_queue_.size())));
+  {
+    std::lock_guard<std::mutex> lock(subscriber_mutex_);
+    body.Set("subscribers",
+             json::Value::Number(static_cast<std::uint64_t>(subscribers_.size())));
+  }
+  engine::QueryEngine::CacheStats cache = engine_->cache_stats();
+  json::Value cache_json = json::Value::Object();
+  cache_json.Set("hits", json::Value::Number(cache.hits));
+  cache_json.Set("misses", json::Value::Number(cache.misses));
+  cache_json.Set("bypasses", json::Value::Number(cache.bypasses));
+  cache_json.Set("evictions", json::Value::Number(cache.evictions));
+  cache_json.Set("invalidations", json::Value::Number(cache.invalidations));
+  body.Set("cache", std::move(cache_json));
+  return HttpResponse{200, "application/json", body.Serialize()};
+}
+
+bool Server::HandleSubscribe(int fd) {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  if (subscribers_.size() >= config_.max_subscribers) return false;
+  std::string head =
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-cache\r\n"
+      "Connection: close\r\n\r\n";
+  if (!WriteRaw(fd, head) || !WriteRaw(fd, SseFrame("hello", "{}"))) {
+    ::close(fd);
+    return true;  // handled (client vanished); do not answer 503
+  }
+  subscribers_.push_back(Subscriber{fd});
+  return true;
+}
+
+void Server::Broadcast(const std::string& event, const std::string& data) {
+  std::string frame = SseFrame(event, data);
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  std::size_t kept = 0;
+  for (Subscriber& subscriber : subscribers_) {
+    if (WriteRaw(subscriber.fd, frame)) {
+      subscribers_[kept++] = subscriber;
+      EventsPushedCounter().Increment();
+    } else {
+      ::close(subscriber.fd);  // client hung up; drop the stream
+    }
+  }
+  subscribers_.resize(kept);
+}
+
+std::string Server::EvolutionEventJson() const {
+  json::Value body = json::Value::Object();
+  std::size_t num_times = graph_->num_times();
+  body.Set("num_times", json::Value::Number(static_cast<std::uint64_t>(num_times)));
+  if (num_times > 0) {
+    body.Set("latest", json::Value::String(
+                           graph_->time_label(static_cast<TimeId>(num_times - 1))));
+  }
+  if (num_times >= 2) {
+    // Evolution events of §3 between the two newest points, straight off the
+    // presence-index columns: stability = old ∩ new, growth = new − old,
+    // shrinkage = old − new.
+    std::size_t t_old = num_times - 2;
+    std::size_t t_new = num_times - 1;
+    auto fill = [&](const PresenceIndex& index, const char* key) {
+      const DynamicBitset& old_col = index.Column(t_old);
+      const DynamicBitset& new_col = index.Column(t_new);
+      json::Value section = json::Value::Object();
+      section.Set("stability", json::Value::Number(static_cast<std::uint64_t>(
+                                   (old_col & new_col).Count())));
+      section.Set("growth", json::Value::Number(static_cast<std::uint64_t>(
+                                (new_col - old_col).Count())));
+      section.Set("shrinkage", json::Value::Number(static_cast<std::uint64_t>(
+                                   (old_col - new_col).Count())));
+      body.Set(key, std::move(section));
+    };
+    fill(graph_->node_presence_index(), "nodes");
+    fill(graph_->edge_presence_index(), "edges");
+  }
+  return body.Serialize();
+}
+
+void Server::AppendToIngestLog(const std::vector<IngestRecord>& records) {
+  if (config_.ingest_log_path.empty()) return;
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  std::ofstream log(config_.ingest_log_path, std::ios::app);
+  if (!log.is_open()) return;
+  for (const IngestRecord& record : records) log << record.ToLine() << "\n";
+}
+
+void Server::WriterLoop() {
+  while (true) {
+    std::vector<IngestRecord> batch = ingest_queue_.PopBatch();
+    if (batch.empty()) return;  // queue closed and drained
+
+    std::vector<IngestRecord> applied;
+    applied.reserve(batch.size());
+    bool appended_time = false;
+    {
+      // Lock order matches HandleQuery's reader: server mutex, then engine.
+      std::unique_lock<std::shared_mutex> server_writer(graph_mutex_);
+      auto engine_writer = engine_->AcquireWriterLock();
+      for (IngestRecord& record : batch) {
+        std::string error;
+        if (ApplyIngestRecord(graph_, record, &error)) {
+          appended_time |= record.kind == IngestRecord::Kind::kAppendTime;
+          applied.push_back(std::move(record));
+        }
+        // Invalid records were admitted syntactically but fail semantically
+        // (e.g. unknown attribute); they are dropped — the changefeed is
+        // at-least-once per *valid* record, and /stats exposes the delta
+        // between accepted and applied via server/ingest_records.
+      }
+    }  // release both locks before Refresh (engine contract, engine.h)
+    engine_->Refresh();
+
+    if (!applied.empty()) {
+      IngestRecordsCounter().Add(applied.size());
+      IngestBatchesCounter().Increment();
+      AppendToIngestLog(applied);
+      std::string event_json;
+      {
+        std::shared_lock<std::shared_mutex> reader(graph_mutex_);
+        event_json = EvolutionEventJson();
+      }
+      Broadcast(appended_time ? "evolution" : "update", event_json);
+    }
+  }
+}
+
+void Server::Shutdown() {
+  State expected = State::kRunning;
+  if (!state_.compare_exchange_strong(expected, State::kStopping)) {
+    if (expected == State::kStopped || expected == State::kIdle) return;
+    // Another thread is mid-shutdown; wait for it.
+    std::unique_lock<std::mutex> lock(stopped_mutex_);
+    stopped_.wait(lock, [&] { return state_.load() == State::kStopped; });
+    return;
+  }
+
+  // 1. Stop accepting: closing the listen socket unblocks accept().
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (listener_.joinable()) listener_.join();
+
+  // 2. Drain in-flight connections: workers exit on their sentinel, which
+  //    sits *behind* every already-accepted connection in the queue.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) conn_queue_.push_back(-1);
+  }
+  conn_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 3. Drain queued ingestion, then stop the writer.
+  ingest_queue_.Close();
+  if (writer_.joinable()) writer_.join();
+
+  // 4. Tell subscribers goodbye and close their streams.
+  {
+    std::lock_guard<std::mutex> lock(subscriber_mutex_);
+    for (Subscriber& subscriber : subscribers_) {
+      WriteRaw(subscriber.fd, SseFrame("shutdown", "{}"));
+      ::close(subscriber.fd);
+    }
+    subscribers_.clear();
+  }
+
+  state_.store(State::kStopped);
+  {
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+    stopped_.notify_all();
+  }
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_.wait(lock, [&] {
+    State s = state_.load();
+    return s == State::kStopped || s == State::kIdle;
+  });
+}
+
+}  // namespace graphtempo::server

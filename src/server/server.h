@@ -1,0 +1,179 @@
+#ifndef GRAPHTEMPO_SERVER_SERVER_H_
+#define GRAPHTEMPO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/http.h"
+#include "server/ingest.h"
+#include "server/rate_limiter.h"
+
+/// \file
+/// The GraphTempo query service (docs/SERVER.md): a long-lived HTTP server
+/// wrapping one `TemporalGraph` + `QueryEngine`, exposing `QuerySpec` as a
+/// wire format and consuming an append-only ingestion changefeed.
+///
+/// Endpoints:
+///
+///   * `POST /query`    — JSON request → executed result (or plan, with
+///                        `"explain": true`); see engine/wire.h.
+///   * `GET  /metrics`  — the obs registry snapshot as JSON.
+///   * `GET  /healthz`  — liveness ("ok").
+///   * `GET  /stats`    — server counters: requests, admissions, inflight,
+///                        ingest queue depth, subscriber count.
+///   * `POST /ingest`   — a changefeed batch (server/ingest.h format); 202
+///                        on acceptance. Records apply asynchronously, in
+///                        order, on the single writer thread.
+///   * `GET  /events`   — Server-Sent Events: one `evolution` event per
+///                        applied ingestion batch, carrying node/edge
+///                        stability/growth/shrinkage between the two newest
+///                        time points.
+///   * `POST /shutdown` — graceful remote shutdown (for CI and operators).
+///
+/// ## Threading model
+///
+/// One listener accepts connections into a bounded queue; `worker_threads`
+/// workers each handle one request per connection. Queries bind and execute
+/// under the shared side of `graph_mutex_`; the single writer thread drains
+/// the ingestion queue and applies whole batches under the exclusive side
+/// (plus the engine's own `AcquireWriterLock`), then calls
+/// `engine->Refresh()` — so append-only ingestion invalidates no
+/// disjoint-interval cached answer (docs/ENGINE.md §3). The read path is
+/// guarded twice: a token-bucket rate limiter (`rate_limit_qps`) and an
+/// admission cap on concurrently-executing queries (`max_inflight`,
+/// exceeded → 503).
+///
+/// `Shutdown()` drains: stop accepting, finish queued connections, apply
+/// queued ingestion, close subscriber streams with a `shutdown` event, join
+/// every thread. Idempotent; `Wait()` blocks until a shutdown completes.
+
+namespace graphtempo::server {
+
+struct ServerConfig {
+  int port = 0;                      ///< 0 = ephemeral (read back via port())
+  std::size_t worker_threads = 4;    ///< request handler pool
+  std::size_t max_inflight = 64;     ///< concurrent /query admissions
+  double rate_limit_qps = 0;         ///< /query token refill rate; 0 = off
+  double rate_limit_burst = 0;       ///< bucket depth; 0 = max(qps, 1)
+  std::size_t max_request_bytes = 1 << 20;
+  std::size_t max_subscribers = 64;  ///< concurrent SSE streams
+  std::size_t ingest_queue_capacity = 65536;  ///< records, not batches
+  std::size_t default_top = 0;       ///< result row cap when absent; 0 = all
+  int request_timeout_ms = 10000;
+  std::string ingest_log_path;       ///< "" = no on-disk log
+};
+
+class Server {
+ public:
+  /// Does not take ownership; `graph` and `engine` must outlive the server,
+  /// and `engine` must wrap `graph`.
+  Server(TemporalGraph* graph, engine::QueryEngine* engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Replays the on-disk ingestion log (if configured), binds, and spawns
+  /// the listener, worker and writer threads. False + diagnostic on failure.
+  bool Start(std::string* error);
+
+  /// The bound port (resolves an ephemeral bind). Valid after Start.
+  int port() const { return port_; }
+
+  /// Graceful shutdown; safe from any thread, idempotent, returns when done.
+  void Shutdown();
+
+  /// Blocks until someone completes a shutdown (remote /shutdown included).
+  void Wait();
+
+  /// True once Start succeeded and Shutdown has not begun.
+  bool running() const { return state_.load() == State::kRunning; }
+
+  /// True once a client asked for /shutdown (the serve command polls this).
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+  /// Total requests answered (any endpoint, any status).
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  enum class State : int { kIdle, kRunning, kStopping, kStopped };
+
+  struct Subscriber {
+    int fd = -1;
+  };
+
+  void ListenerLoop();
+  void WorkerLoop();
+  void WriterLoop();
+
+  void HandleConnection(int fd);
+
+  /// Routes one parsed request. Returns nullopt when the connection was
+  /// upgraded to an SSE stream (ownership of `fd` moved to subscribers_).
+  std::optional<HttpResponse> Dispatch(const HttpRequest& request, int fd);
+
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleStats();
+  bool HandleSubscribe(int fd);
+
+  /// Publishes one SSE frame to every subscriber, dropping dead streams.
+  void Broadcast(const std::string& event, const std::string& data);
+
+  /// Builds the evolution-event payload comparing the two newest time points
+  /// (caller holds at least the shared side of graph_mutex_).
+  std::string EvolutionEventJson() const;
+
+  void AppendToIngestLog(const std::vector<IngestRecord>& records);
+
+  TemporalGraph* graph_;
+  engine::QueryEngine* engine_;
+  ServerConfig config_;
+
+  /// Atomic: Shutdown() swaps it to -1 while ListenerLoop reads it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  std::atomic<State> state_{State::kIdle};
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Brokered access to graph + engine: queries bind/execute under shared,
+  /// the ingestion writer mutates under exclusive.
+  std::shared_mutex graph_mutex_;
+
+  /// Accepted connections awaiting a worker; -1 entries are the shutdown
+  /// sentinels (one per worker).
+  std::mutex conn_mutex_;
+  std::condition_variable conn_available_;
+  std::deque<int> conn_queue_;
+
+  IngestQueue ingest_queue_;
+  RateLimiter rate_limiter_;
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex subscriber_mutex_;
+  std::vector<Subscriber> subscribers_;
+
+  std::mutex log_mutex_;  ///< serializes ingest-log file appends
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+  std::thread writer_;
+
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_;
+};
+
+}  // namespace graphtempo::server
+
+#endif  // GRAPHTEMPO_SERVER_SERVER_H_

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/string_util.h"
 #include "util/check.h"
 
 namespace graphtempo {
@@ -190,6 +191,25 @@ void SetParallelism(std::size_t threads) {
 }
 
 std::size_t GetParallelism() { return g_parallelism.load(std::memory_order_relaxed); }
+
+bool ParseThreadCount(std::string_view text, std::size_t* threads, std::string* error) {
+  std::uint64_t parsed = 0;
+  if (!ParseUint64(text, &parsed) || parsed == 0) {
+    if (error != nullptr) {
+      *error = "must be a positive integer, got '" + std::string(text) + "'";
+    }
+    return false;
+  }
+  if (parsed > kMaxConfiguredThreads) {
+    if (error != nullptr) {
+      *error = "must be between 1 and " + std::to_string(kMaxConfiguredThreads) +
+               ", got '" + std::string(text) + "'";
+    }
+    return false;
+  }
+  *threads = static_cast<std::size_t>(parsed);
+  return true;
+}
 
 PoolStats GetPoolStats() {
   PoolStats stats;

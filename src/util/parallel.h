@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -42,6 +44,18 @@ void SetParallelism(std::size_t threads);
 
 /// Current process-wide worker-thread count.
 std::size_t GetParallelism();
+
+/// Largest thread count any user-facing knob accepts. Far above any sane
+/// configuration — the cap exists so a typo ("--threads 1e9" pasted as
+/// "--threads 19") cannot ask the OS for an absurd number of threads.
+inline constexpr std::size_t kMaxConfiguredThreads = 512;
+
+/// The one validator behind every user-facing thread/worker-count knob (CLI
+/// `--threads`, `serve --workers`, `loadgen --clients`): accepts a decimal
+/// integer in [1, kMaxConfiguredThreads]. On failure returns false and sets
+/// `*error` to a human-readable reason (without the flag name, which the
+/// caller prepends).
+bool ParseThreadCount(std::string_view text, std::size_t* threads, std::string* error);
 
 /// Cumulative counters of shared-pool activity (process-wide, all threads).
 /// `jobs` counts multi-chunk dispatches; `chunks` counts chunk executions.

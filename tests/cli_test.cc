@@ -582,5 +582,78 @@ TEST(CliMetricsTest, HelpDocumentsTheObservabilityFlags) {
   EXPECT_NE(run.out.find("--perf"), std::string::npos);
 }
 
+// --- Option-parsing edge cases ------------------------------------------------------
+
+std::size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Regression: a repeated flag used to silently overwrite the earlier value
+// (last one won, invisibly). It must be a hard error.
+TEST_F(CliTest, DuplicateFlagIsAnError) {
+  CliRun run = RunCliCapture(
+      {"operate", path_, "--op", "union", "--op", "intersection", "--t1", "t0"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--op given more than once"), std::string::npos) << run.err;
+}
+
+TEST_F(CliTest, DuplicateGlobalFlagBeforeCommandIsAnError) {
+  CliRun run = RunCliCapture({"--threads", "2", "--threads", "3", "info", path_});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--threads given more than once"), std::string::npos);
+}
+
+TEST_F(CliTest, GlobalFlagRepeatedAfterCommandIsAnError) {
+  CliRun run = RunCliCapture({"--threads", "2", "info", path_, "--threads", "3"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--threads given more than once"), std::string::npos);
+}
+
+TEST_F(CliTest, DuplicateBareFlagIsAnError) {
+  CliRun run = RunCliCapture({"info", path_, "--perf", "--perf"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--perf given more than once"), std::string::npos);
+}
+
+// Regression: a bad range used to emit one "unknown time point" per endpoint
+// — two diagnostics for one mistake. Parsing must short-circuit.
+TEST_F(CliTest, BadRangeYieldsExactlyOneDiagnostic) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "union", "--t1", "t7..t9"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.err, "unknown time point"), 1u) << run.err;
+  EXPECT_NE(run.err.find("'t7'"), std::string::npos) << run.err;  // first endpoint
+}
+
+TEST_F(CliTest, BadSecondEndpointAlsoSingleDiagnostic) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "union", "--t1", "t0..t9"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.err, "unknown time point"), 1u) << run.err;
+  EXPECT_NE(run.err.find("'t9'"), std::string::npos) << run.err;
+}
+
+TEST_F(CliTest, InvertedRangeFails) {
+  CliRun run = RunCliCapture({"operate", path_, "--op", "union", "--t1", "t2..t0"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("inverted range"), std::string::npos);
+}
+
+TEST_F(CliTest, ThreadsRejectsAbsurdlyLargeValues) {
+  CliRun run = RunCliCapture({"--threads", "100000", "info", path_});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("must be between 1 and"), std::string::npos) << run.err;
+}
+
+TEST_F(CliTest, BareExplainAdjacentToOtherFlagsWorks) {
+  CliRun run = RunCliCapture(
+      {"aggregate", path_, "--explain", "--attrs", "gender", "--t1", "t0"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("route"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace graphtempo

@@ -342,6 +342,29 @@ TEST(EngineFingerprintTest, DistinguishesEveryField) {
   EXPECT_NE(changed.Fingerprint(), fp);
 }
 
+// Regression: the fingerprint used to hash the interval's domain size, so
+// the same textual query re-bound after a time point was appended produced a
+// different cache key — every cached answer became unreachable (a silent miss
+// rather than an invalidation). Identity must depend on membership only.
+TEST(EngineFingerprintTest, SurvivesTimeDomainGrowth) {
+  QuerySpec before = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Range(3, 0, 1),
+                              IntervalSet::Point(3, 1), {AttrRef{}},
+                              AggregationSemantics::kDistinct);
+  // The same query, bound after the domain grew from 3 to 13 time points.
+  QuerySpec after = MakeSpec(TemporalOperatorKind::kUnion, IntervalSet::Range(13, 0, 1),
+                             IntervalSet::Point(13, 1), {AttrRef{}},
+                             AggregationSemantics::kDistinct);
+  EXPECT_EQ(before.Fingerprint(), after.Fingerprint());
+  EXPECT_TRUE(before.EquivalentTo(after));
+  EXPECT_TRUE(after.EquivalentTo(before));
+
+  // Different membership over the grown domain is still a different query.
+  QuerySpec other = after;
+  other.t1 = IntervalSet::Range(13, 0, 2);
+  EXPECT_NE(before.Fingerprint(), other.Fingerprint());
+  EXPECT_FALSE(before.EquivalentTo(other));
+}
+
 TEST(EngineFingerprintTest, GroupingIsAHintNotIdentity) {
   // Dense vs hash grouping produce bit-identical results (determinism
   // suite), so the hint must not split the cache key — otherwise dense and

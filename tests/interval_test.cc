@@ -98,6 +98,17 @@ TEST(IntervalSetTest, Equality) {
   EXPECT_NE(IntervalSet::Of(5, {1}), IntervalSet::Of(5, {2}));
 }
 
+TEST(IntervalSetTest, SameMembersIgnoresDomainSize) {
+  EXPECT_TRUE(IntervalSet::Of(3, {0, 1}).SameMembers(IntervalSet::Of(13, {0, 1})));
+  EXPECT_TRUE(IntervalSet::Of(13, {0, 1}).SameMembers(IntervalSet::Of(3, {0, 1})));
+  EXPECT_FALSE(IntervalSet::Of(3, {0, 1}).SameMembers(IntervalSet::Of(13, {0, 2})));
+  // A member past the smaller domain's end is a real difference.
+  EXPECT_FALSE(IntervalSet::Of(3, {0}).SameMembers(IntervalSet::Of(130, {0, 100})));
+  EXPECT_TRUE(IntervalSet(3).SameMembers(IntervalSet(200)));  // both empty
+  // operator== stays strict: different domains never compare equal.
+  EXPECT_NE(IntervalSet::Of(3, {0, 1}), IntervalSet::Of(13, {0, 1}));
+}
+
 TEST(IntervalSetDeath, InvertedRangeAborts) {
   EXPECT_DEATH(IntervalSet::Range(5, 3, 2), "inverted");
 }

@@ -1,0 +1,88 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtempo::json {
+namespace {
+
+std::optional<Value> ParseOk(const std::string& text) {
+  std::string error;
+  std::optional<Value> value = Parse(text, &error);
+  EXPECT_TRUE(value.has_value()) << error;
+  return value;
+}
+
+std::string ParseError(const std::string& text) {
+  std::string error;
+  std::optional<Value> value = Parse(text, &error);
+  EXPECT_FALSE(value.has_value()) << text;
+  return error;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseOk("null")->is_null());
+  EXPECT_TRUE(ParseOk("true")->AsBool());
+  EXPECT_FALSE(ParseOk("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseOk("-2.5e2")->AsDouble(), -250.0);
+  EXPECT_EQ(ParseOk("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, LargeIntegersRoundTripExactly) {
+  // Doubles lose precision past 2^53; counter values must not.
+  const std::string big = "18446744073709551615";
+  std::optional<Value> value = ParseOk(big);
+  EXPECT_EQ(value->AsUint64(), 18446744073709551615ull);
+  EXPECT_EQ(value->Serialize(), big);  // original spelling preserved
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Value object = Value::Object();
+  object.Set("z", Value::Number(std::uint64_t{1}));
+  object.Set("a", Value::Number(std::uint64_t{2}));
+  object.Set("m", Value::Array());
+  EXPECT_EQ(object.Serialize(), R"({"z":1,"a":2,"m":[]})");  // deterministic
+}
+
+TEST(JsonTest, RoundTripsNestedStructures) {
+  const std::string text =
+      R"({"op":"union","attrs":["gender","publications"],"top":5,"nested":{"deep":[1,2,{"x":null}]}})";
+  std::optional<Value> value = ParseOk(text);
+  EXPECT_EQ(value->Serialize(), text);
+  EXPECT_EQ(value->Find("attrs")->AsArray().size(), 2u);
+  EXPECT_EQ(value->Find("nested")->Find("deep")->AsArray().size(), 3u);
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  Value value = Value::String("line\nbreak \"quoted\" tab\t\\slash");
+  std::optional<Value> reparsed = ParseOk(value.Serialize());
+  EXPECT_EQ(reparsed->AsString(), value.AsString());
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(ParseOk("\"\\u00e9\"")->AsString(), "\xc3\xa9");      // é
+  EXPECT_EQ(ParseOk("\"\\u2192\"")->AsString(), "\xe2\x86\x92");  // →
+}
+
+TEST(JsonTest, ReportsErrorsWithByteOffsets) {
+  EXPECT_NE(ParseError("{\"a\":}").find("at byte"), std::string::npos);
+  EXPECT_NE(ParseError("[1,2").find("at byte"), std::string::npos);
+  EXPECT_NE(ParseError("").find("at byte"), std::string::npos);
+  EXPECT_NE(ParseError("{\"a\":1} trailing").find("at byte"), std::string::npos);
+  EXPECT_NE(ParseError("nul"), "");
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_NE(ParseError(deep).find("too deep"), std::string::npos);
+}
+
+TEST(JsonTest, NonNumericAccessorsAreSafe) {
+  std::optional<Value> value = ParseOk("\"text\"");
+  EXPECT_EQ(value->AsUint64(), std::nullopt);
+  EXPECT_EQ(ParseOk("-5")->AsUint64(), std::nullopt);  // negative is not uint
+}
+
+}  // namespace
+}  // namespace graphtempo::json

@@ -1,0 +1,267 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "engine/wire.h"
+#include "server/http.h"
+#include "test_graphs.h"
+#include "util/json.h"
+
+namespace graphtempo::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Fixture owning a paper-example graph, engine and running server.
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : graph_(graphtempo::testing::BuildPaperGraph()), engine_(&graph_) {}
+
+  void StartServer(ServerConfig config = {}) {
+    server_.emplace(&graph_, &engine_, config);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  HttpResponse Fetch(const std::string& method, const std::string& path,
+                     const std::string& body = "") {
+    std::string error;
+    std::optional<HttpResponse> response =
+        HttpFetch("127.0.0.1", server_->port(), method, path, body, &error);
+    EXPECT_TRUE(response.has_value()) << error;
+    return response.value_or(HttpResponse{});
+  }
+
+  json::Value FetchJson(const std::string& method, const std::string& path,
+                        const std::string& body = "", int expect_status = 200) {
+    HttpResponse response = Fetch(method, path, body);
+    EXPECT_EQ(response.status, expect_status) << response.body;
+    std::string error;
+    std::optional<json::Value> parsed = json::Parse(response.body, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << ": " << response.body;
+    return parsed.has_value() ? std::move(*parsed) : json::Value::Object();
+  }
+
+  /// Polls /stats until the ingestion writer has grown the time domain.
+  void WaitForTimePoints(std::uint64_t expected) {
+    for (int i = 0; i < 200; ++i) {
+      json::Value stats = FetchJson("GET", "/stats");
+      if (stats.Find("num_times")->AsUint64().value_or(0) >= expected) return;
+      std::this_thread::sleep_for(10ms);
+    }
+    FAIL() << "ingestion writer never reached " << expected << " time points";
+  }
+
+  TemporalGraph graph_;
+  engine::QueryEngine engine_;
+  std::optional<Server> server_;
+};
+
+TEST_F(ServerTest, HealthzAnswersOk) {
+  StartServer();
+  HttpResponse response = Fetch("GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(ServerTest, MetricsServesRegistrySnapshot) {
+  StartServer();
+  json::Value metrics = FetchJson("GET", "/metrics");
+  EXPECT_NE(metrics.Find("generation"), nullptr);
+  EXPECT_NE(metrics.Find("counters"), nullptr);
+  EXPECT_NE(metrics.Find("histograms"), nullptr);
+}
+
+TEST_F(ServerTest, UnknownPathIs404WrongMethodIs405) {
+  StartServer();
+  EXPECT_EQ(Fetch("GET", "/nope").status, 404);
+  EXPECT_EQ(Fetch("POST", "/healthz").status, 405);
+  EXPECT_EQ(Fetch("GET", "/query").status, 405);
+}
+
+TEST_F(ServerTest, BadRequestsAre400) {
+  StartServer();
+  EXPECT_EQ(Fetch("POST", "/query", "{not json").status, 400);
+  EXPECT_EQ(Fetch("POST", "/query", R"({"attrs":["gender"]})").status, 400);
+  EXPECT_EQ(Fetch("POST", "/query", R"({"t1":"t9","attrs":["gender"]})").status, 400);
+  EXPECT_EQ(Fetch("POST", "/ingest", "bogus line\n").status, 400);
+}
+
+// The differential guarantee: a wire-served answer is byte-identical to
+// serializing a direct engine call for the same spec. Any drift between the
+// server path and the library path fails here.
+TEST_F(ServerTest, WireAnswersMatchDirectEngineCallsByteForByte) {
+  StartServer();
+  const char* requests[] = {
+      R"({"op":"union","t1":"t0","t2":"t1","attrs":["gender","publications"]})",
+      R"({"op":"intersection","t1":"t0","t2":"t1","attrs":["gender"]})",
+      R"({"op":"difference","t1":"t1","t2":"t0","attrs":["gender"],"semantics":"all"})",
+      R"({"op":"project","t1":"t0..t2","attrs":["publications"]})",
+  };
+  TemporalGraph reference_graph = graphtempo::testing::BuildPaperGraph();
+  engine::QueryEngine reference_engine(&reference_graph);
+  for (const char* request : requests) {
+    HttpResponse served = Fetch("POST", "/query", request);
+    ASSERT_EQ(served.status, 200) << request << ": " << served.body;
+
+    std::string error;
+    std::optional<json::Value> parsed = json::Parse(request, &error);
+    ASSERT_TRUE(parsed.has_value());
+    engine::wire::RequestOptions options;
+    std::optional<engine::QuerySpec> spec =
+        engine::wire::BindQuerySpec(reference_graph, *parsed, &options, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    std::string direct = engine::wire::ResultToJson(
+        reference_graph, *spec, reference_engine.Plan(*spec),
+        reference_engine.Execute(*spec), options.top);
+    EXPECT_EQ(served.body, direct) << request;
+  }
+}
+
+TEST_F(ServerTest, ExplainReturnsPlanNotRows) {
+  StartServer();
+  json::Value plan = FetchJson(
+      "POST", "/query", R"({"t1":"t0","attrs":["gender"],"explain":true})");
+  EXPECT_NE(plan.Find("route"), nullptr);
+  EXPECT_NE(plan.Find("steps"), nullptr);
+  EXPECT_EQ(plan.Find("nodes"), nullptr);  // a plan, not a result
+}
+
+TEST_F(ServerTest, IngestAppliesAsynchronouslyAndServesNewPoint) {
+  StartServer();
+  json::Value accepted = FetchJson(
+      "POST", "/ingest", "t t3\ne Mary John t3\nn Anna t3\n", 202);
+  EXPECT_EQ(accepted.Find("accepted")->AsUint64().value_or(0), 3u);
+  WaitForTimePoints(4);
+  HttpResponse response =
+      Fetch("POST", "/query", R"({"op":"project","t1":"t3","attrs":["gender"]})");
+  EXPECT_EQ(response.status, 200) << response.body;
+}
+
+TEST_F(ServerTest, AppendOnlyIngestInvalidatesNoCachedAnswer) {
+  StartServer();
+  const char* old_interval_query =
+      R"({"op":"union","t1":"t0","t2":"t1","attrs":["gender"]})";
+  HttpResponse before = Fetch("POST", "/query", old_interval_query);
+  ASSERT_EQ(before.status, 200);
+  FetchJson("POST", "/ingest", "t t3\ne Mary John t3\n", 202);
+  WaitForTimePoints(4);
+  HttpResponse after = Fetch("POST", "/query", old_interval_query);
+  ASSERT_EQ(after.status, 200);
+  EXPECT_EQ(before.body, after.body);  // the old interval is untouched
+  engine::QueryEngine::CacheStats stats = engine_.cache_stats();
+  EXPECT_EQ(stats.invalidations, 0u);  // per-entry invalidation spared it
+  EXPECT_GE(stats.hits, 1u);           // and the second answer was a cache hit
+}
+
+TEST_F(ServerTest, RateLimiterAnswers429) {
+  ServerConfig config;
+  config.rate_limit_qps = 0.001;  // refills far slower than the test runs
+  config.rate_limit_burst = 2;
+  StartServer(config);
+  const char* query = R"({"t1":"t0","attrs":["gender"]})";
+  EXPECT_EQ(Fetch("POST", "/query", query).status, 200);
+  EXPECT_EQ(Fetch("POST", "/query", query).status, 200);
+  EXPECT_EQ(Fetch("POST", "/query", query).status, 429);  // bucket empty
+  EXPECT_EQ(Fetch("GET", "/metrics").status, 200);  // other endpoints unaffected
+}
+
+TEST_F(ServerTest, ShutdownEndpointRequestsShutdown) {
+  StartServer();
+  EXPECT_FALSE(server_->shutdown_requested());
+  json::Value response = FetchJson("POST", "/shutdown");
+  EXPECT_TRUE(response.Find("shutting_down")->AsBool());
+  EXPECT_TRUE(server_->shutdown_requested());
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, SseStreamDeliversEvolutionEvents) {
+  StartServer();
+  std::string error;
+  int fd = ConnectTcp("127.0.0.1", server_->port(), &error);
+  ASSERT_GE(fd, 0) << error;
+  std::string subscribe = "GET /events HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_TRUE(WriteRaw(fd, subscribe));
+
+  auto read_until = [&](const std::string& needle, std::string* buffer) {
+    auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (buffer->find(needle) == std::string::npos) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      char chunk[2048];
+      ssize_t got = ::read(fd, chunk, sizeof(chunk));
+      if (got <= 0) return false;
+      buffer->append(chunk, static_cast<std::size_t>(got));
+    }
+    return true;
+  };
+  std::string buffer;
+  ASSERT_TRUE(read_until("event: hello", &buffer)) << buffer;
+
+  FetchJson("POST", "/ingest", "t t3\ne Mary John t3\n", 202);
+  ASSERT_TRUE(read_until("event: evolution", &buffer)) << buffer;
+  // The payload carries growth/shrinkage/stability between t2 and t3.
+  std::size_t data_at = buffer.find("data: ", buffer.find("event: evolution"));
+  ASSERT_NE(data_at, std::string::npos);
+  std::size_t line_end = buffer.find('\n', data_at);
+  std::string payload = buffer.substr(data_at + 6, line_end - data_at - 6);
+  std::optional<json::Value> event = json::Parse(payload, &error);
+  ASSERT_TRUE(event.has_value()) << error << ": " << payload;
+  EXPECT_EQ(event->Find("latest")->AsString(), "t3");
+  EXPECT_NE(event->Find("nodes")->Find("stability"), nullptr);
+  EXPECT_NE(event->Find("edges")->Find("growth"), nullptr);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, IngestLogReplayRestoresState) {
+  std::string log_path = ::testing::TempDir() + "/gt_ingest_log_" +
+                         std::to_string(getpid()) + ".log";
+  std::remove(log_path.c_str());
+  {
+    ServerConfig config;
+    config.ingest_log_path = log_path;
+    StartServer(config);
+    FetchJson("POST", "/ingest", "t t3\ne Mary John t3\n", 202);
+    WaitForTimePoints(4);
+    server_->Shutdown();
+    server_.reset();
+  }
+  // A fresh graph + server over the same log resumes from the same state.
+  TemporalGraph restarted_graph = graphtempo::testing::BuildPaperGraph();
+  engine::QueryEngine restarted_engine(&restarted_graph);
+  ServerConfig config;
+  config.ingest_log_path = log_path;
+  Server restarted(&restarted_graph, &restarted_engine, config);
+  std::string error;
+  ASSERT_TRUE(restarted.Start(&error)) << error;
+  EXPECT_EQ(restarted_graph.num_times(), 4u);
+  EXPECT_TRUE(restarted_graph.FindTime("t3").has_value());
+  restarted.Shutdown();
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ServerTest, MalformedIngestBatchReportsLineNumber) {
+  StartServer();
+  HttpResponse response = Fetch("POST", "/ingest", "t t3\nzz what\n");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("line 2"), std::string::npos) << response.body;
+}
+
+TEST_F(ServerTest, DuplicateTimePointIngestIsDroppedNotFatal) {
+  StartServer();
+  FetchJson("POST", "/ingest", "t t1\nt t3\n", 202);  // t1 already exists
+  WaitForTimePoints(4);  // t3 still lands; the duplicate is skipped
+  json::Value stats = FetchJson("GET", "/stats");
+  EXPECT_EQ(stats.Find("num_times")->AsUint64().value_or(0), 4u);
+}
+
+}  // namespace
+}  // namespace graphtempo::server

@@ -1,12 +1,17 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "core/aggregation.h"
 #include "core/coarsen.h"
@@ -25,8 +30,12 @@
 #include "datagen/dblp_gen.h"
 #include "datagen/movielens_gen.h"
 #include "datagen/paper_example.h"
+#include "engine/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -61,6 +70,14 @@ commands:
   suggest-k <graph.tsv> --event <...> [selector options]
   stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
   metrics [--format text|json]             dump the metrics registry snapshot
+  serve <graph.tsv> [--port N] [--workers N] [--max-inflight N]
+          [--rate-limit QPS] [--rate-burst N] [--attrs a,b [--materialize]]
+          [--ingest-log path] [--duration-seconds N] [--top N]
+                                           run the HTTP query service (docs/SERVER.md)
+  loadgen --port N [--host IP] [--clients N] [--requests N] [--attrs a,b]
+          [--ingest [yes|no]] [--json path]   closed-loop load generator:
+                                           zipfian query mix, optional live
+                                           ingestion, qps + p50/p99 report
 
 global options (any command):
   --threads N     worker threads for parallel scans (default 1; results are
@@ -113,7 +130,7 @@ bool IsCommandName(const std::string& word) {
   static const char* kCommands[] = {"help",      "info",    "generate", "import",
                                     "operate",   "aggregate", "evolution", "measure",
                                     "coarsen",   "explore", "suggest-k", "stats",
-                                    "metrics"};
+                                    "metrics",   "serve",   "loadgen"};
   return std::any_of(std::begin(kCommands), std::end(kCommands),
                      [&](const char* cmd) { return word == cmd; });
 }
@@ -135,6 +152,14 @@ bool ParseOptions(const std::vector<std::string>& args, std::size_t start,
   for (std::size_t i = start; i < args.size(); ++i) {
     if (StartsWith(args[i], "--")) {
       std::string name = args[i].substr(2);
+      // A repeated flag is an error, not a silent last-one-wins overwrite:
+      // `--t1 2004 --t1 2005` almost certainly means the user edited the
+      // wrong occurrence, and which one "won" was previously invisible.
+      // (Also catches a global flag given both before and after the command.)
+      if (options->flags.count(name) != 0) {
+        err << "error: flag --" << name << " given more than once\n";
+        return false;
+      }
       const char* bare_default = BareFlagDefault(name);
       const bool next_is_value =
           i + 1 < args.size() && !StartsWith(args[i + 1], "--");
@@ -153,35 +178,25 @@ bool ParseOptions(const std::vector<std::string>& args, std::size_t start,
   return true;
 }
 
-/// "2005" / "5" → TimeId; label lookup first, index fallback.
+/// "2005" / "5" → TimeId. Thin shim over the shared wire parser
+/// (engine/wire.h) so the CLI and the query server bind identically.
 std::optional<TimeId> ParseTimePoint(const TemporalGraph& graph, const std::string& text,
                                      std::ostream& err) {
-  if (std::optional<TimeId> t = graph.FindTime(text)) return t;
-  std::uint64_t index = 0;
-  if (ParseUint64(text, &index) && index < graph.num_times()) {
-    return static_cast<TimeId>(index);
-  }
-  err << "error: unknown time point '" << text << "'\n";
-  return std::nullopt;
+  std::string error;
+  std::optional<TimeId> t = engine::wire::ParseTimePoint(graph, text, &error);
+  if (!t.has_value()) err << "error: " << error << "\n";
+  return t;
 }
 
-/// "a..b" or single point → IntervalSet.
+/// "a..b" or single point → IntervalSet. Delegates to the shared wire parser,
+/// which short-circuits at the first bad endpoint — one malformed range
+/// yields exactly one diagnostic, never one per endpoint.
 std::optional<IntervalSet> ParseInterval(const TemporalGraph& graph,
                                          const std::string& text, std::ostream& err) {
-  std::size_t dots = text.find("..");
-  if (dots == std::string::npos) {
-    std::optional<TimeId> t = ParseTimePoint(graph, text, err);
-    if (!t.has_value()) return std::nullopt;
-    return IntervalSet::Point(graph.num_times(), *t);
-  }
-  std::optional<TimeId> first = ParseTimePoint(graph, text.substr(0, dots), err);
-  std::optional<TimeId> last = ParseTimePoint(graph, text.substr(dots + 2), err);
-  if (!first.has_value() || !last.has_value()) return std::nullopt;
-  if (*first > *last) {
-    err << "error: inverted range '" << text << "'\n";
-    return std::nullopt;
-  }
-  return IntervalSet::Range(graph.num_times(), *first, *last);
+  std::string error;
+  std::optional<IntervalSet> interval = engine::wire::ParseInterval(graph, text, &error);
+  if (!interval.has_value()) err << "error: " << error << "\n";
+  return interval;
 }
 
 std::optional<std::vector<AttrRef>> ParseAttributes(const TemporalGraph& graph,
@@ -990,6 +1005,349 @@ int CmdSuggestK(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// --- serve / loadgen -------------------------------------------------------------
+
+/// Parses an optional non-negative numeric flag; false + diagnostic when the
+/// flag is present but malformed.
+bool ParseOptionalUint(const Options& options, const std::string& name,
+                       std::uint64_t* value, std::ostream& err) {
+  std::optional<std::string> raw = options.Get(name);
+  if (!raw.has_value()) return true;
+  if (!ParseUint64(*raw, value)) {
+    err << "error: --" << name << " must be a non-negative integer, got '" << *raw
+        << "'\n";
+    return false;
+  }
+  return true;
+}
+
+int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "usage: graphtempo serve <graph.tsv> [--port N] [--workers N] ...\n";
+    return 1;
+  }
+  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  if (!graph.has_value()) return 1;
+
+  server::ServerConfig config;
+  std::uint64_t port = 0;
+  if (!ParseOptionalUint(options, "port", &port, err)) return 1;
+  if (port > 65535) {
+    err << "error: --port must be at most 65535\n";
+    return 1;
+  }
+  config.port = static_cast<int>(port);
+
+  // Worker-pool sizing shares the CLI's central thread-count validation.
+  if (std::optional<std::string> raw = options.Get("workers")) {
+    std::string error;
+    if (!ParseThreadCount(*raw, &config.worker_threads, &error)) {
+      err << "error: --workers " << error << "\n";
+      return 1;
+    }
+  }
+  std::uint64_t max_inflight = config.max_inflight;
+  if (!ParseOptionalUint(options, "max-inflight", &max_inflight, err)) return 1;
+  if (max_inflight == 0) {
+    err << "error: --max-inflight must be a positive integer\n";
+    return 1;
+  }
+  config.max_inflight = static_cast<std::size_t>(max_inflight);
+  if (std::optional<std::string> raw = options.Get("rate-limit")) {
+    config.rate_limit_qps = std::atof(raw->c_str());
+    if (config.rate_limit_qps <= 0) {
+      err << "error: --rate-limit must be a positive number of queries/second\n";
+      return 1;
+    }
+  }
+  if (std::optional<std::string> raw = options.Get("rate-burst")) {
+    config.rate_limit_burst = std::atof(raw->c_str());
+    if (config.rate_limit_burst <= 0) {
+      err << "error: --rate-burst must be a positive number\n";
+      return 1;
+    }
+  }
+  std::uint64_t top = 0;
+  if (!ParseOptionalUint(options, "top", &top, err)) return 1;
+  config.default_top = static_cast<std::size_t>(top);
+  config.ingest_log_path = options.Get("ingest-log").value_or("");
+  std::uint64_t duration_seconds = 0;
+  if (!ParseOptionalUint(options, "duration-seconds", &duration_seconds, err)) return 1;
+
+  engine::QueryEngine engine(&*graph);
+  const std::string materialize_raw = options.Get("materialize").value_or("no");
+  if (materialize_raw != "yes" && materialize_raw != "no") {
+    err << "error: --materialize must be yes or no (bare --materialize means yes), got '"
+        << materialize_raw << "'\n";
+    return 1;
+  }
+  if (materialize_raw == "yes") {
+    std::optional<std::string> attr_names = options.Get("attrs");
+    if (!attr_names.has_value()) {
+      err << "error: --materialize needs --attrs to know what to materialize\n";
+      return 1;
+    }
+    std::optional<std::vector<AttrRef>> attrs =
+        ParseAttributes(*graph, *attr_names, err);
+    if (!attrs.has_value()) return 1;
+    engine.EnableMaterialization(*attrs);
+  }
+
+  server::Server server(&*graph, &engine, config);
+  std::string error;
+  if (!server.Start(&error)) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+  out << "serving " << options.positional[0] << " on 127.0.0.1:" << server.port()
+      << " (" << config.worker_threads << " workers";
+  if (duration_seconds > 0) out << ", for " << duration_seconds << "s";
+  out << "; POST /shutdown to stop)\n";
+  out.flush();
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(duration_seconds);
+  while (!server.shutdown_requested()) {
+    if (duration_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Shutdown();
+  out << "served " << server.requests_served() << " requests; shut down cleanly\n";
+  return 0;
+}
+
+/// xorshift64* — a tiny deterministic PRNG so the load mix is reproducible.
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
+  std::uint64_t port = 0;
+  if (!ParseOptionalUint(options, "port", &port, err)) return 1;
+  if (port == 0 || port > 65535) {
+    err << "error: --port is required (the serve command prints it)\n";
+    return 1;
+  }
+  const std::string host = options.Get("host").value_or("127.0.0.1");
+  std::size_t clients = 4;
+  if (std::optional<std::string> raw = options.Get("clients")) {
+    std::string error;
+    if (!ParseThreadCount(*raw, &clients, &error)) {
+      err << "error: --clients " << error << "\n";
+      return 1;
+    }
+  }
+  std::uint64_t requests = 200;
+  if (!ParseOptionalUint(options, "requests", &requests, err)) return 1;
+  if (requests == 0) {
+    err << "error: --requests must be a positive integer\n";
+    return 1;
+  }
+  const std::string ingest_raw = options.Get("ingest").value_or("no");
+  if (ingest_raw != "yes" && ingest_raw != "no") {
+    err << "error: --ingest must be yes or no\n";
+    return 1;
+  }
+  const bool ingest = ingest_raw == "yes";
+
+  // Discover the served graph's shape so the spec mix stays in-domain.
+  std::string error;
+  std::optional<server::HttpResponse> stats =
+      server::HttpFetch(host, static_cast<int>(port), "GET", "/stats", "", &error);
+  if (!stats.has_value() || stats->status != 200) {
+    err << "error: cannot reach server at " << host << ":" << port << ": "
+        << (stats.has_value() ? "HTTP " + std::to_string(stats->status) : error)
+        << "\n";
+    return 1;
+  }
+  std::optional<json::Value> stats_json = json::Parse(stats->body, &error);
+  if (!stats_json.has_value()) {
+    err << "error: malformed /stats response: " << error << "\n";
+    return 1;
+  }
+  const json::Value* num_times_value = stats_json->Find("num_times");
+  std::uint64_t num_times =
+      num_times_value != nullptr ? num_times_value->AsUint64().value_or(0) : 0;
+  if (num_times == 0) {
+    err << "error: served graph has no time points\n";
+    return 1;
+  }
+
+  std::optional<std::string> attr_names = options.Get("attrs");
+  if (!attr_names.has_value()) {
+    err << "error: --attrs is required (comma-separated attribute names)\n";
+    return 1;
+  }
+  std::vector<std::string> attrs = Split(*attr_names, ',');
+
+  // The query mix: a handful of spec templates over the *initial* time
+  // domain, ranked zipfian (weight 1/rank) — a head of hot repeated specs
+  // exercising the cache and a tail of distinct ones. Ingestion (when on)
+  // only appends new time points, so every one of these intervals stays
+  // disjoint from the mutations and no cached answer is ever invalidated.
+  struct Template {
+    std::string op;
+    std::string t1;
+    std::string t2;  // "" = omit
+  };
+  std::vector<Template> mix;
+  std::string last = std::to_string(num_times - 1);
+  mix.push_back({"union", "0.." + last, ""});
+  mix.push_back({"intersection", "0", last});
+  if (num_times >= 2) {
+    mix.push_back({"difference", last, std::to_string(num_times - 2)});
+    mix.push_back({"union", "0..1", ""});
+  }
+  for (std::uint64_t t = 0; t < num_times; ++t) {
+    mix.push_back({"project", std::to_string(t), ""});
+  }
+  std::vector<double> cumulative(mix.size());
+  double total_weight = 0;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    total_weight += 1.0 / static_cast<double>(i + 1);  // zipf s=1
+    cumulative[i] = total_weight;
+  }
+
+  auto request_body = [&](const Template& t) {
+    json::Value body = json::Value::Object();
+    body.Set("op", json::Value::String(t.op));
+    body.Set("t1", json::Value::String(t.t1));
+    if (!t.t2.empty()) body.Set("t2", json::Value::String(t.t2));
+    json::Value attr_list = json::Value::Array();
+    for (const std::string& name : attrs) {
+      attr_list.Append(json::Value::String(name));
+    }
+    body.Set("attrs", std::move(attr_list));
+    body.Set("top", json::Value::Number(static_cast<std::uint64_t>(8)));
+    return body.Serialize();
+  };
+
+  // Closed loop: each client thread fires its share of requests back to
+  // back; the optional feeder appends one time point per batch while queries
+  // are in flight, exercising the reader/writer protocol end to end.
+  std::atomic<std::uint64_t> sent{0}, ok{0}, rejected{0}, failed{0};
+  auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    std::uint64_t share = requests / clients + (c < requests % clients ? 1 : 0);
+    pool.emplace_back([&, c, share] {
+      std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (c + 1);
+      for (std::uint64_t i = 0; i < share; ++i) {
+        double pick = static_cast<double>(NextRandom(&rng) >> 11) /
+                      static_cast<double>(1ULL << 53) * total_weight;
+        std::size_t choice = 0;
+        while (choice + 1 < cumulative.size() && cumulative[choice] < pick) ++choice;
+        std::string fetch_error;
+        std::optional<server::HttpResponse> response =
+            server::HttpFetch(host, static_cast<int>(port), "POST", "/query",
+                              request_body(mix[choice]), &fetch_error);
+        sent.fetch_add(1);
+        if (!response.has_value()) {
+          failed.fetch_add(1);
+        } else if (response->status == 200) {
+          ok.fetch_add(1);
+        } else if (response->status == 429 || response->status == 503) {
+          rejected.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread feeder;
+  std::atomic<bool> feeding{ingest};
+  if (ingest) {
+    feeder = std::thread([&] {
+      std::uint64_t appended = 0;
+      while (feeding.load()) {
+        // Append-only: one new time point plus a few edges at it. Old
+        // intervals never mutate, so cached answers stay valid.
+        std::string label = "load" + std::to_string(appended++);
+        std::string batch = "t " + label + "\n";
+        batch += "e lg_a lg_b " + label + "\n";
+        batch += "e lg_b lg_c " + label + "\n";
+        std::string ingest_error;
+        server::HttpFetch(host, static_cast<int>(port), "POST", "/ingest", batch,
+                          &ingest_error);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  for (std::thread& client : pool) client.join();
+  feeding.store(false);
+  if (feeder.joinable()) feeder.join();
+  double elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  // Latency and engine counters come from the server's own obs registry —
+  // the histograms the /metrics endpoint snapshots.
+  std::optional<server::HttpResponse> metrics =
+      server::HttpFetch(host, static_cast<int>(port), "GET", "/metrics", "", &error);
+  if (!metrics.has_value() || metrics->status != 200) {
+    err << "error: cannot fetch /metrics after the run\n";
+    return 1;
+  }
+  std::optional<json::Value> metrics_json = json::Parse(metrics->body, &error);
+  if (!metrics_json.has_value()) {
+    err << "error: malformed /metrics response: " << error << "\n";
+    return 1;
+  }
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const json::Value* counters = metrics_json->Find("counters");
+    if (counters == nullptr) return 0;
+    const json::Value* value = counters->Find(name);
+    return value != nullptr ? value->AsUint64().value_or(0) : 0;
+  };
+  auto histogram_quantile = [&](const char* name, const char* quantile) -> double {
+    const json::Value* histograms = metrics_json->Find("histograms");
+    if (histograms == nullptr) return 0;
+    const json::Value* entry = histograms->Find(name);
+    if (entry == nullptr) return 0;
+    const json::Value* value = entry->Find(quantile);
+    return value != nullptr ? value->AsDouble() : 0;
+  };
+  double p50_ms = histogram_quantile("server/query_latency_us", "p50") / 1000.0;
+  double p99_ms = histogram_quantile("server/query_latency_us", "p99") / 1000.0;
+  double qps = elapsed_seconds > 0
+                   ? static_cast<double>(ok.load()) / elapsed_seconds
+                   : 0;
+
+  char line[640];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"server_loadgen\",\"clients\":%zu,\"requests\":%llu,"
+      "\"ok\":%llu,\"rejected\":%llu,\"failed\":%llu,\"elapsed_s\":%.3f,"
+      "\"qps\":%.1f,\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,\"stale_fallbacks\":%llu,"
+      "\"cache_invalidations\":%llu,\"ingest_records\":%llu}",
+      clients, static_cast<unsigned long long>(sent.load()),
+      static_cast<unsigned long long>(ok.load()),
+      static_cast<unsigned long long>(rejected.load()),
+      static_cast<unsigned long long>(failed.load()), elapsed_seconds, qps, p50_ms,
+      p99_ms, static_cast<unsigned long long>(counter("engine/cache_hit")),
+      static_cast<unsigned long long>(counter("engine/cache_miss")),
+      static_cast<unsigned long long>(counter("engine/stale_fallback")),
+      static_cast<unsigned long long>(counter("engine/cache_invalidate")),
+      static_cast<unsigned long long>(counter("server/ingest_records")));
+  out << line << "\n";
+  if (std::optional<std::string> json_path = options.Get("json")) {
+    std::ofstream file(*json_path);
+    if (!file.is_open()) {
+      err << "error: cannot open for writing: " << *json_path << "\n";
+      return 1;
+    }
+    file << line << "\n";
+  }
+  return failed.load() == 0 ? 0 : 1;
+}
+
 // --- metrics ---------------------------------------------------------------------
 
 int CmdMetrics(const Options& options, std::ostream& out, std::ostream& err) {
@@ -1021,6 +1379,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
          (args[command_index] == "--threads" || args[command_index] == "--perf" ||
           args[command_index] == "--trace")) {
     std::string name = args[command_index].substr(2);
+    if (options.flags.count(name) != 0) {
+      err << "error: flag --" << name << " given more than once\n";
+      return 1;
+    }
     const char* bare_default = BareFlagDefault(name);
     const bool next_is_value = command_index + 1 < args.size() &&
                                !StartsWith(args[command_index + 1], "--") &&
@@ -1043,14 +1405,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   }
   if (!ParseOptions(args, command_index + 1, &options, err)) return 1;
 
-  // Global execution options, honored by every command.
+  // Global execution options, honored by every command. Thread-count
+  // validation is centralized in util/parallel (ParseThreadCount) and shared
+  // with the server's worker-pool configuration.
   if (std::optional<std::string> threads_raw = options.Get("threads")) {
-    std::uint64_t threads = 0;
-    if (!ParseUint64(*threads_raw, &threads) || threads == 0) {
-      err << "error: --threads must be a positive integer\n";
+    std::size_t threads = 0;
+    std::string error;
+    if (!ParseThreadCount(*threads_raw, &threads, &error)) {
+      err << "error: --threads " << error << "\n";
       return 1;
     }
-    SetParallelism(static_cast<std::size_t>(threads));
+    SetParallelism(threads);
   }
   const std::string perf_raw = options.Get("perf").value_or("no");
   if (perf_raw != "yes" && perf_raw != "no") {
@@ -1118,6 +1483,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   if (command == "suggest-k") return finish(CmdSuggestK(options, out, err));
   if (command == "stats") return finish(CmdStats(options, out, err));
   if (command == "metrics") return finish(CmdMetrics(options, out, err));
+  if (command == "serve") return finish(CmdServe(options, out, err));
+  if (command == "loadgen") return finish(CmdLoadgen(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
   return 1;
 }
