@@ -1,0 +1,217 @@
+/// Microbenchmark gate for the pluggable compute backends (docs/KERNELS.md
+/// §8): every vectorized backend compiled into this binary and supported by
+/// the CPU must beat the scalar fallback on every kernel of the dispatch
+/// table, by at least GT_KERNEL_GATE_MIN (default 1.3x). Run as a ctest test
+/// so a regression that makes a SIMD kernel slower than scalar fails CI
+/// instead of silently shipping.
+///
+/// Exit codes: 0 all kernels pass, 1 at least one kernel below the gate,
+/// 77 skipped (no vectorized backend available, or a sanitizer build where
+/// instrumentation overhead makes kernel ratios meaningless). 77 is wired as
+/// SKIP_RETURN_CODE so ctest reports the skip rather than a silent pass.
+///
+/// Methodology: fixed 1024-word (8 KiB) L1-resident buffers so the gate
+/// measures instruction throughput rather than memory bandwidth; per-kernel
+/// iteration counts calibrated until the scalar pass takes ~1 ms; then an
+/// interleaved min-of-reps loop (scalar and vector alternating) so clock
+/// ramps and scheduler noise on shared runners hit both sides equally.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/backend.h"
+#include "bench_common.h"
+#include "datagen/random.h"
+#include "util/stopwatch.h"
+
+namespace gt = graphtempo;
+using gt::accel::KernelBackend;
+using gt::bench::DoNotOptimize;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define GT_GATE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define GT_GATE_SANITIZED 1
+#endif
+#endif
+
+namespace {
+
+constexpr int kSkipExitCode = 77;
+constexpr std::size_t kWords = 1024;  // 8 KiB per buffer: L1-resident
+constexpr int kReps = 9;
+constexpr double kCalibrateMs = 1.0;
+
+/// One pass of a single kernel over the prepared buffers; returns a value
+/// derived from the output so the timed work cannot be elided.
+struct KernelCase {
+  std::string name;
+  std::function<std::size_t(const KernelBackend&)> pass;
+};
+
+std::vector<KernelCase> BuildCases() {
+  // Static buffers keep the lambdas capture-light and the addresses stable
+  // across every measurement of the run.
+  static std::vector<std::uint64_t> a(kWords), b(kWords), out(kWords);
+  static std::vector<std::uint32_t> indices;
+  gt::datagen::Pcg32 rng(20230707);
+  auto word = [&rng] {
+    return (static_cast<std::uint64_t>(rng.Next()) << 32) | rng.Next();
+  };
+  for (std::size_t i = 0; i < kWords; ++i) {
+    a[i] = word();
+    b[i] = word();
+    out[i] = word();
+  }
+  indices.reserve(kWords * 64);
+
+  std::vector<KernelCase> cases;
+  cases.push_back({"range_or", [](const KernelBackend& k) {
+                     k.range_or(out.data(), a.data(), kWords);
+                     return static_cast<std::size_t>(out[kWords - 1]);
+                   }});
+  cases.push_back({"range_and", [](const KernelBackend& k) {
+                     k.range_and(out.data(), a.data(), kWords);
+                     return static_cast<std::size_t>(out[kWords - 1]);
+                   }});
+  cases.push_back({"range_andnot", [](const KernelBackend& k) {
+                     k.range_andnot(out.data(), a.data(), kWords);
+                     return static_cast<std::size_t>(out[kWords - 1]);
+                   }});
+  cases.push_back({"fold_or", [](const KernelBackend& k) {
+                     k.fold_or(a.data(), b.data(), out.data(), kWords);
+                     return static_cast<std::size_t>(out[kWords - 1]);
+                   }});
+  cases.push_back({"fold_and", [](const KernelBackend& k) {
+                     k.fold_and(a.data(), b.data(), out.data(), kWords);
+                     return static_cast<std::size_t>(out[kWords - 1]);
+                   }});
+  cases.push_back({"popcount", [](const KernelBackend& k) {
+                     return k.popcount(a.data(), kWords);
+                   }});
+  cases.push_back({"masked_popcount", [](const KernelBackend& k) {
+                     return k.masked_popcount(a.data(), b.data(), kWords);
+                   }});
+  cases.push_back({"extract_indices", [](const KernelBackend& k) {
+                     indices.clear();
+                     k.extract_indices(a.data(), 0, kWords, indices);
+                     return indices.size();
+                   }});
+  return cases;
+}
+
+double TimePass(const KernelCase& kernel, const KernelBackend& impl,
+                std::size_t iters) {
+  gt::Stopwatch watch;
+  watch.Start();
+  std::size_t sink = 0;
+  for (std::size_t i = 0; i < iters; ++i) sink += kernel.pass(impl);
+  double ms = watch.ElapsedMillis();
+  DoNotOptimize(sink);
+  return ms;
+}
+
+/// Doubles the iteration count until one scalar measurement takes at least
+/// kCalibrateMs, so the min-of-reps loop works on readings well above the
+/// microsecond clock granularity.
+std::size_t Calibrate(const KernelCase& kernel, const KernelBackend& scalar) {
+  std::size_t iters = 64;
+  while (iters < (1u << 22) && TimePass(kernel, scalar, iters) < kCalibrateMs) {
+    iters *= 2;
+  }
+  return iters;
+}
+
+double GateThreshold() {
+  if (const char* raw = std::getenv("GT_KERNEL_GATE_MIN")) {
+    char* end = nullptr;
+    double value = std::strtod(raw, &end);
+    if (end != raw && value > 0) return value;
+    std::fprintf(stderr, "warning: ignoring malformed GT_KERNEL_GATE_MIN=%s\n", raw);
+  }
+  return 1.3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+#ifdef GT_GATE_SANITIZED
+  std::printf("bench_backend_kernels: SKIP (sanitizer build: instrumentation "
+              "overhead makes kernel ratios meaningless)\n");
+  return kSkipExitCode;
+#else
+  const KernelBackend& scalar = gt::accel::ScalarBackend();
+  std::vector<const KernelBackend*> vectorized;
+  for (const gt::accel::BackendInfo& info : gt::accel::ListBackends()) {
+    if (std::strcmp(info.name, scalar.name) == 0 || !info.compiled || !info.supported) {
+      continue;
+    }
+    vectorized.push_back(gt::accel::FindBackend(info.name));
+  }
+  if (vectorized.empty()) {
+    std::string features;
+    for (const std::string& feature : gt::accel::DetectedCpuFeatures()) {
+      if (!features.empty()) features += " ";
+      features += feature;
+    }
+    std::printf("bench_backend_kernels: SKIP (no vectorized backend compiled "
+                "and supported on this CPU; features: %s)\n",
+                features.empty() ? "none" : features.c_str());
+    return kSkipExitCode;
+  }
+
+  const double gate = GateThreshold();
+  std::printf("bench_backend_kernels: gate %.2fx over scalar, %zu words, "
+              "min of %d interleaved reps\n",
+              gate, kWords, kReps);
+
+  std::vector<KernelCase> cases = BuildCases();
+  std::vector<std::string> failures;
+  for (const KernelBackend* backend : vectorized) {
+    for (const KernelCase& kernel : cases) {
+      const std::size_t iters = Calibrate(kernel, scalar);
+      double scalar_ms = 1e300;
+      double backend_ms = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        scalar_ms = std::min(scalar_ms, TimePass(kernel, scalar, iters));
+        backend_ms = std::min(backend_ms, TimePass(kernel, *backend, iters));
+      }
+      const double speedup = backend_ms > 0 ? scalar_ms / backend_ms : 0.0;
+      const bool pass = speedup >= gate;
+      std::printf("  %-8s %-16s scalar %8.3f ms  %s %8.3f ms  %5.2fx  %s\n",
+                  backend->name, kernel.name.c_str(), scalar_ms, backend->name,
+                  backend_ms, speedup, pass ? "ok" : "BELOW GATE");
+      gt::bench::JsonLine json("backend_kernels");
+      json.Add("backend", std::string(backend->name));
+      json.Add("kernel", kernel.name);
+      json.Add("words", kWords);
+      json.Add("iters", iters);
+      json.Add("scalar_ms", scalar_ms);
+      json.Add("backend_ms", backend_ms);
+      json.Add("speedup", speedup);
+      json.Print();
+      if (!pass) {
+        failures.push_back(std::string(backend->name) + "/" + kernel.name);
+      }
+    }
+  }
+
+  if (!failures.empty()) {
+    std::fprintf(stderr, "bench_backend_kernels: FAIL — below the %.2fx gate:", gate);
+    for (const std::string& failure : failures) std::fprintf(stderr, " %s", failure.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  std::printf("bench_backend_kernels: PASS (every vectorized kernel beats "
+              "scalar by >= %.2fx)\n", gate);
+  return 0;
+#endif
+}

@@ -174,6 +174,22 @@ TraceGuard::~TraceGuard() {
               static_cast<unsigned long long>(session_->dropped()), path_.c_str());
 }
 
+void ApplyBackendFlag(int argc, char** argv) {
+  std::string requested;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      requested = argv[i + 1];
+      ++i;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      requested = arg.substr(std::string("--backend=").size());
+    }
+  }
+  if (requested.empty()) return;
+  std::string error;
+  GT_CHECK(accel::SetActiveBackend(requested, &error)) << "--backend " << error;
+}
+
 void AddSpanPercentiles(JsonLine& json, const std::string& prefix,
                         const std::string& span_name) {
   obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();

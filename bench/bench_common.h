@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "accel/backend.h"
 #include "core/aggregation.h"
 #include "core/exploration.h"
 #include "core/temporal_graph.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -89,6 +91,13 @@ double TimeMsPrecise(Fn&& fn, double min_total_ms = 20.0) {
 /// with the env var GT_BENCH_THREADS (comma-separated, e.g. "1,16,32").
 std::vector<std::size_t> ThreadSweep();
 
+/// Applies a `--backend <name>` / `--backend=<name>` flag from a bench
+/// binary's argv to the compute-kernel dispatch table, mirroring the CLI's
+/// global flag (scalar|avx2|avx512|auto; hard error on unknown, uncompiled,
+/// or unsupported names). Every other argument is ignored, and GT_BACKEND
+/// still works as the env-var equivalent when the flag is absent.
+void ApplyBackendFlag(int argc, char** argv);
+
 /// Minimal one-line JSON object emitter for machine-readable bench output.
 /// Keys are emitted in insertion order; values are numbers, strings, or
 /// number arrays. Print writes `{"bench":"<name>",...}\n` to stdout.
@@ -153,6 +162,26 @@ class TraceGuard {
 /// 0 when the span never fired.
 void AddSpanPercentiles(JsonLine& json, const std::string& prefix,
                         const std::string& span_name);
+
+/// Appends the active compute backend's name (`backend`) to `json`, plus
+/// `backend_speedup`: wall-clock of `fn` under the forced scalar kernels
+/// divided by wall-clock under the active backend. When scalar is already
+/// active only one measurement is taken and the speedup is exactly 1.0.
+/// The previously active backend is always restored.
+template <typename Fn>
+void AddBackendSpeedup(JsonLine& json, Fn&& fn) {
+  const std::string active(accel::ActiveBackendName());
+  const double active_ms = TimeMs(fn, /*reps=*/5);
+  double scalar_ms = active_ms;
+  if (active != accel::ScalarBackend().name) {
+    std::string error;
+    GT_CHECK(accel::SetActiveBackend("scalar", &error)) << error;
+    scalar_ms = TimeMs(fn, /*reps=*/5);
+    GT_CHECK(accel::SetActiveBackend(active, &error)) << error;
+  }
+  json.Add("backend", active);
+  json.Add("backend_speedup", active_ms > 0 ? scalar_ms / active_ms : 0.0);
+}
 
 /// Selector for f→f edges aggregated on `gender` (used by Figs 13/14).
 EntitySelector FemaleFemaleEdges(const TemporalGraph& graph);

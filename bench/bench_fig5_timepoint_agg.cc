@@ -73,6 +73,7 @@ void RunThreadScaling(const gt::TemporalGraph& graph, const std::string& name,
 
   gt::bench::JsonLine json("fig5_thread_sweep");
   json.Add("dataset", name);
+  json.Add("backend", std::string(gt::accel::ActiveBackendName()));
   {
     // Per-phase latency percentiles across every timed call of the sweep,
     // via the span/<name> registry histograms (microsecond resolution).
@@ -161,6 +162,15 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name,
   json.Add("dense_ms", dense_ms);
   json.Add("hash_ms", hash_ms);
   json.Add("dense_speedup", dense_speedup);
+  // SIMD-vs-scalar ratio of the same kernel-path sweep (docs/KERNELS.md §8).
+  gt::bench::AddBackendSpeedup(json, [&] {
+    std::size_t total = 0;
+    for (gt::TimeId t = 0; t < n; ++t) {
+      gt::GraphView snap = gt::Project(graph, gt::IntervalSet::Point(n, t));
+      total += snap.NodeCount() + snap.EdgeCount();
+    }
+    DoNotOptimize(total);
+  });
   json.Print();
   std::printf("\n");
 }
@@ -210,6 +220,7 @@ void RunEngineRouting(const gt::TemporalGraph& graph, const std::string& name,
               Ms(cached_ms).c_str());
   gt::bench::JsonLine json("fig5_engine");
   json.Add("dataset", name);
+  json.Add("backend", std::string(gt::accel::ActiveBackendName()));
   json.Add("route_unmaterialized", direct_route);
   json.Add("route_materialized", materialized_route);
   json.Add("direct_ms", direct_ms);
@@ -223,7 +234,8 @@ void RunEngineRouting(const gt::TemporalGraph& graph, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gt::bench::ApplyBackendFlag(argc, argv);  // --backend <scalar|avx2|avx512|auto>
   gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Per-time-point aggregation by attribute type", "paper Figure 5");
 

@@ -103,13 +103,19 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
   json.Add("kernel", speedup);
   gt::bench::AddSpanPercentiles(json, "union", "operators/union");
   gt::bench::AddSpanPercentiles(json, "extract", "operators/extract");
+  // SIMD-vs-scalar ratio of the same kernel-path union (docs/KERNELS.md §8).
+  gt::bench::AddBackendSpeedup(json, [&] {
+    gt::GraphView view = gt::UnionOp(graph, prefix, next);
+    DoNotOptimize(view.NodeCount());
+  });
   json.Print();
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gt::bench::ApplyBackendFlag(argc, argv);  // --backend <scalar|avx2|avx512|auto>
   gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Union + aggregation while extending the interval", "paper Figure 6");
   RunDataset(gt::bench::DblpGraph(), "DBLP (Fig 6a-c)", "gender", "publications");

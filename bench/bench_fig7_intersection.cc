@@ -105,13 +105,20 @@ void RunKernelAblation(const gt::TemporalGraph& graph, const std::string& name) 
   json.Add("kernel", speedup);
   gt::bench::AddSpanPercentiles(json, "intersection", "operators/intersection");
   gt::bench::AddSpanPercentiles(json, "extract", "operators/extract");
+  // SIMD-vs-scalar ratio of the same kernel-path intersection
+  // (docs/KERNELS.md §8).
+  gt::bench::AddBackendSpeedup(json, [&] {
+    gt::GraphView view = gt::IntersectionOp(graph, first, second);
+    DoNotOptimize(view.NodeCount());
+  });
   json.Print();
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gt::bench::ApplyBackendFlag(argc, argv);  // --backend <scalar|avx2|avx512|auto>
   gt::bench::TraceGuard trace_guard;  // GT_TRACE=<path> records the whole run
   PrintTitle("Intersection + aggregation while extending the interval",
              "paper Figure 7");

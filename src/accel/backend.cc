@@ -1,0 +1,192 @@
+#include "accel/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "accel/kernels.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace graphtempo::accel {
+
+namespace {
+
+// __builtin_cpu_supports requires a string literal, hence one probe per
+// feature instead of a parameterized helper.
+#if defined(__x86_64__) || defined(__i386__)
+#define GT_ACCEL_CPU_PROBE(fn, feature) \
+  bool fn() { return __builtin_cpu_supports(feature) != 0; }
+#else
+#define GT_ACCEL_CPU_PROBE(fn, feature) \
+  bool fn() { return false; }
+#endif
+
+GT_ACCEL_CPU_PROBE(CpuHasPopcnt, "popcnt")
+GT_ACCEL_CPU_PROBE(CpuHasAvx, "avx")
+GT_ACCEL_CPU_PROBE(CpuHasAvx2, "avx2")
+GT_ACCEL_CPU_PROBE(CpuHasBmi2, "bmi2")
+GT_ACCEL_CPU_PROBE(CpuHasAvx512f, "avx512f")
+GT_ACCEL_CPU_PROBE(CpuHasAvx512bw, "avx512bw")
+GT_ACCEL_CPU_PROBE(CpuHasAvx512vl, "avx512vl")
+GT_ACCEL_CPU_PROBE(CpuHasAvx512vpopcntdq, "avx512vpopcntdq")
+#undef GT_ACCEL_CPU_PROBE
+
+bool CpuSupportsAvx2() { return CpuHasAvx2(); }
+
+/// The avx512 backend needs foundation loads/stores plus the native 64-bit
+/// popcount; everything else it uses is AVX-512F.
+bool CpuSupportsAvx512() { return CpuHasAvx512f() && CpuHasAvx512vpopcntdq(); }
+
+/// The backend named `name` if its implementation is compiled into this
+/// binary, else nullptr. Does not check CPU support.
+const KernelBackend* CompiledBackend(std::string_view name) {
+  if (name == "scalar") return &internal::GetScalarBackend();
+#ifdef GT_ACCEL_HAVE_AVX2
+  if (name == "avx2") return &internal::GetAvx2Backend();
+#endif
+#ifdef GT_ACCEL_HAVE_AVX512
+  if (name == "avx512") return &internal::GetAvx512Backend();
+#endif
+  return nullptr;
+}
+
+bool KnownBackendName(std::string_view name) {
+  return name == "scalar" || name == "avx2" || name == "avx512";
+}
+
+bool CpuSupportsBackend(std::string_view name) {
+  if (name == "scalar") return true;
+  if (name == "avx2") return CpuSupportsAvx2();
+  if (name == "avx512") return CpuSupportsAvx512();
+  return false;
+}
+
+/// Best compiled backend this CPU supports: avx512 > avx2 > scalar.
+const KernelBackend& ResolveAuto() {
+#ifdef GT_ACCEL_HAVE_AVX512
+  if (CpuSupportsAvx512()) return internal::GetAvx512Backend();
+#endif
+#ifdef GT_ACCEL_HAVE_AVX2
+  if (CpuSupportsAvx2()) return internal::GetAvx2Backend();
+#endif
+  return internal::GetScalarBackend();
+}
+
+/// Resolves `name` (scalar|avx2|avx512|auto) to a usable backend or reports
+/// why it cannot be used.
+const KernelBackend* ResolveName(std::string_view name, std::string* error) {
+  if (name == "auto") return &ResolveAuto();
+  if (!KnownBackendName(name)) {
+    if (error) {
+      *error = "unknown backend '" + std::string(name) +
+               "' (expected scalar|avx2|avx512|auto)";
+    }
+    return nullptr;
+  }
+  const KernelBackend* backend = CompiledBackend(name);
+  if (backend == nullptr) {
+    if (error) {
+      *error = "backend '" + std::string(name) + "' is not compiled into this binary";
+    }
+    return nullptr;
+  }
+  if (!CpuSupportsBackend(name)) {
+    if (error) {
+      *error = "backend '" + std::string(name) + "' is not supported by this CPU";
+    }
+    return nullptr;
+  }
+  return backend;
+}
+
+void RecordSelection(const char* name) {
+  obs::Registry::Instance()
+      .GetCounter(std::string("backend/selected_") + name)
+      .Increment();
+}
+
+std::atomic<const KernelBackend*> g_active{nullptr};
+std::mutex g_init_mutex;
+
+/// First-use initialization: honor GT_BACKEND (hard error on a bad value —
+/// a silent fallback would invalidate every benchmark run with it set),
+/// otherwise CPUID auto-dispatch.
+const KernelBackend& InitActiveBackend() {
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  if (const KernelBackend* backend = g_active.load(std::memory_order_relaxed)) {
+    return *backend;
+  }
+  const KernelBackend* chosen;
+  const char* env = std::getenv("GT_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    std::string error;
+    chosen = ResolveName(env, &error);
+    GT_CHECK(chosen != nullptr) << "GT_BACKEND: " << error;
+  } else {
+    chosen = &ResolveAuto();
+  }
+  g_active.store(chosen, std::memory_order_release);
+  RecordSelection(chosen->name);
+  return *chosen;
+}
+
+}  // namespace
+
+const KernelBackend& ActiveBackend() {
+  const KernelBackend* backend = g_active.load(std::memory_order_acquire);
+  if (backend != nullptr) return *backend;
+  return InitActiveBackend();
+}
+
+const char* ActiveBackendName() { return ActiveBackend().name; }
+
+bool SetActiveBackend(std::string_view name, std::string* error) {
+  const KernelBackend* backend = ResolveName(name, error);
+  if (backend == nullptr) return false;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  const KernelBackend* previous = g_active.load(std::memory_order_relaxed);
+  g_active.store(backend, std::memory_order_release);
+  if (previous != backend) {
+    RecordSelection(backend->name);
+    if (previous != nullptr) {
+      obs::Registry::Instance().GetCounter("backend/switches").Increment();
+    }
+  }
+  return true;
+}
+
+const KernelBackend& ScalarBackend() { return internal::GetScalarBackend(); }
+
+const KernelBackend* FindBackend(std::string_view name) {
+  return ResolveName(name, nullptr);
+}
+
+std::vector<BackendInfo> ListBackends() {
+  std::vector<BackendInfo> backends;
+  backends.push_back({"avx512", CompiledBackend("avx512") != nullptr,
+                      CpuSupportsAvx512()});
+  backends.push_back({"avx2", CompiledBackend("avx2") != nullptr, CpuSupportsAvx2()});
+  backends.push_back({"scalar", true, true});
+  return backends;
+}
+
+std::vector<std::string> DetectedCpuFeatures() {
+  struct Probe {
+    const char* name;
+    bool (*check)();
+  };
+  static constexpr Probe kProbes[] = {
+      {"popcnt", CpuHasPopcnt},        {"avx", CpuHasAvx},
+      {"avx2", CpuHasAvx2},            {"bmi2", CpuHasBmi2},
+      {"avx512f", CpuHasAvx512f},      {"avx512bw", CpuHasAvx512bw},
+      {"avx512vl", CpuHasAvx512vl},    {"avx512vpopcntdq", CpuHasAvx512vpopcntdq},
+  };
+  std::vector<std::string> features;
+  for (const Probe& probe : kProbes) {
+    if (probe.check()) features.emplace_back(probe.name);
+  }
+  return features;
+}
+
+}  // namespace graphtempo::accel

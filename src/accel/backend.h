@@ -1,0 +1,114 @@
+#ifndef GRAPHTEMPO_ACCEL_BACKEND_H_
+#define GRAPHTEMPO_ACCEL_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Pluggable compute backends for the word-parallel bitset kernels
+/// (docs/KERNELS.md §8). Every hot primitive the temporal operators and the
+/// Algorithm-2 dense aggregation path bottom out in — range OR/AND/ANDNOT,
+/// the fused two-source interval fold, (masked) popcount, and set-bit index
+/// extraction — is a function pointer in a `KernelBackend` table. The
+/// process selects one table at startup via CPUID (overridable with
+/// `--backend` / `GT_BACKEND`) and every caller dispatches through
+/// `ActiveBackend()`, so adding an ISA (or later a TBB/GPU offload) never
+/// touches the call sites.
+///
+/// Contract shared by all implementations (what makes backends
+/// interchangeable bit-for-bit):
+///
+///  * Kernels operate on `std::uint64_t` word arrays. They never read or
+///    write past `words` elements — tails are handled with word-exact scalar
+///    loops, never masked over-reads, so the kernels are ASan-clean on
+///    heap-exact buffers.
+///  * Callers guarantee the *padding bits* of a trailing partial word are
+///    zero (the `DynamicBitset` invariant, enforced by Resize/SetAll). The
+///    kernels therefore never re-mask the final word; popcount and
+///    extraction are exact because bit `size..64·words` is already 0. The
+///    tail-word regression tests (tests/backend_test.cc) pin this for bitset
+///    lengths ±1 around word boundaries on every backend.
+///  * Bitwise ops are per-word pure functions, so every backend returns
+///    bit-identical results at any thread count; parallel callers split the
+///    word range into disjoint chunks and invoke the kernel per chunk.
+///  * `dst`/`out` may alias `a` (in-place fold); `a` and `b` never partially
+///    overlap.
+
+namespace graphtempo::accel {
+
+/// Function-pointer kernel table. One immutable instance per backend;
+/// `name` is a static string ("scalar", "avx2", "avx512").
+struct KernelBackend {
+  const char* name;
+
+  /// dst[w] |= src[w] / &= / &= ~  for w in [0, words).
+  void (*range_or)(std::uint64_t* dst, const std::uint64_t* src, std::size_t words);
+  void (*range_and)(std::uint64_t* dst, const std::uint64_t* src, std::size_t words);
+  void (*range_andnot)(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t words);
+
+  /// Fused interval fold: out[w] = a[w] | b[w] (resp. &). One streaming pass
+  /// instead of copy-then-combine; `out` may alias `a`.
+  void (*fold_or)(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+                  std::size_t words);
+  void (*fold_and)(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+                   std::size_t words);
+
+  /// Sum of popcount(words[w]).
+  std::size_t (*popcount)(const std::uint64_t* words, std::size_t count);
+
+  /// Masked popcount-aggregate: sum of popcount(words[w] & mask[w]). The
+  /// ALL-semantics weight accumulation of the dense aggregation path.
+  std::size_t (*masked_popcount)(const std::uint64_t* words, const std::uint64_t* mask,
+                                 std::size_t count);
+
+  /// Appends the absolute bit indices (w·64 + bit) of the set bits in words
+  /// [word_begin, word_end) to `out`, ascending. 32-bit because entity ids
+  /// are 32-bit.
+  void (*extract_indices)(const std::uint64_t* words, std::size_t word_begin,
+                          std::size_t word_end, std::vector<std::uint32_t>& out);
+};
+
+/// The table every kernel call site dispatches through. First use resolves
+/// the `GT_BACKEND` environment override (hard error on an unknown,
+/// uncompiled, or CPU-unsupported name) and otherwise auto-picks the best
+/// compiled backend this CPU supports (avx512 > avx2 > scalar). Lock-free
+/// after initialization.
+const KernelBackend& ActiveBackend();
+
+/// Name of the active backend ("scalar" | "avx2" | "avx512").
+const char* ActiveBackendName();
+
+/// Forces the active backend. `name` is one of scalar|avx2|avx512|auto.
+/// Returns false and fills `*error` (if non-null) when the backend is
+/// unknown, not compiled into this binary, or unsupported by this CPU;
+/// the active backend is unchanged on failure.
+bool SetActiveBackend(std::string_view name, std::string* error = nullptr);
+
+/// The portable reference implementation; always compiled, always supported.
+const KernelBackend& ScalarBackend();
+
+/// Looks up a backend by name. Returns nullptr unless the backend is both
+/// compiled in and supported by this CPU (the differential tests and the
+/// microbench gate iterate compiled+supported backends this way).
+const KernelBackend* FindBackend(std::string_view name);
+
+/// One row per known backend, in dispatch-preference order (scalar last).
+struct BackendInfo {
+  const char* name;
+  bool compiled;   ///< implementation built into this binary
+  bool supported;  ///< CPU advertises the required ISA
+};
+std::vector<BackendInfo> ListBackends();
+
+/// Names of the CPU SIMD features relevant to the kernels that this machine
+/// advertises (subset of: popcnt, avx, avx2, bmi2, avx512f, avx512bw,
+/// avx512vl, avx512vpopcntdq). Empty on non-x86.
+std::vector<std::string> DetectedCpuFeatures();
+
+}  // namespace graphtempo::accel
+
+#endif  // GRAPHTEMPO_ACCEL_BACKEND_H_

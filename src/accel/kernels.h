@@ -1,0 +1,27 @@
+#ifndef GRAPHTEMPO_ACCEL_KERNELS_H_
+#define GRAPHTEMPO_ACCEL_KERNELS_H_
+
+#include "accel/backend.h"
+
+/// \file
+/// Internal seam between the dispatcher (backend.cc) and the per-ISA kernel
+/// translation units. Each ISA file is compiled with its own `-m` flags
+/// (src/accel/CMakeLists.txt) and exists only when the compiler supports
+/// them; the matching GT_ACCEL_HAVE_* definition is set target-wide so the
+/// dispatcher and the TU agree on what is compiled in.
+
+namespace graphtempo::accel::internal {
+
+const KernelBackend& GetScalarBackend();
+
+#ifdef GT_ACCEL_HAVE_AVX2
+const KernelBackend& GetAvx2Backend();
+#endif
+
+#ifdef GT_ACCEL_HAVE_AVX512
+const KernelBackend& GetAvx512Backend();
+#endif
+
+}  // namespace graphtempo::accel::internal
+
+#endif  // GRAPHTEMPO_ACCEL_KERNELS_H_

@@ -1,0 +1,266 @@
+#include "accel/kernels.h"
+
+/// \file
+/// AVX2 backend: 256-bit loads/stores for the streaming range/fold ops, a
+/// `vpshufb` nibble-LUT popcount (Mula's method) reduced through
+/// `vpsadbw`, and a byte→indices LUT decode (with 4-word `vptest`
+/// zero-block skipping) for index extraction. Tails are
+/// word-exact scalar — the kernels never read past `words` elements, so
+/// they are safe on heap-exact buffers under ASan.
+///
+/// This TU is the only one compiled with `-mavx2`; it must be entered only
+/// after `__builtin_cpu_supports("avx2")` (backend.cc guards dispatch).
+
+#ifdef GT_ACCEL_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace graphtempo::accel::internal {
+
+namespace {
+
+constexpr std::size_t kLaneWords = 4;  // 64-bit words per 256-bit vector
+
+void RangeOr(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 * kLaneWords <= words; w += 2 * kLaneWords) {
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), _mm256_or_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w + 4),
+                        _mm256_or_si256(d1, s1));
+  }
+  for (; w < words; ++w) dst[w] |= src[w];
+}
+
+void RangeAnd(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 * kLaneWords <= words; w += 2 * kLaneWords) {
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), _mm256_and_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w + 4),
+                        _mm256_and_si256(d1, s1));
+  }
+  for (; w < words; ++w) dst[w] &= src[w];
+}
+
+void RangeAndNot(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 * kLaneWords <= words; w += 2 * kLaneWords) {
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w + 4));
+    // andnot computes ~first & second, so the source is the first operand.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_andnot_si256(s0, d0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w + 4),
+                        _mm256_andnot_si256(s1, d1));
+  }
+  for (; w < words; ++w) dst[w] &= ~src[w];
+}
+
+void FoldOr(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+            std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 * kLaneWords <= words; w += 2 * kLaneWords) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), _mm256_or_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w + 4),
+                        _mm256_or_si256(a1, b1));
+  }
+  for (; w < words; ++w) out[w] = a[w] | b[w];
+}
+
+void FoldAnd(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+             std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 * kLaneWords <= words; w += 2 * kLaneWords) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), _mm256_and_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w + 4),
+                        _mm256_and_si256(a1, b1));
+  }
+  for (; w < words; ++w) out[w] = a[w] & b[w];
+}
+
+/// Per-byte popcount of a 256-bit vector via two 16-entry nibble LUTs.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+}
+
+std::size_t Popcount(const std::uint64_t* words, std::size_t count) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t w = 0;
+  // Four vectors per iteration: byte counters reach at most 4·8 = 32, well
+  // under the 255 overflow bound, so one vpsadbw per 16 words suffices.
+  for (; w + 4 * kLaneWords <= count; w += 4 * kLaneWords) {
+    __m256i bytes = PopcountBytes(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w)));
+    bytes = _mm256_add_epi8(bytes, PopcountBytes(_mm256_loadu_si256(
+                                       reinterpret_cast<const __m256i*>(words + w + 4))));
+    bytes = _mm256_add_epi8(bytes, PopcountBytes(_mm256_loadu_si256(
+                                       reinterpret_cast<const __m256i*>(words + w + 8))));
+    bytes =
+        _mm256_add_epi8(bytes, PopcountBytes(_mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(words + w + 12))));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+  }
+  std::size_t total = static_cast<std::size_t>(_mm256_extract_epi64(acc, 0)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 1)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 2)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 3));
+  for (; w < count; ++w) total += static_cast<std::size_t>(std::popcount(words[w]));
+  return total;
+}
+
+std::size_t MaskedPopcount(const std::uint64_t* words, const std::uint64_t* mask,
+                           std::size_t count) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t w = 0;
+  for (; w + 4 * kLaneWords <= count; w += 4 * kLaneWords) {
+    __m256i bytes = PopcountBytes(_mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w))));
+    bytes = _mm256_add_epi8(
+        bytes, PopcountBytes(_mm256_and_si256(
+                   _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w + 4)),
+                   _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w + 4)))));
+    bytes = _mm256_add_epi8(
+        bytes, PopcountBytes(_mm256_and_si256(
+                   _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w + 8)),
+                   _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w + 8)))));
+    bytes = _mm256_add_epi8(
+        bytes,
+        PopcountBytes(_mm256_and_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w + 12)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w + 12)))));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+  }
+  std::size_t total = static_cast<std::size_t>(_mm256_extract_epi64(acc, 0)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 1)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 2)) +
+                      static_cast<std::size_t>(_mm256_extract_epi64(acc, 3));
+  for (; w < count; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w] & mask[w]));
+  }
+  return total;
+}
+
+/// kDecode.entry[b] holds the bit positions of b's set bits, low to high
+/// (unused slots zero). One 8-byte row decodes a whole byte of the bitset.
+struct DecodeTable {
+  std::uint8_t entry[256][8];
+};
+
+constexpr DecodeTable BuildDecodeTable() {
+  DecodeTable table{};
+  for (int byte = 0; byte < 256; ++byte) {
+    int n = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (byte & (1 << bit)) table.entry[byte][n++] = static_cast<std::uint8_t>(bit);
+    }
+  }
+  return table;
+}
+
+alignas(64) constexpr DecodeTable kDecode = BuildDecodeTable();
+
+/// Decodes one nonzero word into ascending bit indices at `dst`. Each nonzero
+/// byte becomes one LUT row load + widen + add + 8-lane store, of which only
+/// popcount(byte) lanes are valid — the next byte's store overwrites the
+/// rest, so the 8-lane store needs `fit_end` headroom; the last few entries
+/// of the output fall back to the scalar walk instead of overrunning.
+inline std::uint32_t* DecodeWord(std::uint64_t word, std::uint32_t base,
+                                 std::uint32_t* dst, std::uint32_t* fit_end) {
+  for (int byte = 0; byte < 8; ++byte) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(word >> (byte * 8)) & 0xffu;
+    if (bits == 0) continue;
+    const std::uint32_t bit_base = base + static_cast<std::uint32_t>(byte * 8);
+    if (dst + 8 <= fit_end) {
+      __m128i row = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(kDecode.entry[bits]));
+      __m256i indices = _mm256_add_epi32(_mm256_cvtepu8_epi32(row),
+                                         _mm256_set1_epi32(static_cast<int>(bit_base)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), indices);
+    } else {
+      std::uint32_t rest = bits;
+      std::uint32_t* p = dst;
+      while (rest != 0) {
+        *p++ = bit_base + static_cast<std::uint32_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+      }
+    }
+    dst += std::popcount(bits);
+  }
+  return dst;
+}
+
+void ExtractIndices(const std::uint64_t* words, std::size_t word_begin,
+                    std::size_t word_end, std::vector<std::uint32_t>& out) {
+  // Popcount first, resize once, then decode through raw pointers: no
+  // per-element push_back capacity checks in the hot loop.
+  const std::size_t total = Popcount(words + word_begin, word_end - word_begin);
+  if (total == 0) return;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + total);
+  std::uint32_t* dst = out.data() + old_size;
+  std::uint32_t* fit_end = out.data() + out.size();
+  std::size_t w = word_begin;
+  // vptest skips all-zero 4-word blocks in one micro-op — the common case on
+  // the sparse entity universes the operators extract from. Nonzero words go
+  // through the byte-LUT decode (ascending order, identical to scalar).
+  for (; w + kLaneWords <= word_end; w += kLaneWords) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (_mm256_testz_si256(v, v)) continue;
+    for (std::size_t i = w; i < w + kLaneWords; ++i) {
+      if (words[i] == 0) continue;
+      dst = DecodeWord(words[i], static_cast<std::uint32_t>(i * 64), dst, fit_end);
+    }
+  }
+  for (; w < word_end; ++w) {
+    if (words[w] == 0) continue;
+    dst = DecodeWord(words[w], static_cast<std::uint32_t>(w * 64), dst, fit_end);
+  }
+}
+
+}  // namespace
+
+const KernelBackend& GetAvx2Backend() {
+  static constexpr KernelBackend kBackend = {
+      /*name=*/"avx2",
+      /*range_or=*/RangeOr,
+      /*range_and=*/RangeAnd,
+      /*range_andnot=*/RangeAndNot,
+      /*fold_or=*/FoldOr,
+      /*fold_and=*/FoldAnd,
+      /*popcount=*/Popcount,
+      /*masked_popcount=*/MaskedPopcount,
+      /*extract_indices=*/ExtractIndices,
+  };
+  return kBackend;
+}
+
+}  // namespace graphtempo::accel::internal
+
+#endif  // GT_ACCEL_HAVE_AVX2

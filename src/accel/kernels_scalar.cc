@@ -1,0 +1,82 @@
+#include <bit>
+
+#include "accel/kernels.h"
+
+/// \file
+/// Portable reference backend: straight word loops, no intrinsics. This is
+/// the semantics oracle every vectorized backend is differential-tested
+/// against, and the baseline the microbench gate measures speedups from.
+
+namespace graphtempo::accel::internal {
+
+namespace {
+
+void RangeOr(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+void RangeAnd(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] &= src[w];
+}
+
+void RangeAndNot(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] &= ~src[w];
+}
+
+void FoldOr(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+            std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) out[w] = a[w] | b[w];
+}
+
+void FoldAnd(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+             std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) out[w] = a[w] & b[w];
+}
+
+std::size_t Popcount(const std::uint64_t* words, std::size_t count) {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return total;
+}
+
+std::size_t MaskedPopcount(const std::uint64_t* words, const std::uint64_t* mask,
+                           std::size_t count) {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w] & mask[w]));
+  }
+  return total;
+}
+
+void ExtractIndices(const std::uint64_t* words, std::size_t word_begin,
+                    std::size_t word_end, std::vector<std::uint32_t>& out) {
+  for (std::size_t w = word_begin; w < word_end; ++w) {
+    std::uint64_t word = words[w];
+    const std::uint32_t base = static_cast<std::uint32_t>(w * 64);
+    while (word != 0) {
+      out.push_back(base + static_cast<std::uint32_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelBackend& GetScalarBackend() {
+  static constexpr KernelBackend kBackend = {
+      /*name=*/"scalar",
+      /*range_or=*/RangeOr,
+      /*range_and=*/RangeAnd,
+      /*range_andnot=*/RangeAndNot,
+      /*fold_or=*/FoldOr,
+      /*fold_and=*/FoldAnd,
+      /*popcount=*/Popcount,
+      /*masked_popcount=*/MaskedPopcount,
+      /*extract_indices=*/ExtractIndices,
+  };
+  return kBackend;
+}
+
+}  // namespace graphtempo::accel::internal

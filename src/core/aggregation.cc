@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 
+#include "accel/backend.h"
 #include "core/stats.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -145,13 +146,19 @@ void StaticNodeChunk(const TemporalGraph& graph, const GraphView& view,
                      std::span<const AttrRef> attrs, AggregationSemantics semantics,
                      std::size_t begin, std::size_t end, const AddNode& add_node) {
   const bool distinct = semantics == AggregationSemantics::kDistinct;
+  // The interval mask is chunk-invariant: hoist the backend dispatch and the
+  // mask words out of the row loop and call the masked popcount-aggregate
+  // kernel directly per row.
+  const accel::KernelBackend& backend = accel::ActiveBackend();
+  const BitMatrix& presence = graph.node_presence();
+  const std::uint64_t* mask = view.times.bits().words().data();
+  const std::size_t mask_words = presence.words_per_row();
   for (std::size_t i = begin; i < end; ++i) {
     NodeId n = view.nodes[i];
     AttrTuple tuple = StaticTuple(graph, attrs, n);
-    Weight weight =
-        distinct ? 1
-                 : static_cast<Weight>(
-                       graph.node_presence().RowCountMasked(n, view.times.bits()));
+    Weight weight = distinct ? 1
+                             : static_cast<Weight>(backend.masked_popcount(
+                                   presence.row_words(n), mask, mask_words));
     if (weight > 0) add_node(tuple, weight);
   }
 }
@@ -161,15 +168,18 @@ void StaticEdgeChunk(const TemporalGraph& graph, const GraphView& view,
                      std::span<const AttrRef> attrs, AggregationSemantics semantics,
                      std::size_t begin, std::size_t end, const AddEdge& add_edge) {
   const bool distinct = semantics == AggregationSemantics::kDistinct;
+  const accel::KernelBackend& backend = accel::ActiveBackend();
+  const BitMatrix& presence = graph.edge_presence();
+  const std::uint64_t* mask = view.times.bits().words().data();
+  const std::size_t mask_words = presence.words_per_row();
   for (std::size_t i = begin; i < end; ++i) {
     EdgeId e = view.edges[i];
     auto [src, dst] = graph.edge(e);
     AttrTuple src_tuple = StaticTuple(graph, attrs, src);
     AttrTuple dst_tuple = StaticTuple(graph, attrs, dst);
-    Weight weight =
-        distinct ? 1
-                 : static_cast<Weight>(
-                       graph.edge_presence().RowCountMasked(e, view.times.bits()));
+    Weight weight = distinct ? 1
+                             : static_cast<Weight>(backend.masked_popcount(
+                                   presence.row_words(e), mask, mask_words));
     if (weight > 0) add_edge(src_tuple, dst_tuple, weight);
   }
 }

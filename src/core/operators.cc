@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/backend.h"
 #include "core/stats.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -31,17 +32,20 @@ std::vector<std::uint32_t> ExtractIndices(const DynamicBitset& bits) {
   const std::size_t words = bits.num_words();
   GT_SPAN("operators/extract", {{"words", words}});
   internal_counters::AddKernelWords(words);
+  // One backend dispatch per extraction, not per chunk/word range.
+  const accel::KernelBackend& backend = accel::ActiveBackend();
+  const std::uint64_t* word_data = bits.word_data();
   ParallelPartition partition(words, kExtractMinWordsPerChunk, /*alignment=*/1);
   if (partition.num_chunks() == 1) {
     std::vector<std::uint32_t> out;
-    out.reserve(bits.Count());
-    bits.AppendWordRangeIndices(0, words, out);
+    out.reserve(backend.popcount(word_data, words));
+    backend.extract_indices(word_data, 0, words, out);
     return out;
   }
   std::vector<std::vector<std::uint32_t>> parts(partition.num_chunks());
   partition.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    parts[chunk].reserve(bits.CountWordRange(begin, end));
-    bits.AppendWordRangeIndices(begin, end, parts[chunk]);
+    parts[chunk].reserve(backend.popcount(word_data + begin, end - begin));
+    backend.extract_indices(word_data, begin, end, parts[chunk]);
   });
   std::size_t total = 0;
   for (const auto& part : parts) total += part.size();

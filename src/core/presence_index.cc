@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "accel/backend.h"
 #include "core/stats.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -16,31 +17,50 @@ namespace {
 /// OR/AND, so chunks need to be large to earn their dispatch.
 constexpr std::size_t kFoldMinWordsPerChunk = 4096;
 
-/// out[w] = a[w] op b[w] over disjoint word ranges — the word-parallel
-/// combine every kernel bottoms out in. Each chunk owns a disjoint word
-/// range, so the result is identical at any thread count (bitwise ops are
-/// per-word pure functions). Counts the words it scanned.
-template <typename Op>
-void CombineWords(const DynamicBitset& a, const DynamicBitset& b, DynamicBitset& out,
-                  Op op) {
-  GT_DCHECK(a.num_words() == b.num_words() && a.num_words() == out.num_words());
+/// dst[w] op= src[w] over disjoint word ranges — the word-parallel combine
+/// every kernel bottoms out in, dispatched through the active compute
+/// backend (accel/backend.h). Each chunk owns a disjoint word range and
+/// bitwise ops are per-word pure functions, so the result is identical at
+/// any thread count and on every backend. Counts the words it scanned.
+template <typename RangeOp>
+void CombineWords(DynamicBitset& dst, const DynamicBitset& src, RangeOp range_op) {
+  GT_DCHECK(dst.num_words() == src.num_words());
+  std::uint64_t* wd = dst.word_data();
+  const std::uint64_t* ws = src.word_data();
+  const std::size_t words = dst.num_words();
+  ParallelPartition partition(words, kFoldMinWordsPerChunk, /*alignment=*/1);
+  partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    range_op(wd + begin, ws + begin, end - begin);
+  });
+  internal_counters::AddKernelWords(2 * words);
+}
+
+void OrInto(DynamicBitset& out, const DynamicBitset& src) {
+  CombineWords(out, src, accel::ActiveBackend().range_or);
+}
+
+void AndInto(DynamicBitset& out, const DynamicBitset& src) {
+  CombineWords(out, src, accel::ActiveBackend().range_and);
+}
+
+/// Fused interval fold: out = a op b in one streaming pass, instead of
+/// copying `a` and combining `b` into the copy (which streams the words an
+/// extra time through the copy constructor).
+template <typename FoldOp>
+DynamicBitset FoldInto(const DynamicBitset& a, const DynamicBitset& b,
+                       FoldOp fold_op) {
+  GT_DCHECK(a.num_words() == b.num_words());
+  DynamicBitset out(a.size());
   const std::uint64_t* wa = a.word_data();
   const std::uint64_t* wb = b.word_data();
   std::uint64_t* wo = out.word_data();
   const std::size_t words = out.num_words();
   ParallelPartition partition(words, kFoldMinWordsPerChunk, /*alignment=*/1);
   partition.Run([&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t w = begin; w < end; ++w) wo[w] = op(wa[w], wb[w]);
+    fold_op(wa + begin, wb + begin, wo + begin, end - begin);
   });
   internal_counters::AddKernelWords(2 * words);
-}
-
-void OrInto(DynamicBitset& out, const DynamicBitset& src) {
-  CombineWords(out, src, out, [](std::uint64_t x, std::uint64_t y) { return x | y; });
-}
-
-void AndInto(DynamicBitset& out, const DynamicBitset& src) {
-  CombineWords(out, src, out, [](std::uint64_t x, std::uint64_t y) { return x & y; });
+  return out;
 }
 
 }  // namespace
@@ -136,14 +156,11 @@ void PresenceIndex::EnsureTable(Fold fold) const {
           k == 1 ? columns_ : t.levels_[k - 2];
       std::vector<DynamicBitset> level;
       level.reserve(n - window + 1);
+      const auto& backend = accel::ActiveBackend();
       for (std::size_t i = 0; i + window <= n; ++i) {
-        DynamicBitset folded = prev[i];
-        if (fold == Fold::kOr) {
-          OrInto(folded, prev[i + half]);
-        } else {
-          AndInto(folded, prev[i + half]);
-        }
-        level.push_back(std::move(folded));
+        level.push_back(fold == Fold::kOr
+                            ? FoldInto(prev[i], prev[i + half], backend.fold_or)
+                            : FoldInto(prev[i], prev[i + half], backend.fold_and));
       }
       t.levels_.push_back(std::move(level));
     }
@@ -168,14 +185,10 @@ DynamicBitset PresenceIndex::FoldRange(Fold fold, std::size_t first,
   const std::size_t window = std::size_t{1} << k;
   const std::vector<DynamicBitset>& level = t.levels_[k - 1];
   internal_counters::AddIntervalIndex(/*hits=*/1, /*misses=*/0);
-  DynamicBitset folded = level[first];
   const DynamicBitset& tail = level[last + 1 - window];
-  if (fold == Fold::kOr) {
-    OrInto(folded, tail);
-  } else {
-    AndInto(folded, tail);
-  }
-  return folded;
+  const auto& backend = accel::ActiveBackend();
+  return fold == Fold::kOr ? FoldInto(level[first], tail, backend.fold_or)
+                           : FoldInto(level[first], tail, backend.fold_and);
 }
 
 DynamicBitset PresenceIndex::UnionRange(std::size_t first, std::size_t last) const {

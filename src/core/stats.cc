@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/backend.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -112,6 +113,7 @@ ExecCounters GetExecCounters() {
   // One locked snapshot: either entirely pre-reset or entirely post-reset.
   obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
   ExecCounters counters;
+  counters.backend = accel::ActiveBackendName();
   counters.agg_rows_scanned = snapshot.CounterValue("agg/rows_scanned");
   counters.agg_chunks = snapshot.CounterValue("agg/chunks");
   counters.agg_merge_nanos = snapshot.CounterValue("agg/merge_nanos");

@@ -58,6 +58,7 @@ std::map<std::string, std::size_t> AttributeDistribution(const TemporalGraph& gr
 /// `ResetExecCounters`. Surfaced by the CLI's `--perf yes` flag and by the
 /// benchmark JSON emitters; see docs/PARALLELISM.md.
 struct ExecCounters {
+  std::string backend;                   ///< active compute backend (accel/backend.h)
   std::uint64_t agg_rows_scanned = 0;    ///< node+edge rows walked by Aggregate
   std::uint64_t agg_chunks = 0;          ///< partition chunks run by Aggregate
   std::uint64_t agg_merge_nanos = 0;     ///< time merging per-chunk partials

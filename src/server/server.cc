@@ -10,6 +10,7 @@
 #include <fstream>
 #include <utility>
 
+#include "accel/backend.h"
 #include "engine/wire.h"
 #include "obs/metrics.h"
 #include "util/json.h"
@@ -313,6 +314,9 @@ HttpResponse Server::HandleIngest(const HttpRequest& request) {
 
 HttpResponse Server::HandleStats() {
   json::Value body = json::Value::Object();
+  // Which compute backend the kernels run on (accel/backend.h) — lets a
+  // client correlate server-side latency with the SIMD tier that produced it.
+  body.Set("backend", json::Value::String(accel::ActiveBackendName()));
   {
     // Graph shape, so clients (the load generator) can build valid specs.
     std::shared_lock<std::shared_mutex> reader(graph_mutex_);

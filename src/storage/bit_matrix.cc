@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "accel/backend.h"
+
 namespace graphtempo {
 
 namespace {
@@ -56,24 +58,14 @@ bool BitMatrix::Test(std::size_t row, std::size_t column) const {
 
 std::size_t BitMatrix::RowCount(std::size_t row) const {
   CheckRow(row);
-  const std::uint64_t* words = RowWords(row);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_per_row_; ++w) {
-    total += static_cast<std::size_t>(std::popcount(words[w]));
-  }
-  return total;
+  return accel::ActiveBackend().popcount(RowWords(row), words_per_row_);
 }
 
 std::size_t BitMatrix::RowCountMasked(std::size_t row, const DynamicBitset& mask) const {
   CheckRow(row);
   CheckMask(mask);
-  const std::uint64_t* words = RowWords(row);
-  const auto& mask_words = mask.words();
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_per_row_; ++w) {
-    total += static_cast<std::size_t>(std::popcount(words[w] & mask_words[w]));
-  }
-  return total;
+  return accel::ActiveBackend().masked_popcount(RowWords(row), mask.words().data(),
+                                                words_per_row_);
 }
 
 bool BitMatrix::RowAnyMasked(std::size_t row, const DynamicBitset& mask) const {

@@ -92,6 +92,16 @@ class BitMatrix {
   bool RowAnyMaskedNaive(std::size_t row, const DynamicBitset& mask) const;
   bool RowAllMaskedNaive(std::size_t row, const DynamicBitset& mask) const;
 
+  /// Raw word access to one row (words_per_row() words). Lets tight callers
+  /// (the Algorithm-2 static aggregation path) hoist the backend dispatch
+  /// out of their row loop instead of paying a RowCountMasked call per row.
+  /// Padding bits beyond columns() are zero by construction.
+  const std::uint64_t* row_words(std::size_t row) const {
+    CheckRow(row);
+    return RowWords(row);
+  }
+  std::size_t words_per_row() const { return words_per_row_; }
+
  private:
   void CheckRow(std::size_t row) const { GT_CHECK_LT(row, rows_) << "row out of range"; }
   void CheckColumn(std::size_t column) const {

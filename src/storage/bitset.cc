@@ -2,6 +2,15 @@
 
 #include <bit>
 
+#include "accel/backend.h"
+
+// The word-streaming operations (set algebra, popcounts, index extraction)
+// dispatch through the runtime-selected compute backend (accel/backend.h);
+// the backends rely on this class keeping the padding bits of a trailing
+// partial word zero (Resize/SetAll below enforce it). Short-circuiting
+// predicates (Any/Intersects/IsSubsetOf) stay as plain loops: they exit on
+// the first interesting word, which a streaming kernel cannot.
+
 namespace graphtempo {
 
 namespace {
@@ -58,9 +67,7 @@ bool DynamicBitset::Test(std::size_t index) const {
 }
 
 std::size_t DynamicBitset::Count() const {
-  std::size_t total = 0;
-  for (std::uint64_t word : words_) total += static_cast<std::size_t>(std::popcount(word));
-  return total;
+  return accel::ActiveBackend().popcount(words_.data(), words_.size());
 }
 
 bool DynamicBitset::Any() const {
@@ -109,19 +116,20 @@ bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   CheckCompatible(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  accel::ActiveBackend().range_and(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   CheckCompatible(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  accel::ActiveBackend().range_or(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
   CheckCompatible(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  accel::ActiveBackend().range_andnot(words_.data(), other.words_.data(),
+                                      words_.size());
   return *this;
 }
 
@@ -143,11 +151,16 @@ std::vector<std::uint32_t> DynamicBitset::ToIndices() const {
 std::size_t DynamicBitset::CountWordRange(std::size_t word_begin,
                                           std::size_t word_end) const {
   GT_DCHECK(word_end <= words_.size());
-  std::size_t total = 0;
-  for (std::size_t w = word_begin; w < word_end; ++w) {
-    total += static_cast<std::size_t>(std::popcount(words_[w]));
-  }
-  return total;
+  return accel::ActiveBackend().popcount(words_.data() + word_begin,
+                                         word_end - word_begin);
+}
+
+std::size_t DynamicBitset::AppendWordRangeIndices(std::size_t word_begin,
+                                                  std::size_t word_end,
+                                                  std::vector<std::uint32_t>& out) const {
+  GT_DCHECK(word_end <= words_.size());
+  accel::ActiveBackend().extract_indices(words_.data(), word_begin, word_end, out);
+  return word_end - word_begin;
 }
 
 }  // namespace graphtempo

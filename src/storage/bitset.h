@@ -119,20 +119,10 @@ class DynamicBitset {
   /// to `out`, ascending. The building block of the parallel operator
   /// kernels: disjoint word ranges extract into per-chunk vectors that are
   /// concatenated in chunk order, so parallel extraction is bit-identical to
-  /// a serial scan. Returns the number of words examined.
+  /// a serial scan. Dispatches through the active compute backend
+  /// (accel/backend.h). Returns the number of words examined.
   std::size_t AppendWordRangeIndices(std::size_t word_begin, std::size_t word_end,
-                                     std::vector<std::uint32_t>& out) const {
-    GT_DCHECK(word_end <= words_.size());
-    for (std::size_t w = word_begin; w < word_end; ++w) {
-      std::uint64_t word = words_[w];
-      const std::uint32_t base = static_cast<std::uint32_t>(w * 64);
-      while (word != 0) {
-        out.push_back(base + static_cast<std::uint32_t>(std::countr_zero(word)));
-        word &= word - 1;
-      }
-    }
-    return word_end - word_begin;
-  }
+                                     std::vector<std::uint32_t>& out) const;
 
   /// Number of set bits inside words [word_begin, word_end).
   std::size_t CountWordRange(std::size_t word_begin, std::size_t word_end) const;

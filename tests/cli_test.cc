@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "accel/backend.h"
 #include "core/graph_io.h"
 #include "test_graphs.h"
 #include "util/parallel.h"
@@ -185,6 +186,41 @@ TEST_F(CliTest, PerfPrintsExecutionCounters) {
   EXPECT_NE(run.out.find("agg_chunks="), std::string::npos);
   EXPECT_NE(run.out.find("pool_jobs="), std::string::npos);
   SetParallelism(1);
+}
+
+TEST(CliBackendsTest, BackendsCommandListsFeaturesAndActiveBackend) {
+  CliRun run = RunCliCapture({"backends"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("cpu features:"), std::string::npos);
+  EXPECT_NE(run.out.find("scalar"), std::string::npos);
+  EXPECT_NE(run.out.find("[active]"), std::string::npos);
+  // The reported active backend matches the registry's answer.
+  EXPECT_NE(run.out.find(std::string("active: ") + accel::ActiveBackendName()),
+            std::string::npos)
+      << run.out;
+}
+
+TEST(CliBackendsTest, BackendFlagForcesAndRoundTrips) {
+  CliRun run = RunCliCapture({"--backend", "scalar", "backends"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("active: scalar (forced via --backend)"), std::string::npos)
+      << run.out;
+  ASSERT_TRUE(accel::SetActiveBackend("auto"));
+}
+
+TEST(CliBackendsTest, UnknownBackendIsHardError) {
+  CliRun run = RunCliCapture({"--backend", "sse9", "backends"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown backend"), std::string::npos) << run.err;
+}
+
+TEST_F(CliTest, PerfLineCarriesBackendName) {
+  CliRun run = RunCliCapture({"--backend", "scalar", "--perf", "aggregate", path_,
+                              "--attrs", "gender", "--op", "union", "--t1", "t0",
+                              "--t2", "t1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("backend=scalar"), std::string::npos) << run.out;
+  ASSERT_TRUE(accel::SetActiveBackend("auto"));
 }
 
 TEST_F(CliTest, NoPerfFlagPrintsNoCounters) {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <thread>
 
+#include "accel/backend.h"
 #include "engine/wire.h"
 #include "server/http.h"
 #include "test_graphs.h"
@@ -253,6 +254,16 @@ TEST_F(ServerTest, MalformedIngestBatchReportsLineNumber) {
   HttpResponse response = Fetch("POST", "/ingest", "t t3\nzz what\n");
   EXPECT_EQ(response.status, 400);
   EXPECT_NE(response.body.find("line 2"), std::string::npos) << response.body;
+}
+
+TEST_F(ServerTest, StatsReportsActiveComputeBackend) {
+  StartServer();
+  json::Value stats = FetchJson("GET", "/stats");
+  const json::Value* backend = stats.Find("backend");
+  ASSERT_NE(backend, nullptr) << "/stats lost the backend field";
+  ASSERT_TRUE(backend->is_string());
+  // Round-trip: the served name is exactly what the accel registry reports.
+  EXPECT_EQ(backend->AsString(), accel::ActiveBackendName());
 }
 
 TEST_F(ServerTest, DuplicateTimePointIngestIsDroppedNotFatal) {

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "accel/backend.h"
 #include "core/aggregation.h"
 #include "core/coarsen.h"
 #include "core/edge_list_io.h"
@@ -70,6 +71,8 @@ commands:
   suggest-k <graph.tsv> --event <...> [selector options]
   stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
   metrics [--format text|json]             dump the metrics registry snapshot
+  backends                                 detected CPU features, compiled
+                                           compute backends, dispatch choice
   serve <graph.tsv> [--port N] [--workers N] [--max-inflight N]
           [--rate-limit QPS] [--rate-burst N] [--attrs a,b [--materialize]]
           [--ingest-log path] [--duration-seconds N] [--top N]
@@ -89,6 +92,11 @@ global options (any command):
                   (operators, aggregation, exploration, pool worker lanes)
                   to `path`; bare --trace writes trace.json. Open the file
                   in chrome://tracing or https://ui.perfetto.dev
+  --backend <scalar|avx2|avx512|auto>  force the compute backend for the
+                  bitset kernels (default: auto CPUID dispatch, or the
+                  GT_BACKEND environment variable). Hard error when the
+                  backend is not compiled in or the CPU lacks the ISA;
+                  results are bit-identical on every backend
 
 time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
 
@@ -130,7 +138,7 @@ bool IsCommandName(const std::string& word) {
   static const char* kCommands[] = {"help",      "info",    "generate", "import",
                                     "operate",   "aggregate", "evolution", "measure",
                                     "coarsen",   "explore", "suggest-k", "stats",
-                                    "metrics",   "serve",   "loadgen"};
+                                    "metrics",   "backends", "serve",   "loadgen"};
   return std::any_of(std::begin(kCommands), std::end(kCommands),
                      [&](const char* cmd) { return word == cmd; });
 }
@@ -1350,6 +1358,34 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
 
 // --- metrics ---------------------------------------------------------------------
 
+int CmdBackends(const Options& options, std::ostream& out, std::ostream&) {
+  out << "cpu features:";
+  for (const std::string& feature : accel::DetectedCpuFeatures()) {
+    out << " " << feature;
+  }
+  out << "\n";
+  out << "backends:\n";
+  const std::string active = accel::ActiveBackendName();
+  for (const accel::BackendInfo& info : accel::ListBackends()) {
+    out << "  " << info.name << (std::string(info.name).size() < 6 ? "  " : "")
+        << "  compiled=" << (info.compiled ? "yes" : "no")
+        << " supported=" << (info.supported ? "yes" : "no")
+        << (active == info.name ? "  [active]" : "") << "\n";
+  }
+  // Why this backend: a --backend flag beats GT_BACKEND beats CPUID auto.
+  const char* env = std::getenv("GT_BACKEND");
+  out << "active: " << active << " (";
+  if (options.Get("backend").has_value()) {
+    out << "forced via --backend";
+  } else if (env != nullptr && *env != '\0') {
+    out << "forced via GT_BACKEND=" << env;
+  } else {
+    out << "auto CPUID dispatch";
+  }
+  out << ")\n";
+  return 0;
+}
+
 int CmdMetrics(const Options& options, std::ostream& out, std::ostream& err) {
   std::string format = options.Get("format").value_or("text");
   obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
@@ -1377,7 +1413,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   std::size_t command_index = 0;
   while (command_index < args.size() &&
          (args[command_index] == "--threads" || args[command_index] == "--perf" ||
-          args[command_index] == "--trace")) {
+          args[command_index] == "--trace" || args[command_index] == "--backend")) {
     std::string name = args[command_index].substr(2);
     if (options.flags.count(name) != 0) {
       err << "error: flag --" << name << " given more than once\n";
@@ -1416,6 +1452,16 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
       return 1;
     }
     SetParallelism(threads);
+  }
+  // --backend forces the compute backend for the whole command (serve and
+  // loadgen included). Unknown/uncompiled/unsupported names are hard errors:
+  // silently falling back would make perf numbers lie about what ran.
+  if (std::optional<std::string> backend_raw = options.Get("backend")) {
+    std::string error;
+    if (!accel::SetActiveBackend(*backend_raw, &error)) {
+      err << "error: --backend " << error << "\n";
+      return 1;
+    }
   }
   const std::string perf_raw = options.Get("perf").value_or("no");
   if (perf_raw != "yes" && perf_raw != "no") {
@@ -1456,6 +1502,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
       std::snprintf(merge_ms, sizeof(merge_ms), "%.3f",
                     static_cast<double>(counters.agg_merge_nanos) / 1e6);
       out << "perf: threads=" << GetParallelism()
+          << " backend=" << counters.backend
           << " agg_rows=" << counters.agg_rows_scanned
           << " agg_chunks=" << counters.agg_chunks << " agg_merge_ms=" << merge_ms
           << " explore_evals=" << counters.explore_evaluations
@@ -1483,6 +1530,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   if (command == "suggest-k") return finish(CmdSuggestK(options, out, err));
   if (command == "stats") return finish(CmdStats(options, out, err));
   if (command == "metrics") return finish(CmdMetrics(options, out, err));
+  if (command == "backends") return finish(CmdBackends(options, out, err));
   if (command == "serve") return finish(CmdServe(options, out, err));
   if (command == "loadgen") return finish(CmdLoadgen(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";

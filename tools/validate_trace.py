@@ -139,6 +139,12 @@ def validate_bench_log(path):
                 if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                     ok = fail(f"{where}: engine record needs non-negative integer "
                               f"{counter!r}, got {value!r}")
+        if "kernel" in record or "kernel_ms" in record:
+            # Kernel-bearing records: timings are meaningless without knowing
+            # which compute backend (scalar/avx2/avx512) produced them.
+            if not isinstance(record.get("backend"), str):
+                ok = fail(f"{where}: kernel record needs a string 'backend' "
+                          f"field, got {record.get('backend')!r}")
     if objects == 0:
         ok = fail(f"{path}: no bench JSON lines found")
     if ok:
