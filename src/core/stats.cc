@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "accel/backend.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -155,6 +156,11 @@ void AddExploreEvaluations(std::uint64_t evaluations) {
 void AddKernelWords(std::uint64_t words) {
   static obs::Counter& counter = CounterRef("kernel/words");
   counter.Add(words);
+  // Mirror into the request context (if one is bound) so a slow-query record
+  // can attribute kernel work to the specific query, pool workers included.
+  if (obs::RequestContext* context = obs::CurrentRequestContext()) {
+    context->kernel_words.fetch_add(words, std::memory_order_relaxed);
+  }
 }
 
 void AddIntervalIndex(std::uint64_t hits, std::uint64_t misses) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -229,6 +230,9 @@ QueryPlan QueryEngine::PlanLocked(const QuerySpec& spec,
     plan.route = PlanRoute::kDirectKernel;
     plan.stale_fallback = true;
     StaleFallbackCounter().Increment();
+    if (obs::RequestContext* ctx = obs::CurrentRequestContext()) {
+      ctx->stale_fallback.store(true, std::memory_order_relaxed);
+    }
   }
 
   if (plan.route == PlanRoute::kMaterializedDerivation) {
@@ -250,6 +254,10 @@ QueryPlan QueryEngine::PlanLocked(const QuerySpec& spec,
         ResolveGrouping(*graph_, spec.attrs, spec.grouping);
     plan.dense_nodes = resolution.dense_nodes;
     plan.dense_edges = resolution.dense_edges;
+    if (obs::RequestContext* ctx = obs::CurrentRequestContext()) {
+      ctx->grouping.store(plan.dense_nodes ? "dense" : "hash",
+                          std::memory_order_relaxed);
+    }
     std::string operand = "t1=" + spec.t1.ToString();
     if (UsesT2(spec.op)) operand += " t2=" + spec.t2.ToString();
     plan.steps.push_back(
@@ -307,10 +315,18 @@ AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& op
   GT_SPAN("engine/execute", {{"route", static_cast<std::uint64_t>(plan.route)},
                              {"steps", plan.steps.size()}});
   QueriesCounter().Increment();
+  // Attribute the planning outcome to the bound request context (if any) so
+  // the server's slow-query record reflects exactly what this execution did.
+  obs::RequestContext* ctx = obs::CurrentRequestContext();
+  if (ctx != nullptr) {
+    ctx->fingerprint.store(plan.fingerprint, std::memory_order_relaxed);
+    ctx->route.store(PlanRouteName(plan.route), std::memory_order_relaxed);
+  }
 
   if (!plan.cacheable || config_.cache_capacity == 0) {
     cache_stats_.bypasses.fetch_add(1, std::memory_order_relaxed);
     CacheBypassCounter().Increment();
+    if (ctx != nullptr) ctx->cache.store("bypass", std::memory_order_relaxed);
     return Run(spec, plan);
   }
 
@@ -324,6 +340,7 @@ AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& op
       if (EntryValid(entry) && entry.spec.EquivalentTo(spec)) {
         cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
         CacheHitCounter().Increment();
+        if (ctx != nullptr) ctx->cache.store("hit", std::memory_order_relaxed);
         entry.last_used.store(
             lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
             std::memory_order_relaxed);
@@ -333,6 +350,7 @@ AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& op
   }
   cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
   CacheMissCounter().Increment();
+  if (ctx != nullptr) ctx->cache.store("miss", std::memory_order_relaxed);
 
   AggregateGraph result = Run(spec, plan);
   InsertResult(spec, plan, result, generation);

@@ -1,0 +1,71 @@
+#include "obs/context.h"
+
+#include <utility>
+
+namespace graphtempo::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_query_id{1};
+thread_local RequestContext* t_context = nullptr;
+
+}  // namespace
+
+RequestContext::RequestContext(std::string client_request_id)
+    : query_id(g_next_query_id.fetch_add(1, std::memory_order_relaxed)),
+      client_request_id(std::move(client_request_id)) {}
+
+void RequestContext::AddPhase(const char* name, std::uint64_t duration_ns) {
+  for (std::size_t i = 0; i < kMaxPhases; ++i) {
+    PhaseSlot& slot = phases_[i];
+    const char* current = slot.name.load(std::memory_order_acquire);
+    if (current == nullptr) {
+      // Claim the slot; on a lost race fall through to whoever won it.
+      const char* expected = nullptr;
+      if (!slot.name.compare_exchange_strong(expected, name,
+                                             std::memory_order_acq_rel)) {
+        current = expected;
+      } else {
+        current = name;
+      }
+    }
+    if (current == name) {
+      slot.total_ns.fetch_add(duration_ns, std::memory_order_relaxed);
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  phases_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<PhaseTiming> RequestContext::Phases() const {
+  std::vector<PhaseTiming> timings;
+  for (std::size_t i = 0; i < kMaxPhases; ++i) {
+    const PhaseSlot& slot = phases_[i];
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) break;
+    timings.push_back(PhaseTiming{name, slot.total_ns.load(std::memory_order_relaxed),
+                                  slot.count.load(std::memory_order_relaxed)});
+  }
+  return timings;
+}
+
+RequestContext* CurrentRequestContext() { return t_context; }
+
+ScopedRequestContext::ScopedRequestContext(RequestContext* context)
+    : previous_(t_context) {
+  t_context = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { t_context = previous_; }
+
+namespace internal_context {
+
+void AccumulatePhase(const char* name, std::uint64_t duration_ns) {
+  RequestContext* context = t_context;
+  if (context != nullptr) context->AddPhase(name, duration_ns);
+}
+
+}  // namespace internal_context
+
+}  // namespace graphtempo::obs

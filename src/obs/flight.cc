@@ -1,0 +1,183 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <mutex>
+
+namespace graphtempo::obs {
+
+namespace {
+
+/// One ring slot: a seqlock over relaxed atomics. Even sequence = stable,
+/// odd = mid-write. All fields are atomics, so concurrent drains are
+/// race-free by construction (TSan-clean); the sequence check only guards
+/// against reading a half-updated slot as if it were consistent.
+struct FlightSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> end_ns{0};
+  std::atomic<std::uint64_t> duration_ns{0};
+  std::atomic<const char*> arg_names[Span::kMaxArgs] = {};
+  std::atomic<std::uint64_t> arg_values[Span::kMaxArgs] = {};
+  std::atomic<std::uint32_t> num_args{0};
+};
+
+/// Per-thread ring. Written only by the owning thread; drained by anyone.
+struct FlightRing {
+  explicit FlightRing(std::uint32_t lane_id, const char* name)
+      : slots(internal_flight::kFlightRingSlots), lane(lane_id), lane_name(name) {}
+
+  std::vector<FlightSlot> slots;
+  std::atomic<std::uint64_t> total{0};  ///< spans ever recorded on this ring
+  const std::uint32_t lane;
+  std::atomic<const char*> lane_name;
+};
+
+struct FlightState {
+  std::mutex mutex;                 ///< guards ring registration only
+  std::vector<FlightRing*> rings;   ///< leaked with the threads they serve
+};
+
+FlightState& State() {
+  static FlightState& state = *new FlightState();
+  return state;
+}
+
+thread_local FlightRing* t_ring = nullptr;
+
+FlightRing& GetRing() {
+  if (t_ring != nullptr) return *t_ring;
+  FlightState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto* ring = new FlightRing(static_cast<std::uint32_t>(state.rings.size()),
+                              internal_trace::CurrentThreadLaneName());
+  state.rings.push_back(ring);
+  t_ring = ring;
+  return *ring;
+}
+
+}  // namespace
+
+namespace internal_flight {
+
+void Record(const char* name, std::uint64_t end_ns, std::uint64_t duration_ns,
+            const SpanArg* args, std::uint32_t num_args) {
+  FlightRing& ring = GetRing();
+  const std::uint64_t position = ring.total.load(std::memory_order_relaxed);
+  FlightSlot& slot = ring.slots[position & (kFlightRingSlots - 1)];
+
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: mid-write
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < num_args; ++i) {
+    slot.arg_names[i].store(args[i].name, std::memory_order_relaxed);
+    slot.arg_values[i].store(args[i].value, std::memory_order_relaxed);
+  }
+  slot.num_args.store(num_args, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+  ring.total.store(position + 1, std::memory_order_release);
+}
+
+void SetThreadLaneName(const char* name) {
+  if (t_ring != nullptr) t_ring->lane_name.store(name, std::memory_order_relaxed);
+}
+
+}  // namespace internal_flight
+
+FlightCapture CollectFlight(std::uint64_t window_ns) {
+  const std::uint64_t now = internal_trace::NowNanos();
+  const std::uint64_t cutoff =
+      window_ns == 0 || window_ns >= now ? 0 : now - window_ns;
+
+  // Snapshot the ring registry, then drain outside the registration lock —
+  // rings are never deallocated, so the pointers stay valid.
+  std::vector<FlightRing*> rings;
+  {
+    FlightState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    rings = state.rings;
+  }
+
+  FlightCapture capture;
+  for (FlightRing* ring : rings) {
+    const std::uint64_t total = ring->total.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        std::min<std::uint64_t>(total, internal_flight::kFlightRingSlots);
+    if (total > internal_flight::kFlightRingSlots) {
+      capture.wrapped += total - internal_flight::kFlightRingSlots;
+    }
+    bool contributed = false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const FlightSlot& slot = ring->slots[i];
+      const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if ((seq1 & 1) != 0) continue;  // mid-write, skip
+      CollectedEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.lane = ring->lane;
+      const std::uint64_t end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      event.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      event.num_args = slot.num_args.load(std::memory_order_relaxed);
+      for (std::uint32_t a = 0; a < event.num_args && a < Span::kMaxArgs; ++a) {
+        event.args[a].name = slot.arg_names[a].load(std::memory_order_relaxed);
+        event.args[a].value = slot.arg_values[a].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq1) continue;  // torn
+      if (event.name == nullptr || end_ns < cutoff) continue;
+      // Stash the absolute *start* in start_ns; rebased below once the
+      // earliest collected event across all lanes is known.
+      event.start_ns = end_ns >= event.duration_ns ? end_ns - event.duration_ns : 0;
+      capture.events.push_back(event);
+      contributed = true;
+    }
+    if (contributed) {
+      capture.lane_names.emplace_back(
+          ring->lane,
+          std::string(ring->lane_name.load(std::memory_order_relaxed)) + "-" +
+              std::to_string(ring->lane));
+    }
+  }
+
+  std::sort(capture.events.begin(), capture.events.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns < b.duration_ns;
+            });
+  std::uint64_t base = ~std::uint64_t{0};
+  for (const CollectedEvent& event : capture.events) {
+    base = std::min(base, event.start_ns);
+  }
+  if (!capture.events.empty()) {
+    for (CollectedEvent& event : capture.events) event.start_ns -= base;
+  }
+  return capture;
+}
+
+std::string FlightJson(std::uint64_t window_ns) {
+  FlightCapture capture = CollectFlight(window_ns);
+  return internal_trace::RenderChromeTraceJson(capture.events, capture.lane_names,
+                                               capture.wrapped);
+}
+
+bool WriteFlightJsonFile(const std::string& path, std::uint64_t window_ns,
+                         std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  out << FlightJson(window_ns) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace graphtempo::obs

@@ -1,0 +1,75 @@
+#ifndef GRAPHTEMPO_OBS_FLIGHT_H_
+#define GRAPHTEMPO_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+/// \file
+/// The always-on flight recorder (docs/OBSERVABILITY.md §Serving-path
+/// observability): a fixed-size per-thread ring of the most recent finished
+/// spans, recorded unconditionally (the `kModeFlight` bit is set at process
+/// start and never cleared). Unlike `TraceSession` buffers — which are opt-in,
+/// grow-once, and *drop* on overflow so a session is a faithful recording —
+/// the flight ring *wraps*: it always holds the latest ~4096 spans per thread,
+/// so a trace of the moments before an incident is available after the fact
+/// via `GET /debug/trace?ms=N` or a process signal, with no restart and no
+/// `--trace` flag.
+///
+/// Concurrency: each slot is a tiny seqlock of relaxed atomics (writer bumps
+/// the sequence odd, stores fields, bumps it even; the drain rereads the
+/// sequence and discards torn slots). The writer is always the owning thread;
+/// drains may run concurrently from any thread and never block recording.
+
+namespace graphtempo::obs {
+
+namespace internal_flight {
+
+/// Slots per thread ring (power of two; ~4096 spans ≈ the last few hundred
+/// queries of context per worker).
+inline constexpr std::size_t kFlightRingSlots = 4096;
+
+/// Records one finished span into the calling thread's ring. Called by the
+/// trace recorder when `kModeFlight` is set; `end_ns` is absolute steady-clock
+/// time so drains can window on recency.
+void Record(const char* name, std::uint64_t end_ns, std::uint64_t duration_ns,
+            const SpanArg* args, std::uint32_t num_args);
+
+/// Relabels the calling thread's ring (called by SetCurrentThreadLaneName so
+/// flight lanes carry the same "worker-<n>" style names as trace lanes).
+void SetThreadLaneName(const char* name);
+
+}  // namespace internal_flight
+
+/// Result of draining the rings: events (with `start_ns` rebased so the
+/// earliest collected event is 0), lane id → display-name pairs for every
+/// lane that contributed, and the cumulative count of slots overwritten by
+/// ring wrap-around since process start.
+struct FlightCapture {
+  std::vector<CollectedEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> lane_names;
+  std::uint64_t wrapped = 0;
+};
+
+/// Snapshots every thread's ring, keeping spans that ended within the last
+/// `window_ns` nanoseconds (0 = keep everything still in the rings). Events
+/// are ordered by lane, then end time. Safe to call concurrently with
+/// recording from any thread.
+FlightCapture CollectFlight(std::uint64_t window_ns);
+
+/// Renders a drain as Chrome Trace Event JSON — the same schema TraceSession
+/// writes ({"traceEvents":[...]}, thread-name metadata, `otherData.dropped`
+/// carrying the wrap count), loadable in chrome://tracing / Perfetto and
+/// accepted by tools/validate_trace.py.
+std::string FlightJson(std::uint64_t window_ns);
+
+/// FlightJson to `path`; false + `*error` on IO failure.
+bool WriteFlightJsonFile(const std::string& path, std::uint64_t window_ns,
+                         std::string* error);
+
+}  // namespace graphtempo::obs
+
+#endif  // GRAPHTEMPO_OBS_FLIGHT_H_

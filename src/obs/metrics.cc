@@ -87,6 +87,31 @@ HistogramSnapshot MetricsSnapshot::HistogramValue(std::string_view name) const {
   return HistogramSnapshot{};
 }
 
+bool MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  if (generation != other.generation) return false;
+  for (const auto& [name, value] : other.counters) {
+    auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != counters.end() && it->first == name) {
+      it->second += value;
+    } else {
+      counters.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, snapshot] : other.histograms) {
+    auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != histograms.end() && it->first == name) {
+      it->second.Add(snapshot);
+    } else {
+      histograms.insert(it, {name, snapshot});
+    }
+  }
+  return true;
+}
+
 std::string MetricsSnapshot::ToText() const {
   std::string out;
   char line[256];

@@ -112,6 +112,13 @@ struct MetricsSnapshot {
   /// Snapshot of histogram `name`, empty when absent.
   HistogramSnapshot HistogramValue(std::string_view name) const;
 
+  /// Merges `other` into this snapshot: counters add by name, histograms
+  /// merge by name (new names are appended, keeping the sort order). Refuses
+  /// — returning false and leaving this snapshot untouched — when the two
+  /// snapshots were taken in different reset generations: values from
+  /// different generations are not comparable and must never silently mix.
+  bool MergeFrom(const MetricsSnapshot& other);
+
   /// Human-readable dump: one `name value` / `name count=… p50=…` per line.
   std::string ToText() const;
   /// Machine-readable dump: a single JSON object.

@@ -1,0 +1,134 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace graphtempo::obs {
+
+struct ExemplarStore::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Exemplar, std::less<>> exemplars;
+};
+
+ExemplarStore& ExemplarStore::Instance() {
+  static ExemplarStore& store = *new ExemplarStore();
+  return store;
+}
+
+ExemplarStore::Impl& ExemplarStore::impl() const {
+  static Impl& impl = *new Impl();
+  return impl;
+}
+
+void ExemplarStore::Offer(const std::string& metric, std::uint64_t value,
+                          const std::string& request_id) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.exemplars[metric] = Exemplar{value, request_id};
+}
+
+std::optional<Exemplar> ExemplarStore::Get(const std::string& metric) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.exemplars.find(metric);
+  if (it == state.exemplars.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gt_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void AppendUint(std::string* out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(buffer);
+}
+
+void AppendEscapedLabel(std::string* out, const std::string& value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+/// `# {request_id="…"} <value>` — the OpenMetrics exemplar suffix.
+void AppendExemplar(std::string* out, const Exemplar& exemplar) {
+  out->append(" # {request_id=\"");
+  AppendEscapedLabel(out, exemplar.request_id);
+  out->append("\"} ");
+  AppendUint(out, exemplar.value);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const ExemplarStore* exemplars) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendUint(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    std::optional<Exemplar> exemplar =
+        exemplars != nullptr ? exemplars->Get(name) : std::nullopt;
+    // The exemplar's bucket; only meaningful if that bucket line is emitted.
+    const std::size_t exemplar_bucket =
+        exemplar.has_value() ? HistogramBucketOf(exemplar->value) : kHistogramBuckets;
+
+    out += "# TYPE " + prom + " histogram\n";
+    // Emit cumulative counts through the highest occupied bucket, capped at
+    // 63: bucket 64's upper bound is 2^64−1, which is +Inf territory — the
+    // mandatory {le="+Inf"} line (== _count) covers it.
+    std::size_t highest = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (hist.buckets[b] != 0) highest = b;
+    }
+    if (highest > 63) highest = 63;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= highest; ++b) {
+      cumulative += hist.buckets[b];
+      out += prom + "_bucket{le=\"";
+      AppendUint(&out, HistogramBucketUpperBound(b));
+      out += "\"} ";
+      AppendUint(&out, cumulative);
+      if (exemplar.has_value() && b == exemplar_bucket) {
+        AppendExemplar(&out, *exemplar);
+      }
+      out.push_back('\n');
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    AppendUint(&out, hist.count);
+    if (exemplar.has_value() && exemplar_bucket > highest) {
+      AppendExemplar(&out, *exemplar);
+    }
+    out.push_back('\n');
+    out += prom + "_sum ";
+    AppendUint(&out, hist.sum);
+    out.push_back('\n');
+    out += prom + "_count ";
+    AppendUint(&out, hist.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace graphtempo::obs

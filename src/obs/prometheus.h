@@ -1,0 +1,62 @@
+#ifndef GRAPHTEMPO_OBS_PROMETHEUS_H_
+#define GRAPHTEMPO_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file
+/// Prometheus / OpenMetrics text exposition over a `MetricsSnapshot`, so the
+/// server's `/metrics?format=prometheus` is scrapeable by standard tooling.
+///
+/// Mapping (docs/OBSERVABILITY.md §Serving-path observability):
+///
+///   * Metric names gain a `gt_` prefix and are sanitized to the exposition
+///     charset: `engine/cache_hit` → `gt_engine_cache_hit`.
+///   * Counters become `# TYPE … counter` plus one sample line.
+///   * The 65-bucket log histograms become `# TYPE … histogram` with
+///     *cumulative* `_bucket{le="<upper bound>"}` lines — one per occupied
+///     log bucket up to the highest non-zero, then the mandatory
+///     `{le="+Inf"}` equal to `_count` — plus `_sum` and `_count`.
+///   * Exemplars (OpenMetrics `# {request_id="…"} value` suffix) attach the
+///     most recent p99-class request ID to the bucket containing its value,
+///     so a scrape's tail bucket points back at a concrete slow query.
+
+namespace graphtempo::obs {
+
+/// One stored exemplar: the sample value and the request ID that produced it.
+struct Exemplar {
+  std::uint64_t value = 0;
+  std::string request_id;
+};
+
+/// Keeps the latest p99-class exemplar per metric. `Offer` is called by the
+/// server when a recorded latency reaches the histogram's current p99; `Get`
+/// is used by the encoder. Thread-safe.
+class ExemplarStore {
+ public:
+  static ExemplarStore& Instance();
+
+  void Offer(const std::string& metric, std::uint64_t value,
+             const std::string& request_id);
+  std::optional<Exemplar> Get(const std::string& metric) const;
+
+ private:
+  ExemplarStore() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Renders `snapshot` in Prometheus text exposition format. When `exemplars`
+/// is non-null, histogram tail buckets carry the stored exemplar request IDs.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const ExemplarStore* exemplars = nullptr);
+
+/// Sanitized exposition name for a registry metric name (exposed for tests).
+std::string PrometheusName(const std::string& name);
+
+}  // namespace graphtempo::obs
+
+#endif  // GRAPHTEMPO_OBS_PROMETHEUS_H_

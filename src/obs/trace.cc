@@ -8,17 +8,23 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace graphtempo::obs {
 
 namespace internal_trace {
-std::atomic<std::uint32_t> g_mode{0};
+// The flight-recorder bit is constant-initialized on, so every span records
+// into the always-on per-thread rings (obs/flight.h) from the first
+// instruction of main onward — no session, no flag, no init-order hazard.
+std::atomic<std::uint32_t> g_mode{kModeFlight};
 }  // namespace internal_trace
 
 namespace {
 
 using internal_trace::g_mode;
+using internal_trace::kModeFlight;
 using internal_trace::kModeHistogram;
 using internal_trace::kModeTrace;
 
@@ -109,6 +115,10 @@ void RecordSpan(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
   if ((mode & kModeHistogram) != 0) {
     SpanHistogram(name).Record(duration / 1000);  // microseconds
   }
+  if ((mode & kModeFlight) != 0) {
+    internal_flight::Record(name, end_ns, duration, args, num_args);
+    internal_context::AccumulatePhase(name, duration);
+  }
   if ((mode & kModeTrace) == 0) return;
 
   ThreadBuffer& buffer = GetThreadBuffer();
@@ -133,7 +143,12 @@ void RecordSpan(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
 void SetCurrentThreadLaneName(const char* name) {
   t_lane_name = name;
   if (t_buffer != nullptr) t_buffer->lane_name = name;
+  internal_flight::SetThreadLaneName(name);
 }
+
+namespace internal_trace {
+const char* CurrentThreadLaneName() { return t_lane_name; }
+}  // namespace internal_trace
 
 namespace {
 std::atomic<int> g_latency_capture_depth{0};
@@ -230,12 +245,16 @@ void AppendEscaped(std::string* out, const char* text) {
 
 }  // namespace
 
-void TraceSession::WriteJson(std::ostream& out) {
-  const std::vector<CollectedEvent>& events = Collect();
+namespace internal_trace {
+
+std::string RenderChromeTraceJson(
+    const std::vector<CollectedEvent>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& lane_names,
+    std::uint64_t dropped) {
   std::string body = "{\"traceEvents\":[";
   bool first = true;
   char buffer[160];
-  for (const auto& [lane, name] : lane_names_) {
+  for (const auto& [lane, name] : lane_names) {
     if (!first) body.push_back(',');
     first = false;
     body += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
@@ -268,9 +287,16 @@ void TraceSession::WriteJson(std::ostream& out) {
     body.push_back('}');
   }
   body += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
-  body += std::to_string(dropped_);
+  body += std::to_string(dropped);
   body += "}}";
-  out << body << "\n";
+  return body;
+}
+
+}  // namespace internal_trace
+
+void TraceSession::WriteJson(std::ostream& out) {
+  const std::vector<CollectedEvent>& events = Collect();
+  out << internal_trace::RenderChromeTraceJson(events, lane_names_, dropped_) << "\n";
 }
 
 bool TraceSession::WriteJsonFile(const std::string& path, std::string* error) {

@@ -53,9 +53,16 @@ namespace internal_trace {
 
 inline constexpr std::uint32_t kModeTrace = 1;      ///< record events
 inline constexpr std::uint32_t kModeHistogram = 2;  ///< feed span/<name> histograms
+inline constexpr std::uint32_t kModeFlight = 4;     ///< feed the flight recorder
 
-/// Bitmask of the active recording modes; 0 = spans are no-ops.
+/// Bitmask of the active recording modes; 0 = spans are no-ops. The flight
+/// bit (obs/flight.h) is set from process start and never cleared, so spans
+/// always land in the per-thread flight rings.
 extern std::atomic<std::uint32_t> g_mode;
+
+/// The calling thread's lane-name literal (as set by SetCurrentThreadLaneName,
+/// default "lane").
+const char* CurrentThreadLaneName();
 
 std::uint64_t NowNanos();
 
@@ -146,6 +153,19 @@ struct CollectedEvent {
   std::uint32_t num_args;
   SpanArg args[Span::kMaxArgs];
 };
+
+namespace internal_trace {
+
+/// Renders events + lane names as Chrome Trace Event JSON (the schema
+/// TraceSession::WriteJson emits): per-lane thread_name metadata, one
+/// "ph":"X" complete event per span, `otherData.dropped`. Shared by trace
+/// sessions and the flight recorder (obs/flight.h).
+std::string RenderChromeTraceJson(
+    const std::vector<CollectedEvent>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& lane_names,
+    std::uint64_t dropped);
+
+}  // namespace internal_trace
 
 /// An active trace recording. Construction clears the per-thread buffers and
 /// starts recording; `Stop()` (or destruction) stops it. Export with

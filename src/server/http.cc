@@ -185,8 +185,18 @@ bool WriteHttpResponse(int fd, const HttpResponse& response) {
                      StatusReason(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    head += name + ": " + value + "\r\n";
+  }
   head += "Connection: close\r\n\r\n";
   return WriteRaw(fd, head) && WriteRaw(fd, response.body);
+}
+
+std::string HttpResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
 }
 
 int CreateListenSocket(int port, std::string* error) {
@@ -251,15 +261,19 @@ int ConnectTcp(const std::string& host, int port, std::string* error) {
   return fd;
 }
 
-std::optional<HttpResponse> HttpFetch(const std::string& host, int port,
-                                      const std::string& method,
-                                      const std::string& path, const std::string& body,
-                                      std::string* error, int timeout_ms) {
+std::optional<HttpResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& path, const std::string& body, std::string* error,
+    int timeout_ms,
+    const std::vector<std::pair<std::string, std::string>>& request_headers) {
   int fd = ConnectTcp(host, port, error);
   if (fd < 0) return std::nullopt;
 
   std::string request = method + " " + path + " HTTP/1.1\r\n";
   request += "Host: " + host + "\r\n";
+  for (const auto& [name, value] : request_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   request += "Connection: close\r\n\r\n";
   request += body;
@@ -298,13 +312,21 @@ std::optional<HttpResponse> HttpFetch(const std::string& host, int port,
   }
   HttpResponse response;
   response.status = std::atoi(buffer.substr(9, status_end - 9).c_str());
-  std::string headers = Lowercase(buffer.substr(0, header_end));
-  std::size_t type_at = headers.find("content-type:");
-  if (type_at != std::string::npos) {
-    std::size_t type_end = headers.find("\r\n", type_at);
-    std::string value = headers.substr(type_at + 13, type_end - type_at - 13);
-    std::size_t start = value.find_first_not_of(' ');
-    response.content_type = start == std::string::npos ? value : value.substr(start);
+  // Parse every response header (names lowercased); Content-Type is also
+  // mirrored into the dedicated field.
+  std::size_t line_start = status_end + 2;
+  while (line_start < header_end) {
+    std::size_t line_end = buffer.find("\r\n", line_start);
+    std::string line = buffer.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = Lowercase(line.substr(0, colon));
+    std::size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+    std::string value = line.substr(value_start);
+    if (key == "content-type") response.content_type = value;
+    response.headers.emplace_back(std::move(key), std::move(value));
   }
   response.body = buffer.substr(header_end + 4);
   return response;

@@ -30,6 +30,14 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (name, value) emitted verbatim by
+  /// WriteHttpResponse; on the client side, HttpFetch parses every response
+  /// header here with lowercased names (Content-Type also mirrored above).
+  /// Last so the common `{status, type, body}` aggregate init keeps working.
+  std::vector<std::pair<std::string, std::string>> headers = {};
+
+  /// First value of `name` (lowercase) among the parsed headers, or "".
+  std::string Header(std::string_view name) const;
 };
 
 /// Canonical reason phrase for the status codes the server emits.
@@ -58,10 +66,13 @@ int ListenSocketPort(int fd);
 int ConnectTcp(const std::string& host, int port, std::string* error);
 
 /// One blocking request/response round trip (the load generator's client).
-std::optional<HttpResponse> HttpFetch(const std::string& host, int port,
-                                      const std::string& method,
-                                      const std::string& path, const std::string& body,
-                                      std::string* error, int timeout_ms = 10000);
+/// `request_headers` are sent verbatim after the Host line (e.g.
+/// `{"X-GT-Request-Id", "cli-7"}` or an Accept override).
+std::optional<HttpResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& path, const std::string& body, std::string* error,
+    int timeout_ms = 10000,
+    const std::vector<std::pair<std::string, std::string>>& request_headers = {});
 
 }  // namespace graphtempo::server
 

@@ -6,14 +6,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <utility>
 
 #include "accel/backend.h"
 #include "engine/wire.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "util/json.h"
+#include "util/string_util.h"
 
 namespace graphtempo::server {
 
@@ -52,6 +58,31 @@ obs::Histogram& QueryLatencyHistogram() {
   static obs::Histogram& h =
       obs::Registry::Instance().GetHistogram("server/query_latency_us");
   return h;
+}
+obs::Counter& SlowQueriesCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/slow_queries");
+  return c;
+}
+
+/// X-GT-Request-Id values are echoed into response headers and log lines;
+/// keep them short and printable so they cannot corrupt either.
+std::string SanitizeClientRequestId(const HttpRequest& request) {
+  auto it = request.headers.find("x-gt-request-id");
+  if (it == request.headers.end()) return "";
+  std::string id;
+  for (char c : it->second) {
+    if (id.size() >= 64) break;
+    const bool printable = c > 0x20 && c < 0x7f && c != '"' && c != '\\';
+    id.push_back(printable ? c : '_');
+  }
+  return id;
+}
+
+/// The canonical ID for a request: the client's correlation ID when supplied,
+/// the server-assigned monotonic query ID otherwise.
+std::string DisplayRequestId(const obs::RequestContext& context) {
+  return context.client_request_id.empty() ? std::to_string(context.query_id)
+                                           : context.client_request_id;
 }
 
 HttpResponse JsonError(int status, const std::string& message) {
@@ -139,6 +170,13 @@ bool Server::Start(std::string* error) {
   listen_fd_.store(listen_fd);
   port_ = ListenSocketPort(listen_fd);
 
+  // The slow-query writer always exists (ring-only when no path configured)
+  // so GET /debug/slow works out of the box; the access log is opt-in.
+  slow_log_ = std::make_unique<LogWriter>(config_.slow_log_path);
+  if (!config_.access_log_path.empty()) {
+    access_log_ = std::make_unique<LogWriter>(config_.access_log_path);
+  }
+
   listener_ = std::thread([this] { ListenerLoop(); });
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
@@ -166,6 +204,7 @@ void Server::ListenerLoop() {
 }
 
 void Server::WorkerLoop() {
+  obs::SetCurrentThreadLaneName("server-worker");
   while (true) {
     int fd;
     {
@@ -188,10 +227,43 @@ void Server::HandleConnection(int fd) {
     ::close(fd);
     return;
   }
-  std::optional<HttpResponse> response = Dispatch(*request, fd);
+
+  // Bind a request context for the whole dispatch: spans recorded on this
+  // thread (and on pool lanes working for it) attribute to this query ID, and
+  // the engine fills in route/cache/grouping for the slow-query record.
+  obs::RequestContext context(SanitizeClientRequestId(*request));
+  obs::ScopedRequestContext bind(&context);
+
+  const auto started = std::chrono::steady_clock::now();
+  std::optional<HttpResponse> response;
+  {
+    // Scoped so the span (carrying the numeric request ID) lands in the
+    // flight recorder before the response reaches the client.
+    GT_SPAN("server/request", {{"request", context.query_id}});
+    response = Dispatch(*request, fd);
+  }
   requests_served_.fetch_add(1);
   RequestsCounter().Increment();
+
+  if (access_log_ != nullptr) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    json::Value line = json::Value::Object();
+    line.Set("request_id", json::Value::Number(context.query_id));
+    if (!context.client_request_id.empty()) {
+      line.Set("client_request_id", json::Value::String(context.client_request_id));
+    }
+    line.Set("method", json::Value::String(request->method));
+    line.Set("path", json::Value::String(request->path));
+    line.Set("status", json::Value::Number(static_cast<std::uint64_t>(
+                           response.has_value() ? response->status : 200)));
+    line.Set("total_us",
+             json::Value::Number(static_cast<std::uint64_t>(elapsed.count())));
+    access_log_->Append(line.Serialize());
+  }
+
   if (!response.has_value()) return;  // fd adopted by the SSE subscriber set
+  response->headers.emplace_back("X-GT-Request-Id", DisplayRequestId(context));
   WriteHttpResponse(fd, *response);
   ::close(fd);
 }
@@ -204,8 +276,15 @@ std::optional<HttpResponse> Server::Dispatch(const HttpRequest& request, int fd)
   }
   if (path == "/metrics") {
     if (request.method != "GET") return JsonError(405, "GET only");
-    return HttpResponse{200, "application/json",
-                        obs::Registry::Instance().Snapshot().ToJson()};
+    return HandleMetrics(request);
+  }
+  if (path == "/debug/trace") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    return HandleDebugTrace(request);
+  }
+  if (path == "/debug/slow") {
+    if (request.method != "GET") return JsonError(405, "GET only");
+    return HandleDebugSlow();
   }
   if (path == "/stats") {
     if (request.method != "GET") return JsonError(405, "GET only");
@@ -254,9 +333,15 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
 
   auto started = std::chrono::steady_clock::now();
   HttpResponse response;
+  std::string spec_text;  // rendered under the shared lock, for the slow log
+  bool executed = false;
   {
     std::string parse_error;
-    std::optional<json::Value> body = json::Parse(request.body, &parse_error);
+    std::optional<json::Value> body;
+    {
+      GT_SPAN("server/parse");
+      body = json::Parse(request.body, &parse_error);
+    }
     if (!body.has_value()) {
       admission_release();
       BadRequestCounter().Increment();
@@ -269,8 +354,11 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
     engine::wire::RequestOptions options;
     options.top = config_.default_top;
     std::string bind_error;
-    std::optional<engine::QuerySpec> spec =
-        engine::wire::BindQuerySpec(*graph_, *body, &options, &bind_error);
+    std::optional<engine::QuerySpec> spec;
+    {
+      GT_SPAN("server/bind");
+      spec = engine::wire::BindQuerySpec(*graph_, *body, &options, &bind_error);
+    }
     if (!spec.has_value()) {
       admission_release();
       BadRequestCounter().Increment();
@@ -282,15 +370,39 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
       response = HttpResponse{200, "application/json", engine::wire::PlanToJson(plan)};
     } else {
       engine::QueryPlan plan = engine_->Plan(*spec);
-      AggregateGraph result = engine_->Execute(*spec);
-      response = HttpResponse{
-          200, "application/json",
-          engine::wire::ResultToJson(*graph_, *spec, plan, result, options.top)};
+      AggregateGraph result = [&] {
+        GT_SPAN("server/execute");
+        return engine_->Execute(*spec);
+      }();
+      {
+        GT_SPAN("server/serialize");
+        response = HttpResponse{
+            200, "application/json",
+            engine::wire::ResultToJson(*graph_, *spec, plan, result, options.top)};
+      }
+      executed = true;
+      if (config_.slow_query_ms >= 0) spec_text = spec->ToString(*graph_);
     }
   }
   auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - started);
-  QueryLatencyHistogram().Record(static_cast<std::uint64_t>(elapsed.count()));
+  const std::uint64_t total_us = static_cast<std::uint64_t>(elapsed.count());
+  QueryLatencyHistogram().Record(total_us);
+
+  if (obs::RequestContext* context = obs::CurrentRequestContext()) {
+    // A p99-class latency becomes the exemplar for the Prometheus exposition:
+    // the tail bucket of gt_server_query_latency_us points at this request.
+    obs::HistogramSnapshot latency = QueryLatencyHistogram().Snapshot();
+    if (total_us >= latency.Percentile(0.99)) {
+      obs::ExemplarStore::Instance().Offer("server/query_latency_us", total_us,
+                                           DisplayRequestId(*context));
+    }
+    if (executed && config_.slow_query_ms >= 0 &&
+        total_us >= static_cast<std::uint64_t>(config_.slow_query_ms) * 1000) {
+      SlowQueriesCounter().Increment();
+      RecordSlowQuery(*context, spec_text, total_us);
+    }
+  }
   admission_release();
   return response;
 }
@@ -347,6 +459,113 @@ HttpResponse Server::HandleStats() {
   cache_json.Set("invalidations", json::Value::Number(cache.invalidations));
   body.Set("cache", std::move(cache_json));
   return HttpResponse{200, "application/json", body.Serialize()};
+}
+
+HttpResponse Server::HandleMetrics(const HttpRequest& request) {
+  // Content negotiation: the Prometheus exposition on explicit
+  // `?format=prometheus`, or when the client's Accept prefers text — the JSON
+  // snapshot (the original wire format) otherwise, so existing clients (the
+  // load generator, `graphtempo metrics`) keep working unchanged.
+  bool prometheus = request.query.find("format=prometheus") != std::string::npos;
+  if (!prometheus) {
+    auto accept = request.headers.find("accept");
+    prometheus = accept != request.headers.end() &&
+                 (accept->second.find("text/plain") != std::string::npos ||
+                  accept->second.find("openmetrics") != std::string::npos);
+  }
+  if (prometheus) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        obs::ToPrometheusText(obs::Registry::Instance().Snapshot(),
+                                              &obs::ExemplarStore::Instance())};
+  }
+  return HttpResponse{200, "application/json",
+                      obs::Registry::Instance().Snapshot().ToJson()};
+}
+
+HttpResponse Server::HandleDebugTrace(const HttpRequest& request) {
+  // `?ms=N` keeps only spans that ended within the last N milliseconds;
+  // absent (or 0) drains everything still in the rings.
+  std::uint64_t window_ns = 0;
+  const std::string& query = request.query;
+  std::size_t at = query.find("ms=");
+  while (at != std::string::npos && at != 0 && query[at - 1] != '&') {
+    at = query.find("ms=", at + 3);  // skip e.g. "params=", match a real ms=
+  }
+  if (at != std::string::npos) {
+    std::size_t end = query.find('&', at);
+    std::string_view value(query.data() + at + 3,
+                           (end == std::string::npos ? query.size() : end) - at - 3);
+    std::uint64_t ms = 0;
+    if (!ParseUint64(value, &ms)) {
+      return JsonError(400, "invalid ms parameter: '" + std::string(value) + "'");
+    }
+    window_ns = ms * 1000000ull;
+  }
+  return HttpResponse{200, "application/json", obs::FlightJson(window_ns)};
+}
+
+HttpResponse Server::HandleDebugSlow() {
+  std::string body = "[";
+  if (slow_log_ != nullptr) {
+    bool first = true;
+    for (const std::string& line : slow_log_->Recent()) {
+      if (!first) body += ",";
+      first = false;
+      body += line;  // records are stored as serialized JSON objects
+    }
+  }
+  body += "]";
+  return HttpResponse{200, "application/json", std::move(body)};
+}
+
+void Server::RecordSlowQuery(const obs::RequestContext& context,
+                             const std::string& spec_text,
+                             std::uint64_t total_us) {
+  if (slow_log_ == nullptr) return;
+  json::Value record = json::Value::Object();
+  record.Set("request_id", json::Value::Number(context.query_id));
+  record.Set("client_request_id", json::Value::String(context.client_request_id));
+  char fingerprint[24];
+  std::snprintf(fingerprint, sizeof(fingerprint), "0x%016" PRIx64,
+                context.fingerprint.load(std::memory_order_relaxed));
+  record.Set("fingerprint", json::Value::String(fingerprint));
+  record.Set("spec", json::Value::String(spec_text));
+  record.Set("route",
+             json::Value::String(context.route.load(std::memory_order_relaxed)));
+  record.Set("stale_fallback", json::Value::Bool(context.stale_fallback.load(
+                                   std::memory_order_relaxed)));
+  record.Set("grouping", json::Value::String(
+                             context.grouping.load(std::memory_order_relaxed)));
+  record.Set("backend", json::Value::String(accel::ActiveBackendName()));
+  record.Set("cache",
+             json::Value::String(context.cache.load(std::memory_order_relaxed)));
+  record.Set("kernel_words", json::Value::Number(context.kernel_words.load(
+                                 std::memory_order_relaxed)));
+  record.Set("total_us", json::Value::Number(total_us));
+
+  // Phase table → {"name": {"total_us": …, "count": …}}. Merged by string
+  // name: the table is keyed by literal address, and the same span name can
+  // appear under two addresses when recorded from different TUs.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const obs::PhaseTiming& phase : context.Phases()) {
+    auto& entry = merged[phase.name];
+    entry.first += phase.total_ns;
+    entry.second += phase.count;
+  }
+  json::Value phases = json::Value::Object();
+  for (const auto& [name, totals] : merged) {
+    json::Value phase = json::Value::Object();
+    phase.Set("total_us", json::Value::Number(totals.first / 1000));
+    phase.Set("count", json::Value::Number(totals.second));
+    phases.Set(name, std::move(phase));
+  }
+  record.Set("phases", std::move(phases));
+  const std::uint64_t dropped =
+      context.phases_dropped.load(std::memory_order_relaxed);
+  if (dropped != 0) {
+    record.Set("phases_dropped", json::Value::Number(dropped));
+  }
+  slow_log_->Append(record.Serialize());
 }
 
 bool Server::HandleSubscribe(int fd) {
@@ -421,6 +640,7 @@ void Server::AppendToIngestLog(const std::vector<IngestRecord>& records) {
 }
 
 void Server::WriterLoop() {
+  obs::SetCurrentThreadLaneName("ingest-writer");
   while (true) {
     std::vector<IngestRecord> batch = ingest_queue_.PopBatch();
     if (batch.empty()) return;  // queue closed and drained
@@ -429,6 +649,7 @@ void Server::WriterLoop() {
     applied.reserve(batch.size());
     bool appended_time = false;
     {
+      GT_SPAN("server/ingest_apply", {{"records", batch.size()}});
       // Lock order matches HandleQuery's reader: server mutex, then engine.
       std::unique_lock<std::shared_mutex> server_writer(graph_mutex_);
       auto engine_writer = engine_->AcquireWriterLock();
@@ -493,6 +714,11 @@ void Server::Shutdown() {
   // 3. Drain queued ingestion, then stop the writer.
   ingest_queue_.Close();
   if (writer_.joinable()) writer_.join();
+
+  // 3b. Flush the structured logs. Workers are joined, so no append races
+  //     the drain; the objects stay alive for post-shutdown inspection.
+  if (slow_log_ != nullptr) slow_log_->Shutdown();
+  if (access_log_ != nullptr) access_log_->Shutdown();
 
   // 4. Tell subscribers goodbye and close their streams.
   {

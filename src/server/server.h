@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/context.h"
 #include "server/http.h"
 #include "server/ingest.h"
 #include "server/rate_limiter.h"
+#include "server/slow_log.h"
 
 /// \file
 /// The GraphTempo query service (docs/SERVER.md): a long-lived HTTP server
@@ -26,7 +28,9 @@
 ///
 ///   * `POST /query`    — JSON request → executed result (or plan, with
 ///                        `"explain": true`); see engine/wire.h.
-///   * `GET  /metrics`  — the obs registry snapshot as JSON.
+///   * `GET  /metrics`  — the obs registry snapshot as JSON, or Prometheus
+///                        text exposition with `?format=prometheus` (also
+///                        negotiated via `Accept: text/plain`).
 ///   * `GET  /healthz`  — liveness ("ok").
 ///   * `GET  /stats`    — server counters: requests, admissions, inflight,
 ///                        ingest queue depth, subscriber count.
@@ -38,6 +42,17 @@
 ///                        stability/growth/shrinkage between the two newest
 ///                        time points.
 ///   * `POST /shutdown` — graceful remote shutdown (for CI and operators).
+///   * `GET  /debug/trace?ms=N` — the always-on flight recorder's last N
+///                        milliseconds of span events as Chrome-trace JSON
+///                        (everything retained when `ms` is absent); works
+///                        without `--trace`, after the fact.
+///   * `GET  /debug/slow` — the most recent slow-query records as a JSON
+///                        array (in-memory ring; survives log rotation).
+///
+/// Every request is answered with an `X-GT-Request-Id` header: the
+/// client-supplied value when the request carried that header, otherwise the
+/// server-assigned monotonic query ID. The same ID attributes the request's
+/// span events in `/debug/trace` and its slow-query record.
 ///
 /// ## Threading model
 ///
@@ -70,6 +85,15 @@ struct ServerConfig {
   std::size_t default_top = 0;       ///< result row cap when absent; 0 = all
   int request_timeout_ms = 10000;
   std::string ingest_log_path;       ///< "" = no on-disk log
+
+  /// Slow-query threshold in milliseconds: any /query execution taking at
+  /// least this long emits one structured JSON record (docs/OBSERVABILITY.md
+  /// §Slow-query log). 0 logs every query; -1 (default) disables logging.
+  /// Records always land in the in-memory ring served by `GET /debug/slow`;
+  /// `slow_log_path` additionally appends them to a rotating file.
+  std::int64_t slow_query_ms = -1;
+  std::string slow_log_path;         ///< "" = ring only
+  std::string access_log_path;       ///< "" = no access log
 };
 
 class Server {
@@ -124,6 +148,14 @@ class Server {
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleDebugTrace(const HttpRequest& request);
+  HttpResponse HandleDebugSlow();
+
+  /// Emits the structured slow-query record for the bound request context
+  /// (called by HandleQuery when the threshold fired).
+  void RecordSlowQuery(const obs::RequestContext& context,
+                       const std::string& spec_text, std::uint64_t total_us);
   bool HandleSubscribe(int fd);
 
   /// Publishes one SSE frame to every subscriber, dropping dead streams.
@@ -165,6 +197,13 @@ class Server {
   std::vector<Subscriber> subscribers_;
 
   std::mutex log_mutex_;  ///< serializes ingest-log file appends
+
+  /// Created in Start, drained in Shutdown after the workers joined (no
+  /// appends can race the drain). slow_log_ always exists (ring-only when no
+  /// path was configured) so /debug/slow works out of the box; access_log_
+  /// only when a path was configured.
+  std::unique_ptr<LogWriter> slow_log_;
+  std::unique_ptr<LogWriter> access_log_;
 
   std::thread listener_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,89 @@
+#include "server/slow_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace graphtempo::server {
+
+LogWriter::LogWriter(std::string path, std::size_t max_bytes,
+                     std::size_t ring_capacity)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes),
+      ring_capacity_(ring_capacity) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+LogWriter::~LogWriter() { Shutdown(); }
+
+void LogWriter::Append(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    ring_.push_back(line);
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+    queue_.push_back(std::move(line));
+    ++appended_;
+  }
+  work_.notify_one();
+}
+
+std::vector<std::string> LogWriter::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t LogWriter::lines_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+void LogWriter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Another (or an earlier) Shutdown already signalled; fall through to
+      // the join below, which is a no-op on a joined thread handle.
+    }
+    stopping_ = true;
+  }
+  work_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void LogWriter::WriterLoop() {
+  // Opened lazily on the first line, so a ring-only writer touches no file.
+  std::ofstream out;
+  std::size_t written = 0;
+  auto open_for_append = [&] {
+    out.open(path_, std::ios::app);
+    written = out.is_open() ? static_cast<std::size_t>(out.tellp()) : 0;
+  };
+
+  while (true) {
+    std::deque<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      batch.swap(queue_);
+      if (batch.empty() && stopping_) return;  // drained, done
+    }
+    if (path_.empty()) continue;  // ring-only
+    if (!out.is_open()) open_for_append();
+    for (const std::string& line : batch) {
+      const std::size_t bytes = line.size() + 1;
+      if (out.is_open() && written + bytes > max_bytes_ && written > 0) {
+        // Rotate: keep exactly one previous generation.
+        out.close();
+        std::rename(path_.c_str(), (path_ + ".1").c_str());
+        open_for_append();
+      }
+      if (!out.is_open()) break;  // unwritable path; keep draining the queue
+      out << line << "\n";
+      written += bytes;
+    }
+    if (out.is_open()) out.flush();
+  }
+}
+
+}  // namespace graphtempo::server

@@ -1,0 +1,70 @@
+#ifndef GRAPHTEMPO_SERVER_SLOW_LOG_H_
+#define GRAPHTEMPO_SERVER_SLOW_LOG_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Structured line logging for the serving path (docs/OBSERVABILITY.md
+/// §Serving-path observability): the slow-query log and the access log are
+/// both `LogWriter`s — a background thread appends JSON lines to a rotating
+/// file while a bounded in-memory ring keeps the most recent records for
+/// `GET /debug/slow`, so an operator can inspect recent slow queries without
+/// shell access to the log file.
+
+namespace graphtempo::server {
+
+/// Asynchronous line writer. `Append` never blocks on disk: lines are queued
+/// under a mutex and drained by one background thread, which rotates the file
+/// (rename to `<path>.1`, reopen) when it would exceed `max_bytes`. The last
+/// `ring_capacity` lines are always retained in memory — also when `path` is
+/// empty (ring-only mode, used when no on-disk log was configured).
+class LogWriter {
+ public:
+  /// `path` may be "" for ring-only operation. The writer thread starts
+  /// immediately.
+  explicit LogWriter(std::string path, std::size_t max_bytes = 16u << 20,
+                     std::size_t ring_capacity = 128);
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Enqueues one line (no trailing newline). Lines appended after Shutdown
+  /// began are dropped.
+  void Append(std::string line);
+
+  /// The most recent lines, oldest first. Includes lines still queued for
+  /// disk — the ring is updated at Append time, not at write time.
+  std::vector<std::string> Recent() const;
+
+  /// Total lines accepted (for tests and /stats).
+  std::uint64_t lines_appended() const;
+
+  /// Flushes the queue to disk and joins the writer thread. Idempotent.
+  void Shutdown();
+
+ private:
+  void WriterLoop();
+
+  const std::string path_;
+  const std::size_t max_bytes_;
+  const std::size_t ring_capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_;
+  std::deque<std::string> queue_;   ///< lines awaiting disk
+  std::deque<std::string> ring_;    ///< last `ring_capacity_` lines
+  std::uint64_t appended_ = 0;
+  bool stopping_ = false;
+  std::thread writer_;
+};
+
+}  // namespace graphtempo::server
+
+#endif  // GRAPHTEMPO_SERVER_SLOW_LOG_H_

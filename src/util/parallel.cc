@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -95,6 +96,11 @@ class ThreadPool {
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->total = chunks;
+    // Chunks executed on worker lanes inherit the issuing thread's request
+    // context, so per-request attribution (kernel words, phase timings)
+    // follows the query across threads. The owner blocks until every chunk
+    // finishes, so the pointer outlives all uses.
+    job->context = obs::CurrentRequestContext();
     job->remaining.store(chunks, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -120,6 +126,7 @@ class ThreadPool {
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
+    obs::RequestContext* context = nullptr;  ///< issuer's request context
     std::size_t total = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> remaining{0};
@@ -132,6 +139,10 @@ class ThreadPool {
 
   /// Claims and runs chunks of `job` until none are left unclaimed.
   void Work(Job& job) {
+    // Adopt the issuer's request context for the duration (a re-bind of the
+    // same pointer when the owner drains its own job; the real hand-off for
+    // pool workers).
+    obs::ScopedRequestContext adopt(job.context);
     while (true) {
       std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job.total) return;

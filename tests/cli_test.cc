@@ -684,6 +684,68 @@ TEST_F(CliTest, ThreadsRejectsAbsurdlyLargeValues) {
   EXPECT_NE(run.err.find("must be between 1 and"), std::string::npos) << run.err;
 }
 
+// --- serve observability flags ----------------------------------------------
+
+TEST_F(CliTest, ServeRejectsGarbageSlowQueryMs) {
+  for (const char* bad : {"banana", "-5", "1.5", ""}) {
+    CliRun run = RunCliCapture(
+        {"serve", path_, "--port", "0", "--slow-query-ms", bad});
+    EXPECT_EQ(run.exit_code, 1) << "accepted '" << bad << "'";
+    EXPECT_NE(run.err.find("--slow-query-ms must be a non-negative integer"),
+              std::string::npos)
+        << run.err;
+  }
+}
+
+TEST_F(CliTest, ServeDuplicateSlowQueryMsIsAnError) {
+  CliRun run = RunCliCapture({"serve", path_, "--port", "0", "--slow-query-ms",
+                              "5", "--slow-query-ms", "6"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--slow-query-ms given more than once"),
+            std::string::npos)
+      << run.err;
+}
+
+TEST_F(CliTest, ServeWithTraceWritesChromeTraceJson) {
+  // The global --trace flag must cover the serving path too: the session is
+  // finished by RunCli after the serve loop exits on its deadline.
+  std::string trace_path = ::testing::TempDir() + "/graphtempo_serve_trace_" +
+                           std::to_string(getpid()) + ".json";
+  CliRun run = RunCliCapture({"serve", path_, "--port", "0",
+                              "--duration-seconds", "1", "--trace", trace_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("shut down cleanly"), std::string::npos) << run.out;
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << trace_path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str().rfind("{\"traceEvents\":[", 0), 0u);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliFlightrecTest, FlightrecRequiresAPort) {
+  CliRun run = RunCliCapture({"flightrec"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("usage: graphtempo flightrec"), std::string::npos)
+      << run.err;
+}
+
+TEST(CliFlightrecTest, FlightrecReportsAnUnreachableServer) {
+  // Port 1 is reserved and never bound by these tests: the fetch must fail
+  // with a diagnostic, not hang or crash.
+  CliRun run = RunCliCapture({"flightrec", "--port", "1"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("error:"), std::string::npos) << run.err;
+}
+
+TEST(CliMetricsTest, HelpDocumentsServeObservability) {
+  CliRun run = RunCliCapture({"help"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("--slow-query-ms"), std::string::npos);
+  EXPECT_NE(run.out.find("--flight-dump"), std::string::npos);
+  EXPECT_NE(run.out.find("flightrec"), std::string::npos);
+}
+
 TEST_F(CliTest, BareExplainAdjacentToOtherFlagsWorks) {
   CliRun run = RunCliCapture(
       {"aggregate", path_, "--explain", "--attrs", "gender", "--t1", "t0"});

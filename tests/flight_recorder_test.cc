@@ -1,0 +1,152 @@
+#include "obs/flight.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+
+namespace graphtempo::obs {
+namespace {
+
+/// Spans recorded with this name that a capture currently holds.
+std::size_t CountByName(const FlightCapture& capture, const char* name) {
+  std::size_t count = 0;
+  for (const CollectedEvent& event : capture.events) {
+    if (std::string(event.name) == name) ++count;
+  }
+  return count;
+}
+
+TEST(FlightRecorderTest, SpansLandWithoutAnyTraceSession) {
+  // The whole point: no TraceSession, no --trace — spans are still there.
+  ASSERT_FALSE(TracingActive());
+  { GT_SPAN("flight_test/landing", {{"request", 1234}}); }
+  FlightCapture capture = CollectFlight(0);
+  ASSERT_GE(CountByName(capture, "flight_test/landing"), 1u);
+  bool found_arg = false;
+  for (const CollectedEvent& event : capture.events) {
+    if (std::string(event.name) != "flight_test/landing") continue;
+    for (std::uint32_t i = 0; i < event.num_args; ++i) {
+      if (std::string(event.args[i].name) == "request" &&
+          event.args[i].value == 1234) {
+        found_arg = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_arg) << "span args must survive the ring";
+}
+
+TEST(FlightRecorderTest, WindowFiltersOutOldSpans) {
+  { GT_SPAN("flight_test/old_event"); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  { GT_SPAN("flight_test/new_event"); }
+
+  FlightCapture recent = CollectFlight(60ull * 1000 * 1000);  // last 60 ms
+  EXPECT_EQ(CountByName(recent, "flight_test/old_event"), 0u);
+  EXPECT_GE(CountByName(recent, "flight_test/new_event"), 1u);
+
+  FlightCapture everything = CollectFlight(0);
+  EXPECT_GE(CountByName(everything, "flight_test/old_event"), 1u);
+}
+
+TEST(FlightRecorderTest, RingWrapsAndReportsTheOverwriteCount) {
+  const std::uint64_t wrapped_before = CollectFlight(0).wrapped;
+  // Overflow this thread's ring: only the newest kFlightRingSlots survive.
+  for (std::size_t i = 0; i < internal_flight::kFlightRingSlots + 500; ++i) {
+    GT_SPAN("flight_test/filler");
+  }
+  FlightCapture capture = CollectFlight(0);
+  EXPECT_GE(capture.wrapped, wrapped_before + 500);
+  // A capture can never exceed the ring capacity per contributing lane.
+  EXPECT_LE(CountByName(capture, "flight_test/filler"),
+            internal_flight::kFlightRingSlots);
+  EXPECT_GE(CountByName(capture, "flight_test/filler"),
+            internal_flight::kFlightRingSlots / 2);
+}
+
+TEST(FlightRecorderTest, EventsAreRebasedAndOrdered) {
+  { GT_SPAN("flight_test/order_a"); }
+  { GT_SPAN("flight_test/order_b"); }
+  FlightCapture capture = CollectFlight(0);
+  ASSERT_FALSE(capture.events.empty());
+  bool saw_zero_start = false;
+  std::uint32_t lane = capture.events.front().lane;
+  std::uint64_t previous_start = 0;
+  for (const CollectedEvent& event : capture.events) {
+    if (event.start_ns == 0) saw_zero_start = true;
+    if (event.lane != lane) {
+      lane = event.lane;
+      previous_start = 0;
+    }
+    EXPECT_GE(event.start_ns, previous_start) << "per-lane start order";
+    previous_start = event.start_ns;
+  }
+  EXPECT_TRUE(saw_zero_start) << "start times must be rebased to the earliest";
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordingAndDrainingIsSafe) {
+  // Writers hammer their rings while a drainer snapshots continuously. The
+  // seqlock discards torn slots; under TSan this also proves race-freedom.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        GT_SPAN("flight_test/concurrent", {{"writer", 1}});
+      }
+    });
+  }
+  // Drain until writer events are observed (a single-core scheduler may not
+  // run the writers for a while) — but never past the deadline.
+  std::size_t total_events = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int i = 0; i < 200 || (total_events == 0 &&
+                              std::chrono::steady_clock::now() < deadline);
+       ++i) {
+    FlightCapture capture = CollectFlight(0);
+    total_events += capture.events.size();
+    for (const CollectedEvent& event : capture.events) {
+      ASSERT_NE(event.name, nullptr);
+    }
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_GT(total_events, 0u);
+}
+
+TEST(FlightRecorderTest, FlightJsonIsChromeTraceShaped) {
+  { GT_SPAN("flight_test/json_probe"); }
+  std::string json = FlightJson(0);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 60);
+  EXPECT_NE(json.find("flight_test/json_probe"), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WriteFlightJsonFileRoundTrips) {
+  { GT_SPAN("flight_test/file_probe"); }
+  const std::string path = ::testing::TempDir() + "flight_recorder_test.json";
+  std::string error;
+  ASSERT_TRUE(WriteFlightJsonFile(path, 0, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("flight_test/file_probe"), std::string::npos);
+  std::remove(path.c_str());
+
+  std::string bad_error;
+  EXPECT_FALSE(WriteFlightJsonFile("/nonexistent-dir/x/y.json", 0, &bad_error));
+  EXPECT_FALSE(bad_error.empty());
+}
+
+}  // namespace
+}  // namespace graphtempo::obs

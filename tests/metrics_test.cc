@@ -264,6 +264,70 @@ TEST(RegistryTest, SnapshotsNeverTearAgainstConcurrentResets) {
   SetParallelism(1);
 }
 
+TEST(SnapshotMergeTest, SameGenerationMergeMatchesTheWhole) {
+  // Two half-snapshots merged must equal one snapshot of everything: counters
+  // add by name, histograms merge by name, unknown names are appended.
+  MetricsSnapshot a;
+  a.generation = 7;
+  a.counters = {{"alpha", 3}, {"gamma", 10}};
+  a.histograms = {{"lat", MakeSnapshot(1, 40)}};
+
+  MetricsSnapshot b;
+  b.generation = 7;
+  b.counters = {{"alpha", 2}, {"beta", 5}};
+  b.histograms = {{"lat", MakeSnapshot(2, 25)}, {"size", MakeSnapshot(3, 8)}};
+
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.CounterValue("alpha"), 5u);
+  EXPECT_EQ(a.CounterValue("beta"), 5u);
+  EXPECT_EQ(a.CounterValue("gamma"), 10u);
+
+  HistogramSnapshot expected_lat = MakeSnapshot(1, 40);
+  expected_lat.Add(MakeSnapshot(2, 25));
+  ExpectEqualSnapshots(a.HistogramValue("lat"), expected_lat);
+  ExpectEqualSnapshots(a.HistogramValue("size"), MakeSnapshot(3, 8));
+
+  // Merged entries must keep the by-name sort (CounterValue binary-searches).
+  for (std::size_t i = 1; i < a.counters.size(); ++i) {
+    EXPECT_LT(a.counters[i - 1].first, a.counters[i].first);
+  }
+  for (std::size_t i = 1; i < a.histograms.size(); ++i) {
+    EXPECT_LT(a.histograms[i - 1].first, a.histograms[i].first);
+  }
+}
+
+TEST(SnapshotMergeTest, RefusesAcrossGenerationsAndLeavesTargetUntouched) {
+  // Snapshots spanning a ResetAll must never silently mix: the merge refuses
+  // and the target keeps its exact pre-call contents.
+  MetricsSnapshot a;
+  a.generation = 1;
+  a.counters = {{"alpha", 3}};
+  a.histograms = {{"lat", MakeSnapshot(1, 12)}};
+
+  MetricsSnapshot b;
+  b.generation = 2;  // as after a ResetAll between the two snapshots
+  b.counters = {{"alpha", 100}, {"beta", 1}};
+  b.histograms = {{"lat", MakeSnapshot(2, 30)}};
+
+  ASSERT_FALSE(a.MergeFrom(b));
+  EXPECT_EQ(a.generation, 1u);
+  ASSERT_EQ(a.counters.size(), 1u);
+  EXPECT_EQ(a.CounterValue("alpha"), 3u);
+  ASSERT_EQ(a.histograms.size(), 1u);
+  ExpectEqualSnapshots(a.HistogramValue("lat"), MakeSnapshot(1, 12));
+}
+
+TEST(SnapshotMergeTest, RefusesAcrossARealResetAllGenerationBump) {
+  Registry& registry = Registry::Instance();
+  registry.GetCounter("merge_test/c").Add(1);  // ensure non-empty
+  MetricsSnapshot before = registry.Snapshot();
+  registry.ResetAll();
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_NE(before.generation, after.generation);
+  EXPECT_FALSE(after.MergeFrom(before));
+  EXPECT_TRUE(after.MergeFrom(registry.Snapshot()));
+}
+
 TEST(RegistryTest, ExecCountersIncludePoolActivity) {
   SetParallelism(4);
   ResetExecCounters();

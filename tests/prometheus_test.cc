@@ -1,0 +1,139 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace graphtempo::obs {
+namespace {
+
+/// Splits exposition text into lines (no trailing empty line).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusName("engine/cache_hit"), "gt_engine_cache_hit");
+  EXPECT_EQ(PrometheusName("server/query_latency_us"),
+            "gt_server_query_latency_us");
+  EXPECT_EQ(PrometheusName("weird-name.v2"), "gt_weird_name_v2");
+}
+
+TEST(PrometheusTextTest, CountersCarryTypeAndValue) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"a/hits", 3}, {"b/misses", 0}};
+  std::vector<std::string> lines = Lines(ToPrometheusText(snapshot));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# TYPE gt_a_hits counter");
+  EXPECT_EQ(lines[1], "gt_a_hits 3");
+  EXPECT_EQ(lines[2], "# TYPE gt_b_misses counter");
+  EXPECT_EQ(lines[3], "gt_b_misses 0");
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  Histogram histogram;
+  histogram.Record(1);    // bucket 1 (le=1)
+  histogram.Record(5);    // bucket 3 (le=7)
+  histogram.Record(5);
+  histogram.Record(100);  // bucket 7 (le=127)
+
+  MetricsSnapshot snapshot;
+  snapshot.histograms = {{"lat_us", histogram.Snapshot()}};
+  std::vector<std::string> lines = Lines(ToPrometheusText(snapshot));
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "# TYPE gt_lat_us histogram");
+
+  // Cumulative counts must be non-decreasing in le order, and the mandatory
+  // +Inf bucket must equal _count exactly.
+  std::uint64_t previous = 0;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  bool saw_inf = false, saw_sum = false, saw_count = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("gt_lat_us_bucket{le=\"+Inf\"} ", 0) == 0) {
+      inf_value = std::stoull(line.substr(line.rfind(' ') + 1));
+      saw_inf = true;
+    } else if (line.rfind("gt_lat_us_bucket{", 0) == 0) {
+      std::uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(value, previous) << line;
+      previous = value;
+    } else if (line.rfind("gt_lat_us_sum ", 0) == 0) {
+      EXPECT_EQ(std::stoull(line.substr(line.rfind(' ') + 1)), 111u);
+      saw_sum = true;
+    } else if (line.rfind("gt_lat_us_count ", 0) == 0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+      saw_count = true;
+    }
+  }
+  ASSERT_TRUE(saw_inf);
+  ASSERT_TRUE(saw_sum);
+  ASSERT_TRUE(saw_count);
+  EXPECT_EQ(count_value, 4u);
+  EXPECT_EQ(inf_value, count_value);
+  // The highest finite bucket's cumulative count covers all finite samples.
+  EXPECT_EQ(previous, 4u);
+}
+
+TEST(PrometheusTextTest, HugeSamplesFoldIntoTheInfBucket) {
+  // Bucket 64's upper bound is 2^64-1; it must never appear as a finite le —
+  // the sample lands in +Inf only.
+  Histogram histogram;
+  histogram.Record(~0ull);
+  MetricsSnapshot snapshot;
+  snapshot.histograms = {{"big", histogram.Snapshot()}};
+  std::string text = ToPrometheusText(snapshot);
+  EXPECT_EQ(text.find("le=\"18446744073709551615\""), std::string::npos);
+  EXPECT_NE(text.find("gt_big_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, ExemplarAttachesToTheContainingBucket) {
+  Histogram histogram;
+  histogram.Record(5);
+  histogram.Record(300);
+
+  ExemplarStore& store = ExemplarStore::Instance();
+  store.Offer("lat_us", 300, "req-42");
+
+  MetricsSnapshot snapshot;
+  snapshot.histograms = {{"lat_us", histogram.Snapshot()}};
+  std::string text = ToPrometheusText(snapshot, &store);
+  // 300 falls in the le="511" bucket; the exemplar suffix rides that line.
+  EXPECT_NE(text.find("gt_lat_us_bucket{le=\"511\"} 2 # {request_id=\"req-42\"} 300"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, ExemplarRequestIdIsEscaped) {
+  Histogram histogram;
+  histogram.Record(2);
+  ExemplarStore& store = ExemplarStore::Instance();
+  store.Offer("esc", 2, "a\"b\\c");
+  MetricsSnapshot snapshot;
+  snapshot.histograms = {{"esc", histogram.Snapshot()}};
+  std::string text = ToPrometheusText(snapshot, &store);
+  EXPECT_NE(text.find("# {request_id=\"a\\\"b\\\\c\"} 2"), std::string::npos) << text;
+}
+
+TEST(ExemplarStoreTest, LatestOfferWinsPerMetric) {
+  ExemplarStore& store = ExemplarStore::Instance();
+  store.Offer("metric_a", 10, "first");
+  store.Offer("metric_a", 20, "second");
+  store.Offer("metric_b", 5, "other");
+  std::optional<Exemplar> a = store.Get("metric_a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 20u);
+  EXPECT_EQ(a->request_id, "second");
+  EXPECT_FALSE(store.Get("metric_missing").has_value());
+}
+
+}  // namespace
+}  // namespace graphtempo::obs

@@ -11,6 +11,7 @@
 
 #include "accel/backend.h"
 #include "engine/wire.h"
+#include "obs/trace.h"
 #include "server/http.h"
 #include "test_graphs.h"
 #include "util/json.h"
@@ -272,6 +273,194 @@ TEST_F(ServerTest, DuplicateTimePointIngestIsDroppedNotFatal) {
   WaitForTimePoints(4);  // t3 still lands; the duplicate is skipped
   json::Value stats = FetchJson("GET", "/stats");
   EXPECT_EQ(stats.Find("num_times")->AsUint64().value_or(0), 4u);
+}
+
+TEST_F(ServerTest, RequestIdHeaderIsEchoedOrAssigned) {
+  StartServer();
+  // Without a client id the server assigns a monotonic numeric one.
+  HttpResponse bare = Fetch("GET", "/healthz");
+  std::string assigned = bare.Header("x-gt-request-id");
+  ASSERT_FALSE(assigned.empty());
+  EXPECT_EQ(assigned.find_first_not_of("0123456789"), std::string::npos)
+      << assigned;
+
+  // A client-supplied X-GT-Request-Id is echoed back verbatim.
+  std::string error;
+  std::optional<HttpResponse> tagged =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/healthz", "", &error,
+                10000, {{"X-GT-Request-Id", "smoke-abc-7"}});
+  ASSERT_TRUE(tagged.has_value()) << error;
+  EXPECT_EQ(tagged->Header("x-gt-request-id"), "smoke-abc-7");
+
+  // Unsafe characters are replaced before the id enters logs or headers.
+  std::optional<HttpResponse> hostile =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/healthz", "", &error,
+                10000, {{"X-GT-Request-Id", "a b\"c"}});
+  ASSERT_TRUE(hostile.has_value()) << error;
+  EXPECT_EQ(hostile->Header("x-gt-request-id"), "a_b_c");
+}
+
+TEST_F(ServerTest, DebugTraceCarriesRequestIdsWithoutTraceMode) {
+  StartServer();
+  // The flight recorder is always on: no TraceSession exists, yet the spans
+  // for a served request must be drainable afterwards with its request id.
+  ASSERT_FALSE(obs::TracingActive());
+  HttpResponse query =
+      Fetch("POST", "/query", R"({"t1":"t0","attrs":["gender"]})");
+  ASSERT_EQ(query.status, 200) << query.body;
+  const std::string id_text = query.Header("x-gt-request-id");
+  ASSERT_FALSE(id_text.empty());
+  const std::uint64_t id = std::stoull(id_text);
+
+  json::Value trace = FetchJson("GET", "/debug/trace");
+  const json::Value* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool found_request = false;
+  bool found_execute = false;
+  for (const json::Value& event : events->AsArray()) {
+    const json::Value* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (name->AsString() == "server/execute") found_execute = true;
+    if (name->AsString() != "server/request") continue;
+    const json::Value* args = event.Find("args");
+    const json::Value* request = args ? args->Find("request") : nullptr;
+    if (request != nullptr && request->AsUint64().value_or(0) == id) {
+      found_request = true;
+    }
+  }
+  EXPECT_TRUE(found_request)
+      << "request " << id << " left no server/request span in the flight ring";
+  EXPECT_TRUE(found_execute) << "phase spans missing from the flight ring";
+
+  // A bogus window parameter is rejected, a valid one honoured.
+  EXPECT_EQ(Fetch("GET", "/debug/trace?ms=banana").status, 400);
+  EXPECT_EQ(Fetch("GET", "/debug/trace?ms=60000").status, 200);
+}
+
+TEST_F(ServerTest, MetricsNegotiatesPrometheusExposition) {
+  StartServer();
+  ASSERT_EQ(Fetch("POST", "/query", R"({"t1":"t0","attrs":["gender"]})").status,
+            200);
+
+  HttpResponse prom = Fetch("GET", "/metrics?format=prometheus");
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.content_type.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << prom.content_type;
+  EXPECT_EQ(prom.body.rfind("# TYPE gt_", 0), 0u) << prom.body.substr(0, 80);
+  EXPECT_NE(prom.body.find("gt_server_query_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("gt_server_query_latency_us_count"),
+            std::string::npos);
+
+  // Accept-header negotiation selects the exposition; the default stays JSON
+  // so existing clients keep working.
+  std::string error;
+  std::optional<HttpResponse> accepted =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/metrics", "", &error,
+                10000, {{"Accept", "text/plain"}});
+  ASSERT_TRUE(accepted.has_value()) << error;
+  EXPECT_EQ(accepted->body.rfind("# TYPE gt_", 0), 0u);
+  json::Value json_metrics = FetchJson("GET", "/metrics");
+  EXPECT_NE(json_metrics.Find("counters"), nullptr);
+}
+
+// The observability differential: a slow-log record must agree with the served
+// answer (fingerprint, route), the accel registry (backend), and the engine's
+// own cache counters. Any attribution drift between the slow log and reality
+// fails here.
+TEST_F(ServerTest, SlowLogRecordMatchesTheServedAnswer) {
+  ServerConfig config;
+  config.slow_query_ms = 0;  // threshold 0: every query is "slow" (ring-only)
+  StartServer(config);
+  engine::QueryEngine::CacheStats before = engine_.cache_stats();
+  HttpResponse query = Fetch(
+      "POST", "/query", R"({"op":"union","t1":"t0","t2":"t1","attrs":["gender"]})");
+  ASSERT_EQ(query.status, 200) << query.body;
+  engine::QueryEngine::CacheStats after = engine_.cache_stats();
+  const std::string request_id = query.Header("x-gt-request-id");
+  std::string error;
+  std::optional<json::Value> answer = json::Parse(query.body, &error);
+  ASSERT_TRUE(answer.has_value()) << error;
+
+  json::Value records = FetchJson("GET", "/debug/slow");
+  ASSERT_TRUE(records.is_array()) << "slow ring must serve a JSON array";
+  const json::Value* record = nullptr;
+  for (const json::Value& candidate : records.AsArray()) {
+    const json::Value* id = candidate.Find("request_id");
+    if (id != nullptr &&
+        std::to_string(id->AsUint64().value_or(0)) == request_id) {
+      record = &candidate;
+    }
+  }
+  ASSERT_NE(record, nullptr) << "slow-query ring lost request " << request_id;
+
+  EXPECT_EQ(record->Find("fingerprint")->AsString(),
+            answer->Find("fingerprint")->AsString());
+  EXPECT_EQ(record->Find("route")->AsString(),
+            answer->Find("route")->AsString());
+  EXPECT_EQ(record->Find("backend")->AsString(), accel::ActiveBackendName());
+  EXPECT_GT(record->Find("total_us")->AsUint64().value_or(0), 0u);
+  EXPECT_FALSE(record->Find("spec")->AsString().empty());
+
+  // The recorded cache outcome must match the engine's counter movement.
+  const std::string cache = record->Find("cache")->AsString();
+  if (cache == "miss") {
+    EXPECT_EQ(after.misses, before.misses + 1);
+  } else if (cache == "hit") {
+    EXPECT_EQ(after.hits, before.hits + 1);
+  } else {
+    EXPECT_EQ(cache, "bypass");
+  }
+
+  // Per-phase timings must include the server-side phases.
+  const json::Value* phases = record->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* phase : {"server/parse", "server/bind", "server/execute",
+                            "server/serialize"}) {
+    const json::Value* entry = phases->Find(phase);
+    ASSERT_NE(entry, nullptr) << phase << " missing from the slow record";
+    EXPECT_GE(entry->Find("count")->AsUint64().value_or(0), 1u) << phase;
+  }
+}
+
+TEST_F(ServerTest, FastQueriesStayOutOfTheSlowLog) {
+  ServerConfig config;
+  config.slow_query_ms = 60000;  // nothing in this test takes a minute
+  StartServer(config);
+  ASSERT_EQ(Fetch("POST", "/query", R"({"t1":"t0","attrs":["gender"]})").status,
+            200);
+  json::Value records = FetchJson("GET", "/debug/slow");
+  ASSERT_TRUE(records.is_array());
+  EXPECT_TRUE(records.AsArray().empty()) << "threshold was not honoured";
+}
+
+TEST_F(ServerTest, SlowLogFileReceivesRecordsOnShutdown) {
+  const std::string path = ::testing::TempDir() + "/gt_slow_log_" +
+                           std::to_string(getpid()) + ".log";
+  std::remove(path.c_str());
+  {
+    ServerConfig config;
+    config.slow_query_ms = 0;
+    config.slow_log_path = path;
+    StartServer(config);
+    ASSERT_EQ(
+        Fetch("POST", "/query", R"({"t1":"t0","attrs":["gender"]})").status,
+        200);
+    server_->Shutdown();  // drains the writer; every record must be on disk
+    server_.reset();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line)) << "slow log file is empty";
+  std::string error;
+  std::optional<json::Value> record = json::Parse(line, &error);
+  ASSERT_TRUE(record.has_value()) << error << ": " << line;
+  EXPECT_NE(record->Find("fingerprint"), nullptr);
+  EXPECT_NE(record->Find("phases"), nullptr);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,7 @@
 #include "datagen/movielens_gen.h"
 #include "datagen/paper_example.h"
 #include "engine/wire.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/http.h"
@@ -76,11 +78,22 @@ commands:
   serve <graph.tsv> [--port N] [--workers N] [--max-inflight N]
           [--rate-limit QPS] [--rate-burst N] [--attrs a,b [--materialize]]
           [--ingest-log path] [--duration-seconds N] [--top N]
-                                           run the HTTP query service (docs/SERVER.md)
+          [--slow-query-ms N [--slow-log path]] [--access-log path]
+          [--flight-dump path]             run the HTTP query service (docs/SERVER.md).
+                                           --slow-query-ms N logs every query
+                                           taking ≥ N ms as one JSON line
+                                           (0 = every query); SIGUSR1 dumps
+                                           the flight recorder to
+                                           --flight-dump (default flight.json)
   loadgen --port N [--host IP] [--clients N] [--requests N] [--attrs a,b]
           [--ingest [yes|no]] [--json path]   closed-loop load generator:
                                            zipfian query mix, optional live
                                            ingestion, qps + p50/p99 report
+  flightrec --port N [--host IP] [--ms N] [--out path]
+                                           drain a running server's always-on
+                                           flight recorder (GET /debug/trace)
+                                           as Chrome-trace JSON; --ms keeps
+                                           only the last N milliseconds
 
 global options (any command):
   --threads N     worker threads for parallel scans (default 1; results are
@@ -138,7 +151,8 @@ bool IsCommandName(const std::string& word) {
   static const char* kCommands[] = {"help",      "info",    "generate", "import",
                                     "operate",   "aggregate", "evolution", "measure",
                                     "coarsen",   "explore", "suggest-k", "stats",
-                                    "metrics",   "backends", "serve",   "loadgen"};
+                                    "metrics",   "backends", "serve",   "loadgen",
+                                    "flightrec"};
   return std::any_of(std::begin(kCommands), std::end(kCommands),
                      [&](const char* cmd) { return word == cmd; });
 }
@@ -1029,6 +1043,9 @@ bool ParseOptionalUint(const Options& options, const std::string& name,
   return true;
 }
 
+/// Set by the SIGUSR1 handler, polled (and cleared) by the serve loop.
+volatile std::sig_atomic_t g_flight_dump_requested = 0;
+
 int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
   if (options.positional.size() != 1) {
     err << "usage: graphtempo serve <graph.tsv> [--port N] [--workers N] ...\n";
@@ -1082,6 +1099,23 @@ int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
   std::uint64_t duration_seconds = 0;
   if (!ParseOptionalUint(options, "duration-seconds", &duration_seconds, err)) return 1;
 
+  // Slow-query logging: off by default; 0 is a valid threshold meaning "log
+  // every executed query" (used by CI to exercise the record pipeline).
+  if (std::optional<std::string> raw = options.Get("slow-query-ms")) {
+    std::uint64_t slow_ms = 0;
+    if (!ParseUint64(*raw, &slow_ms)) {
+      err << "error: --slow-query-ms must be a non-negative integer number of "
+             "milliseconds (0 logs every query), got '"
+          << *raw << "'\n";
+      return 1;
+    }
+    config.slow_query_ms = static_cast<std::int64_t>(slow_ms);
+  }
+  config.slow_log_path = options.Get("slow-log").value_or("");
+  config.access_log_path = options.Get("access-log").value_or("");
+  const std::string flight_dump_path =
+      options.Get("flight-dump").value_or("flight.json");
+
   engine::QueryEngine engine(&*graph);
   const std::string materialize_raw = options.Get("materialize").value_or("no");
   if (materialize_raw != "yes" && materialize_raw != "no") {
@@ -1113,14 +1147,72 @@ int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
   out << "; POST /shutdown to stop)\n";
   out.flush();
 
+  // SIGUSR1 dumps the always-on flight recorder to disk — the incident
+  // workflow when the HTTP port is saturated or unreachable. The handler only
+  // sets a flag; the serve loop below does the IO.
+  g_flight_dump_requested = 0;
+  std::signal(SIGUSR1, [](int) { g_flight_dump_requested = 1; });
+
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::seconds(duration_seconds);
   while (!server.shutdown_requested()) {
     if (duration_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    if (g_flight_dump_requested != 0) {
+      g_flight_dump_requested = 0;
+      std::string dump_error;
+      if (obs::WriteFlightJsonFile(flight_dump_path, 0, &dump_error)) {
+        out << "flight recorder dumped to " << flight_dump_path << "\n";
+      } else {
+        err << "flight dump failed: " << dump_error << "\n";
+      }
+      out.flush();
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  std::signal(SIGUSR1, SIG_DFL);
   server.Shutdown();
   out << "served " << server.requests_served() << " requests; shut down cleanly\n";
+  return 0;
+}
+
+/// Drains a running server's flight recorder over HTTP — the remote face of
+/// `GET /debug/trace` (the local face is SIGUSR1 on the serve process).
+int CmdFlightrec(const Options& options, std::ostream& out, std::ostream& err) {
+  std::uint64_t port = 0;
+  if (!ParseOptionalUint(options, "port", &port, err)) return 1;
+  if (port == 0 || port > 65535) {
+    err << "usage: graphtempo flightrec --port N [--host IP] [--ms N] [--out path]\n";
+    return 1;
+  }
+  const std::string host = options.Get("host").value_or("127.0.0.1");
+  std::uint64_t ms = 0;
+  if (!ParseOptionalUint(options, "ms", &ms, err)) return 1;
+  std::string path = "/debug/trace";
+  if (ms > 0) path += "?ms=" + std::to_string(ms);
+
+  std::string error;
+  std::optional<server::HttpResponse> response =
+      server::HttpFetch(host, static_cast<int>(port), "GET", path, "", &error);
+  if (!response.has_value()) {
+    err << "error: " << error << "\n";
+    return 1;
+  }
+  if (response->status != 200) {
+    err << "error: server answered " << response->status << ": " << response->body
+        << "\n";
+    return 1;
+  }
+  if (std::optional<std::string> out_path = options.Get("out")) {
+    std::ofstream file(*out_path);
+    if (!file.is_open()) {
+      err << "error: cannot open for writing: " << *out_path << "\n";
+      return 1;
+    }
+    file << response->body << "\n";
+    out << "wrote flight trace to " << *out_path << "\n";
+  } else {
+    out << response->body << "\n";
+  }
   return 0;
 }
 
@@ -1327,14 +1419,40 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
                    ? static_cast<double>(ok.load()) / elapsed_seconds
                    : 0;
 
-  char line[640];
+  // The route behind the worst observed latency, from the slow-query ring
+  // ("" when the server logged no slow queries during the run).
+  std::string p99_route;
+  {
+    std::string slow_error;
+    std::optional<server::HttpResponse> slow = server::HttpFetch(
+        host, static_cast<int>(port), "GET", "/debug/slow", "", &slow_error);
+    if (slow.has_value() && slow->status == 200) {
+      std::optional<json::Value> records = json::Parse(slow->body, &slow_error);
+      if (records.has_value() && records->is_array()) {
+        std::uint64_t worst_us = 0;
+        for (const json::Value& record : records->AsArray()) {
+          const json::Value* total = record.Find("total_us");
+          const json::Value* route = record.Find("route");
+          if (total == nullptr || route == nullptr || !route->is_string()) continue;
+          std::uint64_t total_us = total->AsUint64().value_or(0);
+          if (total_us >= worst_us) {
+            worst_us = total_us;
+            p99_route = route->AsString();
+          }
+        }
+      }
+    }
+  }
+
+  char line[768];
   std::snprintf(
       line, sizeof(line),
       "{\"bench\":\"server_loadgen\",\"clients\":%zu,\"requests\":%llu,"
       "\"ok\":%llu,\"rejected\":%llu,\"failed\":%llu,\"elapsed_s\":%.3f,"
       "\"qps\":%.1f,\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,\"stale_fallbacks\":%llu,"
-      "\"cache_invalidations\":%llu,\"ingest_records\":%llu}",
+      "\"cache_invalidations\":%llu,\"ingest_records\":%llu,"
+      "\"slow_queries\":%llu,\"p99_route\":\"%s\"}",
       clients, static_cast<unsigned long long>(sent.load()),
       static_cast<unsigned long long>(ok.load()),
       static_cast<unsigned long long>(rejected.load()),
@@ -1343,7 +1461,9 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
       static_cast<unsigned long long>(counter("engine/cache_miss")),
       static_cast<unsigned long long>(counter("engine/stale_fallback")),
       static_cast<unsigned long long>(counter("engine/cache_invalidate")),
-      static_cast<unsigned long long>(counter("server/ingest_records")));
+      static_cast<unsigned long long>(counter("server/ingest_records")),
+      static_cast<unsigned long long>(counter("server/slow_queries")),
+      p99_route.c_str());
   out << line << "\n";
   if (std::optional<std::string> json_path = options.Get("json")) {
     std::ofstream file(*json_path);
@@ -1533,6 +1653,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   if (command == "backends") return finish(CmdBackends(options, out, err));
   if (command == "serve") return finish(CmdServe(options, out, err));
   if (command == "loadgen") return finish(CmdLoadgen(options, out, err));
+  if (command == "flightrec") return finish(CmdFlightrec(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
   return 1;
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate GraphTempo observability artifacts.
 
-Two modes, composable in one invocation:
+Four modes, composable in one invocation:
 
   validate_trace.py --trace out.json            # a Chrome Trace Event file
   validate_trace.py --bench-log bench.out       # stdout of a bench binary
+  validate_trace.py --slow-log slow.log         # the server's slow-query log
+  validate_trace.py --prom metrics.txt          # Prometheus text exposition
   validate_trace.py --trace out.json --bench-log bench.out
 
 Trace validation checks the schema WriteJson emits (docs/OBSERVABILITY.md):
@@ -21,6 +23,20 @@ additionally report the executor counters as non-negative integers:
 `cache_hits`, `cache_misses` and `stale_fallbacks` (docs/ENGINE.md §3;
 `stale_fallbacks` counts planner degradations from a stale store to the
 direct route).
+
+Slow-log validation (docs/OBSERVABILITY.md §Slow-query log) checks that
+every line is one JSON object carrying the full attribution record: a
+positive integer `request_id`, a `0x`-prefixed 16-hex-digit `fingerprint`,
+non-empty `route` and `backend` strings, a `cache` outcome in
+{hit, miss, bypass}, a boolean `stale_fallback`, a non-negative integer
+`total_us` and `kernel_words`, and a `phases` object of
+`{"total_us": int, "count": int}` entries.
+
+Prometheus validation checks the text exposition `/metrics?format=prometheus`
+serves: every sample belongs to a `# TYPE` family, names are in the
+exposition charset, histogram `le` buckets are cumulative (non-decreasing
+as `le` grows), the mandatory `{le="+Inf"}` bucket equals `_count`, and
+`_sum`/`_count` are present for every histogram.
 
 Exit code 0 = everything validated; 1 = any check failed.
 Standard library only.
@@ -152,6 +168,173 @@ def validate_bench_log(path):
     return ok
 
 
+FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+def validate_slow_log(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        return fail(f"{path}: {error}")
+
+    ok = True
+    records = 0
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{number}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            ok = fail(f"{where}: slow-query record does not parse: {error}")
+            continue
+        if not isinstance(record, dict):
+            ok = fail(f"{where}: record must be a JSON object")
+            continue
+        records += 1
+
+        request_id = record.get("request_id")
+        if not isinstance(request_id, int) or isinstance(request_id, bool) or request_id < 1:
+            ok = fail(f"{where}: request_id must be a positive integer, got {request_id!r}")
+        fingerprint = record.get("fingerprint")
+        if not isinstance(fingerprint, str) or not FINGERPRINT_RE.match(fingerprint):
+            ok = fail(f"{where}: fingerprint must match 0x<16 hex digits>, got {fingerprint!r}")
+        for key in ("route", "backend"):
+            value = record.get(key)
+            if not isinstance(value, str) or not value:
+                ok = fail(f"{where}: {key} must be a non-empty string, got {value!r}")
+        if record.get("cache") not in ("hit", "miss", "bypass"):
+            ok = fail(f"{where}: cache must be hit/miss/bypass, got {record.get('cache')!r}")
+        if not isinstance(record.get("stale_fallback"), bool):
+            ok = fail(f"{where}: stale_fallback must be a boolean")
+        for key in ("total_us", "kernel_words"):
+            value = record.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                ok = fail(f"{where}: {key} must be a non-negative integer, got {value!r}")
+        phases = record.get("phases")
+        if not isinstance(phases, dict):
+            ok = fail(f"{where}: phases must be an object")
+        else:
+            for name, phase in phases.items():
+                if not SPAN_NAME_RE.match(name):
+                    ok = fail(f"{where}: phase name {name!r} outside the <area>/<name> taxonomy")
+                if (not isinstance(phase, dict)
+                        or not isinstance(phase.get("total_us"), int)
+                        or not isinstance(phase.get("count"), int)
+                        or phase["total_us"] < 0 or phase["count"] < 1):
+                    ok = fail(f"{where}: phase {name!r} needs integer total_us >= 0 "
+                              f"and count >= 1, got {phase!r}")
+    if records == 0:
+        ok = fail(f"{path}: no slow-query records found")
+    if ok:
+        print(f"validate_trace: {path}: OK ({records} slow-query records)")
+    return ok
+
+
+PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)'
+    r'(?P<exemplar>\s+#\s+\{[^}]*\}\s+\S+)?\s*$')
+
+
+def validate_prometheus(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        return fail(f"{path}: {error}")
+
+    ok = True
+    types = {}        # family name -> counter|histogram
+    samples = 0
+    histograms = {}   # family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    for number, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        where = f"{path}:{number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                family, kind = parts[2], parts[3]
+                if not PROM_NAME_RE.match(family):
+                    ok = fail(f"{where}: invalid metric name {family!r}")
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    ok = fail(f"{where}: invalid TYPE {kind!r}")
+                types[family] = kind
+                if kind == "histogram":
+                    histograms[family] = {"buckets": [], "sum": None, "count": None}
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        if not match:
+            ok = fail(f"{where}: unparseable sample line {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            ok = fail(f"{where}: non-numeric sample value {match.group('value')!r}")
+            continue
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in histograms:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            ok = fail(f"{where}: sample {name!r} without a preceding # TYPE line")
+            continue
+        if family in histograms:
+            entry = histograms[family]
+            if name.endswith("_bucket"):
+                labels = match.group("labels") or ""
+                le_match = re.search(r'le="([^"]*)"', labels)
+                if not le_match:
+                    ok = fail(f"{where}: histogram bucket without an le label")
+                    continue
+                le = le_match.group(1)
+                entry["buckets"].append((where, le, value))
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = value
+
+    for family, entry in histograms.items():
+        buckets = entry["buckets"]
+        if not buckets:
+            ok = fail(f"{path}: histogram {family!r} has no buckets")
+            continue
+        previous = -1.0
+        inf_value = None
+        for where, le, value in buckets:
+            if value < previous:
+                ok = fail(f"{where}: bucket le={le!r} value {value} below the "
+                          f"previous bucket's {previous} (must be cumulative)")
+            previous = value
+            if le == "+Inf":
+                inf_value = value
+        if inf_value is None:
+            ok = fail(f"{path}: histogram {family!r} missing the le=\"+Inf\" bucket")
+        if entry["count"] is None:
+            ok = fail(f"{path}: histogram {family!r} missing {family}_count")
+        elif inf_value is not None and inf_value != entry["count"]:
+            ok = fail(f"{path}: histogram {family!r} +Inf bucket {inf_value} "
+                      f"!= _count {entry['count']}")
+        if entry["sum"] is None:
+            ok = fail(f"{path}: histogram {family!r} missing {family}_sum")
+    if samples == 0:
+        ok = fail(f"{path}: no samples found")
+    if ok:
+        print(f"validate_trace: {path}: OK ({samples} samples, "
+              f"{len(histograms)} histograms)")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -159,15 +342,25 @@ def main():
                         help="Chrome Trace Event JSON file to validate")
     parser.add_argument("--bench-log", action="append", default=[],
                         help="bench stdout capture whose JSON lines to validate")
+    parser.add_argument("--slow-log", action="append", default=[],
+                        help="server slow-query log (one JSON record per line)")
+    parser.add_argument("--prom", action="append", default=[],
+                        help="Prometheus text exposition to validate")
     arguments = parser.parse_args()
-    if not arguments.trace and not arguments.bench_log:
-        parser.error("nothing to validate: pass --trace and/or --bench-log")
+    if not (arguments.trace or arguments.bench_log
+            or arguments.slow_log or arguments.prom):
+        parser.error("nothing to validate: pass --trace, --bench-log, "
+                     "--slow-log and/or --prom")
 
     ok = True
     for path in arguments.trace:
         ok = validate_trace(path) and ok
     for path in arguments.bench_log:
         ok = validate_bench_log(path) and ok
+    for path in arguments.slow_log:
+        ok = validate_slow_log(path) and ok
+    for path in arguments.prom:
+        ok = validate_prometheus(path) and ok
     return 0 if ok else 1
 
 
