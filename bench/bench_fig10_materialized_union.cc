@@ -71,10 +71,25 @@ void RunAttribute(const gt::TemporalGraph& graph, const std::string& dataset,
     DoNotOptimize(engine.Execute(spec).NodeCount());
   });
   double warm_ms = TimeMsPrecise([&] { DoNotOptimize(engine.Execute(spec).NodeCount()); });
+
+  // Exercise the shared batch path with the same spec duplicated: the later
+  // copies merge into the first execution, so the record carries live batch
+  // counters (tools/validate_trace.py requires them on route-carrying rows).
+  const std::uint64_t merged_before =
+      gt::obs::Registry::Instance().Snapshot().CounterValue("engine/batch_merged");
+  const std::uint64_t fold_hits_before =
+      gt::obs::Registry::Instance().Snapshot().CounterValue("engine/batch_fold_hits");
+  engine.ClearCache();
+  std::vector<gt::engine::QueryEngine::BatchItem> batch(
+      4, gt::engine::QueryEngine::BatchItem{&spec, nullptr});
+  DoNotOptimize(engine.ExecuteBatch(batch).size());
+  const gt::obs::MetricsSnapshot after = gt::obs::Registry::Instance().Snapshot();
+
   gt::bench::JsonLine json("fig10_engine");
   json.Add("dataset", dataset);
   json.Add("attr", attr);
   json.Add("route", std::string(gt::engine::PlanRouteName(plan.route)));
+  json.Add("planner", std::string(gt::engine::PlannerModeName(plan.planner)));
   json.Add("engine_cold_ms", cold_ms);
   json.Add("engine_warm_ms", warm_ms);
   const gt::engine::QueryEngine::CacheStats cache = engine.cache_stats();
@@ -82,8 +97,12 @@ void RunAttribute(const gt::TemporalGraph& graph, const std::string& dataset,
   json.Add("cache_misses", static_cast<std::size_t>(cache.misses));
   json.Add("cache_invalidations", static_cast<std::size_t>(cache.invalidations));
   json.Add("stale_fallbacks",
-           static_cast<std::size_t>(gt::obs::Registry::Instance().Snapshot().CounterValue(
-               "engine/stale_fallback")));
+           static_cast<std::size_t>(after.CounterValue("engine/stale_fallback")));
+  json.Add("batch_merged", static_cast<std::size_t>(
+                               after.CounterValue("engine/batch_merged") - merged_before));
+  json.Add("batch_fold_hits",
+           static_cast<std::size_t>(after.CounterValue("engine/batch_fold_hits") -
+                                    fold_hits_before));
   json.Print();
   std::printf("\n");
 }

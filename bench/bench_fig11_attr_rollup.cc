@@ -112,24 +112,41 @@ void RunEngineDerivation(const gt::TemporalGraph& graph) {
   const std::size_t n = graph.num_times();
 
   std::string route;
+  std::string planner;
+  gt::engine::QuerySpec spec;
   for (const gt::AttrRef& attr : super_refs) {
-    gt::engine::QuerySpec spec;
     spec.op = gt::engine::TemporalOperatorKind::kUnion;
     spec.t1 = gt::IntervalSet::All(n);
     spec.t2 = gt::IntervalSet(n);
     spec.attrs = {attr};
     spec.semantics = gt::AggregationSemantics::kAll;
-    route = gt::engine::PlanRouteName(engine.Plan(spec).route);
+    const gt::engine::QueryPlan plan = engine.Plan(spec);
+    route = gt::engine::PlanRouteName(plan.route);
+    planner = gt::engine::PlannerModeName(plan.planner);
     DoNotOptimize(engine.Execute(spec).NodeCount());  // builds the roll-up layer
     engine.ClearCache();
     DoNotOptimize(engine.Execute(spec).NodeCount());  // re-derives from the layer
     DoNotOptimize(engine.Execute(spec).NodeCount());  // pure result-cache hit
   }
+
+  // Duplicate the last spec through the shared batch path so the record
+  // carries live batch counters (tools/validate_trace.py requires them).
+  const std::uint64_t merged_before =
+      gt::obs::Registry::Instance().Snapshot().CounterValue("engine/batch_merged");
+  const std::uint64_t fold_hits_before =
+      gt::obs::Registry::Instance().Snapshot().CounterValue("engine/batch_fold_hits");
+  engine.ClearCache();
+  std::vector<gt::engine::QueryEngine::BatchItem> batch(
+      4, gt::engine::QueryEngine::BatchItem{&spec, nullptr});
+  DoNotOptimize(engine.ExecuteBatch(batch).size());
+  const gt::obs::MetricsSnapshot after = gt::obs::Registry::Instance().Snapshot();
+
   const gt::engine::QueryEngine::DerivationStats derivation = engine.derivation_stats();
   const gt::engine::QueryEngine::CacheStats cache = engine.cache_stats();
   gt::bench::JsonLine json("fig11_engine");
   json.Add("dataset", std::string("DBLP"));
   json.Add("route", route);
+  json.Add("planner", planner);
   json.Add("rollups", derivation.rollups);
   json.Add("rollup_hits", derivation.rollup_hits);
   json.Add("combines", derivation.combines);
@@ -137,8 +154,64 @@ void RunEngineDerivation(const gt::TemporalGraph& graph) {
   json.Add("cache_misses", static_cast<std::size_t>(cache.misses));
   json.Add("cache_invalidations", static_cast<std::size_t>(cache.invalidations));
   json.Add("stale_fallbacks",
-           static_cast<std::size_t>(gt::obs::Registry::Instance().Snapshot().CounterValue(
-               "engine/stale_fallback")));
+           static_cast<std::size_t>(after.CounterValue("engine/stale_fallback")));
+  json.Add("batch_merged", static_cast<std::size_t>(
+                               after.CounterValue("engine/batch_merged") - merged_before));
+  json.Add("batch_fold_hits",
+           static_cast<std::size_t>(after.CounterValue("engine/batch_fold_hits") -
+                                    fold_hits_before));
+  json.Print();
+}
+
+/// The planner-flip point (docs/ENGINE.md §Cost model): a *single-point*
+/// subset query on a fresh engine. The fixed rule always takes the
+/// materialized route, paying a cold subset layer — one roll-up per store
+/// point — before combining the single requested point; the cost model
+/// prices that layer against one direct snapshot aggregation and flips to
+/// the direct kernel. Emits both routes and cold latencies as JSON: the
+/// flip shows as `rule_route != cost_route` with `cost_ms < rule_ms`.
+void RunPlannerFlip(const gt::TemporalGraph& graph) {
+  std::printf("\nDBLP single-point subset query, rule vs cost planner (cold):\n");
+  std::vector<gt::AttrRef> super_refs =
+      gt::ResolveAttributes(graph, {"gender", "publications"});
+  const std::size_t n = graph.num_times();
+
+  gt::engine::QuerySpec spec;
+  spec.op = gt::engine::TemporalOperatorKind::kUnion;
+  spec.t1 = gt::IntervalSet::Point(n, 0);
+  spec.t2 = gt::IntervalSet(n);
+  spec.attrs = {super_refs[0]};  // strict subset of the store: needs a roll-up
+  spec.semantics = gt::AggregationSemantics::kAll;
+
+  auto cold_run = [&](gt::engine::PlannerMode mode, std::string* route) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {  // fresh engine per rep; keep the min
+      gt::engine::QueryEngine::Config config;
+      config.planner = mode;
+      gt::engine::QueryEngine engine(&graph, config);
+      engine.EnableMaterialization(super_refs);
+      *route = gt::engine::PlanRouteName(engine.Plan(spec).route);
+      gt::Stopwatch watch;
+      watch.Start();
+      DoNotOptimize(engine.Execute(spec).NodeCount());
+      const double ms = watch.ElapsedMillis();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+
+  std::string rule_route, cost_route;
+  const double rule_ms = cold_run(gt::engine::PlannerMode::kRule, &rule_route);
+  const double cost_ms = cold_run(gt::engine::PlannerMode::kCost, &cost_route);
+  std::printf("  rule: %-12s %8.3f ms   cost: %-12s %8.3f ms\n", rule_route.c_str(),
+              rule_ms, cost_route.c_str(), cost_ms);
+
+  gt::bench::JsonLine json("fig11_planner_flip");
+  json.Add("dataset", std::string("DBLP"));
+  json.Add("rule_route", rule_route);
+  json.Add("cost_route", cost_route);
+  json.Add("rule_ms", rule_ms);
+  json.Add("cost_ms", cost_ms);
   json.Print();
 }
 
@@ -178,6 +251,7 @@ int main() {
 
   RunThreadScaling(dblp);
   RunEngineDerivation(dblp);
+  RunPlannerFlip(dblp);
 
   std::printf("\nExpected shape: single attributes gain the most, then pairs, then\n"
               "triplets (the coarser the target, the more grouping work is saved).\n");

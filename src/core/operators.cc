@@ -1,6 +1,7 @@
 #include "core/operators.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "accel/backend.h"
 #include "core/stats.h"
@@ -104,32 +105,76 @@ std::vector<std::uint32_t> FilterRows(std::size_t count, const Pred& pred) {
 // chunk-ordered, so results are bit-identical at any thread count and to the
 // *RowScan reference path below.
 
+namespace {
+
+/// The provider behind the classic (provider-less) operator entry points:
+/// computes every fold fresh, parking results in a deque so references stay
+/// stable for the duration of one operator call. This keeps the provider
+/// overloads the single implementation of the operator algebra — the classic
+/// spellings are exact delegations, bit-identical to what they always did.
+class TransientFoldProvider final : public PresenceFoldProvider {
+ public:
+  const DynamicBitset& UnionFold(const PresenceIndex& index,
+                                 const DynamicBitset& times) override {
+    storage_.push_back(index.UnionOver(times));
+    return storage_.back();
+  }
+  const DynamicBitset& IntersectionFold(const PresenceIndex& index,
+                                        const DynamicBitset& times) override {
+    storage_.push_back(index.IntersectionOver(times));
+    return storage_.back();
+  }
+
+ private:
+  std::deque<DynamicBitset> storage_;
+};
+
+}  // namespace
+
 GraphView Project(const TemporalGraph& graph, const IntervalSet& t1) {
+  TransientFoldProvider folds;
+  return Project(graph, t1, folds);
+}
+
+GraphView Project(const TemporalGraph& graph, const IntervalSet& t1,
+                  PresenceFoldProvider& folds) {
   CheckDomain(graph, t1);
   GT_CHECK(!t1.Empty()) << "projection interval must be non-empty";
   GT_SPAN("operators/project", {{"times", t1.Count()}});
   GraphView view;
   view.times = t1;
-  view.nodes = ExtractIndices(graph.node_presence_index().IntersectionOver(t1.bits()));
-  view.edges = ExtractIndices(graph.edge_presence_index().IntersectionOver(t1.bits()));
+  view.nodes = ExtractIndices(folds.IntersectionFold(graph.node_presence_index(), t1.bits()));
+  view.edges = ExtractIndices(folds.IntersectionFold(graph.edge_presence_index(), t1.bits()));
   return view;
 }
 
 GraphView UnionOp(const TemporalGraph& graph, const IntervalSet& t1,
                   const IntervalSet& t2) {
+  TransientFoldProvider folds;
+  return UnionOp(graph, t1, t2, folds);
+}
+
+GraphView UnionOp(const TemporalGraph& graph, const IntervalSet& t1,
+                  const IntervalSet& t2, PresenceFoldProvider& folds) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
   GT_SPAN("operators/union", {{"times", t1.Count() + t2.Count()}});
   GraphView view;
   view.times = t1 | t2;
   const DynamicBitset& mask = view.times.bits();
-  view.nodes = ExtractIndices(graph.node_presence_index().UnionOver(mask));
-  view.edges = ExtractIndices(graph.edge_presence_index().UnionOver(mask));
+  view.nodes = ExtractIndices(folds.UnionFold(graph.node_presence_index(), mask));
+  view.edges = ExtractIndices(folds.UnionFold(graph.edge_presence_index(), mask));
   return view;
 }
 
 GraphView IntersectionOp(const TemporalGraph& graph, const IntervalSet& t1,
                          const IntervalSet& t2) {
+  TransientFoldProvider folds;
+  return IntersectionOp(graph, t1, t2, folds);
+}
+
+GraphView IntersectionOp(const TemporalGraph& graph, const IntervalSet& t1,
+                         const IntervalSet& t2, PresenceFoldProvider& folds) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
   GT_SPAN("operators/intersection", {{"times", t1.Count() + t2.Count()}});
@@ -137,15 +182,21 @@ GraphView IntersectionOp(const TemporalGraph& graph, const IntervalSet& t1,
   view.times = t1 | t2;
   const PresenceIndex& nodes = graph.node_presence_index();
   view.nodes =
-      ExtractIndices(nodes.UnionOver(t1.bits()) & nodes.UnionOver(t2.bits()));
+      ExtractIndices(folds.UnionFold(nodes, t1.bits()) & folds.UnionFold(nodes, t2.bits()));
   const PresenceIndex& edges = graph.edge_presence_index();
   view.edges =
-      ExtractIndices(edges.UnionOver(t1.bits()) & edges.UnionOver(t2.bits()));
+      ExtractIndices(folds.UnionFold(edges, t1.bits()) & folds.UnionFold(edges, t2.bits()));
   return view;
 }
 
 GraphView DifferenceOp(const TemporalGraph& graph, const IntervalSet& t1,
                        const IntervalSet& t2) {
+  TransientFoldProvider folds;
+  return DifferenceOp(graph, t1, t2, folds);
+}
+
+GraphView DifferenceOp(const TemporalGraph& graph, const IntervalSet& t1,
+                       const IntervalSet& t2, PresenceFoldProvider& folds) {
   CheckDomain(graph, t1);
   CheckDomain(graph, t2);
   GT_SPAN("operators/difference", {{"times", t1.Count() + t2.Count()}});
@@ -156,7 +207,7 @@ GraphView DifferenceOp(const TemporalGraph& graph, const IntervalSet& t1,
   // an endpoint of a deleted edge).
   const PresenceIndex& edges = graph.edge_presence_index();
   view.edges =
-      ExtractIndices(edges.UnionOver(t1.bits()) - edges.UnionOver(t2.bits()));
+      ExtractIndices(folds.UnionFold(edges, t1.bits()) - folds.UnionFold(edges, t2.bits()));
 
   DynamicBitset endpoint(graph.num_nodes());
   for (EdgeId e : view.edges) {
@@ -167,8 +218,8 @@ GraphView DifferenceOp(const TemporalGraph& graph, const IntervalSet& t1,
 
   // V₋ = (V(T₁) − V(T₂)) ∪ (V(T₁) ∩ endpoints(E₋)).
   const PresenceIndex& nodes = graph.node_presence_index();
-  DynamicBitset n1 = nodes.UnionOver(t1.bits());
-  DynamicBitset n2 = nodes.UnionOver(t2.bits());
+  const DynamicBitset& n1 = folds.UnionFold(nodes, t1.bits());
+  const DynamicBitset& n2 = folds.UnionFold(nodes, t2.bits());
   view.nodes = ExtractIndices((n1 - n2) | (n1 & endpoint));
   return view;
 }

@@ -81,6 +81,10 @@ PresenceIndex::PresenceIndex(PresenceIndex&& other) noexcept
   and_table_.built_generation.store(
       other.and_table_.built_generation.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  counts_ = std::move(other.counts_);
+  counts_generation_.store(
+      other.counts_generation_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 PresenceIndex& PresenceIndex::operator=(PresenceIndex&& other) noexcept {
@@ -96,6 +100,10 @@ PresenceIndex& PresenceIndex::operator=(PresenceIndex&& other) noexcept {
   and_table_.levels_ = std::move(other.and_table_.levels_);
   and_table_.built_generation.store(
       other.and_table_.built_generation.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  counts_ = std::move(other.counts_);
+  counts_generation_.store(
+      other.counts_generation_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   mutex_ = std::move(other.mutex_);
   return *this;
@@ -127,6 +135,34 @@ const DynamicBitset& PresenceIndex::Column(std::size_t t) const {
 }
 
 std::size_t PresenceIndex::CountAt(std::size_t t) const { return Column(t).Count(); }
+
+void PresenceIndex::EnsureCounts() const {
+  const std::uint64_t current = generation_.load(std::memory_order_relaxed);
+  if (counts_generation_.load(std::memory_order_acquire) == current) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (counts_generation_.load(std::memory_order_relaxed) == current) return;
+  counts_.resize(columns_.size());
+  for (std::size_t t = 0; t < columns_.size(); ++t) counts_[t] = columns_[t].Count();
+  counts_generation_.store(current, std::memory_order_release);
+}
+
+std::size_t PresenceIndex::AppearancesOver(const DynamicBitset& times) const {
+  GT_CHECK_EQ(times.size(), columns_.size()) << "time mask/domain mismatch";
+  EnsureCounts();
+  std::size_t total = 0;
+  times.ForEachSetBit([&](std::size_t t) { total += counts_[t]; });
+  return total;
+}
+
+std::size_t PresenceIndex::MaxCountOver(const DynamicBitset& times) const {
+  GT_CHECK_EQ(times.size(), columns_.size()) << "time mask/domain mismatch";
+  EnsureCounts();
+  std::size_t max_count = 0;
+  times.ForEachSetBit([&](std::size_t t) {
+    if (counts_[t] > max_count) max_count = counts_[t];
+  });
+  return max_count;
+}
 
 void PresenceIndex::EnsureTables() const {
   EnsureTable(Fold::kOr);

@@ -89,6 +89,24 @@ class PresenceIndex {
   /// materializing the fold — used by per-column statistics.
   std::size_t CountAt(std::size_t t) const;
 
+  // --- Cardinality accessors (cost model inputs) -----------------------------
+  //
+  // The planner's cost model (engine/cost.h) needs "how much data would this
+  // interval touch" without paying for an actual fold. Both accessors read a
+  // lazily built per-column popcount cache — O(selected columns) array loads
+  // after the first call, invalidated by any mutation like the fold tables.
+
+  /// Σ over the selected times of the per-column popcounts: the number of
+  /// (entity, time) appearances in the interval. This is the exact scan size
+  /// of an ALL-semantics aggregation over the interval and an upper bound on
+  /// the union-fold cardinality.
+  std::size_t AppearancesOver(const DynamicBitset& times) const;
+
+  /// Largest single-column popcount over the selected times (0 for an empty
+  /// mask) — a lower bound on the union-fold cardinality and a proxy for the
+  /// per-snapshot live-entity count.
+  std::size_t MaxCountOver(const DynamicBitset& times) const;
+
   /// Forces the lazy sparse tables to be built now (both fold kinds). Useful
   /// before fanning queries out to worker threads so the guarded build does
   /// not serialize them; queries call it implicitly otherwise.
@@ -105,6 +123,10 @@ class PresenceIndex {
 
   void Invalidate() { generation_.fetch_add(1, std::memory_order_relaxed); }
   void EnsureTable(Fold fold) const;
+
+  /// Builds the per-column popcount cache if stale (mutex + generation
+  /// guarded, same protocol as the fold tables).
+  void EnsureCounts() const;
   Table& table(Fold fold) const { return fold == Fold::kOr ? or_table_ : and_table_; }
 
   /// Fold of columns [first, last] via the (already built) sparse table.
@@ -118,6 +140,11 @@ class PresenceIndex {
   std::atomic<std::uint64_t> generation_{1};
   mutable Table or_table_;
   mutable Table and_table_;
+
+  /// Per-column popcounts, built lazily like the fold tables.
+  mutable std::vector<std::size_t> counts_;
+  mutable std::atomic<std::uint64_t> counts_generation_{0};
+
   std::unique_ptr<std::mutex> mutex_;
 };
 

@@ -1,0 +1,64 @@
+#ifndef GRAPHTEMPO_ENGINE_BATCH_H_
+#define GRAPHTEMPO_ENGINE_BATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/operators.h"
+
+/// \file
+/// Shared batch execution (docs/ENGINE.md §Batch execution).
+///
+/// Concurrent queries over an evolving graph overlap heavily: loadgen-style
+/// workloads hit the same hot intervals, and even distinct specs over one
+/// interval fold the same presence columns. `QueryEngine::ExecuteBatch`
+/// exploits both:
+///
+///   * **merge** — specs within the batch that are pairwise `EquivalentTo`
+///     are computed once and fanned out (`engine/batch_merged`);
+///   * **fold sharing** — the remaining executions route their direct-route
+///     operator folds through one `FoldCache`, so a union/intersection fold
+///     over (presence index, time mask) is computed at most once per batch
+///     (`engine/batch_fold_hits` / `engine/batch_fold_misses`).
+///
+/// Both transformations are result-invariant: merging only copies results
+/// between equivalent cacheable specs, and the fold cache memoizes a pure
+/// function of frozen inputs (the whole batch runs under one reader lock, so
+/// the graph cannot mutate mid-batch). The batch differential suite pins
+/// byte-identity against serial execution.
+
+namespace graphtempo::engine {
+
+/// A memoizing `PresenceFoldProvider`: the first request for a given
+/// (presence index, fold kind, time mask) computes the fold, later requests
+/// return the stored bitset. Storage is a `std::map`, so handed-out
+/// references stay valid for the cache's lifetime (node-based, never
+/// rehashes). Single-threaded by design — the batch leader owns it.
+class FoldCache : public PresenceFoldProvider {
+ public:
+  const DynamicBitset& UnionFold(const PresenceIndex& index,
+                                 const DynamicBitset& times) override;
+  const DynamicBitset& IntersectionFold(const PresenceIndex& index,
+                                        const DynamicBitset& times) override;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  /// (index identity, fold kind, mask words) — mask words are compared by
+  /// value so two IntervalSets naming the same members share an entry.
+  using Key = std::tuple<const PresenceIndex*, bool, std::vector<std::uint64_t>>;
+
+  const DynamicBitset& Lookup(const PresenceIndex& index, const DynamicBitset& times,
+                              bool union_fold);
+
+  std::map<Key, DynamicBitset> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace graphtempo::engine
+
+#endif  // GRAPHTEMPO_ENGINE_BATCH_H_

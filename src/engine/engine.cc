@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "engine/batch.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,6 +51,14 @@ obs::Counter& CacheInvalidateCounter() {
 }
 obs::Counter& StaleFallbackCounter() {
   static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/stale_fallback");
+  return c;
+}
+obs::Counter& CostPlanCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cost_plan");
+  return c;
+}
+obs::Counter& CostRouteFlipCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cost_route_flip");
   return c;
 }
 
@@ -142,14 +151,17 @@ void QueryEngine::Refresh() {
   // Per-entry sweep: only results whose dependency time points were actually
   // touched are stale; append-only growth leaves old intervals' answers
   // valid, so they stay resident and keep hitting.
-  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (!EntryValid(*it->second)) {
-      it = cache_.erase(it);
-      cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
-      CacheInvalidateCounter().Increment();
-    } else {
-      ++it;
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::shared_mutex> cache_writer(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (!EntryValid(*it->second)) {
+        it = shard.entries.erase(it);
+        cache_size_.fetch_sub(1, std::memory_order_relaxed);
+        cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+        CacheInvalidateCounter().Increment();
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -174,6 +186,9 @@ bool QueryEngine::MapToBasePositions(const QuerySpec& spec,
 }
 
 bool QueryEngine::DerivableLocked(const QuerySpec& spec) const {
+  // Only the aggregate family has a materialized derivation; evolution and
+  // exploration sweeps always run against the graph.
+  if (spec.kind != QueryKind::kAggregate) return false;
   // An opaque filter makes the answer depend on data outside the store.
   if (spec.filter != nullptr || !store_.has_value()) return false;
   // T-distributivity covers union under ALL on any interval (Section 4.3);
@@ -199,6 +214,47 @@ bool QueryEngine::StoreStale() const {
   return store_.has_value() && store_->num_cached_points() != graph_->num_times();
 }
 
+bool QueryEngine::SubsetLayerMemoized(SubsetMask mask) const {
+  std::lock_guard<std::mutex> lock(subset_mutex_);
+  return subset_layers_.find(mask) != subset_layers_.end();
+}
+
+CostInputs QueryEngine::CostInputsLocked(const QuerySpec& spec, bool derivable,
+                                         std::span<const std::size_t> keep) const {
+  CostInputs inputs;
+  const IntervalSet eval = spec.EvaluationInterval();
+  inputs.eval_points = eval.Count();
+  // Per-point popcounts, cached inside PresenceIndex — the estimate costs a
+  // handful of table reads, never a scan. A spec bound before an append may
+  // carry a smaller time domain than the graph; estimating zero appearances
+  // there is fine (execution GT_CHECKs the domain anyway).
+  if (eval.bits().size() == graph_->num_times()) {
+    inputs.node_appearances = graph_->node_presence_index().AppearancesOver(eval.bits());
+    inputs.edge_appearances = graph_->edge_presence_index().AppearancesOver(eval.bits());
+  }
+  if (!derivable) return inputs;
+  inputs.materialized_available = true;
+  inputs.total_points = graph_->num_times();
+  if (store_->num_cached_points() > 0) {
+    // First store point as the per-point group-count proxy: exact enough for
+    // an ordering decision, free to read.
+    const AggregateGraph& first = store_->AtTimePoint(0);
+    inputs.store_groups = first.nodes().size() + first.edges().size();
+  }
+  // A strict attribute subset answers through a per-time-point roll-up
+  // layer; if that layer is cold, the derivation pays for building it over
+  // *every* store point — the fixed rule's losing case.
+  inputs.needs_rollup = keep.size() < store_->attrs().size();
+  if (inputs.needs_rollup) {
+    std::vector<std::size_t> canonical(keep.begin(), keep.end());
+    std::sort(canonical.begin(), canonical.end());
+    SubsetMask mask = 0;
+    for (std::size_t position : canonical) mask |= SubsetMask{1} << position;
+    inputs.layer_memoized = SubsetLayerMemoized(mask);
+  }
+  return inputs;
+}
+
 QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) const {
   std::shared_lock<std::shared_mutex> reader(state_mutex_);
   return PlanLocked(spec, options);
@@ -207,18 +263,65 @@ QueryPlan QueryEngine::Plan(const QuerySpec& spec, const PlanOptions& options) c
 QueryPlan QueryEngine::PlanLocked(const QuerySpec& spec,
                                   const PlanOptions& options) const {
   GT_SPAN("engine/plan");
-  GT_CHECK(!spec.attrs.empty()) << "spec needs at least one aggregation attribute";
-  GT_CHECK_LE(spec.attrs.size(), AttrTuple::kMaxAttrs) << "too many aggregation attributes";
 
   QueryPlan plan;
   plan.fingerprint = spec.Fingerprint();
   plan.cacheable = spec.Cacheable();
+  plan.planner = config_.planner;
+
+  if (spec.kind == QueryKind::kEvolution) {
+    GT_CHECK(!spec.attrs.empty()) << "spec needs at least one aggregation attribute";
+    GT_CHECK_LE(spec.attrs.size(), AttrTuple::kMaxAttrs)
+        << "too many aggregation attributes";
+    GT_CHECK(!options.force_route.has_value() ||
+             *options.force_route == PlanRoute::kDirectKernel)
+        << "evolution specs have no materialized route";
+    plan.route = PlanRoute::kDirectKernel;
+    plan.cost = EstimateCost(CostInputsLocked(spec, /*derivable=*/false, {}));
+    std::string detail = "old=" + spec.t1.ToString() + " new=" + spec.t2.ToString() +
+                         " attrs=[" + JoinAttrNames(*graph_, spec.attrs) + "]";
+    if (spec.filter != nullptr) detail += " filter=yes";
+    plan.steps.push_back({"evolution", std::move(detail)});
+    return plan;
+  }
+  if (spec.kind == QueryKind::kExplore) {
+    GT_CHECK(!options.force_route.has_value() ||
+             *options.force_route == PlanRoute::kDirectKernel)
+        << "explore specs have no materialized route";
+    plan.route = PlanRoute::kDirectKernel;
+    plan.cost = EstimateCost(CostInputsLocked(spec, /*derivable=*/false, {}));
+    std::string detail = std::string("event=") + EventTypeName(spec.explore.event);
+    detail += spec.explore.semantics == ExtensionSemantics::kUnion
+                  ? " semantics=union"
+                  : " semantics=intersection";
+    detail += spec.explore.reference == ReferenceEnd::kOld ? " reference=old"
+                                                           : " reference=new";
+    detail += " k=" + std::to_string(spec.explore.k);
+    plan.steps.push_back({"explore", std::move(detail)});
+    return plan;
+  }
+
+  GT_CHECK(!spec.attrs.empty()) << "spec needs at least one aggregation attribute";
+  GT_CHECK_LE(spec.attrs.size(), AttrTuple::kMaxAttrs) << "too many aggregation attributes";
 
   const bool derivable = DerivableLocked(spec);
+  std::vector<std::size_t> keep;
+  if (derivable) {
+    GT_CHECK(MapToBasePositions(spec, &keep));
+  }
+  plan.cost = EstimateCost(CostInputsLocked(spec, derivable, keep));
+
   if (options.force_route.has_value()) {
     GT_CHECK(*options.force_route != PlanRoute::kMaterializedDerivation || derivable)
         << "cannot force the materialized route: spec is not derivable";
     plan.route = *options.force_route;
+  } else if (config_.planner == PlannerMode::kCost) {
+    CostPlanCounter().Increment();
+    const bool derive = derivable && plan.cost.MaterializedWins();
+    // A "flip" is a decision the fixed rule would have made differently —
+    // the rule derives whenever it can.
+    if (derivable && !derive) CostRouteFlipCounter().Increment();
+    plan.route = derive ? PlanRoute::kMaterializedDerivation : PlanRoute::kDirectKernel;
   } else {
     plan.route = derivable ? PlanRoute::kMaterializedDerivation : PlanRoute::kDirectKernel;
   }
@@ -236,7 +339,7 @@ QueryPlan QueryEngine::PlanLocked(const QuerySpec& spec,
   }
 
   if (plan.route == PlanRoute::kMaterializedDerivation) {
-    GT_CHECK(MapToBasePositions(spec, &plan.keep_positions));
+    plan.keep_positions = std::move(keep);
     const std::vector<AttrRef>& base = store_->attrs();
     bool identity = plan.keep_positions.size() == base.size();
     for (std::size_t i = 0; identity && i < plan.keep_positions.size(); ++i) {
@@ -280,8 +383,11 @@ bool QueryEngine::EntryValid(const CachedResult& entry) const {
 }
 
 void QueryEngine::ClearCache() {
-  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
-  cache_.clear();
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::shared_mutex> cache_writer(shard.mutex);
+    cache_size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+  }
 }
 
 QueryEngine::CacheStats QueryEngine::cache_stats() const {
@@ -306,11 +412,25 @@ QueryEngine::DerivationStats QueryEngine::derivation_stats() const {
 }
 
 AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& options) {
-  // Shared (reader) lock for the whole query: plan, lookup, run. Writers —
-  // Refresh, EnableMaterialization, graph mutations under AcquireWriterLock —
-  // are excluded until we return, so the graph and store are frozen from this
-  // thread's point of view.
+  GT_CHECK(spec.kind == QueryKind::kAggregate)
+      << "Execute() answers aggregate specs; use ExecuteResult for "
+      << QueryKindName(spec.kind) << " specs";
   std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  QueryResult result = ExecuteLocked(spec, options, nullptr);
+  return std::move(result.aggregate);
+}
+
+QueryResult QueryEngine::ExecuteResult(const QuerySpec& spec, const PlanOptions& options) {
+  std::shared_lock<std::shared_mutex> reader(state_mutex_);
+  return ExecuteLocked(spec, options, nullptr);
+}
+
+QueryResult QueryEngine::ExecuteLocked(const QuerySpec& spec, const PlanOptions& options,
+                                       FoldCache* folds) {
+  // Caller holds `state_mutex_` shared for the whole query: plan, lookup,
+  // run. Writers — Refresh, EnableMaterialization, graph mutations under
+  // AcquireWriterLock — are excluded until it returns, so the graph and store
+  // are frozen from this thread's point of view.
   const QueryPlan plan = PlanLocked(spec, options);
   GT_SPAN("engine/execute", {{"route", static_cast<std::uint64_t>(plan.route)},
                              {"steps", plan.steps.size()}});
@@ -321,21 +441,24 @@ AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& op
   if (ctx != nullptr) {
     ctx->fingerprint.store(plan.fingerprint, std::memory_order_relaxed);
     ctx->route.store(PlanRouteName(plan.route), std::memory_order_relaxed);
+    ctx->planner.store(PlannerModeName(plan.planner), std::memory_order_relaxed);
   }
 
   if (!plan.cacheable || config_.cache_capacity == 0) {
     cache_stats_.bypasses.fetch_add(1, std::memory_order_relaxed);
     CacheBypassCounter().Increment();
     if (ctx != nullptr) ctx->cache.store("bypass", std::memory_order_relaxed);
-    return Run(spec, plan);
+    return Run(spec, plan, folds);
   }
 
   const std::uint64_t generation = graph_->mutation_generation();
+  CacheShard& home = cache_shards_[ShardIndex(plan.fingerprint)];
   {
-    // Hit path: shared cache lock only, plus a relaxed sloppy-LRU touch.
-    std::shared_lock<std::shared_mutex> cache_reader(cache_mutex_);
-    auto it = cache_.find(plan.fingerprint);
-    if (it != cache_.end()) {
+    // Hit path: the home shard's shared lock only, plus a relaxed sloppy-LRU
+    // touch — concurrent hits on other shards never contend here.
+    std::shared_lock<std::shared_mutex> cache_reader(home.mutex);
+    auto it = home.entries.find(plan.fingerprint);
+    if (it != home.entries.end()) {
       CachedResult& entry = *it->second;
       if (EntryValid(entry) && entry.spec.EquivalentTo(spec)) {
         cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -352,82 +475,129 @@ AggregateGraph QueryEngine::Execute(const QuerySpec& spec, const PlanOptions& op
   CacheMissCounter().Increment();
   if (ctx != nullptr) ctx->cache.store("miss", std::memory_order_relaxed);
 
-  AggregateGraph result = Run(spec, plan);
+  QueryResult result = Run(spec, plan, folds);
   InsertResult(spec, plan, result, generation);
   return result;
 }
 
 void QueryEngine::InsertResult(const QuerySpec& spec, const QueryPlan& plan,
-                               const AggregateGraph& result, std::uint64_t generation) {
-  std::unique_lock<std::shared_mutex> cache_writer(cache_mutex_);
+                               const QueryResult& result, std::uint64_t generation) {
   // Per-entry invalidation sweep: evict exactly the entries whose dependency
   // time points mutated past their stamp. Append-only growth touches only
-  // appended points, so disjoint old-interval entries survive here.
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (!EntryValid(*it->second)) {
-      it = cache_.erase(it);
-      cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
-      CacheInvalidateCounter().Increment();
-    } else {
-      ++it;
+  // appended points, so disjoint old-interval entries survive here. Shard by
+  // shard — never more than one shard lock held, no ordering concern.
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::shared_mutex> cache_writer(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (!EntryValid(*it->second)) {
+        it = shard.entries.erase(it);
+        cache_size_.fetch_sub(1, std::memory_order_relaxed);
+        cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+        CacheInvalidateCounter().Increment();
+      } else {
+        ++it;
+      }
     }
   }
 
   const std::uint64_t stamp = lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-  auto it = cache_.find(plan.fingerprint);
-  if (it != cache_.end()) {
-    // Either a concurrent reader filled the slot while we computed, or a
-    // fingerprint collision with a non-equivalent spec: the newer query wins
-    // (EquivalentTo on the hit path guarantees an impostor is never served).
-    CachedResult& entry = *it->second;
-    entry.spec = spec;
-    entry.result = result;
-    entry.dependencies = spec.DependencyInterval();
-    entry.generation = generation;
-    entry.last_used.store(stamp, std::memory_order_relaxed);
-    return;
+  CacheShard& home = cache_shards_[ShardIndex(plan.fingerprint)];
+  {
+    std::unique_lock<std::shared_mutex> cache_writer(home.mutex);
+    auto it = home.entries.find(plan.fingerprint);
+    if (it != home.entries.end()) {
+      // Either a concurrent reader filled the slot while we computed, or a
+      // fingerprint collision with a non-equivalent spec: the newer query wins
+      // (EquivalentTo on the hit path guarantees an impostor is never served).
+      CachedResult& entry = *it->second;
+      entry.spec = spec;
+      entry.result = result;
+      entry.dependencies = spec.DependencyInterval();
+      entry.generation = generation;
+      entry.last_used.store(stamp, std::memory_order_relaxed);
+      return;
+    }
+    home.entries.emplace(
+        plan.fingerprint,
+        std::make_unique<CachedResult>(spec, result, spec.DependencyInterval(),
+                                       generation, stamp));
+    cache_size_.fetch_add(1, std::memory_order_relaxed);
   }
-  cache_.emplace(plan.fingerprint,
-                 std::make_unique<CachedResult>(spec, result, spec.DependencyInterval(),
-                                                generation, stamp));
-  if (cache_.size() > config_.cache_capacity) {
-    // Sloppy LRU: evict the smallest last-used stamp. O(capacity) scan, but
-    // only on an insert that overflows — the hit path never pays it.
-    auto victim = cache_.begin();
-    std::uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
-    for (auto candidate = std::next(cache_.begin()); candidate != cache_.end();
-         ++candidate) {
-      const std::uint64_t used =
-          candidate->second->last_used.load(std::memory_order_relaxed);
-      if (used < oldest) {
-        oldest = used;
-        victim = candidate;
+  if (cache_size_.load(std::memory_order_relaxed) > config_.cache_capacity) {
+    // Sloppy LRU: evict the globally smallest last-used stamp. The only
+    // multi-shard lock site — locks are taken in ascending index order (the
+    // home-shard lock above is already released). O(capacity) scan, but only
+    // on an insert that overflows — the hit path never pays it.
+    std::array<std::unique_lock<std::shared_mutex>, kCacheShards> locks;
+    for (std::size_t i = 0; i < kCacheShards; ++i) {
+      locks[i] = std::unique_lock<std::shared_mutex>(cache_shards_[i].mutex);
+    }
+    std::size_t total = 0;
+    for (const CacheShard& shard : cache_shards_) total += shard.entries.size();
+    if (total > config_.cache_capacity) {
+      CacheShard* victim_shard = nullptr;
+      std::unordered_map<std::uint64_t, std::unique_ptr<CachedResult>>::iterator victim;
+      std::uint64_t oldest = 0;
+      for (CacheShard& shard : cache_shards_) {
+        for (auto candidate = shard.entries.begin(); candidate != shard.entries.end();
+             ++candidate) {
+          const std::uint64_t used =
+              candidate->second->last_used.load(std::memory_order_relaxed);
+          if (victim_shard == nullptr || used < oldest) {
+            oldest = used;
+            victim_shard = &shard;
+            victim = candidate;
+          }
+        }
+      }
+      if (victim_shard != nullptr) {
+        victim_shard->entries.erase(victim);
+        cache_size_.fetch_sub(1, std::memory_order_relaxed);
+        cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+        CacheEvictCounter().Increment();
       }
     }
-    cache_.erase(victim);
-    cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
-    CacheEvictCounter().Increment();
   }
 }
 
-AggregateGraph QueryEngine::Run(const QuerySpec& spec, const QueryPlan& plan) {
+QueryResult QueryEngine::Run(const QuerySpec& spec, const QueryPlan& plan,
+                             FoldCache* folds) {
+  QueryResult out;
+  out.kind = spec.kind;
+  if (spec.kind == QueryKind::kEvolution) {
+    RouteDirectCounter().Increment();
+    GT_SPAN("engine/evolution");
+    out.evolution =
+        AggregateEvolution(*graph_, spec.t1, spec.t2, spec.attrs, spec.filter);
+    return out;
+  }
+  if (spec.kind == QueryKind::kExplore) {
+    RouteDirectCounter().Increment();
+    GT_SPAN("engine/explore");
+    out.exploration = Explore(*graph_, spec.explore);
+    return out;
+  }
   switch (plan.route) {
     case PlanRoute::kDirectKernel:
       RouteDirectCounter().Increment();
-      return RunDirect(spec, plan);
+      out.aggregate = RunDirect(spec, plan, folds);
+      return out;
     case PlanRoute::kMaterializedDerivation:
       RouteMaterializedCounter().Increment();
-      return RunMaterialized(spec, plan);
+      out.aggregate = RunMaterialized(spec, plan);
+      return out;
   }
   GT_CHECK(false) << "unreachable plan route";
-  return AggregateGraph{};
+  return out;
 }
 
-AggregateGraph QueryEngine::RunDirect(const QuerySpec& spec, const QueryPlan& /*plan*/) {
+AggregateGraph QueryEngine::RunDirect(const QuerySpec& spec, const QueryPlan& /*plan*/,
+                                      FoldCache* folds) {
   GraphView view;
   {
     obs::Span span(OperatorSpanName(spec.op));
-    view = BuildOperatorView(*graph_, spec);
+    view = folds != nullptr ? BuildOperatorView(*graph_, spec, *folds)
+                            : BuildOperatorView(*graph_, spec);
   }
   AggregationOptions options;
   options.semantics = spec.semantics;

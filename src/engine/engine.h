@@ -1,6 +1,7 @@
 #ifndef GRAPHTEMPO_ENGINE_ENGINE_H_
 #define GRAPHTEMPO_ENGINE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -19,12 +20,14 @@
 /// `QueryEngine`: the unified planner + executor every entry point funnels
 /// through (docs/ENGINE.md).
 ///
-/// One engine wraps one `TemporalGraph` and answers `QuerySpec`s. For each
-/// spec the *planner* picks a route:
+/// One engine wraps one `TemporalGraph` and answers `QuerySpec`s — aggregate
+/// specs, evolution specs and exploration specs alike. For each spec the
+/// *planner* picks a route:
 ///
-///   * **direct** — run the temporal-operator bitset kernels and Algorithm 2;
-///     the plan records the dense-vs-hash grouping resolution
-///     (`ResolveGrouping`) so `--explain` shows which kernel path fires;
+///   * **direct** — run the temporal-operator bitset kernels and Algorithm 2
+///     (or, for evolution/explore specs, the corresponding core sweep); the
+///     plan records the dense-vs-hash grouping resolution (`ResolveGrouping`)
+///     so `--explain` shows which kernel path fires;
 ///   * **materialized** — when `EnableMaterialization` built per-time-point
 ///     ALL aggregates and the spec is Section 4.3-derivable (T-distributive
 ///     union under ALL, or a single-point project/union where DIST ≡ ALL, on
@@ -34,6 +37,12 @@
 ///     gracefully: the planner falls back to the direct route and bumps
 ///     `engine/stale_fallback`.
 ///
+/// *Which* route wins for a derivable spec is decided by the configured
+/// planner mode (engine/cost.h): `kRule` always derives (the historical
+/// fixed rule), `kCost` prices both routes from interval length × live-entity
+/// counts and picks the cheaper — the plan carries both estimates either way,
+/// so `Explain()` always shows the counterfactual.
+///
 /// The *executor* runs the plan under GT_SPAN instrumentation (one span per
 /// plan step, mirroring `QueryPlan::Explain`) and memoizes:
 ///
@@ -41,19 +50,27 @@
 ///     Section 4.3 cube lattice (`DerivationStats` counts the savings);
 ///   * whole results in a bounded sloppy-LRU cache keyed by
 ///     `QuerySpec::Fingerprint` with a full `EquivalentTo` collision guard.
-///     Each entry is stamped with the graph's `mutation_generation()` and the
-///     spec's `DependencyInterval()`; an entry is served only while none of
-///     its dependency time points mutated after the stamp
-///     (`TemporalGraph::IntervalUnchangedSince`). Because `AppendTimePoint`
-///     stamps only the *new* point, append-only ingestion leaves every
-///     old-interval answer valid — entries are evicted per-entry, never
-///     wholesale. Specs carrying an opaque filter bypass the cache entirely.
+///     The cache is sharded by fingerprint so concurrent hits on different
+///     shards never contend on one map mutex. Each entry is stamped with the
+///     graph's `mutation_generation()` and the spec's `DependencyInterval()`;
+///     an entry is served only while none of its dependency time points
+///     mutated after the stamp (`TemporalGraph::IntervalUnchangedSince`).
+///     Because `AppendTimePoint` stamps only the *new* point, append-only
+///     ingestion leaves every old-interval answer valid — entries are evicted
+///     per-entry, never wholesale. Specs carrying an opaque filter bypass the
+///     cache entirely.
+///
+/// Batches of concurrent specs can be answered together via `ExecuteBatch`
+/// (engine/batch.h): equivalent specs within the batch are merged, and the
+/// remaining specs share one presence-fold cache so common interval folds are
+/// computed once (docs/ENGINE.md §Batch execution).
 ///
 /// ## Thread safety: any number of readers, one writer
 ///
-/// `Execute`, `Plan` and `Derivable` are safe to call concurrently from any
-/// number of threads. Readers hold a shared (reader) lock for the duration of
-/// a query; a cache hit takes only that shared lock plus a relaxed-atomic
+/// `Execute`, `ExecuteResult`, `ExecuteBatch`, `Plan` and `Derivable` are
+/// safe to call concurrently from any number of threads. Readers hold a
+/// shared (reader) lock for the duration of a query; a cache hit takes only
+/// that shared lock plus one shard's shared lock and a relaxed-atomic
 /// "sloppy LRU" touch — no exclusive lock ever sits on the hit path. Stats
 /// are atomics; subset-layer memoization is insert-once under its own mutex
 /// and hands out stable storage.
@@ -76,7 +93,22 @@
 /// is not reentrant). Single-threaded callers may keep mutating the graph
 /// directly, as every test and CLI invocation does.
 
+namespace graphtempo::obs {
+class RequestContext;  // obs/context.h
+}  // namespace graphtempo::obs
+
 namespace graphtempo::engine {
+
+class FoldCache;  // engine/batch.h — shared presence-fold memo for batches
+
+/// The result of one executed spec: exactly one member is populated,
+/// selected by `kind` (which mirrors the spec's kind).
+struct QueryResult {
+  QueryKind kind = QueryKind::kAggregate;
+  AggregateGraph aggregate;        ///< kind == kAggregate
+  EvolutionAggregate evolution;    ///< kind == kEvolution
+  ExplorationResult exploration;   ///< kind == kExplore
+};
 
 class QueryEngine {
  public:
@@ -84,6 +116,12 @@ class QueryEngine {
     /// Result-cache entries kept (sloppy LRU). 0 disables result caching —
     /// the derivation layers still memoize.
     std::size_t cache_capacity = 64;
+
+    /// Route-selection policy for derivable specs (engine/cost.h). The
+    /// library default stays `kRule` — the historical always-derive rule —
+    /// so embedding code sees zero behaviour change; the CLI and server
+    /// default to `kCost` and expose `--planner rule` as the escape hatch.
+    PlannerMode planner = PlannerMode::kRule;
   };
 
   /// Does not take ownership of `graph`; `graph` must outlive the engine.
@@ -91,6 +129,7 @@ class QueryEngine {
   QueryEngine(const TemporalGraph* graph, Config config);
 
   const TemporalGraph& graph() const { return *graph_; }
+  PlannerMode planner_mode() const { return config_.planner; }
 
   // --- Materialization (Section 4.3 base layer) ---
 
@@ -141,8 +180,30 @@ class QueryEngine {
 
   // --- Execution ---
 
+  /// Aggregate-spec convenience: GT_CHECKs `spec.kind == kAggregate`.
   AggregateGraph Execute(const QuerySpec& spec) { return Execute(spec, PlanOptions{}); }
   AggregateGraph Execute(const QuerySpec& spec, const PlanOptions& options);
+
+  /// Kind-generic execution (evolution and exploration specs included).
+  QueryResult ExecuteResult(const QuerySpec& spec) {
+    return ExecuteResult(spec, PlanOptions{});
+  }
+  QueryResult ExecuteResult(const QuerySpec& spec, const PlanOptions& options);
+
+  /// One query of a batch: the spec plus the request context to attribute
+  /// into while it runs (nullptr for none). See engine/batch.h.
+  struct BatchItem {
+    const QuerySpec* spec = nullptr;
+    obs::RequestContext* ctx = nullptr;
+  };
+
+  /// Executes `items` as one batch under a single reader lock: specs that
+  /// are pairwise-equivalent are computed once and fanned out
+  /// (`engine/batch_merged`), and the remaining executions share one
+  /// presence-fold cache (`engine/batch_fold_hits`/`_misses`). Results are
+  /// byte-identical to executing each item alone — pinned by the batch
+  /// differential suite. Defined in engine/batch.cc.
+  std::vector<QueryResult> ExecuteBatch(std::span<const BatchItem> items);
 
   /// Drops every cached result (stats keep counting). Forced-route
   /// experiments call this between runs so each route really executes.
@@ -185,7 +246,7 @@ class QueryEngine {
   /// address is stable regardless of map rehashing; `last_used` is atomic so
   /// the hit path can touch it under a shared lock.
   struct CachedResult {
-    CachedResult(QuerySpec spec_in, AggregateGraph result_in,
+    CachedResult(QuerySpec spec_in, QueryResult result_in,
                  IntervalSet dependencies_in, std::uint64_t generation_in,
                  std::uint64_t last_used_in)
         : spec(std::move(spec_in)),
@@ -195,11 +256,25 @@ class QueryEngine {
           last_used(last_used_in) {}
 
     QuerySpec spec;                ///< collision guard (EquivalentTo)
-    AggregateGraph result;
+    QueryResult result;
     IntervalSet dependencies;      ///< spec.DependencyInterval() at fill time
     std::uint64_t generation = 0;  ///< graph generation the result reflects
     std::atomic<std::uint64_t> last_used{0};  ///< sloppy-LRU clock stamp
   };
+
+  /// The result cache is split into shards keyed by fingerprint so the hit
+  /// path of concurrent readers locks only its own shard. Sloppy-LRU
+  /// semantics are global: capacity counts entries across all shards and the
+  /// eviction victim is the globally smallest stamp (all shard locks taken
+  /// in index order — the only multi-shard lock site).
+  static constexpr std::size_t kCacheShards = 8;
+  struct CacheShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, std::unique_ptr<CachedResult>> entries;
+  };
+  static std::size_t ShardIndex(std::uint64_t fingerprint) {
+    return (fingerprint ^ (fingerprint >> 32)) % kCacheShards;
+  }
 
   /// Maps `spec.attrs` into positions of the base attribute list (caller
   /// order). Returns false — leaving `keep` untouched — when any attribute is
@@ -210,6 +285,12 @@ class QueryEngine {
   /// exclusive).
   QueryPlan PlanLocked(const QuerySpec& spec, const PlanOptions& options) const;
   bool DerivableLocked(const QuerySpec& spec) const;
+
+  /// Cost-model inputs for an aggregate spec (cheap: popcount sums over the
+  /// evaluation interval via PresenceIndex). `derivable` and `keep` are the
+  /// planner's derivability verdict + base positions.
+  CostInputs CostInputsLocked(const QuerySpec& spec, bool derivable,
+                              std::span<const std::size_t> keep) const;
 
   /// True when the store exists but `AppendTimePoint` outran `Refresh()`.
   bool StoreStale() const;
@@ -222,17 +303,28 @@ class QueryEngine {
   const std::vector<AggregateGraph>& SubsetLayer(std::span<const std::size_t> canonical,
                                                  bool* served_from_memo);
 
+  /// Whether the layer for `mask` is already memoized (cost-model probe;
+  /// const: takes `subset_mutex_` only for the map lookup).
+  bool SubsetLayerMemoized(SubsetMask mask) const;
+
   /// True while no dependency time point of `entry` mutated past its stamp.
   bool EntryValid(const CachedResult& entry) const;
 
   /// Inserts (or overwrites) the result computed for `spec` at graph
   /// `generation`, sweeping genuinely stale entries and evicting the least
-  /// recently used beyond capacity. Takes `cache_mutex_` exclusively.
+  /// recently used beyond capacity. Takes shard locks exclusively.
   void InsertResult(const QuerySpec& spec, const QueryPlan& plan,
-                    const AggregateGraph& result, std::uint64_t generation);
+                    const QueryResult& result, std::uint64_t generation);
 
-  AggregateGraph Run(const QuerySpec& spec, const QueryPlan& plan);
-  AggregateGraph RunDirect(const QuerySpec& spec, const QueryPlan& plan);
+  /// The whole execute pipeline minus the reader lock: plan, cache probe,
+  /// run, fill. Callers hold `state_mutex_` shared. `folds` (optional)
+  /// routes direct-route operator folds through a batch-shared cache.
+  QueryResult ExecuteLocked(const QuerySpec& spec, const PlanOptions& options,
+                            FoldCache* folds);
+
+  QueryResult Run(const QuerySpec& spec, const QueryPlan& plan, FoldCache* folds);
+  AggregateGraph RunDirect(const QuerySpec& spec, const QueryPlan& plan,
+                           FoldCache* folds);
   AggregateGraph RunMaterialized(const QuerySpec& spec, const QueryPlan& plan);
 
   const TemporalGraph* graph_;
@@ -244,23 +336,24 @@ class QueryEngine {
   /// and AcquireWriterLock take it exclusive.
   mutable std::shared_mutex state_mutex_;
 
-  /// Guards the result-cache map structure. Hits take it shared; inserts,
-  /// sweeps and ClearCache take it exclusive. Ordered after `state_mutex_`
-  /// (never acquire `state_mutex_` while holding it).
-  mutable std::shared_mutex cache_mutex_;
-
   /// Guards subset-layer insertion (insert-once; lookups also lock — the map
-  /// itself is small and the critical section is a hash probe).
-  std::mutex subset_mutex_;
+  /// itself is small and the critical section is a hash probe). Mutable so
+  /// the const planner can probe memoization for the cost model.
+  mutable std::mutex subset_mutex_;
 
   std::optional<MaterializationStore> store_;
   std::unordered_map<SubsetMask, std::unique_ptr<std::vector<AggregateGraph>>>
       subset_layers_;
 
-  /// Fingerprint → cached result. unique_ptr keeps entry addresses stable
-  /// across rehash so the hit path can read an entry while other readers
-  /// probe the map.
-  std::unordered_map<std::uint64_t, std::unique_ptr<CachedResult>> cache_;
+  /// Fingerprint → cached result, sharded by `ShardIndex`. unique_ptr keeps
+  /// entry addresses stable across rehash so the hit path can read an entry
+  /// while other readers probe the same shard. Shard locks are ordered after
+  /// `state_mutex_` (never acquire `state_mutex_` while holding one) and by
+  /// ascending shard index among themselves.
+  std::array<CacheShard, kCacheShards> cache_shards_;
+
+  /// Entries across all shards (capacity accounting without a global lock).
+  std::atomic<std::size_t> cache_size_{0};
 
   /// Logical clock behind the sloppy LRU: hits stamp their entry with the
   /// next tick (relaxed); eviction scans for the smallest stamp. Exactness

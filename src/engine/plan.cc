@@ -22,7 +22,22 @@ std::string QueryPlan::Explain() const {
   if (stale_fallback) out += "(stale-store-fallback)";
   out += "  cache=";
   out += cacheable ? "eligible" : "bypass(filter)";
+  out += "  planner=";
+  out += PlannerModeName(planner);
   out += "\n";
+  {
+    // Both route estimates, so the decision is inspectable under either
+    // planner mode ("what would the cost model have done?").
+    char line[96];
+    if (cost.materialized_us >= 0.0) {
+      std::snprintf(line, sizeof(line), "estimate direct=%.1fus materialized=%.1fus\n",
+                    cost.direct_us, cost.materialized_us);
+    } else {
+      std::snprintf(line, sizeof(line), "estimate direct=%.1fus materialized=n/a\n",
+                    cost.direct_us);
+    }
+    out += line;
+  }
   // Align detail columns on the longest step kind.
   std::size_t kind_width = 0;
   for (const PlanStep& step : steps) {

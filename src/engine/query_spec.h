@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
+#include "core/exploration.h"
 #include "core/interval.h"
 #include "core/operators.h"
 #include "core/temporal_graph.h"
@@ -40,10 +41,26 @@ enum class TemporalOperatorKind : std::uint8_t {
 /// "project" / "union" / "intersection" / "difference".
 const char* TemporalOperatorName(TemporalOperatorKind op);
 
+/// Which operator *family* the spec describes. Historically only the four
+/// Section 2.1 aggregation operators went through the engine; evolution
+/// (Def 2.7 / Fig 4b) and exploration (Section 3) called core directly and
+/// so bypassed planning, caching and batching. They are now spec kinds:
+/// one planner routes them, one executor caches them.
+enum class QueryKind : std::uint8_t {
+  kAggregate,  ///< op × (t1, t2) × attrs × semantics — the original family
+  kEvolution,  ///< AggregateEvolution(t1=old, t2=new, attrs)
+  kExplore,    ///< Explore(explore) — t1 must be the full time domain
+};
+
+/// "aggregate" / "evolution" / "explore".
+const char* QueryKindName(QueryKind kind);
+
 /// The IR of one aggregation query. Plain data; copyable; graph-independent
 /// except that `t1`/`t2` must match the target graph's time-domain size and
 /// `attrs` must reference its attribute tables.
 struct QuerySpec {
+  QueryKind kind = QueryKind::kAggregate;
+
   TemporalOperatorKind op = TemporalOperatorKind::kProject;
   IntervalSet t1;
   /// Ignored for kProject. Must share the graph's time domain otherwise; may
@@ -63,19 +80,29 @@ struct QuerySpec {
   /// Post-aggregation mirror-edge merge (SymmetrizeAggregate).
   bool symmetrize = false;
 
+  /// kExplore only: the full exploration request (event, extension
+  /// semantics, reference end, entity selector, threshold k). For explore
+  /// specs `t1` must be the graph's full time domain (the sweep reads every
+  /// point) and `op`/`semantics`/`grouping`/`symmetrize` are ignored;
+  /// `attrs` mirrors `explore.selector.attrs` for uniform rendering.
+  ExplorationSpec explore;
+
   /// A spec is cacheable iff its result is a pure function of the fields the
   /// fingerprint covers — i.e. iff it carries no opaque filter.
   bool Cacheable() const { return filter == nullptr; }
 
   /// The time points the operator result is defined on (Defs 2.2–2.5):
-  /// T₁ ∪ T₂ for union/intersection, T₁ for project and difference.
+  /// T₁ ∪ T₂ for union/intersection, T₁ for project and difference. For
+  /// evolution both intervals participate; for explore it is `t1` (bound to
+  /// the full domain).
   IntervalSet EvaluationInterval() const;
 
   /// The time points the *result data* depends on: T₁ ∪ T₂ for every
   /// operator consuming T₂ (a difference's answer changes when T₂'s data
   /// does, even though it is evaluated on T₁), T₁ alone for project. This is
   /// the validity interval of a cached result — if no dependency point was
-  /// mutated since the result was computed, it is still exact.
+  /// mutated since the result was computed, it is still exact. Evolution
+  /// depends on both intervals; explore on the full domain (= `t1`).
   IntervalSet DependencyInterval() const;
 
   /// Stable 64-bit FNV-1a over (op, semantics, symmetrize, attrs, t1, t2)
@@ -83,7 +110,10 @@ struct QuerySpec {
   /// pointer values and map iteration order. `grouping` is deliberately
   /// excluded: it is an execution hint — dense and hash grouping are
   /// bit-identical (pinned by the determinism suite) — so specs differing
-  /// only in the hint share one cache entry.
+  /// only in the hint share one cache entry. kAggregate specs hash exactly
+  /// the historical byte sequence (cached fingerprints survive this
+  /// refactor); evolution and explore specs prepend a kind tag so the
+  /// families can never collide with aggregates by construction.
   std::uint64_t Fingerprint() const;
 
   /// Structural equality under the same normalization as `Fingerprint` (the
@@ -100,6 +130,13 @@ struct QuerySpec {
 /// something other than COUNT over the same views). GT_CHECKs interval
 /// domains like the underlying operators do.
 GraphView BuildOperatorView(const TemporalGraph& graph, const QuerySpec& spec);
+
+/// Same, but routes the presence folds through `folds` — the seam the batch
+/// executor uses to share common interval folds across a batch of specs
+/// (engine/batch.h). Bit-identical to the plain overload by construction:
+/// the classic operators delegate to the provider-taking ones.
+GraphView BuildOperatorView(const TemporalGraph& graph, const QuerySpec& spec,
+                            PresenceFoldProvider& folds);
 
 }  // namespace graphtempo::engine
 

@@ -7,6 +7,7 @@
 
 #include "core/aggregation.h"
 #include "core/temporal_graph.h"
+#include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/query_spec.h"
 #include "util/json.h"
@@ -40,6 +41,23 @@
 /// rows sorted by weight descending, then tuple codes ascending — fully
 /// deterministic, so two servers answering the same spec emit identical
 /// bytes.
+///
+/// Beyond the aggregate family, a request may carry `"kind"`:
+///
+/// ```json
+/// {"kind": "evolution", "t1": "2004..2007", "t2": "2008",
+///  "attrs": ["gender"]}
+/// {"kind": "explore", "event": "growth",        // stability|growth|shrinkage
+///  "extension": "union",                        // union|intersection
+///  "reference": "new",                          // old|new
+///  "select": "edges",                           // nodes|edges
+///  "attrs": ["gender"], "k": 100}
+/// ```
+///
+/// Evolution responses carry `"kind":"evolution"` and per-row
+/// stability/growth/shrinkage weights; explore responses carry
+/// `"kind":"explore"` and the qualifying interval pairs. Aggregate responses
+/// keep their historical shape unchanged.
 
 namespace graphtempo::engine::wire {
 
@@ -75,8 +93,28 @@ std::string ResultToJson(const TemporalGraph& graph, const QuerySpec& spec,
                          const QueryPlan& plan, const AggregateGraph& result,
                          std::size_t top);
 
-/// Serializes a plan (the `--explain` answer): fingerprint, route, and the
-/// step list as rendered text lines.
+/// Serializes an executed evolution aggregate: per-tuple (nodes) and
+/// per-tuple-pair (edges) stability/growth/shrinkage weights, ordered by
+/// total weight descending then tuple codes ascending.
+std::string EvolutionToJson(const TemporalGraph& graph, const QuerySpec& spec,
+                            const QueryPlan& plan, const EvolutionAggregate& result,
+                            std::size_t top);
+
+/// Serializes an exploration result: qualifying interval pairs (already
+/// ordered by reference time point) plus the evaluation count.
+std::string ExplorationToJson(const TemporalGraph& graph, const QuerySpec& spec,
+                              const QueryPlan& plan, const ExplorationResult& result,
+                              std::size_t top);
+
+/// Kind-dispatching serialization of a `QueryResult` — what the server's
+/// query handler emits. Aggregate results keep the historical byte format.
+std::string QueryResultToJson(const TemporalGraph& graph, const QuerySpec& spec,
+                              const QueryPlan& plan, const QueryResult& result,
+                              std::size_t top);
+
+/// Serializes a plan (the `--explain` answer): fingerprint, route, planner,
+/// both cost estimates, and the step list as rendered text lines. Round-trips
+/// every field `QueryPlan::Explain` renders, cost-routed plans included.
 std::string PlanToJson(const QueryPlan& plan);
 
 }  // namespace graphtempo::engine::wire

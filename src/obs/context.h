@@ -55,7 +55,11 @@ class RequestContext {
   std::atomic<const char*> route{""};             ///< "direct" | "materialized"
   std::atomic<const char*> cache{""};             ///< "hit" | "miss" | "bypass"
   std::atomic<const char*> grouping{""};          ///< "dense" | "hash"
+  std::atomic<const char*> planner{""};           ///< "rule" | "cost"
   std::atomic<bool> stale_fallback{false};
+  std::atomic<bool> batched{false};               ///< served inside a gather batch
+  std::atomic<std::uint64_t> shared_fold_hits{0};    ///< batch fold-cache hits
+  std::atomic<std::uint64_t> shared_fold_misses{0};  ///< batch fold-cache misses
   std::atomic<std::uint64_t> phases_dropped{0};   ///< names past kMaxPhases
 
   /// Folds one finished span into the phase table (called from the trace

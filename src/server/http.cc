@@ -79,7 +79,13 @@ std::optional<HttpRequest> ReadHttpRequest(int fd, std::size_t max_bytes,
     char chunk[4096];
     ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
     if (got == 0) {
-      *error = "connection closed mid-request";
+      if (buffer.empty()) {
+        // Clean EOF before any bytes: a keep-alive client hung up between
+        // requests. Signalled by an *empty* error string.
+        error->clear();
+      } else {
+        *error = "connection closed mid-request";
+      }
       return std::nullopt;
     }
     if (got < 0) {
@@ -180,7 +186,7 @@ bool WriteRaw(int fd, std::string_view data) {
   return true;
 }
 
-bool WriteHttpResponse(int fd, const HttpResponse& response) {
+bool WriteHttpResponse(int fd, const HttpResponse& response, bool keep_alive) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusReason(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
@@ -188,8 +194,11 @@ bool WriteHttpResponse(int fd, const HttpResponse& response) {
   for (const auto& [name, value] : response.headers) {
     head += name + ": " + value + "\r\n";
   }
-  head += "Connection: close\r\n\r\n";
-  return WriteRaw(fd, head) && WriteRaw(fd, response.body);
+  head += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
+  // One send: splitting head/body into two writes triggers Nagle + delayed-ACK
+  // stalls (~40ms) on keep-alive sockets where no close() flushes the tail.
+  head += response.body;
+  return WriteRaw(fd, head);
 }
 
 std::string HttpResponse::Header(std::string_view name) const {
@@ -329,6 +338,133 @@ std::optional<HttpResponse> HttpFetch(
     response.headers.emplace_back(std::move(key), std::move(value));
   }
   response.body = buffer.substr(header_end + 4);
+  return response;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<HttpResponse> HttpClient::Fetch(
+    const std::string& method, const std::string& path, const std::string& body,
+    std::string* error, int timeout_ms,
+    const std::vector<std::pair<std::string, std::string>>& request_headers) {
+  const bool reused = fd_ >= 0;
+  if (!reused) {
+    fd_ = ConnectTcp(host_, port_, error);
+    if (fd_ < 0) return std::nullopt;
+    ++connects_;
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + "\r\n";
+  for (const auto& [name, value] : request_headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: keep-alive\r\n\r\n";
+  request += body;
+  if (!WriteRaw(fd_, request)) {
+    Close();
+    if (reused) {
+      // The server idle-closed the persistent socket between requests;
+      // reconnect once and retry (the retried request was never received).
+      return Fetch(method, path, body, error, timeout_ms, request_headers);
+    }
+    *error = "failed to send request";
+    return std::nullopt;
+  }
+
+  // Keep-alive responses are framed by Content-Length, never by EOF.
+  Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (!WaitReadable(fd_, deadline)) {
+      *error = "timed out waiting for response";
+      Close();
+      return std::nullopt;
+    }
+    char chunk[8192];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      Close();
+      return std::nullopt;
+    }
+    if (got == 0) {
+      Close();
+      if (reused && buffer.empty()) {
+        // Raced the server's idle close: the connection died before any
+        // response byte, so the request was dropped unprocessed. Retry on a
+        // fresh socket.
+        return Fetch(method, path, body, error, timeout_ms, request_headers);
+      }
+      *error = "connection closed mid-response";
+      return std::nullopt;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  std::size_t status_end = buffer.find("\r\n");
+  if (buffer.size() < 12) {
+    *error = "malformed response";
+    Close();
+    return std::nullopt;
+  }
+  HttpResponse response;
+  response.status = std::atoi(buffer.substr(9, status_end - 9).c_str());
+  std::size_t content_length = 0;
+  bool server_close = false;
+  std::size_t line_start = status_end + 2;
+  while (line_start < header_end) {
+    std::size_t line_end = buffer.find("\r\n", line_start);
+    std::string line = buffer.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = Lowercase(line.substr(0, colon));
+    std::size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+    std::string value = line.substr(value_start);
+    if (key == "content-type") response.content_type = value;
+    if (key == "content-length") {
+      content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    }
+    if (key == "connection" && Lowercase(value) == "close") server_close = true;
+    response.headers.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::string body_bytes = buffer.substr(header_end + 4);
+  while (body_bytes.size() < content_length) {
+    if (!WaitReadable(fd_, deadline)) {
+      *error = "timed out reading response body";
+      Close();
+      return std::nullopt;
+    }
+    char chunk[8192];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) {
+      *error = "connection closed mid-response";
+      Close();
+      return std::nullopt;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      Close();
+      return std::nullopt;
+    }
+    body_bytes.append(chunk, static_cast<std::size_t>(got));
+  }
+  body_bytes.resize(content_length);
+  response.body = std::move(body_bytes);
+  if (server_close) Close();
   return response;
 }
 

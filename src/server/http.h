@@ -1,6 +1,7 @@
 #ifndef GRAPHTEMPO_SERVER_HTTP_H_
 #define GRAPHTEMPO_SERVER_HTTP_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -11,10 +12,12 @@
 /// \file
 /// Minimal HTTP/1.1 plumbing over blocking POSIX sockets — just enough for
 /// the query service's wire protocol (docs/SERVER.md): request parsing with a
-/// size cap and deadline, response writing, `Connection: close` semantics
-/// (one request per connection, SSE streams excepted), and a tiny blocking
-/// client used by the load generator and the test suite. No TLS, no chunked
-/// transfer, no keep-alive — a reverse proxy fronts a real deployment.
+/// size cap and deadline, response writing, connection persistence when the
+/// client asks for `Connection: keep-alive` (`Connection: close` otherwise;
+/// SSE streams are their own thing), a one-shot blocking fetch, and a
+/// persistent `HttpClient` the load generator uses to measure the wire tax
+/// of reconnecting per request. No TLS, no chunked transfer — a reverse
+/// proxy fronts a real deployment.
 
 namespace graphtempo::server {
 
@@ -45,12 +48,18 @@ const char* StatusReason(int status);
 
 /// Reads one request from `fd`. Enforces `max_bytes` over header + body and
 /// an overall `timeout_ms` deadline. On failure returns nullopt with a
-/// diagnostic (caller answers 400 or drops the connection).
+/// diagnostic (caller answers 400 or drops the connection) — except a clean
+/// EOF before any bytes arrived, which returns nullopt with `*error` cleared
+/// to "": that is a keep-alive client hanging up between requests, not an
+/// error.
 std::optional<HttpRequest> ReadHttpRequest(int fd, std::size_t max_bytes,
                                            int timeout_ms, std::string* error);
 
-/// Writes a complete response with Content-Length and Connection: close.
-bool WriteHttpResponse(int fd, const HttpResponse& response);
+/// Writes a complete response with Content-Length. `keep_alive` picks the
+/// Connection header: `keep-alive` keeps the socket open for the next
+/// request, `close` (the default, and the historical behaviour) ends it.
+bool WriteHttpResponse(int fd, const HttpResponse& response,
+                       bool keep_alive = false);
 
 /// Writes raw bytes (SSE frames); EPIPE-safe (returns false, no signal).
 bool WriteRaw(int fd, std::string_view data);
@@ -73,6 +82,43 @@ std::optional<HttpResponse> HttpFetch(
     const std::string& path, const std::string& body, std::string* error,
     int timeout_ms = 10000,
     const std::vector<std::pair<std::string, std::string>>& request_headers = {});
+
+/// A blocking client holding one persistent keep-alive connection. Fetch
+/// sends `Connection: keep-alive` and frames responses by Content-Length
+/// (never read-to-EOF), so the socket survives across round trips;
+/// reconnects transparently when the server closed it (counted in
+/// `connects()` — the load generator's `--keep-alive` mode reports the
+/// reconnect tax as connects/requests). Not thread-safe: one client per
+/// load-generator worker.
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port) : host_(std::move(host)), port_(port) {}
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip over the persistent connection. On a send failure over a
+  /// *reused* socket (server idle-closed it) reconnects once and retries; any
+  /// other failure returns nullopt with a diagnostic and drops the socket so
+  /// the next call starts clean.
+  std::optional<HttpResponse> Fetch(
+      const std::string& method, const std::string& path, const std::string& body,
+      std::string* error, int timeout_ms = 10000,
+      const std::vector<std::pair<std::string, std::string>>& request_headers = {});
+
+  /// Drops the connection (next Fetch reconnects).
+  void Close();
+
+  /// TCP connects performed so far (1 = every request shared one socket).
+  std::uint64_t connects() const { return connects_; }
+
+ private:
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  std::uint64_t connects_ = 0;
+};
 
 }  // namespace graphtempo::server
 

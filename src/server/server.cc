@@ -1,9 +1,12 @@
 #include "server/server.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
@@ -114,6 +117,7 @@ Server::Server(TemporalGraph* graph, engine::QueryEngine* engine, ServerConfig c
     : graph_(graph),
       engine_(engine),
       config_(std::move(config)),
+      batcher_(engine, config_.batch_window_us),
       ingest_queue_(config_.ingest_queue_capacity),
       rate_limiter_(config_.rate_limit_qps, config_.rate_limit_burst) {
   if (config_.worker_threads == 0) config_.worker_threads = 1;
@@ -195,6 +199,10 @@ void Server::ListenerLoop() {
       if (errno == EINTR) continue;
       break;  // listen socket closed by Shutdown (or fatal error)
     }
+    // Keep-alive connections serve many request/response turns on one
+    // socket; without TCP_NODELAY the second turn eats a Nagle stall.
+    int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
     {
       std::lock_guard<std::mutex> lock(conn_mutex_);
       conn_queue_.push_back(fd);
@@ -219,52 +227,70 @@ void Server::WorkerLoop() {
 }
 
 void Server::HandleConnection(int fd) {
-  std::string error;
-  std::optional<HttpRequest> request = ReadHttpRequest(
-      fd, config_.max_request_bytes, config_.request_timeout_ms, &error);
-  if (!request.has_value()) {
-    WriteHttpResponse(fd, JsonError(400, error));
-    ::close(fd);
-    return;
-  }
-
-  // Bind a request context for the whole dispatch: spans recorded on this
-  // thread (and on pool lanes working for it) attribute to this query ID, and
-  // the engine fills in route/cache/grouping for the slow-query record.
-  obs::RequestContext context(SanitizeClientRequestId(*request));
-  obs::ScopedRequestContext bind(&context);
-
-  const auto started = std::chrono::steady_clock::now();
-  std::optional<HttpResponse> response;
-  {
-    // Scoped so the span (carrying the numeric request ID) lands in the
-    // flight recorder before the response reaches the client.
-    GT_SPAN("server/request", {{"request", context.query_id}});
-    response = Dispatch(*request, fd);
-  }
-  requests_served_.fetch_add(1);
-  RequestsCounter().Increment();
-
-  if (access_log_ != nullptr) {
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - started);
-    json::Value line = json::Value::Object();
-    line.Set("request_id", json::Value::Number(context.query_id));
-    if (!context.client_request_id.empty()) {
-      line.Set("client_request_id", json::Value::String(context.client_request_id));
+  // Serve requests back-to-back while the client asks for keep-alive; the
+  // historical behaviour (close after one response) remains the default.
+  while (true) {
+    std::string error;
+    std::optional<HttpRequest> request = ReadHttpRequest(
+        fd, config_.max_request_bytes, config_.request_timeout_ms, &error);
+    if (!request.has_value()) {
+      // An empty diagnostic is the clean-EOF sentinel: a keep-alive client
+      // hung up between requests — not an error, nothing to answer.
+      if (!error.empty()) WriteHttpResponse(fd, JsonError(400, error));
+      break;
     }
-    line.Set("method", json::Value::String(request->method));
-    line.Set("path", json::Value::String(request->path));
-    line.Set("status", json::Value::Number(static_cast<std::uint64_t>(
-                           response.has_value() ? response->status : 200)));
-    line.Set("total_us",
-             json::Value::Number(static_cast<std::uint64_t>(elapsed.count())));
-    access_log_->Append(line.Serialize());
-  }
 
-  if (!response.has_value()) return;  // fd adopted by the SSE subscriber set
-  response->headers.emplace_back("X-GT-Request-Id", DisplayRequestId(context));
-  WriteHttpResponse(fd, *response);
+    // Keep the connection only when the client asked for it *and* the server
+    // is not draining — a worker must not sit in a read loop past Shutdown.
+    bool keep_alive = false;
+    if (auto it = request->headers.find("connection"); it != request->headers.end()) {
+      std::string value = it->second;
+      for (char& c : value) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      keep_alive = value == "keep-alive";
+    }
+    if (state_.load() != State::kRunning) keep_alive = false;
+
+    // Bind a request context for the whole dispatch: spans recorded on this
+    // thread (and on pool lanes working for it) attribute to this query ID,
+    // and the engine fills in route/cache/planner for the slow-query record.
+    obs::RequestContext context(SanitizeClientRequestId(*request));
+    obs::ScopedRequestContext bind(&context);
+
+    const auto started = std::chrono::steady_clock::now();
+    std::optional<HttpResponse> response;
+    {
+      // Scoped so the span (carrying the numeric request ID) lands in the
+      // flight recorder before the response reaches the client.
+      GT_SPAN("server/request", {{"request", context.query_id}});
+      response = Dispatch(*request, fd);
+    }
+    requests_served_.fetch_add(1);
+    RequestsCounter().Increment();
+
+    if (access_log_ != nullptr) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started);
+      json::Value line = json::Value::Object();
+      line.Set("request_id", json::Value::Number(context.query_id));
+      if (!context.client_request_id.empty()) {
+        line.Set("client_request_id", json::Value::String(context.client_request_id));
+      }
+      line.Set("method", json::Value::String(request->method));
+      line.Set("path", json::Value::String(request->path));
+      line.Set("status", json::Value::Number(static_cast<std::uint64_t>(
+                             response.has_value() ? response->status : 200)));
+      line.Set("total_us",
+               json::Value::Number(static_cast<std::uint64_t>(elapsed.count())));
+      access_log_->Append(line.Serialize());
+    }
+
+    if (!response.has_value()) return;  // fd adopted by the SSE subscriber set
+    response->headers.emplace_back("X-GT-Request-Id", DisplayRequestId(context));
+    if (!WriteHttpResponse(fd, *response, keep_alive)) break;
+    if (!keep_alive) break;
+  }
   ::close(fd);
 }
 
@@ -370,15 +396,19 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
       response = HttpResponse{200, "application/json", engine::wire::PlanToJson(plan)};
     } else {
       engine::QueryPlan plan = engine_->Plan(*spec);
-      AggregateGraph result = [&] {
+      engine::QueryResult result = [&] {
         GT_SPAN("server/execute");
-        return engine_->Execute(*spec);
+        // The batcher gathers concurrent queries into one engine batch when
+        // configured; a pass-through to ExecuteResult otherwise. Either way
+        // the bound request context receives the engine's attribution.
+        return batcher_.Execute(*spec, obs::CurrentRequestContext());
       }();
       {
         GT_SPAN("server/serialize");
         response = HttpResponse{
             200, "application/json",
-            engine::wire::ResultToJson(*graph_, *spec, plan, result, options.top)};
+            engine::wire::QueryResultToJson(*graph_, *spec, plan, result,
+                                            options.top)};
       }
       executed = true;
       if (config_.slow_query_ms >= 0) spec_text = spec->ToString(*graph_);
@@ -458,6 +488,24 @@ HttpResponse Server::HandleStats() {
   cache_json.Set("evictions", json::Value::Number(cache.evictions));
   cache_json.Set("invalidations", json::Value::Number(cache.invalidations));
   body.Set("cache", std::move(cache_json));
+  // Route-selection policy and the batch gather window, so a client can tell
+  // which planner produced the routes it observes and whether batching is on.
+  body.Set("planner",
+           json::Value::String(engine::PlannerModeName(engine_->planner_mode())));
+  body.Set("batch_window_us", json::Value::Number(
+                                  static_cast<std::int64_t>(config_.batch_window_us)));
+  auto counter = [](const char* name) {
+    return json::Value::Number(obs::Registry::Instance().GetCounter(name).Value());
+  };
+  json::Value batch_json = json::Value::Object();
+  batch_json.Set("windows", counter("server/batch_windows"));
+  batch_json.Set("gathered", counter("server/batch_gathered"));
+  batch_json.Set("executions", counter("engine/batch_exec"));
+  batch_json.Set("queries", counter("engine/batch_queries"));
+  batch_json.Set("merged", counter("engine/batch_merged"));
+  batch_json.Set("fold_hits", counter("engine/batch_fold_hits"));
+  batch_json.Set("fold_misses", counter("engine/batch_fold_misses"));
+  body.Set("batch", std::move(batch_json));
   return HttpResponse{200, "application/json", body.Serialize()};
 }
 
@@ -532,8 +580,17 @@ void Server::RecordSlowQuery(const obs::RequestContext& context,
   record.Set("spec", json::Value::String(spec_text));
   record.Set("route",
              json::Value::String(context.route.load(std::memory_order_relaxed)));
+  record.Set("planner",
+             json::Value::String(context.planner.load(std::memory_order_relaxed)));
   record.Set("stale_fallback", json::Value::Bool(context.stale_fallback.load(
                                    std::memory_order_relaxed)));
+  record.Set("batched",
+             json::Value::Bool(context.batched.load(std::memory_order_relaxed)));
+  record.Set("shared_fold_hits", json::Value::Number(context.shared_fold_hits.load(
+                                     std::memory_order_relaxed)));
+  record.Set("shared_fold_misses",
+             json::Value::Number(
+                 context.shared_fold_misses.load(std::memory_order_relaxed)));
   record.Set("grouping", json::Value::String(
                              context.grouping.load(std::memory_order_relaxed)));
   record.Set("backend", json::Value::String(accel::ActiveBackendName()));

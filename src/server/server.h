@@ -14,6 +14,7 @@
 
 #include "engine/engine.h"
 #include "obs/context.h"
+#include "server/batcher.h"
 #include "server/http.h"
 #include "server/ingest.h"
 #include "server/rate_limiter.h"
@@ -57,8 +58,12 @@
 /// ## Threading model
 ///
 /// One listener accepts connections into a bounded queue; `worker_threads`
-/// workers each handle one request per connection. Queries bind and execute
-/// under the shared side of `graph_mutex_`; the single writer thread drains
+/// workers each own one connection at a time, serving requests back-to-back
+/// while the client asks for `Connection: keep-alive` (closing otherwise —
+/// the historical one-request-per-connection behaviour). Queries bind and
+/// execute under the shared side of `graph_mutex_`; with a nonzero
+/// `batch_window_us`, concurrent queries gather into one engine batch
+/// (server/batcher.h) before executing. The single writer thread drains
 /// the ingestion queue and applies whole batches under the exclusive side
 /// (plus the engine's own `AcquireWriterLock`), then calls
 /// `engine->Refresh()` — so append-only ingestion invalidates no
@@ -92,6 +97,12 @@ struct ServerConfig {
   /// Records always land in the in-memory ring served by `GET /debug/slow`;
   /// `slow_log_path` additionally appends them to a rotating file.
   std::int64_t slow_query_ms = -1;
+
+  /// Batch gather window in microseconds (server/batcher.h): concurrent
+  /// /query executions arriving within the window run as one engine batch —
+  /// duplicates answered once, presence folds shared. 0 (default) disables
+  /// gathering; every query executes alone, exactly the historical path.
+  std::int64_t batch_window_us = 0;
   std::string slow_log_path;         ///< "" = ring only
   std::string access_log_path;       ///< "" = no access log
 };
@@ -170,6 +181,10 @@ class Server {
   TemporalGraph* graph_;
   engine::QueryEngine* engine_;
   ServerConfig config_;
+
+  /// Gathers concurrent queries into engine batches when
+  /// `config_.batch_window_us` > 0; a transparent pass-through otherwise.
+  QueryBatcher batcher_;
 
   /// Atomic: Shutdown() swaps it to -1 while ListenerLoop reads it.
   std::atomic<int> listen_fd_{-1};

@@ -285,6 +285,56 @@ TEST_F(CliTest, AggregateExplainShowsMaterializedRoute) {
   EXPECT_NE(run.out.find("combine"), std::string::npos) << run.out;
 }
 
+TEST_F(CliTest, PlannerGarbageIsHardErrorOnEveryCommand) {
+  // Global prescan: the bad value fails fast even on commands that would
+  // otherwise ignore engine flags.
+  CliRun run = RunCliCapture({"--planner", "bogus", "aggregate", path_, "--attrs",
+                              "gender", "--t1", "t0"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--planner"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("bogus"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("rule"), std::string::npos) << run.err;  // names the accepted spellings
+
+  CliRun info = RunCliCapture({"info", path_, "--planner", "cheapest"});
+  EXPECT_EQ(info.exit_code, 1);
+  EXPECT_NE(info.err.find("--planner"), std::string::npos) << info.err;
+}
+
+TEST_F(CliTest, PlannerRuleRestoresHistoricalRouting) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op", "union",
+                              "--t1", "t0..t2", "--semantics", "all", "--materialize",
+                              "yes", "--planner", "rule", "--explain", "yes"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("planner=rule"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("route=materialized"), std::string::npos) << run.out;
+}
+
+TEST_F(CliTest, ExplainRendersBothCostEstimates) {
+  CliRun run = RunCliCapture({"aggregate", path_, "--attrs", "gender", "--op", "union",
+                              "--t1", "t0..t2", "--semantics", "all", "--materialize",
+                              "yes", "--explain", "yes"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("planner="), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("estimate direct="), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("materialized="), std::string::npos) << run.out;
+}
+
+TEST_F(CliTest, ServeBatchWindowGarbageIsHardError) {
+  CliRun run = RunCliCapture({"serve", path_, "--batch-window-us", "soon"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--batch-window-us"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("soon"), std::string::npos) << run.err;
+}
+
+TEST(CliLoadgenTest, KeepAliveGarbageIsHardError) {
+  // Fails on flag validation, before any connection attempt.
+  CliRun run = RunCliCapture({"loadgen", "--port", "19", "--keep-alive", "maybe"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--keep-alive must be yes or no"), std::string::npos)
+      << run.err;
+  EXPECT_NE(run.err.find("maybe"), std::string::npos) << run.err;
+}
+
 TEST_F(CliTest, AggregateMaterializedMatchesDirect) {
   // Same tie-free configuration as above so both routes' weight-sorted
   // outputs are directly comparable.

@@ -4,13 +4,16 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "accel/backend.h"
 #include "engine/wire.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/http.h"
 #include "test_graphs.h"
@@ -461,6 +464,88 @@ TEST_F(ServerTest, SlowLogFileReceivesRecordsOnShutdown) {
   EXPECT_NE(record->Find("fingerprint"), nullptr);
   EXPECT_NE(record->Find("phases"), nullptr);
   std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, KeepAliveServesManyRequestsOverOneConnection) {
+  StartServer();
+  HttpClient client("127.0.0.1", server_->port());
+  std::string error;
+  const std::string request = R"({"t1":"t0","attrs":["gender"]})";
+
+  // The reference bytes over a one-shot (Connection: close) connection.
+  const HttpResponse reference = Fetch("POST", "/query", request);
+  ASSERT_EQ(reference.status, 200);
+
+  for (int i = 0; i < 5; ++i) {
+    std::optional<HttpResponse> response =
+        client.Fetch("POST", "/query", request, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, reference.body);  // identical bytes either way
+    std::optional<HttpResponse> health = client.Fetch("GET", "/healthz", "", &error);
+    ASSERT_TRUE(health.has_value()) << error;
+    EXPECT_EQ(health->status, 200);
+  }
+  EXPECT_EQ(client.connects(), 1u);  // ten round trips, one TCP connect
+
+  // Close() really drops the socket; the next round trip reconnects.
+  client.Close();
+  std::optional<HttpResponse> again = client.Fetch("GET", "/healthz", "", &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(client.connects(), 2u);
+}
+
+TEST_F(ServerTest, BatchWindowKeepsAnswersByteIdentical) {
+  ServerConfig config;
+  config.batch_window_us = 2000;
+  config.worker_threads = 4;
+  StartServer(config);
+
+  // Ground truth from a direct engine call through the same wire layer.
+  TemporalGraph reference_graph = graphtempo::testing::BuildPaperGraph();
+  engine::QueryEngine reference_engine(&reference_graph);
+  const std::string request =
+      R"({"op":"union","t1":"t0","t2":"t1","attrs":["gender","publications"]})";
+  std::string error;
+  std::optional<json::Value> parsed = json::Parse(request, &error);
+  ASSERT_TRUE(parsed.has_value());
+  engine::wire::RequestOptions options;
+  std::optional<engine::QuerySpec> spec =
+      engine::wire::BindQuerySpec(reference_graph, *parsed, &options, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const std::string direct = engine::wire::ResultToJson(
+      reference_graph, *spec, reference_engine.Plan(*spec),
+      reference_engine.Execute(*spec), options.top);
+
+  // Concurrent identical queries land in shared gather windows; every served
+  // body must still be byte-identical to the direct answer.
+  const obs::MetricsSnapshot before = obs::Registry::Instance().Snapshot();
+  constexpr int kClients = 8;
+  constexpr int kRounds = 10;
+  std::atomic<int> divergences{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      HttpClient client("127.0.0.1", server_->port());
+      for (int i = 0; i < kRounds; ++i) {
+        std::string fetch_error;
+        std::optional<HttpResponse> response =
+            client.Fetch("POST", "/query", request, &fetch_error);
+        if (!response.has_value() || response->status != 200 ||
+            response->body != direct) {
+          divergences.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const obs::MetricsSnapshot after = obs::Registry::Instance().Snapshot();
+
+  EXPECT_EQ(divergences.load(), 0);
+  EXPECT_GT(after.CounterValue("server/batch_windows") -
+                before.CounterValue("server/batch_windows"),
+            0u);
 }
 
 }  // namespace

@@ -182,6 +182,112 @@ TEST_F(WireTest, TopCapsRowsButNotCounts) {
             result.NodeCount());  // counts report full sizes
 }
 
+TEST_F(WireTest, PlanToJsonRoundTripsCostRoutedPlans) {
+  std::string error;
+  std::optional<QuerySpec> spec = BindQuerySpec(
+      graph_, Request(R"({"op":"union","t1":"t0..t1","attrs":["gender"],
+                          "semantics":"all"})"),
+      nullptr, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+
+  QueryEngine::Config config;
+  config.planner = PlannerMode::kCost;
+  QueryEngine engine(&graph_, config);
+  engine.EnableMaterialization(ResolveAttributes(graph_, {"gender", "publications"}));
+
+  std::optional<json::Value> parsed =
+      json::Parse(PlanToJson(engine.Plan(*spec)), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("planner")->AsString(), "cost");
+  ASSERT_TRUE(parsed->Find("cost_direct_us")->is_number());
+  EXPECT_GT(parsed->Find("cost_direct_us")->AsDouble(), 0.0);
+  // Derivable spec with a fresh store: the materialized estimate is real.
+  ASSERT_TRUE(parsed->Find("cost_materialized_us")->is_number());
+  EXPECT_GT(parsed->Find("cost_materialized_us")->AsDouble(), 0.0);
+  EXPECT_NE(parsed->Find("explain")->AsString().find("planner=cost"),
+            std::string::npos);
+
+  // Without a store the materialized route is unavailable: null on the wire.
+  QueryEngine bare(&graph_, config);
+  std::optional<json::Value> unpriced =
+      json::Parse(PlanToJson(bare.Plan(*spec)), &error);
+  ASSERT_TRUE(unpriced.has_value()) << error;
+  EXPECT_TRUE(unpriced->Find("cost_materialized_us")->is_null());
+  EXPECT_EQ(unpriced->Find("route")->AsString(), "direct");
+}
+
+TEST_F(WireTest, BindsEvolutionKind) {
+  std::string error;
+  RequestOptions options;
+  std::optional<QuerySpec> spec = BindQuerySpec(
+      graph_,
+      Request(R"({"kind":"evolution","t1":"t0..t1","t2":"t2","attrs":["gender"]})"),
+      &options, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->kind, QueryKind::kEvolution);
+  EXPECT_EQ(spec->t1.First(), TimeId{0});
+  EXPECT_EQ(spec->t2.First(), TimeId{2});
+
+  QueryEngine engine(&graph_);
+  const QueryResult result = engine.ExecuteResult(*spec);
+  std::optional<json::Value> parsed = json::Parse(
+      QueryResultToJson(graph_, *spec, engine.Plan(*spec), result, 0), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("kind")->AsString(), "evolution");
+  EXPECT_GE(parsed->Find("nodes")->AsArray().size(), 1u);
+
+  // Evolution requires both intervals explicitly — no t2-defaults-to-t1.
+  EXPECT_FALSE(BindQuerySpec(graph_,
+                             Request(R"({"kind":"evolution","t1":"t0",
+                                         "attrs":["gender"]})"),
+                             nullptr, &error)
+                   .has_value());
+  EXPECT_NE(error.find("'t2' is required"), std::string::npos);
+}
+
+TEST_F(WireTest, BindsExploreKind) {
+  std::string error;
+  RequestOptions options;
+  std::optional<QuerySpec> spec = BindQuerySpec(
+      graph_,
+      Request(R"({"kind":"explore","event":"growth","select":"edges","k":1})"),
+      &options, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->kind, QueryKind::kExplore);
+  EXPECT_EQ(spec->explore.event, EventType::kGrowth);
+  // The sweep reads every time point: t1 is bound to the full domain.
+  EXPECT_EQ(spec->t1, IntervalSet::All(graph_.num_times()));
+
+  QueryEngine engine(&graph_);
+  const QueryResult result = engine.ExecuteResult(*spec);
+  std::optional<json::Value> parsed = json::Parse(
+      QueryResultToJson(graph_, *spec, engine.Plan(*spec), result, 0), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("kind")->AsString(), "explore");
+  EXPECT_TRUE(parsed->Find("pairs")->is_array());
+
+  EXPECT_FALSE(BindQuerySpec(graph_, Request(R"({"kind":"wander","t1":"t0"})"),
+                             nullptr, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown kind 'wander'"), std::string::npos);
+}
+
+TEST_F(WireTest, AggregateResponsesKeepHistoricalShape) {
+  // The aggregate wire format predates query kinds; adding a "kind" field to
+  // it would break byte-compatibility with recorded responses.
+  std::string error;
+  std::optional<QuerySpec> spec = BindQuerySpec(
+      graph_, Request(R"({"t1":"t0","attrs":["gender"]})"), nullptr, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  QueryEngine engine(&graph_);
+  std::optional<json::Value> parsed = json::Parse(
+      ResultToJson(graph_, *spec, engine.Plan(*spec), engine.Execute(*spec), 0),
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("kind"), nullptr);
+  EXPECT_NE(parsed->Find("route"), nullptr);
+}
+
 TEST_F(WireTest, PlanToJsonCarriesRouteAndSteps) {
   std::string error;
   std::optional<QuerySpec> spec = BindQuerySpec(

@@ -78,6 +78,9 @@ commands:
   serve <graph.tsv> [--port N] [--workers N] [--max-inflight N]
           [--rate-limit QPS] [--rate-burst N] [--attrs a,b [--materialize]]
           [--ingest-log path] [--duration-seconds N] [--top N]
+          [--batch-window-us N]            gather concurrent queries for N µs
+                                           and execute them as one engine
+                                           batch (0 = off, the default)
           [--slow-query-ms N [--slow-log path]] [--access-log path]
           [--flight-dump path]             run the HTTP query service (docs/SERVER.md).
                                            --slow-query-ms N logs every query
@@ -86,9 +89,15 @@ commands:
                                            the flight recorder to
                                            --flight-dump (default flight.json)
   loadgen --port N [--host IP] [--clients N] [--requests N] [--attrs a,b]
-          [--ingest [yes|no]] [--json path]   closed-loop load generator:
+          [--keep-alive [yes|no]] [--ingest [yes|no]] [--json path]
+                                           closed-loop load generator:
                                            zipfian query mix, optional live
-                                           ingestion, qps + p50/p99 report
+                                           ingestion, qps + p50/p99 report.
+                                           --keep-alive reuses one connection
+                                           per client and reports the wire
+                                           tax of reconnecting; responses are
+                                           verified against a serial
+                                           reference (mismatches in the JSON)
   flightrec --port N [--host IP] [--ms N] [--out path]
                                            drain a running server's always-on
                                            flight recorder (GET /debug/trace)
@@ -110,6 +119,12 @@ global options (any command):
                   GT_BACKEND environment variable). Hard error when the
                   backend is not compiled in or the CPU lacks the ISA;
                   results are bit-identical on every backend
+  --planner <rule|cost>  route selection for derivable queries
+                  (docs/ENGINE.md §Cost model): cost (the default here and in
+                  serve) prices the direct and materialized routes and takes
+                  the cheaper; rule restores the historical fixed
+                  derivable ⇒ materialized rule. Results are identical either
+                  way — only the route (and its latency) changes
 
 time points are labels ("2005") or indices ("5"); ranges are "2001..2004".
 
@@ -138,6 +153,7 @@ constexpr std::pair<const char*, const char*> kValueOptionalFlags[] = {
     {"trace", "trace.json"},
     {"explain", "yes"},
     {"materialize", "yes"},
+    {"keep-alive", "yes"},
 };
 
 const char* BareFlagDefault(const std::string& name) {
@@ -453,6 +469,24 @@ std::optional<GraphView> BuildView(const TemporalGraph& graph, const Options& op
   return engine::BuildOperatorView(graph, *spec);
 }
 
+/// Engine configuration shared by every command that constructs a
+/// `QueryEngine`. The CLI (like the server) defaults to the cost-based
+/// planner; `--planner rule` restores the historical fixed rule. Garbage
+/// values are hard errors, consistent with the rest of the flag policy.
+std::optional<engine::QueryEngine::Config> BuildEngineConfig(const Options& options,
+                                                             std::ostream& err) {
+  engine::QueryEngine::Config config;
+  config.planner = engine::PlannerMode::kCost;
+  if (std::optional<std::string> raw = options.Get("planner")) {
+    std::string error;
+    if (!engine::ParsePlannerMode(*raw, &config.planner, &error)) {
+      err << "error: --planner " << error << "\n";
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
 /// Shared `--explain [yes|no]` handling: returns false on a bad value,
 /// otherwise stores whether the command should print its plan and stop.
 bool ParseExplainFlag(const Options& options, bool* explain, std::ostream& err) {
@@ -555,7 +589,10 @@ int CmdAggregate(const Options& options, std::ostream& out, std::ostream& err) {
   bool explain = false;
   if (!ParseExplainFlag(options, &explain, err)) return 1;
 
-  engine::QueryEngine engine(&*graph);
+  std::optional<engine::QueryEngine::Config> engine_config =
+      BuildEngineConfig(options, err);
+  if (!engine_config.has_value()) return 1;
+  engine::QueryEngine engine(&*graph, *engine_config);
   if (materialize_raw == "yes") engine.EnableMaterialization(*attrs);
 
   if (explain) {
@@ -625,31 +662,25 @@ int CmdEvolution(const Options& options, std::ostream& out, std::ostream& err) {
 
   bool explain = false;
   if (!ParseExplainFlag(options, &explain, err)) return 1;
+
+  // Evolution runs through the engine like every other query family: one
+  // kEvolution spec, planned and executed (and result-cached) uniformly.
+  std::optional<engine::QueryEngine::Config> engine_config =
+      BuildEngineConfig(options, err);
+  if (!engine_config.has_value()) return 1;
+  engine::QueryEngine engine(&*graph, *engine_config);
+  engine::QuerySpec spec;
+  spec.kind = engine::QueryKind::kEvolution;
+  spec.t1 = *old_side;
+  spec.t2 = *new_side;
+  spec.attrs = *attrs;
+
   if (explain) {
-    // The evolution graph classifies per-entity transitions, but its three
-    // weight components are exactly the Section 3.1 operator queries below;
-    // explain the plan of each (docs/ENGINE.md).
-    engine::QueryEngine engine(&*graph);
-    auto component = [&](engine::TemporalOperatorKind op, const IntervalSet& t1,
-                         const IntervalSet& t2) {
-      engine::QuerySpec spec;
-      spec.op = op;
-      spec.t1 = t1;
-      spec.t2 = t2;
-      spec.attrs = *attrs;
-      return engine.Plan(spec).Explain();
-    };
-    out << "stability (intersection old, new):\n"
-        << component(engine::TemporalOperatorKind::kIntersection, *old_side, *new_side);
-    out << "growth (difference new - old):\n"
-        << component(engine::TemporalOperatorKind::kDifference, *new_side, *old_side);
-    out << "shrinkage (difference old - new):\n"
-        << component(engine::TemporalOperatorKind::kDifference, *old_side, *new_side);
+    out << engine.Plan(spec).Explain();
     return 0;
   }
 
-  EvolutionAggregate evolution =
-      AggregateEvolution(*graph, *old_side, *new_side, *attrs);
+  EvolutionAggregate evolution = engine.ExecuteResult(spec).evolution;
   out << "evolution " << IntervalLabel(*graph, *old_side) << " -> "
       << IntervalLabel(*graph, *new_side) << "\n";
 
@@ -789,7 +820,10 @@ int CmdMeasure(const Options& options, std::ostream& out, std::ostream& err) {
   if (explain) {
     // Measures aggregate something other than COUNT over the same operator
     // view; the plan shown is the view/grouping half the engine would run.
-    engine::QueryEngine engine(&*graph);
+    std::optional<engine::QueryEngine::Config> engine_config =
+        BuildEngineConfig(options, err);
+    if (!engine_config.has_value()) return 1;
+    engine::QueryEngine engine(&*graph, *engine_config);
     out << engine.Plan(*spec).Explain();
     return 0;
   }
@@ -983,7 +1017,20 @@ int CmdExplore(const Options& options, std::ostream& out, std::ostream& err) {
   std::string strategy = options.Get("strategy").value_or("pruned");
   ExplorationResult result;
   if (strategy == "pruned") {
-    result = Explore(*graph, spec);
+    // The default strategy runs through the engine as a kExplore spec, so
+    // CLI explorations share the planner, spans and result cache with the
+    // server's wire-served ones. The alternative strategies stay direct
+    // calls — they exist to cross-check the pruned sweep.
+    std::optional<engine::QueryEngine::Config> engine_config =
+        BuildEngineConfig(options, err);
+    if (!engine_config.has_value()) return 1;
+    engine::QueryEngine engine(&*graph, *engine_config);
+    engine::QuerySpec query;
+    query.kind = engine::QueryKind::kExplore;
+    query.explore = spec;
+    query.t1 = IntervalSet::All(graph->num_times());
+    query.attrs = spec.selector.attrs;
+    result = engine.ExecuteResult(query).exploration;
   } else if (strategy == "naive") {
     result = ExploreNaive(*graph, spec);
   } else if (strategy == "both-ends") {
@@ -1116,7 +1163,22 @@ int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
   const std::string flight_dump_path =
       options.Get("flight-dump").value_or("flight.json");
 
-  engine::QueryEngine engine(&*graph);
+  // Batch gather window: 0 (default) keeps the one-query-one-execution path.
+  if (std::optional<std::string> raw = options.Get("batch-window-us")) {
+    std::uint64_t window_us = 0;
+    if (!ParseUint64(*raw, &window_us)) {
+      err << "error: --batch-window-us must be a non-negative integer number of "
+             "microseconds (0 disables batching), got '"
+          << *raw << "'\n";
+      return 1;
+    }
+    config.batch_window_us = static_cast<std::int64_t>(window_us);
+  }
+
+  std::optional<engine::QueryEngine::Config> engine_config =
+      BuildEngineConfig(options, err);
+  if (!engine_config.has_value()) return 1;
+  engine::QueryEngine engine(&*graph, *engine_config);
   const std::string materialize_raw = options.Get("materialize").value_or("no");
   if (materialize_raw != "yes" && materialize_raw != "no") {
     err << "error: --materialize must be yes or no (bare --materialize means yes), got '"
@@ -1254,6 +1316,13 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
     return 1;
   }
   const bool ingest = ingest_raw == "yes";
+  const std::string keep_alive_raw = options.Get("keep-alive").value_or("no");
+  if (keep_alive_raw != "yes" && keep_alive_raw != "no") {
+    err << "error: --keep-alive must be yes or no (bare --keep-alive means yes), got '"
+        << keep_alive_raw << "'\n";
+    return 1;
+  }
+  const bool keep_alive = keep_alive_raw == "yes";
 
   // Discover the served graph's shape so the spec mix stays in-domain.
   std::string error;
@@ -1327,10 +1396,28 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
     return body.Serialize();
   };
 
+  // Serial reference answers, one per template: with a static graph (no
+  // ingestion) every concurrent/batched answer must be byte-identical to
+  // these — `mismatches` in the report counts violations, and the CI batch
+  // gate asserts it stays zero.
+  std::vector<std::string> reference(mix.size());
+  if (!ingest) {
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      std::string ref_error;
+      std::optional<server::HttpResponse> ref =
+          server::HttpFetch(host, static_cast<int>(port), "POST", "/query",
+                            request_body(mix[i]), &ref_error);
+      if (ref.has_value() && ref->status == 200) reference[i] = ref->body;
+    }
+  }
+
   // Closed loop: each client thread fires its share of requests back to
   // back; the optional feeder appends one time point per batch while queries
-  // are in flight, exercising the reader/writer protocol end to end.
+  // are in flight, exercising the reader/writer protocol end to end. With
+  // --keep-alive each client holds one persistent connection (the server
+  // honours Connection: keep-alive); otherwise every request reconnects.
   std::atomic<std::uint64_t> sent{0}, ok{0}, rejected{0}, failed{0};
+  std::atomic<std::uint64_t> mismatches{0}, connects{0};
   auto started = std::chrono::steady_clock::now();
   std::vector<std::thread> pool;
   pool.reserve(clients);
@@ -1338,26 +1425,35 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
     std::uint64_t share = requests / clients + (c < requests % clients ? 1 : 0);
     pool.emplace_back([&, c, share] {
       std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (c + 1);
+      server::HttpClient client(host, static_cast<int>(port));
       for (std::uint64_t i = 0; i < share; ++i) {
         double pick = static_cast<double>(NextRandom(&rng) >> 11) /
                       static_cast<double>(1ULL << 53) * total_weight;
         std::size_t choice = 0;
         while (choice + 1 < cumulative.size() && cumulative[choice] < pick) ++choice;
+        const std::string body = request_body(mix[choice]);
         std::string fetch_error;
         std::optional<server::HttpResponse> response =
-            server::HttpFetch(host, static_cast<int>(port), "POST", "/query",
-                              request_body(mix[choice]), &fetch_error);
+            keep_alive ? client.Fetch("POST", "/query", body, &fetch_error)
+                       : server::HttpFetch(host, static_cast<int>(port), "POST",
+                                           "/query", body, &fetch_error);
+        if (!keep_alive) connects.fetch_add(1);
         sent.fetch_add(1);
         if (!response.has_value()) {
           failed.fetch_add(1);
         } else if (response->status == 200) {
           ok.fetch_add(1);
+          if (!ingest && !reference[choice].empty() &&
+              response->body != reference[choice]) {
+            mismatches.fetch_add(1);
+          }
         } else if (response->status == 429 || response->status == 503) {
           rejected.fetch_add(1);
         } else {
           failed.fetch_add(1);
         }
       }
+      if (keep_alive) connects.fetch_add(client.connects());
     });
   }
   std::thread feeder;
@@ -1385,6 +1481,53 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
   double elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
+
+  // Fold-sharing burst: pairs of *distinct* cold specs whose operator views
+  // fold the presence index over the same interval — `union 0..k` reduces
+  // UnionFold(0..k), and `intersection 0..k ∩ 0` computes the same fold for
+  // its left side. Fired simultaneously so a server gathering
+  // (--batch-window-us > 0) lands each pair in one engine batch, where the
+  // second spec reuses the first's fold (engine/batch_fold_hits — the
+  // counter the CI batch gate asserts on). The result cache makes every
+  // distinct spec miss at most once, so only fresh pairs like these can
+  // demonstrate intra-batch fold sharing; with gathering off the burst is a
+  // handful of harmless extra queries. k stops short of the full domain:
+  // `union 0..last` is the mix's head template and already cached.
+  if (num_times >= 3) {
+    std::uint64_t burst_pairs = std::min<std::uint64_t>(8, num_times - 2);
+    for (std::uint64_t k = 1; k <= burst_pairs; ++k) {
+      auto burst_body = [&](const char* op, const std::string& t1,
+                            const std::string& t2) {
+        json::Value body = json::Value::Object();
+        body.Set("op", json::Value::String(op));
+        body.Set("t1", json::Value::String(t1));
+        if (!t2.empty()) body.Set("t2", json::Value::String(t2));
+        json::Value attr_list = json::Value::Array();
+        for (const std::string& name : attrs) {
+          attr_list.Append(json::Value::String(name));
+        }
+        body.Set("attrs", std::move(attr_list));
+        body.Set("top", json::Value::Number(static_cast<std::uint64_t>(8)));
+        return body.Serialize();
+      };
+      const std::string body_a = burst_body("union", "0.." + std::to_string(k), "");
+      const std::string body_b =
+          burst_body("intersection", "0.." + std::to_string(k), "0");
+      std::atomic<int> armed{0};
+      auto fire = [&](const std::string& body) {
+        armed.fetch_add(1);
+        while (armed.load() < 2) {
+        }  // release both sends together so they share a gather window
+        std::string burst_error;
+        server::HttpFetch(host, static_cast<int>(port), "POST", "/query", body,
+                          &burst_error);
+      };
+      std::thread left([&] { fire(body_a); });
+      std::thread right([&] { fire(body_b); });
+      left.join();
+      right.join();
+    }
+  }
 
   // Latency and engine counters come from the server's own obs registry —
   // the histograms the /metrics endpoint snapshots.
@@ -1444,7 +1587,40 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
     }
   }
 
-  char line[768];
+  // Wire-tax probe: the same request over fresh connections vs one reused
+  // connection. The mean latency delta is the per-request cost of the
+  // connect/teardown handshake that --keep-alive removes.
+  double wire_tax_us = 0;
+  {
+    constexpr int kProbes = 16;
+    const std::string probe_body = request_body(mix[0]);
+    auto mean_us = [&](auto&& fetch_once) -> double {
+      double total_us = 0;
+      int measured = 0;
+      for (int i = 0; i < kProbes; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        std::optional<server::HttpResponse> probe = fetch_once();
+        auto t1 = std::chrono::steady_clock::now();
+        if (!probe.has_value() || probe->status != 200) continue;
+        total_us +=
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+        ++measured;
+      }
+      return measured > 0 ? total_us / measured : 0;
+    };
+    std::string probe_error;
+    double fresh_us = mean_us([&] {
+      return server::HttpFetch(host, static_cast<int>(port), "POST", "/query",
+                               probe_body, &probe_error);
+    });
+    server::HttpClient reused(host, static_cast<int>(port));
+    double reused_us = mean_us([&] {
+      return reused.Fetch("POST", "/query", probe_body, &probe_error);
+    });
+    if (fresh_us > 0 && reused_us > 0) wire_tax_us = fresh_us - reused_us;
+  }
+
+  char line[1280];
   std::snprintf(
       line, sizeof(line),
       "{\"bench\":\"server_loadgen\",\"clients\":%zu,\"requests\":%llu,"
@@ -1452,7 +1628,10 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
       "\"qps\":%.1f,\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,\"stale_fallbacks\":%llu,"
       "\"cache_invalidations\":%llu,\"ingest_records\":%llu,"
-      "\"slow_queries\":%llu,\"p99_route\":\"%s\"}",
+      "\"slow_queries\":%llu,\"p99_route\":\"%s\","
+      "\"keep_alive\":%s,\"connects\":%llu,\"wire_tax_us\":%.1f,"
+      "\"mismatches\":%llu,\"batch_windows\":%llu,\"batch_merged\":%llu,"
+      "\"batch_fold_hits\":%llu,\"batch_fold_misses\":%llu}",
       clients, static_cast<unsigned long long>(sent.load()),
       static_cast<unsigned long long>(ok.load()),
       static_cast<unsigned long long>(rejected.load()),
@@ -1463,7 +1642,13 @@ int CmdLoadgen(const Options& options, std::ostream& out, std::ostream& err) {
       static_cast<unsigned long long>(counter("engine/cache_invalidate")),
       static_cast<unsigned long long>(counter("server/ingest_records")),
       static_cast<unsigned long long>(counter("server/slow_queries")),
-      p99_route.c_str());
+      p99_route.c_str(), keep_alive ? "true" : "false",
+      static_cast<unsigned long long>(connects.load()), wire_tax_us,
+      static_cast<unsigned long long>(mismatches.load()),
+      static_cast<unsigned long long>(counter("server/batch_windows")),
+      static_cast<unsigned long long>(counter("engine/batch_merged")),
+      static_cast<unsigned long long>(counter("engine/batch_fold_hits")),
+      static_cast<unsigned long long>(counter("engine/batch_fold_misses")));
   out << line << "\n";
   if (std::optional<std::string> json_path = options.Get("json")) {
     std::ofstream file(*json_path);
@@ -1533,7 +1718,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   std::size_t command_index = 0;
   while (command_index < args.size() &&
          (args[command_index] == "--threads" || args[command_index] == "--perf" ||
-          args[command_index] == "--trace" || args[command_index] == "--backend")) {
+          args[command_index] == "--trace" || args[command_index] == "--backend" ||
+          args[command_index] == "--planner")) {
     std::string name = args[command_index].substr(2);
     if (options.flags.count(name) != 0) {
       err << "error: flag --" << name << " given more than once\n";
@@ -1580,6 +1766,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
     std::string error;
     if (!accel::SetActiveBackend(*backend_raw, &error)) {
       err << "error: --backend " << error << "\n";
+      return 1;
+    }
+  }
+  // --planner is consumed per-command (BuildEngineConfig), but garbage values
+  // are rejected up front so `--planner bogus` fails on every command, not
+  // only the engine-constructing ones.
+  if (std::optional<std::string> planner_raw = options.Get("planner")) {
+    engine::PlannerMode mode;
+    std::string error;
+    if (!engine::ParsePlannerMode(*planner_raw, &mode, &error)) {
+      err << "error: --planner " << error << "\n";
       return 1;
     }
   }
