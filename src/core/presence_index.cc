@@ -5,6 +5,7 @@
 
 #include "accel/backend.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -71,8 +72,13 @@ PresenceIndex::PresenceIndex(std::size_t num_times)
 PresenceIndex::PresenceIndex(PresenceIndex&& other) noexcept
     : entities_(other.entities_),
       columns_(std::move(other.columns_)),
+      compressed_(std::move(other.compressed_)),
+      decoded_(std::move(other.decoded_)),
+      compressed_remaining_(
+          other.compressed_remaining_.load(std::memory_order_relaxed)),
       generation_(other.generation_.load(std::memory_order_relaxed)),
       mutex_(std::move(other.mutex_)) {
+  other.compressed_remaining_.store(0, std::memory_order_relaxed);
   or_table_.levels_ = std::move(other.or_table_.levels_);
   or_table_.built_generation.store(
       other.or_table_.built_generation.load(std::memory_order_relaxed),
@@ -91,6 +97,12 @@ PresenceIndex& PresenceIndex::operator=(PresenceIndex&& other) noexcept {
   if (this == &other) return *this;
   entities_ = other.entities_;
   columns_ = std::move(other.columns_);
+  compressed_ = std::move(other.compressed_);
+  decoded_ = std::move(other.decoded_);
+  compressed_remaining_.store(
+      other.compressed_remaining_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.compressed_remaining_.store(0, std::memory_order_relaxed);
   generation_.store(other.generation_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   or_table_.levels_ = std::move(other.or_table_.levels_);
@@ -110,11 +122,13 @@ PresenceIndex& PresenceIndex::operator=(PresenceIndex&& other) noexcept {
 }
 
 void PresenceIndex::AddTimePoints(std::size_t count) {
+  EnsureDecodedAll();
   for (std::size_t i = 0; i < count; ++i) columns_.emplace_back(entities_);
   Invalidate();
 }
 
 void PresenceIndex::AddEntities(std::size_t count) {
+  EnsureDecodedAll();
   entities_ += count;
   for (DynamicBitset& column : columns_) column.Resize(entities_);
   // New entities are absent everywhere; existing folds stay correct for the
@@ -125,12 +139,53 @@ void PresenceIndex::AddEntities(std::size_t count) {
 void PresenceIndex::Set(std::size_t entity, std::size_t t) {
   GT_CHECK_LT(t, columns_.size()) << "time out of range";
   GT_CHECK_LT(entity, entities_) << "entity out of range";
+  EnsureDecoded(t);
   columns_[t].Set(entity);
   Invalidate();
 }
 
+void PresenceIndex::RestoreCompressed(
+    std::size_t entities, std::vector<storage::CompressedBitset> columns) {
+  for (const storage::CompressedBitset& column : columns) {
+    GT_CHECK_EQ(column.size_bits(), entities) << "compressed column size mismatch";
+  }
+  entities_ = entities;
+  columns_.assign(columns.size(), DynamicBitset());  // placeholders until decode
+  compressed_ = std::move(columns);
+  decoded_.reset(compressed_.empty()
+                     ? nullptr
+                     : new std::atomic<std::uint8_t>[compressed_.size()]());
+  compressed_remaining_.store(compressed_.size(), std::memory_order_release);
+  Invalidate();
+}
+
+void PresenceIndex::DecodeColumnLocked(std::size_t t) const {
+  if (decoded_[t].load(std::memory_order_relaxed) != 0) return;
+  static obs::Counter& decodes =
+      obs::Registry::Instance().GetCounter("storage/bitset_decode");
+  columns_[t] = compressed_[t].Decompress();
+  compressed_[t] = storage::CompressedBitset();  // free the encoded words
+  decodes.Increment();
+  decoded_[t].store(1, std::memory_order_release);
+  compressed_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void PresenceIndex::EnsureDecoded(std::size_t t) const {
+  if (compressed_remaining_.load(std::memory_order_acquire) == 0) return;
+  if (decoded_[t].load(std::memory_order_acquire) != 0) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  DecodeColumnLocked(t);
+}
+
+void PresenceIndex::EnsureDecodedAll() const {
+  if (compressed_remaining_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  for (std::size_t t = 0; t < columns_.size(); ++t) DecodeColumnLocked(t);
+}
+
 const DynamicBitset& PresenceIndex::Column(std::size_t t) const {
   GT_CHECK_LT(t, columns_.size()) << "time out of range";
+  EnsureDecoded(t);
   return columns_[t];
 }
 
@@ -139,6 +194,7 @@ std::size_t PresenceIndex::CountAt(std::size_t t) const { return Column(t).Count
 void PresenceIndex::EnsureCounts() const {
   const std::uint64_t current = generation_.load(std::memory_order_relaxed);
   if (counts_generation_.load(std::memory_order_acquire) == current) return;
+  EnsureDecodedAll();  // before taking mutex_ — it locks internally
   std::lock_guard<std::mutex> lock(*mutex_);
   if (counts_generation_.load(std::memory_order_relaxed) == current) return;
   counts_.resize(columns_.size());
@@ -173,6 +229,7 @@ void PresenceIndex::EnsureTable(Fold fold) const {
   Table& t = table(fold);
   const std::uint64_t current = generation_.load(std::memory_order_relaxed);
   if (t.built_generation.load(std::memory_order_acquire) == current) return;
+  EnsureDecodedAll();  // before taking mutex_ — it locks internally
   std::lock_guard<std::mutex> lock(*mutex_);
   if (t.built_generation.load(std::memory_order_relaxed) == current) return;
 
@@ -212,6 +269,7 @@ DynamicBitset PresenceIndex::FoldRange(Fold fold, std::size_t first,
           {{"len", len}});
   if (len == 1) {
     internal_counters::AddIntervalIndex(/*hits=*/0, /*misses=*/1);
+    EnsureDecoded(first);
     return columns_[first];
   }
   EnsureTable(fold);

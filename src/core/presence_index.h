@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/bitset.h"
+#include "storage/compressed_bitset.h"
 
 /// \file
 /// `PresenceIndex`: the column-major twin of the row-major presence
@@ -37,6 +38,12 @@
 /// on the lazy build, which is guarded by a mutex + generation counter.
 /// Queries concurrent with *mutation* are not supported — same contract as
 /// every other container in the engine.
+///
+/// An index restored from a binary snapshot (`RestoreCompressed`) keeps its
+/// columns RLE-compressed and decodes each one on first touch, so boot cost
+/// is proportional to what the workload actually reads; kernels never see
+/// compressed data. The decode race among concurrent readers is guarded by
+/// the same mutex + per-column published flags (docs/STORAGE.md).
 
 namespace graphtempo {
 
@@ -60,6 +67,18 @@ class PresenceIndex {
 
   /// Marks `entity` present at time `t`.
   void Set(std::size_t entity, std::size_t t);
+
+  /// Replaces the index contents with `columns` (one compressed column per
+  /// time point, each `entities` bits), kept compressed until first touch —
+  /// the snapshot-load entry point. GT_CHECKs the per-column bit counts.
+  void RestoreCompressed(std::size_t entities,
+                         std::vector<storage::CompressedBitset> columns);
+
+  /// Number of columns still compressed (0 once everything is decoded, or
+  /// when the index was never snapshot-restored). Observability/tests.
+  std::size_t compressed_columns() const {
+    return compressed_remaining_.load(std::memory_order_relaxed);
+  }
 
   /// The raw presence column of time `t` (a bitset over entities).
   const DynamicBitset& Column(std::size_t t) const;
@@ -124,6 +143,13 @@ class PresenceIndex {
   void Invalidate() { generation_.fetch_add(1, std::memory_order_relaxed); }
   void EnsureTable(Fold fold) const;
 
+  /// Decodes column `t` (or every column) if still compressed. Lock-free
+  /// no-op once everything is decoded; otherwise decodes under `mutex_`.
+  /// Must be called *before* acquiring `mutex_` (it locks internally).
+  void EnsureDecoded(std::size_t t) const;
+  void EnsureDecodedAll() const;
+  void DecodeColumnLocked(std::size_t t) const;
+
   /// Builds the per-column popcount cache if stale (mutex + generation
   /// guarded, same protocol as the fold tables).
   void EnsureCounts() const;
@@ -133,7 +159,16 @@ class PresenceIndex {
   DynamicBitset FoldRange(Fold fold, std::size_t first, std::size_t last) const;
 
   std::size_t entities_ = 0;
-  std::vector<DynamicBitset> columns_;
+  /// Mutable: a snapshot-restored column materializes in place on first
+  /// touch from a const accessor (logically the value never changes).
+  mutable std::vector<DynamicBitset> columns_;
+
+  /// Snapshot-restored columns not yet decoded. `compressed_remaining_` is
+  /// the readers' lock-free fast path: 0 (the steady state) means every
+  /// column is live and `decoded_`/`compressed_` are never consulted.
+  mutable std::vector<storage::CompressedBitset> compressed_;
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> decoded_;
+  mutable std::atomic<std::size_t> compressed_remaining_{0};
 
   /// Bumped on every mutation; tables with a stale built_generation rebuild
   /// lazily under `mutex_`.

@@ -246,6 +246,11 @@ class TemporalGraph {
                               std::uint64_t generation) const;
 
  private:
+  /// Snapshot (de)serialization (core/graph_snapshot.cc) reads and restores
+  /// the private representation directly — including the mutation
+  /// generations, which have no public setter by design.
+  friend struct GraphSnapshotAccess;
+
   // Key for the (src, dst) → EdgeId map.
   static std::uint64_t EdgeKey(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;

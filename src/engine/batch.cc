@@ -38,7 +38,13 @@ obs::Counter& BatchFoldMissCounter() {
 
 const DynamicBitset& FoldCache::Lookup(const PresenceIndex& index,
                                        const DynamicBitset& times, bool union_fold) {
-  Key key{&index, union_fold, times.words()};
+  // Normalize the mask to its trimmed word vector: two bitsets naming the
+  // same time points can differ in trailing zero words (e.g. one sized to
+  // the fold's interval, one to the whole time domain), and comparing the
+  // raw vectors would spuriously miss on the second request.
+  std::vector<std::uint64_t> words = times.words();
+  while (!words.empty() && words.back() == 0) words.pop_back();
+  Key key{&index, union_fold, std::move(words)};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "core/graph_snapshot.h"
 #include "engine/batch.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
@@ -61,6 +62,32 @@ obs::Counter& CostRouteFlipCounter() {
   static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/cost_route_flip");
   return c;
 }
+obs::Counter& LayerSpillCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/layer_spill");
+  return c;
+}
+obs::Counter& LayerReloadCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/layer_reload");
+  return c;
+}
+obs::Counter& ResultSpillCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/result_spill");
+  return c;
+}
+obs::Counter& ResultReloadCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("engine/result_reload");
+  return c;
+}
+
+std::string HexFingerprint(std::uint64_t fingerprint) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fingerprint & 0xF];
+    fingerprint >>= 4;
+  }
+  return out;
+}
 
 bool UsesT2(TemporalOperatorKind op) { return op != TemporalOperatorKind::kProject; }
 
@@ -99,8 +126,12 @@ const char* OperatorSpanName(TemporalOperatorKind op) {
 }  // namespace
 
 QueryEngine::QueryEngine(const TemporalGraph* graph, Config config)
-    : graph_(graph), config_(config) {
+    : graph_(graph), config_(std::move(config)) {
   GT_CHECK(graph_ != nullptr);
+  if (!config_.spill_dir.empty()) {
+    spill_ = std::make_unique<storage::SpillDirectory>(config_.spill_dir);
+    GT_CHECK(spill_->ok()) << spill_->error();
+  }
 }
 
 std::unique_lock<std::shared_mutex> QueryEngine::AcquireWriterLock() const {
@@ -137,16 +168,41 @@ void QueryEngine::Refresh() {
   if (!store_.has_value()) return;
   store_->Refresh();
   const std::size_t num_times = graph_->num_times();
-  for (auto& [mask, layer] : subset_layers_) {
+  for (auto it = subset_layers_.begin(); it != subset_layers_.end();) {
+    auto& [mask, entry] = *it;
     // Recover the canonical subset positions from the mask.
     std::vector<std::size_t> keep;
     for (std::size_t position = 0; position < store_->attrs().size(); ++position) {
       if ((mask >> position) & 1u) keep.push_back(position);
     }
+    // The exclusive writer lock guarantees no reader holds a pin, so spilled
+    // entries can be rewritten in place: reload, extend, spill back. A layer
+    // whose spill file went bad is dropped (it will be rebuilt on demand).
+    std::vector<AggregateGraph>* layer = entry->data.get();
+    std::vector<AggregateGraph> reloaded;
+    if (layer == nullptr) {
+      bool ok = false;
+      if (spill_ != nullptr) {
+        if (std::optional<std::string> bytes = spill_->Get(LayerSpillKey(mask))) {
+          std::string decode_error;
+          ok = DecodeAggregateGraphs(*bytes, &reloaded, &decode_error);
+        }
+      }
+      if (!ok) {
+        if (spill_ != nullptr) spill_->Remove(LayerSpillKey(mask));
+        it = subset_layers_.erase(it);
+        continue;
+      }
+      layer = &reloaded;
+    }
     for (TimeId t = static_cast<TimeId>(layer->size()); t < num_times; ++t) {
       layer->push_back(RollUp(store_->AtTimePoint(t), keep));
       derivation_stats_.rollups.fetch_add(1, std::memory_order_relaxed);
     }
+    if (layer == &reloaded) {
+      spill_->Put(LayerSpillKey(mask), EncodeAggregateGraphs(reloaded));
+    }
+    ++it;
   }
   // Per-entry sweep: only results whose dependency time points were actually
   // touched are stale; append-only growth leaves old intervals' answers
@@ -388,6 +444,13 @@ void QueryEngine::ClearCache() {
     cache_size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
     shard.entries.clear();
   }
+  std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+  if (spill_ != nullptr) {
+    for (const auto& [fingerprint, entry] : spilled_results_) {
+      spill_->Remove("result_" + HexFingerprint(fingerprint));
+    }
+  }
+  spilled_results_.clear();
 }
 
 QueryEngine::CacheStats QueryEngine::cache_stats() const {
@@ -471,6 +534,19 @@ QueryResult QueryEngine::ExecuteLocked(const QuerySpec& spec, const PlanOptions&
       }
     }
   }
+  if (spill_ != nullptr) {
+    // Cold tier: an aggregate answer evicted earlier may still be on disk and
+    // still valid. A reload counts as a hit (nothing is recomputed) and the
+    // result is promoted back into the resident cache.
+    if (std::optional<QueryResult> reloaded =
+            TryLoadSpilledResult(plan.fingerprint, spec)) {
+      cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      CacheHitCounter().Increment();
+      if (ctx != nullptr) ctx->cache.store("hit", std::memory_order_relaxed);
+      InsertResult(spec, plan, *reloaded, generation);
+      return *std::move(reloaded);
+    }
+  }
   cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
   CacheMissCounter().Increment();
   if (ctx != nullptr) ctx->cache.store("miss", std::memory_order_relaxed);
@@ -551,6 +627,7 @@ void QueryEngine::InsertResult(const QuerySpec& spec, const QueryPlan& plan,
         }
       }
       if (victim_shard != nullptr) {
+        SpillEvictedResult(victim->first, *victim->second);
         victim_shard->entries.erase(victim);
         cache_size_.fetch_sub(1, std::memory_order_relaxed);
         cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -615,8 +692,49 @@ AggregateGraph QueryEngine::RunDirect(const QuerySpec& spec, const QueryPlan& /*
   return result;
 }
 
-const std::vector<AggregateGraph>& QueryEngine::SubsetLayer(
-    std::span<const std::size_t> canonical, bool* served_from_memo) {
+std::string QueryEngine::LayerSpillKey(SubsetMask mask) {
+  return "layer_" + std::to_string(mask);
+}
+
+void QueryEngine::EvictLayersLocked() {
+  if (config_.max_resident_layers == 0) return;
+  for (;;) {
+    std::size_t resident = 0;
+    LayerEntry* coldest = nullptr;
+    SubsetMask coldest_mask = 0;
+    std::uint64_t coldest_used = 0;
+    auto coldest_it = subset_layers_.end();
+    for (auto it = subset_layers_.begin(); it != subset_layers_.end(); ++it) {
+      LayerEntry* entry = it->second.get();
+      if (entry->data == nullptr) continue;  // already spilled
+      ++resident;
+      if (entry->pins.load(std::memory_order_acquire) != 0) continue;  // in use
+      const std::uint64_t used = entry->last_used.load(std::memory_order_relaxed);
+      if (coldest == nullptr || used < coldest_used) {
+        coldest = entry;
+        coldest_mask = it->first;
+        coldest_used = used;
+        coldest_it = it;
+      }
+    }
+    if (resident <= config_.max_resident_layers || coldest == nullptr) return;
+    // Pins are only acquired under `subset_mutex_` (held here), so observing
+    // pins == 0 above means no reader holds or can take a reference.
+    if (spill_ != nullptr &&
+        spill_->Put(LayerSpillKey(coldest_mask), EncodeAggregateGraphs(*coldest->data))) {
+      coldest->data.reset();
+      coldest->spilled = true;
+      LayerSpillCounter().Increment();
+    } else {
+      // No spill tier (or the write failed): drop the layer outright; a later
+      // query rebuilds it from the store.
+      subset_layers_.erase(coldest_it);
+    }
+  }
+}
+
+QueryEngine::LayerRef QueryEngine::SubsetLayer(std::span<const std::size_t> canonical,
+                                               bool* served_from_memo) {
   SubsetMask mask = 0;
   for (std::size_t position : canonical) {
     GT_CHECK_LT(position, store_->attrs().size()) << "subset position out of range";
@@ -626,8 +744,38 @@ const std::vector<AggregateGraph>& QueryEngine::SubsetLayer(
     std::lock_guard<std::mutex> lock(subset_mutex_);
     auto it = subset_layers_.find(mask);
     if (it != subset_layers_.end()) {
-      *served_from_memo = true;
-      return *it->second;  // stable storage: the vector lives behind the ptr
+      LayerEntry* entry = it->second.get();
+      if (entry->data == nullptr) {
+        // Spilled: reload under the mutex (reloads are rare and must not race
+        // with eviction of the freshly restored vector). Decode failure drops
+        // the entry and falls through to a rebuild.
+        std::vector<AggregateGraph> restored;
+        bool ok = false;
+        if (std::optional<std::string> bytes = spill_->Get(LayerSpillKey(mask))) {
+          std::string decode_error;
+          ok = DecodeAggregateGraphs(*bytes, &restored, &decode_error) &&
+               restored.size() == graph_->num_times();
+        }
+        if (ok) {
+          entry->data =
+              std::make_unique<std::vector<AggregateGraph>>(std::move(restored));
+          entry->spilled = false;
+          LayerReloadCounter().Increment();
+        } else {
+          spill_->Remove(LayerSpillKey(mask));
+          subset_layers_.erase(it);
+          it = subset_layers_.end();
+        }
+      }
+      if (it != subset_layers_.end()) {
+        LayerEntry* pinned = it->second.get();
+        pinned->pins.fetch_add(1, std::memory_order_acq_rel);
+        pinned->last_used.store(lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                std::memory_order_relaxed);
+        *served_from_memo = true;
+        EvictLayersLocked();
+        return LayerRef(pinned);
+      }
     }
   }
   // Build outside the lock so first queries for *different* subsets roll up
@@ -639,11 +787,70 @@ const std::vector<AggregateGraph>& QueryEngine::SubsetLayer(
     derivation_stats_.rollups.fetch_add(1, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(subset_mutex_);
-  auto [it, inserted] = subset_layers_.emplace(mask, std::move(layer));
+  auto [it, inserted] = subset_layers_.try_emplace(mask);
+  if (inserted) it->second = std::make_unique<LayerEntry>();
+  LayerEntry* entry = it->second.get();
+  if (inserted) {
+    entry->data = std::move(layer);
+  } else if (entry->data == nullptr) {
+    // Lost the race against an evictor that spilled the winner's copy before
+    // we re-locked; our freshly built vector is identical — adopt it.
+    entry->data = std::move(layer);
+    entry->spilled = false;
+  }
   // Insert-once: if another reader won the race, serve its layer (identical
   // contents — the store is frozen under the shared state lock).
   *served_from_memo = !inserted;
-  return *it->second;
+  entry->pins.fetch_add(1, std::memory_order_acq_rel);
+  entry->last_used.store(lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  EvictLayersLocked();
+  return LayerRef(entry);
+}
+
+std::optional<QueryResult> QueryEngine::TryLoadSpilledResult(std::uint64_t fingerprint,
+                                                             const QuerySpec& spec) {
+  const std::string key = "result_" + HexFingerprint(fingerprint);
+  std::lock_guard<std::mutex> lock(spill_mutex_);
+  auto it = spilled_results_.find(fingerprint);
+  if (it == spilled_results_.end()) return std::nullopt;
+  // Drop the index entry either way: a valid answer gets promoted back into
+  // the resident cache by the caller, a stale one must not be probed again.
+  SpilledResult entry = std::move(it->second);
+  spilled_results_.erase(it);
+  if (!graph_->IntervalUnchangedSince(entry.dependencies, entry.generation) ||
+      !entry.spec.EquivalentTo(spec)) {
+    spill_->Remove(key);
+    return std::nullopt;
+  }
+  std::optional<std::string> bytes = spill_->Get(key);
+  spill_->Remove(key);
+  if (!bytes.has_value()) return std::nullopt;
+  std::vector<AggregateGraph> layers;
+  std::string decode_error;
+  if (!DecodeAggregateGraphs(*bytes, &layers, &decode_error) || layers.size() != 1) {
+    return std::nullopt;
+  }
+  QueryResult result;
+  result.kind = QueryKind::kAggregate;
+  result.aggregate = std::move(layers[0]);
+  ResultReloadCounter().Increment();
+  return result;
+}
+
+void QueryEngine::SpillEvictedResult(std::uint64_t fingerprint,
+                                     const CachedResult& victim) {
+  // Only aggregate answers have a byte encoding; evolution/exploration
+  // results (and everything when spilling is off) are dropped as before.
+  if (spill_ == nullptr || victim.result.kind != QueryKind::kAggregate) return;
+  const std::string key = "result_" + HexFingerprint(fingerprint);
+  std::vector<AggregateGraph> one;
+  one.push_back(victim.result.aggregate);
+  if (!spill_->Put(key, EncodeAggregateGraphs(one))) return;
+  std::lock_guard<std::mutex> lock(spill_mutex_);
+  spilled_results_[fingerprint] =
+      SpilledResult{victim.spec, victim.dependencies, victim.generation};
+  ResultSpillCounter().Increment();
 }
 
 AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPlan& plan) {
@@ -664,8 +871,12 @@ AggregateGraph QueryEngine::RunMaterialized(const QuerySpec& spec, const QueryPl
   std::sort(canonical.begin(), canonical.end());
   const bool full_set = canonical.size() == store_->attrs().size();
   bool layer_memoized = false;
-  const std::vector<AggregateGraph>* layer =
-      full_set ? nullptr : &SubsetLayer(canonical, &layer_memoized);
+  LayerRef layer_ref;  // keeps the layer pinned across the combine loop
+  const std::vector<AggregateGraph>* layer = nullptr;
+  if (!full_set) {
+    layer_ref = SubsetLayer(canonical, &layer_memoized);
+    layer = &*layer_ref;
+  }
   if (layer_memoized) {
     // Count only the evaluation points this query actually consumes from the
     // layer — fig11's derivation savings stay exact for partial intervals.

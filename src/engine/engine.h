@@ -9,12 +9,15 @@
 #include <optional>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/materialization.h"
 #include "engine/plan.h"
 #include "engine/query_spec.h"
+#include "storage/spill.h"
 
 /// \file
 /// `QueryEngine`: the unified planner + executor every entry point funnels
@@ -122,6 +125,16 @@ class QueryEngine {
     /// so embedding code sees zero behaviour change; the CLI and server
     /// default to `kCost` and expose `--planner rule` as the escape hatch.
     PlannerMode planner = PlannerMode::kRule;
+
+    /// Spill directory for the cold tier (docs/STORAGE.md §Spill tier).
+    /// Empty disables spilling: evicted roll-up layers and result-cache
+    /// entries are simply dropped, as before.
+    std::string spill_dir;
+
+    /// Maximum memoized roll-up layers kept *resident*; beyond it the coldest
+    /// unpinned layer is serialized to the spill directory (or dropped when
+    /// spilling is disabled). 0 = unlimited (the historical behaviour).
+    std::size_t max_resident_layers = 0;
   };
 
   /// Does not take ownership of `graph`; `graph` must outlive the engine.
@@ -241,6 +254,46 @@ class QueryEngine {
   /// Bitmask over base attribute positions; position i → bit i.
   using SubsetMask = std::uint32_t;
 
+  /// One memoized roll-up layer plus the bookkeeping the spill tier needs.
+  /// `data` is null while the layer lives in the spill directory; `pins`
+  /// counts readers currently consuming the vector (pinned layers are never
+  /// evicted). Pins are acquired under `subset_mutex_` and released with a
+  /// plain atomic decrement, so an evictor that observes pins == 0 under the
+  /// mutex knows no reader holds or can acquire the layer.
+  struct LayerEntry {
+    std::unique_ptr<std::vector<AggregateGraph>> data;
+    std::atomic<std::uint64_t> last_used{0};
+    std::atomic<std::uint32_t> pins{0};
+    bool spilled = false;  ///< a spill file exists for this layer
+  };
+
+  /// RAII pin on a resident layer: keeps the vector alive (un-evictable)
+  /// while a query iterates it.
+  class LayerRef {
+   public:
+    LayerRef() = default;
+    explicit LayerRef(LayerEntry* entry) : entry_(entry) {}
+    LayerRef(LayerRef&& other) noexcept : entry_(std::exchange(other.entry_, nullptr)) {}
+    LayerRef& operator=(LayerRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        entry_ = std::exchange(other.entry_, nullptr);
+      }
+      return *this;
+    }
+    LayerRef(const LayerRef&) = delete;
+    LayerRef& operator=(const LayerRef&) = delete;
+    ~LayerRef() { Release(); }
+
+    const std::vector<AggregateGraph>& operator*() const { return *entry_->data; }
+
+   private:
+    void Release() {
+      if (entry_ != nullptr) entry_->pins.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    LayerEntry* entry_ = nullptr;
+  };
+
   /// One cached result plus everything needed to decide, per entry, whether
   /// it is still valid and when it was last useful. Heap-allocated so the
   /// address is stable regardless of map rehashing; `last_used` is atomic so
@@ -296,12 +349,20 @@ class QueryEngine {
   bool StoreStale() const;
 
   /// The memoized per-time-point roll-up layer for an ascending,
-  /// duplicate-free strict subset of base positions. Insert-once under
-  /// `subset_mutex_`; the returned storage is stable (never reallocated by
-  /// later insertions). `*served_from_memo` reports whether the layer
-  /// already existed.
-  const std::vector<AggregateGraph>& SubsetLayer(std::span<const std::size_t> canonical,
-                                                 bool* served_from_memo);
+  /// duplicate-free strict subset of base positions, pinned for the caller's
+  /// lifetime. Insert-once under `subset_mutex_`; a spilled layer is
+  /// reloaded from the spill directory instead of recomputed.
+  /// `*served_from_memo` reports whether the layer already existed (resident
+  /// or spilled).
+  LayerRef SubsetLayer(std::span<const std::size_t> canonical, bool* served_from_memo);
+
+  /// Spill-file key for a subset layer.
+  static std::string LayerSpillKey(SubsetMask mask);
+
+  /// While over `max_resident_layers`, serializes the coldest unpinned
+  /// resident layer out to the spill tier (or drops it when spilling is
+  /// disabled). Caller holds `subset_mutex_`.
+  void EvictLayersLocked();
 
   /// Whether the layer for `mask` is already memoized (cost-model probe;
   /// const: takes `subset_mutex_` only for the map lookup).
@@ -342,8 +403,33 @@ class QueryEngine {
   mutable std::mutex subset_mutex_;
 
   std::optional<MaterializationStore> store_;
-  std::unordered_map<SubsetMask, std::unique_ptr<std::vector<AggregateGraph>>>
-      subset_layers_;
+  std::unordered_map<SubsetMask, std::unique_ptr<LayerEntry>> subset_layers_;
+
+  /// The cold tier (null when `Config::spill_dir` is empty).
+  std::unique_ptr<storage::SpillDirectory> spill_;
+
+  /// Index of result-cache entries that were evicted to the spill directory:
+  /// everything needed to validate a spilled answer without reading its
+  /// bytes. Guarded by `spill_mutex_` (ordered after the shard locks; never
+  /// held while taking any other engine lock).
+  struct SpilledResult {
+    QuerySpec spec;            ///< collision guard, as in CachedResult
+    IntervalSet dependencies;  ///< validity interval at spill time
+    std::uint64_t generation = 0;
+  };
+  mutable std::mutex spill_mutex_;
+  std::unordered_map<std::uint64_t, SpilledResult> spilled_results_;
+
+  /// Probes the spilled-result index for `fingerprint` and, when the entry
+  /// is still valid for `spec`, reloads + decodes it (dropping the spill
+  /// entry either way: valid entries get promoted back into the resident
+  /// cache by the caller, stale ones must not be probed again).
+  std::optional<QueryResult> TryLoadSpilledResult(std::uint64_t fingerprint,
+                                                  const QuerySpec& spec);
+
+  /// Moves an evicted aggregate result into the spill tier (no-op for other
+  /// result kinds or when spilling is disabled).
+  void SpillEvictedResult(std::uint64_t fingerprint, const CachedResult& victim);
 
   /// Fingerprint → cached result, sharded by `ShardIndex`. unique_ptr keeps
   /// entry addresses stable across rehash so the hit path can read an entry

@@ -18,6 +18,10 @@ obs::Counter& BatchGatheredCounter() {
       obs::Registry::Instance().GetCounter("server/batch_gathered");
   return c;
 }
+obs::Counter& BatchRidersCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter("server/batch_riders");
+  return c;
+}
 
 }  // namespace
 
@@ -73,6 +77,24 @@ engine::QueryResult QueryBatcher::Execute(const engine::QuerySpec& spec,
   }
   lock.unlock();
   done_.notify_all();
+  return std::move(item.result);
+}
+
+std::optional<engine::QueryResult> QueryBatcher::TryJoinActiveWindow(
+    const engine::QuerySpec& spec, obs::RequestContext* ctx) {
+  if (window_us_ <= 0) return std::nullopt;
+  Pending item;
+  item.spec = &spec;
+  item.ctx = ctx;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // `leader_active_` flips false under `mutex_` at the same instant the
+  // leader swaps the queue out, so observing it true here guarantees this
+  // item lands in the batch the leader is about to execute.
+  if (!leader_active_) return std::nullopt;
+  queue_.push_back(&item);
+  BatchRidersCounter().Increment();
+  done_.wait(lock, [&] { return item.done; });
   return std::move(item.result);
 }
 

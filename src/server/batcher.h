@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "engine/engine.h"
@@ -46,6 +47,15 @@ class QueryBatcher {
   /// thread actually ran the spec.
   engine::QueryResult Execute(const engine::QuerySpec& spec,
                               obs::RequestContext* ctx);
+
+  /// Joins a gather window that is *already open* without becoming a leader:
+  /// returns the batch-computed result when a leader is currently gathering,
+  /// `nullopt` when no window is open (or gathering is disabled). The
+  /// server's admission control uses this to let an over-capacity query ride
+  /// an in-flight batch — the gathered group is one in-flight unit, so
+  /// piling onto it adds no engine concurrency.
+  std::optional<engine::QueryResult> TryJoinActiveWindow(
+      const engine::QuerySpec& spec, obs::RequestContext* ctx);
 
  private:
   /// One waiting query: its inputs, and the slot the leader fills.

@@ -50,10 +50,17 @@ std::string IngestRecord::ToLine() const {
 
 std::optional<IngestRecord> ParseIngestLine(const std::string& line, std::string* error) {
   error->clear();
-  std::string_view stripped = StripWhitespace(line);
+  // CRLF-terminated bodies (curl --data-binary from Windows, HTTP clients
+  // that join lines with \r\n) would otherwise leave the '\r' glued to the
+  // last field — "t 5\r\n" must mean time point "5", not "5\r".
+  std::string trimmed = line;
+  while (!trimmed.empty() && (trimmed.back() == '\r' || trimmed.back() == '\n')) {
+    trimmed.pop_back();
+  }
+  std::string_view stripped = StripWhitespace(trimmed);
   if (stripped.empty() || stripped[0] == '#') return std::nullopt;
 
-  std::vector<std::string> fields = SplitFields(line);
+  std::vector<std::string> fields = SplitFields(trimmed);
   IngestRecord record;
   const std::string& kind = fields[0];
   if (kind == "t") {

@@ -346,16 +346,26 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
   }
 
   // Admission control: bound concurrently-executing queries so a burst
-  // degrades to fast 503s instead of a convoy on the engine.
+  // degrades to fast 503s instead of a convoy on the engine. A gathered
+  // batch is ONE in-flight unit of engine work, so an over-capacity query is
+  // not rejected outright: if a batch leader is currently holding a gather
+  // window open, the query rides that window (adding no engine concurrency)
+  // and only 503s when no window is open to join.
+  bool admitted = true;
   std::int64_t inflight = inflight_.fetch_add(1) + 1;
   if (inflight > static_cast<std::int64_t>(config_.max_inflight)) {
     inflight_.fetch_sub(1);
+    admitted = false;
+  }
+  auto admission_release = [this, admitted] {
+    if (admitted) inflight_.fetch_sub(1);
+  };
+  auto reject_admission = [this] {
     RejectedAdmissionCounter().Increment();
     return JsonError(503, "server at capacity (" +
                               std::to_string(config_.max_inflight) +
                               " queries in flight)");
-  }
-  auto admission_release = [this] { inflight_.fetch_sub(1); };
+  };
 
   auto started = std::chrono::steady_clock::now();
   HttpResponse response;
@@ -392,22 +402,31 @@ HttpResponse Server::HandleQuery(const HttpRequest& request) {
     }
 
     if (options.explain) {
+      if (!admitted) return reject_admission();
       engine::QueryPlan plan = engine_->Plan(*spec);
       response = HttpResponse{200, "application/json", engine::wire::PlanToJson(plan)};
     } else {
       engine::QueryPlan plan = engine_->Plan(*spec);
-      engine::QueryResult result = [&] {
+      std::optional<engine::QueryResult> result;
+      {
         GT_SPAN("server/execute");
         // The batcher gathers concurrent queries into one engine batch when
         // configured; a pass-through to ExecuteResult otherwise. Either way
-        // the bound request context receives the engine's attribution.
-        return batcher_.Execute(*spec, obs::CurrentRequestContext());
-      }();
+        // the bound request context receives the engine's attribution. An
+        // un-admitted query may still ride an open gather window — the batch
+        // executes as one unit regardless of how many queries piled on.
+        if (admitted) {
+          result = batcher_.Execute(*spec, obs::CurrentRequestContext());
+        } else {
+          result = batcher_.TryJoinActiveWindow(*spec, obs::CurrentRequestContext());
+        }
+      }
+      if (!result.has_value()) return reject_admission();
       {
         GT_SPAN("server/serialize");
         response = HttpResponse{
             200, "application/json",
-            engine::wire::QueryResultToJson(*graph_, *spec, plan, result,
+            engine::wire::QueryResultToJson(*graph_, *spec, plan, *result,
                                             options.top)};
       }
       executed = true;

@@ -20,6 +20,38 @@ const std::string& StaticColumn::ValueAt(std::size_t entity) const {
   return dict_.ValueOf(code);
 }
 
+namespace {
+
+bool CodesInRange(const std::vector<AttrValueId>& codes, std::size_t dict_size) {
+  for (AttrValueId code : codes) {
+    if (code != kNoValue && code >= dict_size) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StaticColumn::Restore(std::vector<std::string> dict_values,
+                           std::vector<AttrValueId> codes) {
+  if (!CodesInRange(codes, dict_values.size())) return false;
+  Dictionary dict;
+  if (!dict.Restore(std::move(dict_values))) return false;
+  dict_ = std::move(dict);
+  codes_ = std::move(codes);
+  return true;
+}
+
+bool TimeVaryingColumn::Restore(std::vector<std::string> dict_values,
+                                std::vector<AttrValueId> codes) {
+  if (num_times_ == 0 ? !codes.empty() : codes.size() % num_times_ != 0) return false;
+  if (!CodesInRange(codes, dict_values.size())) return false;
+  Dictionary dict;
+  if (!dict.Restore(std::move(dict_values))) return false;
+  dict_ = std::move(dict);
+  codes_ = std::move(codes);
+  return true;
+}
+
 void TimeVaryingColumn::AppendTimes(std::size_t count) {
   std::size_t entities = size();
   std::size_t new_times = num_times_ + count;

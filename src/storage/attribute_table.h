@@ -43,6 +43,15 @@ class StaticColumn {
   const Dictionary& dictionary() const { return dict_; }
   Dictionary& dictionary() { return dict_; }
 
+  /// Raw code array (snapshot save).
+  const std::vector<AttrValueId>& codes() const { return codes_; }
+
+  /// Rebuilds the column from serialized dictionary values + raw codes
+  /// (snapshot load). Returns false — leaving the column unchanged — when
+  /// the dictionary has duplicates or any code is out of range and not
+  /// kNoValue.
+  bool Restore(std::vector<std::string> dict_values, std::vector<AttrValueId> codes);
+
  private:
   std::string name_;
   Dictionary dict_;
@@ -79,6 +88,15 @@ class TimeVaryingColumn {
 
   const Dictionary& dictionary() const { return dict_; }
   Dictionary& dictionary() { return dict_; }
+
+  /// Raw row-major entity × time code matrix (snapshot save).
+  const std::vector<AttrValueId>& codes() const { return codes_; }
+
+  /// Rebuilds the column from serialized dictionary values + the raw code
+  /// matrix (snapshot load). Returns false — leaving the column unchanged —
+  /// when the dictionary has duplicates, `codes` is not a whole number of
+  /// `num_times()` rows, or any code is out of range and not kNoValue.
+  bool Restore(std::vector<std::string> dict_values, std::vector<AttrValueId> codes);
 
  private:
   std::size_t CellIndex(std::size_t entity, std::size_t t) const;

@@ -1,0 +1,115 @@
+#include "storage/compressed_bitset.h"
+
+#include "util/check.h"
+
+namespace graphtempo::storage {
+
+namespace {
+
+constexpr std::uint64_t kRunShift = 32;
+constexpr std::uint64_t kCountMask = 0xFFFFFFFFull;
+
+std::size_t WordsForBits(std::size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+CompressedBitset CompressedBitset::Compress(const DynamicBitset& bits) {
+  CompressedBitset result;
+  result.size_bits_ = bits.size();
+  const std::vector<std::uint64_t>& words = bits.words();
+  std::size_t pos = 0;
+  while (pos < words.size()) {
+    std::size_t zeros = 0;
+    while (pos + zeros < words.size() && words[pos + zeros] == 0) ++zeros;
+    std::size_t literal_begin = pos + zeros;
+    std::size_t literals = 0;
+    // A literal run ends at the next *pair* of zero words: breaking a run for
+    // a single interior zero would cost a fresh 8-byte header to save 8 bytes.
+    while (literal_begin + literals < words.size()) {
+      if (words[literal_begin + literals] == 0 &&
+          (literal_begin + literals + 1 == words.size() ||
+           words[literal_begin + literals + 1] == 0)) {
+        break;
+      }
+      ++literals;
+    }
+    GT_CHECK_LE(zeros, kCountMask);
+    GT_CHECK_LE(literals, kCountMask);
+    result.stream_.push_back((static_cast<std::uint64_t>(zeros) << kRunShift) |
+                             static_cast<std::uint64_t>(literals));
+    for (std::size_t i = 0; i < literals; ++i) {
+      result.stream_.push_back(words[literal_begin + i]);
+    }
+    pos = literal_begin + literals;
+  }
+  return result;
+}
+
+DynamicBitset CompressedBitset::Decompress() const {
+  DynamicBitset bits(size_bits_);
+  std::uint64_t* words = bits.word_data();
+  std::size_t word_pos = 0;
+  std::size_t stream_pos = 0;
+  while (stream_pos < stream_.size()) {
+    std::uint64_t header = stream_[stream_pos++];
+    word_pos += header >> kRunShift;  // zero words are already zero
+    std::size_t literals = header & kCountMask;
+    for (std::size_t i = 0; i < literals; ++i) {
+      words[word_pos++] = stream_[stream_pos++];
+    }
+  }
+  GT_CHECK_EQ(word_pos, bits.num_words()) << "corrupt compressed bitset stream";
+  return bits;
+}
+
+void CompressedBitset::EncodeTo(ByteWriter* out) const {
+  out->U64(size_bits_);
+  out->U64(stream_.size());
+  out->Words(stream_);
+}
+
+bool CompressedBitset::DecodeFrom(ByteReader* in, CompressedBitset* out) {
+  std::uint64_t size_bits = 0;
+  std::uint64_t stream_words = 0;
+  if (!in->U64(&size_bits) || !in->U64(&stream_words)) return false;
+  CompressedBitset result;
+  result.size_bits_ = static_cast<std::size_t>(size_bits);
+  if (!in->WordsInto(static_cast<std::size_t>(stream_words), &result.stream_)) {
+    return false;
+  }
+
+  // Walk the stream and prove it covers exactly the implied word count —
+  // a mangled header must not be able to overrun a decode later.
+  const std::size_t total_words = WordsForBits(result.size_bits_);
+  std::size_t covered = 0;
+  std::size_t pos = 0;
+  std::uint64_t last_literal = 0;
+  bool last_was_literal = false;
+  while (pos < result.stream_.size()) {
+    std::uint64_t header = result.stream_[pos++];
+    std::size_t zeros = static_cast<std::size_t>(header >> kRunShift);
+    std::size_t literals = static_cast<std::size_t>(header & kCountMask);
+    if (literals > result.stream_.size() - pos) return false;
+    if (zeros > total_words - covered || literals > total_words - covered - zeros) {
+      return false;
+    }
+    covered += zeros + literals;
+    if (literals > 0) {
+      last_literal = result.stream_[pos + literals - 1];
+      last_was_literal = true;
+    } else if (zeros > 0) {
+      last_was_literal = false;
+    }
+    pos += literals;
+  }
+  if (covered != total_words) return false;
+  if (last_was_literal && result.size_bits_ % 64 != 0) {
+    // Padding bits of the final word must be zero or Count()/== break.
+    std::uint64_t pad_mask = ~0ull << (result.size_bits_ % 64);
+    if ((last_literal & pad_mask) != 0) return false;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace graphtempo::storage

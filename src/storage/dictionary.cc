@@ -25,4 +25,18 @@ const std::string& Dictionary::ValueOf(AttrValueId code) const {
   return values_[code];
 }
 
+bool Dictionary::Restore(std::vector<std::string> values) {
+  if (values.size() >= kNoValue) return false;
+  std::unordered_map<std::string, AttrValueId> codes;
+  codes.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!codes.emplace(values[i], static_cast<AttrValueId>(i)).second) {
+      return false;  // duplicate value — ambiguous codes
+    }
+  }
+  values_ = std::move(values);
+  codes_ = std::move(codes);
+  return true;
+}
+
 }  // namespace graphtempo

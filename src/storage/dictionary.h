@@ -43,6 +43,16 @@ class Dictionary {
 
   bool empty() const { return values_.empty(); }
 
+  /// All values in insertion order — iterating yields `ValueOf(0..size-1)`,
+  /// so a dictionary serialized as this vector restores with identical codes.
+  const std::vector<std::string>& values() const { return values_; }
+
+  /// Rebuilds the dictionary from a serialized value vector (snapshot load).
+  /// Replaces the current contents. Returns false — leaving the dictionary
+  /// unchanged — when `values` contains duplicates (a corrupt snapshot must
+  /// not produce ambiguous codes).
+  bool Restore(std::vector<std::string> values);
+
  private:
   std::unordered_map<std::string, AttrValueId> codes_;
   std::vector<std::string> values_;

@@ -1,0 +1,124 @@
+#ifndef GRAPHTEMPO_STORAGE_SNAPSHOT_H_
+#define GRAPHTEMPO_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// The binary snapshot container (docs/STORAGE.md): a versioned, checksummed
+/// file of tagged sections, plus the little-endian byte codec the sections
+/// are written with.
+///
+/// Layout:
+///
+/// ```
+/// offset 0   magic     "GTSNAP01" (8 bytes)
+///        8   version   u32 (currently 1)  + u32 reserved (zero)
+///        16  size      u64 payload byte count
+///        24  checksum  u64 FNV-1a over the payload bytes
+///        32  payload   sections back to back
+/// ```
+///
+/// Each section is `u32 tag` (a FourCC), `u32 reserved`, `u64 length`,
+/// `length` payload bytes, then zero padding to the next 8-byte boundary —
+/// so every section body starts 8-byte aligned and fixed-width fields inside
+/// it can be read in place from an mmap'ed file. Unknown tags are skippable
+/// by construction (the length prefix). All integers are little-endian;
+/// the writer refuses to run on a big-endian host rather than silently
+/// producing a byte-swapped file.
+///
+/// What goes *into* the sections (dictionaries, presence columns, attribute
+/// code arrays) is the domain of core/graph_snapshot.h; this header knows
+/// only bytes.
+
+namespace graphtempo::storage {
+
+inline constexpr char kSnapshotMagic[8] = {'G', 'T', 'S', 'N', 'A', 'P', '0', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// FNV-1a 64-bit over `bytes` — the payload checksum. Not cryptographic;
+/// catches truncation and bit rot, which is what a load must fail closed on.
+std::uint64_t Fnv1a64(std::string_view bytes);
+
+/// FourCC section tag, e.g. `SectionTag("TIME")`.
+constexpr std::uint32_t SectionTag(const char (&name)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(name[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(name[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(name[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(name[3])) << 24);
+}
+
+/// Renders a tag back to its four characters (diagnostics).
+std::string SectionTagName(std::uint32_t tag);
+
+/// Append-only little-endian encoder for section payloads.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t value);
+  void U32(std::uint32_t value);
+  void U64(std::uint64_t value);
+  /// u32 length prefix + raw bytes.
+  void Str(std::string_view value);
+  /// Raw 64-bit words, no length prefix (callers encode the count).
+  void Words(std::span<const std::uint64_t> words);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder. Every read reports success; a
+/// failed read poisons the reader (`ok()` false) so callers can decode a
+/// whole section and check once at the end — truncated or mangled input can
+/// never read out of bounds or loop on garbage lengths.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* value);
+  bool U32(std::uint32_t* value);
+  bool U64(std::uint64_t* value);
+  bool Str(std::string* value);
+  bool WordsInto(std::size_t count, std::vector<std::uint64_t>* out);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(std::size_t count, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// One tagged section of a snapshot file.
+struct SnapshotSection {
+  std::uint32_t tag = 0;
+  std::string payload;
+};
+
+/// Writes `sections` as one snapshot file (atomically: a temp file renamed
+/// into place, so a crash mid-write never leaves a half snapshot behind).
+/// False + one diagnostic in `*error` on failure.
+bool WriteSnapshotFile(const std::string& path,
+                       std::span<const SnapshotSection> sections,
+                       std::string* error);
+
+/// Reads and validates a snapshot file: magic, version, payload size,
+/// checksum, section framing. Returns the sections in file order; nullopt +
+/// one diagnostic on any validation failure (fail closed — a corrupt file
+/// never yields partial sections).
+std::optional<std::vector<SnapshotSection>> ReadSnapshotFile(
+    const std::string& path, std::string* error);
+
+}  // namespace graphtempo::storage
+
+#endif  // GRAPHTEMPO_STORAGE_SNAPSHOT_H_

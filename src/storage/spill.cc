@@ -1,0 +1,86 @@
+#include "storage/spill.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace graphtempo::storage {
+
+namespace {
+
+obs::Counter& SpillOutCounter() {
+  static obs::Counter& counter = obs::Registry::Instance().GetCounter("storage/spill_out");
+  return counter;
+}
+
+obs::Counter& SpillInCounter() {
+  static obs::Counter& counter = obs::Registry::Instance().GetCounter("storage/spill_in");
+  return counter;
+}
+
+obs::Counter& SpillBytesCounter() {
+  static obs::Counter& counter = obs::Registry::Instance().GetCounter("storage/spill_bytes");
+  return counter;
+}
+
+}  // namespace
+
+SpillDirectory::SpillDirectory(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  std::filesystem::create_directories(path_, ec);
+  if (ec) {
+    error_ = path_ + ": cannot create spill directory: " + ec.message();
+    return;
+  }
+  ok_ = true;
+}
+
+std::string SpillDirectory::FilePath(std::string_view key) const {
+  return path_ + "/" + std::string(key) + ".spill";
+}
+
+bool SpillDirectory::Put(std::string_view key, std::string_view bytes) {
+  if (!ok_) return false;
+  // Temp + rename so a concurrent Get never observes a half-written spill.
+  const std::string target = FilePath(key);
+  const std::string tmp = target + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), target.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SpillOutCounter().Increment();
+  SpillBytesCounter().Add(bytes.size());
+  return true;
+}
+
+std::optional<std::string> SpillDirectory::Get(std::string_view key) {
+  if (!ok_) return std::nullopt;
+  std::ifstream in(FilePath(key), std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  SpillInCounter().Increment();
+  return bytes;
+}
+
+void SpillDirectory::Remove(std::string_view key) {
+  if (!ok_) return;
+  std::remove(FilePath(key).c_str());
+}
+
+}  // namespace graphtempo::storage

@@ -1,0 +1,56 @@
+#ifndef GRAPHTEMPO_STORAGE_SPILL_H_
+#define GRAPHTEMPO_STORAGE_SPILL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file
+/// `SpillDirectory`: the cold tier behind the engine's LRU eviction seams
+/// (docs/STORAGE.md §Spill tier). When a materialized roll-up layer or a
+/// large cached result would be dropped, the engine serializes it here
+/// instead; a later touch reloads the bytes (`storage/spill_in`) rather than
+/// recomputing the value. One file per key; keys are chosen by callers and
+/// must be filesystem-safe (the engine uses `layer_<mask>` and
+/// `result_<fingerprint hex>`).
+
+namespace graphtempo::storage {
+
+class SpillDirectory {
+ public:
+  /// Binds (and creates if absent) the spill directory. `ok()` is false and
+  /// `error()` is set when the directory cannot be created; all operations
+  /// on a failed directory are no-ops that report misses.
+  explicit SpillDirectory(std::string path);
+
+  SpillDirectory(const SpillDirectory&) = delete;
+  SpillDirectory& operator=(const SpillDirectory&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return path_; }
+
+  /// Writes `bytes` under `key`, replacing any prior spill of that key.
+  /// Counts `storage/spill_out` and `storage/spill_bytes`. Returns false
+  /// (silently — spilling is best-effort) when the write fails.
+  bool Put(std::string_view key, std::string_view bytes);
+
+  /// Reads the bytes spilled under `key`; nullopt when absent or unreadable.
+  /// Counts `storage/spill_in` on a hit.
+  std::optional<std::string> Get(std::string_view key);
+
+  /// Deletes `key`'s spill file if present (stale spills must not be
+  /// reloaded after the in-memory value is invalidated).
+  void Remove(std::string_view key);
+
+ private:
+  std::string FilePath(std::string_view key) const;
+
+  std::string path_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace graphtempo::storage
+
+#endif  // GRAPHTEMPO_STORAGE_SPILL_H_

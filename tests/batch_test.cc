@@ -253,6 +253,36 @@ TEST_F(BatchTest, FoldCacheMemoizesPerIndexKindAndMask) {
   EXPECT_EQ(folds.hits(), 2u);
 }
 
+TEST_F(BatchTest, FoldCacheNormalizesTrailingZeroWords) {
+  FoldCache folds;
+  const PresenceIndex& nodes = graph_.node_presence_index();
+  const std::size_t n = graph_.num_times();
+  const IntervalSet interval = IntervalSet::Range(n, 0, 3);
+
+  const DynamicBitset& first = folds.UnionFold(nodes, interval.bits());
+  EXPECT_EQ(folds.misses(), 1u);
+
+  // Same members, wider universe: the mask carries extra all-zero words, as
+  // a mask sized to a larger domain does when the fold's points fit a
+  // prefix. Trailing zero words must not change the cache key — before the
+  // trim this was a miss, and the recompute passed the over-wide mask to
+  // UnionOver, which aborts on its time-domain size check.
+  DynamicBitset wide(n + 128);
+  interval.bits().ForEachSetBit([&](std::size_t t) { wide.Set(t); });
+  const DynamicBitset& second = folds.UnionFold(nodes, wide);
+  EXPECT_EQ(folds.hits(), 1u);
+  EXPECT_EQ(folds.misses(), 1u);
+  EXPECT_EQ(&first, &second);
+
+  // The intersection fold of the same members is its own entry (kind is part
+  // of the key), and it normalizes the same way.
+  folds.IntersectionFold(nodes, interval.bits());
+  EXPECT_EQ(folds.misses(), 2u);
+  const DynamicBitset& inter = folds.IntersectionFold(nodes, wide);
+  EXPECT_EQ(folds.hits(), 2u);
+  EXPECT_EQ(inter, nodes.IntersectionOver(interval.bits()));
+}
+
 TEST_F(BatchTest, BatchSharesFoldsAcrossDistinctSpecs) {
   // union [0..4] and intersection([0..4], {0}) share the UnionFold of [0..4]
   // on both presence indexes; executed alone neither would hit anything.

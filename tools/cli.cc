@@ -21,6 +21,7 @@
 #include "core/evolution.h"
 #include "core/exploration.h"
 #include "core/graph_io.h"
+#include "core/graph_snapshot.h"
 #include "core/lattice.h"
 #include "core/measures.h"
 #include "core/naive_exploration.h"
@@ -72,6 +73,11 @@ commands:
           [--strategy pruned|naive|both-ends]
   suggest-k <graph.tsv> --event <...> [selector options]
   stats <graph.tsv> [--t <time>] [--attr <name>]  degree/lifespan/attribute stats
+  snapshot save <graph.tsv> <out.snap>     write a versioned, checksummed binary
+                                           snapshot (docs/STORAGE.md) — loads
+                                           much faster than TSV parsing
+  snapshot load <in.snap> [--out graph.tsv]  load (validate) a binary snapshot;
+                                           --out converts it back to TSV
   metrics [--format text|json]             dump the metrics registry snapshot
   backends                                 detected CPU features, compiled
                                            compute backends, dispatch choice
@@ -81,6 +87,17 @@ commands:
           [--batch-window-us N]            gather concurrent queries for N µs
                                            and execute them as one engine
                                            batch (0 = off, the default)
+          [--snapshot path]                boot from the binary snapshot at
+                                           `path` when it exists (TSV fallback
+                                           on any validation error) and write
+                                           it back on clean shutdown; the
+                                           ingest log is truncated after a
+                                           successful save so the next boot
+                                           does not double-apply
+          [--spill-dir path] [--spill-layers N]  spill-to-disk cold tier for
+                                           evicted roll-up layers and result-
+                                           cache entries; --spill-layers caps
+                                           resident layers (0 = unlimited)
           [--slow-query-ms N [--slow-log path]] [--access-log path]
           [--flight-dump path]             run the HTTP query service (docs/SERVER.md).
                                            --slow-query-ms N logs every query
@@ -168,7 +185,7 @@ bool IsCommandName(const std::string& word) {
                                     "operate",   "aggregate", "evolution", "measure",
                                     "coarsen",   "explore", "suggest-k", "stats",
                                     "metrics",   "backends", "serve",   "loadgen",
-                                    "flightrec"};
+                                    "flightrec", "snapshot"};
   return std::any_of(std::begin(kCommands), std::end(kCommands),
                      [&](const char* cmd) { return word == cmd; });
 }
@@ -483,6 +500,17 @@ std::optional<engine::QueryEngine::Config> BuildEngineConfig(const Options& opti
       err << "error: --planner " << error << "\n";
       return std::nullopt;
     }
+  }
+  config.spill_dir = options.Get("spill-dir").value_or("");
+  if (std::optional<std::string> raw = options.Get("spill-layers")) {
+    std::uint64_t layers = 0;
+    if (!ParseUint64(*raw, &layers)) {
+      err << "error: --spill-layers must be a non-negative integer "
+             "(0 = unlimited), got '"
+          << *raw << "'\n";
+      return std::nullopt;
+    }
+    config.max_resident_layers = static_cast<std::size_t>(layers);
   }
   return config;
 }
@@ -1074,6 +1102,61 @@ int CmdSuggestK(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// --- snapshot --------------------------------------------------------------------
+
+int CmdSnapshot(const Options& options, std::ostream& out, std::ostream& err) {
+  const char* usage =
+      "usage: graphtempo snapshot save <graph.tsv> <out.snap>\n"
+      "       graphtempo snapshot load <in.snap> [--out graph.tsv]\n";
+  if (options.positional.empty()) {
+    err << usage;
+    return 1;
+  }
+  const std::string& verb = options.positional[0];
+  std::string error;
+  if (verb == "save") {
+    if (options.positional.size() != 3) {
+      err << usage;
+      return 1;
+    }
+    std::optional<TemporalGraph> graph = LoadGraph(options.positional[1], err);
+    if (!graph.has_value()) return 1;
+    if (!SaveGraphSnapshot(*graph, options.positional[2], &error)) {
+      err << "error: " << error << "\n";
+      return 1;
+    }
+    out << "wrote snapshot: " << graph->num_nodes() << " nodes, "
+        << graph->num_edges() << " edges, " << graph->num_times()
+        << " time points to " << options.positional[2] << "\n";
+    return 0;
+  }
+  if (verb == "load") {
+    if (options.positional.size() != 2) {
+      err << usage;
+      return 1;
+    }
+    std::optional<TemporalGraph> graph =
+        LoadGraphSnapshot(options.positional[1], &error);
+    if (!graph.has_value()) {
+      err << "error: " << error << "\n";
+      return 1;
+    }
+    out << "loaded snapshot: " << graph->num_nodes() << " nodes, "
+        << graph->num_edges() << " edges, " << graph->num_times()
+        << " time points (generation " << graph->mutation_generation() << ")\n";
+    if (std::optional<std::string> out_path = options.Get("out")) {
+      if (!WriteGraphToFile(*graph, *out_path, &error)) {
+        err << "error: " << error << "\n";
+        return 1;
+      }
+      out << "wrote TSV to " << *out_path << "\n";
+    }
+    return 0;
+  }
+  err << usage;
+  return 1;
+}
+
 // --- serve / loadgen -------------------------------------------------------------
 
 /// Parses an optional non-negative numeric flag; false + diagnostic when the
@@ -1098,7 +1181,27 @@ int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
     err << "usage: graphtempo serve <graph.tsv> [--port N] [--workers N] ...\n";
     return 1;
   }
-  std::optional<TemporalGraph> graph = LoadGraph(options.positional[0], err);
+  // Boot tier order: the binary snapshot when --snapshot names an existing
+  // file (fast path, preserves cache generations), the TSV otherwise. Any
+  // snapshot validation failure prints one diagnostic and falls back — a
+  // corrupt snapshot must never take the server down.
+  const std::string snapshot_path = options.Get("snapshot").value_or("");
+  std::optional<TemporalGraph> graph;
+  if (!snapshot_path.empty()) {
+    std::ifstream probe(snapshot_path, std::ios::binary);
+    if (probe.is_open()) {
+      probe.close();
+      std::string snapshot_error;
+      graph = LoadGraphSnapshot(snapshot_path, &snapshot_error);
+      if (graph.has_value()) {
+        out << "booted from snapshot " << snapshot_path << "\n";
+      } else {
+        err << "warning: " << snapshot_error << "; falling back to "
+            << options.positional[0] << "\n";
+      }
+    }
+  }
+  if (!graph.has_value()) graph = LoadGraph(options.positional[0], err);
   if (!graph.has_value()) return 1;
 
   server::ServerConfig config;
@@ -1233,6 +1336,21 @@ int CmdServe(const Options& options, std::ostream& out, std::ostream& err) {
   }
   std::signal(SIGUSR1, SIG_DFL);
   server.Shutdown();
+  if (!snapshot_path.empty()) {
+    // Drain-time snapshot: the graph now includes everything the ingest log
+    // replayed plus live ingestion. A successful save supersedes the log, so
+    // truncate it — replaying it on top of the snapshot would double-apply
+    // (and duplicate time labels abort the boot).
+    std::string snapshot_error;
+    if (SaveGraphSnapshot(*graph, snapshot_path, &snapshot_error)) {
+      out << "wrote snapshot " << snapshot_path << "\n";
+      if (!config.ingest_log_path.empty()) {
+        std::ofstream truncate_log(config.ingest_log_path, std::ios::trunc);
+      }
+    } else {
+      err << "warning: snapshot save failed: " << snapshot_error << "\n";
+    }
+  }
   out << "served " << server.requests_served() << " requests; shut down cleanly\n";
   return 0;
 }
@@ -1851,6 +1969,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   if (command == "serve") return finish(CmdServe(options, out, err));
   if (command == "loadgen") return finish(CmdLoadgen(options, out, err));
   if (command == "flightrec") return finish(CmdFlightrec(options, out, err));
+  if (command == "snapshot") return finish(CmdSnapshot(options, out, err));
   err << "error: unknown command '" << command << "' (try: graphtempo help)\n";
   return 1;
 }
